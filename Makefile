@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench figures validate objdump clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro.harness.figure6 --thread-limit both \
+		--csv results/results.csv --json results/results.json --plot
+
+validate:
+	$(PYTHON) -m repro.harness.validate
+
+objdump:
+	$(PYTHON) -m repro.tools.objdump --app xsbench --stats
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks .hypothesis
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,62 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one piece of the paper's evaluation via the
+harness, reports the series through ``benchmark.extra_info`` (so the JSON
+produced by ``pytest benchmarks/ --benchmark-only --benchmark-json=...``
+contains the actual figure data, not just wall times), and prints the same
+rows the paper plots.
+
+Sweeps are cached per (app, thread-limit) so a panel's data is computed
+once even if several tests inspect it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.figure6 import FIGURE6_WORKLOADS, run_figure6
+from repro.harness.paper_data import PAPER_INSTANCE_COUNTS
+
+_SWEEP_CACHE: dict = {}
+
+
+def figure6_sweep(app: str, thread_limit: int):
+    """Run (or fetch) the Figure-6 sweep for one benchmark at one limit."""
+    key = (app, thread_limit)
+    if key not in _SWEEP_CACHE:
+        results = run_figure6(
+            thread_limit,
+            apps=[app],
+            instance_counts=PAPER_INSTANCE_COUNTS,
+        )
+        _SWEEP_CACHE[key] = results[app]
+    return _SWEEP_CACHE[key]
+
+
+@pytest.fixture
+def record_series(benchmark):
+    """Attach a ScalingResult's series + diagnostics to the benchmark."""
+
+    def attach(result):
+        benchmark.extra_info["benchmark_app"] = result.app
+        benchmark.extra_info["thread_limit"] = result.thread_limit
+        benchmark.extra_info["speedup_series"] = {
+            str(r.instances): (None if r.oom else round(r.speedup, 3))
+            for r in result.rows
+        }
+        benchmark.extra_info["cycles_series"] = {
+            str(r.instances): (None if r.oom else round(r.cycles, 1))
+            for r in result.rows
+        }
+        oom = result.oom_at()
+        if oom is not None:
+            benchmark.extra_info["oom_at_instances"] = oom
+
+    return attach
+
+
+def print_series(result):
+    from repro.harness.report import render_scaling_detail
+
+    print()
+    print(render_scaling_detail(result))

@@ -1,0 +1,52 @@
+"""Ablation: instance-to-team mapping strategies (§3.1).
+
+Compares the paper's one-instance-per-team scheme against the proposed
+packed ``(N/M, M, 1)`` mapping on a *limited-parallelism* workload — the
+case §3.1 says packing should help ("particularly beneficial for
+applications with limited parallelism").  RSBench with few lookups cannot
+fill a 128-thread team, so packing M instances per team trades idle threads
+for concurrency without extra teams.
+
+Run: ``pytest benchmarks/test_ablation_mapping.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.harness.ablation import run_mapping_ablation
+
+#: few lookups -> each instance can use at most 32 of 128 threads
+NARROW_WORKLOAD = ["-p", "24", "-n", "2", "-l", "32"]
+INSTANCES = 16
+THREAD_LIMIT = 128
+
+
+def _run():
+    return run_mapping_ablation(
+        "rsbench",
+        NARROW_WORKLOAD,
+        instances=INSTANCES,
+        thread_limit=THREAD_LIMIT,
+        pack_factors=(1, 2, 4),
+        heap_bytes=16 * 1024 * 1024,
+    )
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=0.001)
+def test_mapping_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    benchmark.extra_info["tn_by_mapping"] = {
+        r.variant: round(r.tn_cycles, 1) for r in rows
+    }
+    print()
+    for r in rows:
+        print(
+            f"{r.variant:24s} T1={r.t1_cycles:>12,.0f}  "
+            f"T{INSTANCES}={r.tn_cycles:>12,.0f}  S={r.speedup:5.1f}x"
+        )
+    by_name = {r.variant: r for r in rows}
+    # all mappings compute the same ensemble; the packed ones use fewer teams
+    assert len(rows) == 3
+    # packing must not catastrophically regress the ensemble time
+    assert by_name["packed-4-per-team"].tn_cycles < 3 * by_name[
+        "one-instance-per-team"
+    ].tn_cycles

@@ -1,0 +1,57 @@
+"""Ablation: which modeled mechanism produces the sub-linear gap?
+
+Not a paper figure — this is the reproduction's own analysis (DESIGN.md §6)
+showing the Figure-6 shape is produced by the modeled memory mechanisms and
+not baked into the harness:
+
+* ``no-row-locality``: DRAM always at peak -> the gap largely closes;
+* ``no-l2``: every transaction hits DRAM -> absolute times inflate;
+* ``no-coalescing``: every lane pays a transaction -> traffic multiplies.
+
+Run: ``pytest benchmarks/test_ablation_mechanisms.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.harness.ablation import run_mechanism_ablation
+
+WORKLOAD = ["-g", "512", "-n", "8", "-l", "128"]
+INSTANCES = 32
+THREAD_LIMIT = 32
+
+
+def _run():
+    rows = run_mechanism_ablation(
+        "xsbench",
+        WORKLOAD,
+        instances=INSTANCES,
+        thread_limit=THREAD_LIMIT,
+        heap_bytes=48 * 1024 * 1024,
+    )
+    return {r.variant: r for r in rows}
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=0.001)
+def test_mechanism_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    benchmark.extra_info["speedup_by_variant"] = {
+        k: round(v.speedup, 2) for k, v in rows.items()
+    }
+    print()
+    for name, row in rows.items():
+        print(
+            f"{name:18s} T1={row.t1_cycles:>12,.0f}  T{INSTANCES}="
+            f"{row.tn_cycles:>12,.0f}  S({INSTANCES})={row.speedup:5.1f}x"
+        )
+
+    full = rows["full-model"]
+    no_row = rows["no-row-locality"]
+    no_l2 = rows["no-l2"]
+    no_coal = rows["no-coalescing"]
+
+    # row locality is the main driver of the scaling gap
+    assert no_row.speedup > full.speedup
+    # removing the L2 inflates absolute time
+    assert no_l2.tn_cycles > full.tn_cycles
+    # uncoalesced lanes multiply traffic and absolute time
+    assert no_coal.tn_cycles > full.tn_cycles

@@ -1,0 +1,114 @@
+"""Figure 6(b): relative speedup vs. instances at thread limit 1024.
+
+Same protocol as panel (a) at the hardware-maximum thread limit.  The
+distinguishing findings here (§4.3):
+
+* AMGmk's scaling gap is "particularly notable" — each instance alone
+  pulls a sizable share of device bandwidth, so the ensemble saturates
+  early;
+* RSBench stays closest to linear (compute-bound);
+* Page-Rank still cannot exceed 4 instances (memory capacity).
+
+Run: ``pytest benchmarks/test_figure6b.py --benchmark-only -s``
+"""
+
+import pytest
+
+from benchmarks.conftest import figure6_sweep, print_series
+from repro.harness.paper_data import PAPER_FIG6
+
+THREAD_LIMIT = 1024  # maximum threads per block on the device
+
+
+def _sweep_once(app):
+    return figure6_sweep(app, THREAD_LIMIT)
+
+
+def _assert_sublinear_and_monotone(result):
+    speedups = [r.speedup for r in result.rows if r.speedup is not None]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    for row in result.rows:
+        if row.speedup is not None:
+            assert row.speedup <= row.instances * 1.001
+
+
+@pytest.mark.benchmark(group="figure6b", min_rounds=1, max_time=0.001)
+def test_fig6b_xsbench(benchmark, record_series):
+    result = benchmark.pedantic(_sweep_once, args=("xsbench",), rounds=1, iterations=1)
+    record_series(result)
+    print_series(result)
+    _assert_sublinear_and_monotone(result)
+    assert result.speedup_at(64) > 20.0
+
+
+@pytest.mark.benchmark(group="figure6b", min_rounds=1, max_time=0.001)
+def test_fig6b_rsbench(benchmark, record_series):
+    result = benchmark.pedantic(_sweep_once, args=("rsbench",), rounds=1, iterations=1)
+    record_series(result)
+    print_series(result)
+    _assert_sublinear_and_monotone(result)
+    # compute-bound: the most linear curve of the panel
+    assert result.speedup_at(64) > 40.0
+
+
+@pytest.mark.benchmark(group="figure6b", min_rounds=1, max_time=0.001)
+def test_fig6b_amgmk(benchmark, record_series):
+    result = benchmark.pedantic(_sweep_once, args=("amgmk",), rounds=1, iterations=1)
+    record_series(result)
+    print_series(result)
+    _assert_sublinear_and_monotone(result)
+    paper = PAPER_FIG6[THREAD_LIMIT]["amgmk"]
+    measured = result.speedup_at(64)
+    assert measured == pytest.approx(paper[64], rel=0.45)
+
+
+@pytest.mark.benchmark(group="figure6b", min_rounds=1, max_time=0.001)
+def test_fig6b_pagerank(benchmark, record_series):
+    result = benchmark.pedantic(_sweep_once, args=("pagerank",), rounds=1, iterations=1)
+    record_series(result)
+    print_series(result)
+    assert result.oom_at() == 8
+    assert result.speedup_at(4) > 3.0
+
+
+@pytest.mark.benchmark(group="figure6b", min_rounds=1, max_time=0.001)
+def test_fig6b_amgmk_gap_most_pronounced(benchmark, record_series):
+    """§4.3: 'the scaling gap became more pronounced, particularly notable
+    in the case of AMGmk with a thread limit of 1024'."""
+
+    def efficiency_gaps():
+        out = {}
+        for app in ("xsbench", "rsbench", "amgmk"):
+            res = figure6_sweep(app, THREAD_LIMIT)
+            out[app] = res.speedup_at(64) / 64.0
+        return out
+
+    effs = benchmark.pedantic(efficiency_gaps, rounds=1, iterations=1)
+    benchmark.extra_info["efficiency_at_64"] = {
+        k: round(v, 3) for k, v in effs.items()
+    }
+    print(f"\nefficiency at N=64, t=1024: {effs}")
+    assert effs["amgmk"] < effs["xsbench"]
+    assert effs["amgmk"] < effs["rsbench"]
+
+
+@pytest.mark.benchmark(group="figure6b", min_rounds=1, max_time=0.001)
+def test_fig6b_vs_6a_crossover(benchmark, record_series):
+    """The panels relate: scaling efficiency at 64 instances is lower at
+    thread limit 1024 than at 32 for the bandwidth-bound benchmarks
+    (bigger per-instance appetite saturates the device sooner)."""
+
+    def both():
+        rows = {}
+        for app in ("xsbench", "amgmk"):
+            s32 = figure6_sweep(app, 32).speedup_at(64)
+            s1024 = figure6_sweep(app, 1024).speedup_at(64)
+            rows[app] = (s32, s1024)
+        return rows
+
+    rows = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["s64_by_thread_limit"] = {
+        k: [round(a, 2), round(b, 2)] for k, (a, b) in rows.items()
+    }
+    for app, (s32, s1024) in rows.items():
+        assert s1024 < s32, f"{app}: S(64)@1024={s1024:.1f} !< S(64)@32={s32:.1f}"

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The packed (N/M, M, 1) instance mapping — §3.1's future-work scheme.
+
+The paper observes that concurrency is capped by the number of teams, and
+sketches packing M instances into one team at different block dimensions,
+"particularly beneficial for applications with limited parallelism".  The
+LLVM OpenMP implementation could not express it; this runtime can, so the
+example measures it: a low-parallelism workload (few loop iterations per
+instance — it cannot use a full team's threads) runs 16 instances
+
+* one instance per team (paper's default), and
+* packed M=2 and M=4 per team,
+
+and reports the ensemble time of each mapping.
+
+Run:  python examples/packed_mapping.py
+"""
+
+from repro import EnsembleLoader, GPUDevice, OneInstancePerTeam, PackedMapping
+from repro.frontend import Program, dgpu, i64, ptr_ptr
+
+prog = Program("narrow_app")
+
+
+@prog.main
+def main(argc: i64, argv: ptr_ptr) -> i64:
+    """A deliberately *narrow* kernel: only 32 iterations of parallel work
+    per instance, so at thread limit 128 most of the team idles."""
+    work = 32
+    seed = 1
+    i = 1
+    while i < argc:
+        if strcmp(argv[i], "-w") == 0:  # noqa: F821 - device libc
+            i += 1
+            work = atoi(argv[i])  # noqa: F821
+        elif strcmp(argv[i], "-s") == 0:  # noqa: F821
+            i += 1
+            seed = atoi(argv[i])  # noqa: F821
+        i += 1
+
+    out = malloc_f64(work)  # noqa: F821
+    acc = malloc_f64(1)  # noqa: F821
+    acc[0] = 0.0
+    for k in dgpu.parallel_range(work):
+        x = float((seed * 2654435761 + k * 12345) & 65535) / 65536.0
+        y = x
+        j = 0
+        while j < 64:  # some per-element compute
+            y = y * 0.99 + dgpu.sqrt(y + 0.001) * 0.01
+            j += 1
+        out[k] = y
+        dgpu.atomic_add(acc, y)
+    if acc[0] > 0.0:
+        return 0
+    return 1
+
+
+def run() -> None:
+    lines = [["-w", "32", "-s", str(s)] for s in range(1, 17)]
+    thread_limit = 128
+    print(f"16 instances of a narrow app (32 iterations each), thread limit {thread_limit}\n")
+    for mapping in (OneInstancePerTeam(), PackedMapping(2), PackedMapping(4)):
+        loader = EnsembleLoader(prog, GPUDevice(), mapping=mapping)
+        result = loader.run_ensemble(lines, thread_limit=thread_limit)
+        geo = result.geometry
+        print(
+            f"{mapping.describe():24s} -> {geo.num_teams:2d} teams, block shape "
+            f"{geo.block_shape}, {result.cycles:>12,.0f} cycles, "
+            f"ok={result.all_succeeded}"
+        )
+    print(
+        "\nPacking instances reduces the team count while keeping every "
+        "instance's private thread group busy — the trade §3.1 describes."
+    )
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Ensemble-execute XSBench across a parameter study — the paper's
+motivating use case (ensemble-based simulation campaigns, §1).
+
+Demonstrates:
+
+* the argument *script* language (§3.2 future work) generating one command
+  line per instance,
+* the enhanced loader's ``-f/-n/-t`` workflow,
+* the speedup metric of §4.3: ``S(N) = T1 * N / TN`` in simulated cycles.
+
+Run:  python examples/xsbench_ensemble.py
+"""
+
+from repro import EnsembleLoader, GPUDevice
+from repro.apps import xsbench
+from repro.host.argscript import expand_argument_script
+
+#: A parameter study: 8 XSBench configurations at growing lookup counts and
+#: distinct seeds, written in the argument script language.
+ARGUMENT_SCRIPT = """
+@set grid = 512
+@foreach i in 0..7
+-g {grid} -n 8 -l {128 + 32 * i} -s {1000 + i}
+@end
+"""
+
+
+def run() -> None:
+    argument_file = expand_argument_script(ARGUMENT_SCRIPT)
+    print("expanded argument file:")
+    for line in argument_file.strip().splitlines():
+        print("   ", line)
+
+    device = GPUDevice()
+    loader = EnsembleLoader(xsbench.build_program(), device)
+
+    thread_limit = 32  # one warp per instance, as in Figure 6(a)
+
+    # baseline: the first configuration alone
+    t1 = loader.run_ensemble(argument_file, num_instances=1, thread_limit=thread_limit)
+    print("\nbaseline (1 instance):", t1.instances[0].stdout.strip())
+
+    # the full ensemble, one team per instance
+    ens = loader.run_ensemble(argument_file, thread_limit=thread_limit)
+    print(f"\nensemble of {ens.num_instances} instances:")
+    for inst in ens.instances:
+        print("   ", inst.stdout.strip())
+
+    n = ens.num_instances
+    speedup = t1.cycles * n / ens.cycles
+    print(
+        f"\nT1 = {t1.cycles:,.0f} cycles, T{n} = {ens.cycles:,.0f} cycles"
+        f"  ->  S({n}) = T1*N/TN = {speedup:.2f}x (linear bound: {n}.0x)"
+    )
+    timing = ens.timing
+    print(
+        f"model detail: L2 hit {timing.l2_hit_rate:.2f}, DRAM efficiency "
+        f"{timing.dram_efficiency:.2f}, {timing.total_sectors:,} memory "
+        "transactions"
+    )
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,74 @@
+"""repro — ensemble execution for direct GPU compilation, reproduced in
+simulation.
+
+Reproduction of *"Maximizing Parallelism and GPU Utilization For Direct GPU
+Compilation Through Ensemble Execution"* (Tian, Chapman, Doerfert, ICPP-W
+2023) as a pure-Python system: a SIMT GPU simulator with an
+address-accurate memory/timing model, a restricted-Python -> device-IR
+compiler with the paper's device pass pipeline, an OpenMP-style device
+runtime, the base and ensemble loaders, and ports of the four evaluated
+benchmarks.
+
+Quickstart
+----------
+>>> from repro import EnsembleLoader, GPUDevice
+>>> from repro.apps import xsbench
+>>> loader = EnsembleLoader(xsbench.build_program(), GPUDevice())
+>>> result = loader.run_ensemble("-l 64 -g 256\\n-l 64 -g 256\\n", thread_limit=32)
+>>> result.all_succeeded
+True
+
+See ``examples/quickstart.py`` and EXPERIMENTS.md for the Figure-6
+reproduction harness.
+"""
+
+from repro.config import (
+    DEFAULT_DEVICE,
+    DEFAULT_SIM,
+    CacheConfig,
+    DeviceConfig,
+    DramConfig,
+    SimConfig,
+)
+from repro.errors import (
+    DeviceError,
+    DeviceOutOfMemory,
+    DeviceTrap,
+    FrontendError,
+    LaunchError,
+    LoaderError,
+    ReproError,
+)
+from repro.frontend import Program, dgpu
+from repro.gpu.device import GPUDevice
+from repro.host.ensemble_loader import EnsembleLoader, EnsembleResult
+from repro.host.loader import Loader, RunResult
+from repro.host.mapping import OneInstancePerTeam, PackedMapping
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_DEVICE",
+    "DEFAULT_SIM",
+    "CacheConfig",
+    "DeviceConfig",
+    "DramConfig",
+    "SimConfig",
+    "ReproError",
+    "FrontendError",
+    "DeviceError",
+    "DeviceTrap",
+    "DeviceOutOfMemory",
+    "LaunchError",
+    "LoaderError",
+    "Program",
+    "dgpu",
+    "GPUDevice",
+    "Loader",
+    "RunResult",
+    "EnsembleLoader",
+    "EnsembleResult",
+    "OneInstancePerTeam",
+    "PackedMapping",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Benchmark applications evaluated by the paper (§4.1), ported to the
+restricted-Python device DSL and compiled through the full pipeline:
+
+* :mod:`~repro.apps.xsbench` — XSBench: memory-bound continuous-energy
+  macroscopic neutron cross-section lookup (OpenMC proxy),
+* :mod:`~repro.apps.rsbench` — RSBench: the compute-bound multipole
+  alternative,
+* :mod:`~repro.apps.amgmk` — AMGmk: the relax (Jacobi sweep) kernel of the
+  CORAL AMG proxy,
+* :mod:`~repro.apps.pagerank` — Page-Rank propagation step from HeCBench.
+
+Each module provides ``build_program()`` (a fresh DSL
+:class:`~repro.frontend.dsl.Program` taking C-style command-line options),
+plus workload presets for the Figure-6 harness; exact-arithmetic CPU
+references live in :mod:`~repro.apps.reference`.
+"""
+
+from repro.apps.registry import APPS, AppEntry, get_app
+
+__all__ = ["APPS", "AppEntry", "get_app"]

@@ -1,0 +1,119 @@
+"""AMGmk port: the relax (Jacobi sweep) kernel of the CORAL AMG proxy.
+
+AMGmk extracts the ``relax`` kernel of the algebraic-multigrid proxy
+application: sparse matrix-vector style sweeps ``x_new = (rhs - offdiag *
+x) / diag``.  It streams matrix values and gathers the solution vector —
+almost pure memory bandwidth, which is why the paper sees its worst
+ensemble scaling at thread limit 1024 (each instance alone nearly saturates
+the memory pipeline).
+
+The port uses a banded 7-point matrix in dense-band storage (``-n`` rows x
+7 coefficients), diagonally dominant by construction so the sweeps are
+numerically tame, and runs ``-i`` damped-Jacobi sweeps with an explicit
+copy-back (the copy is part of the measured kernel, as in AMGmk).
+
+Command line: ``-n <rows> -i <iterations> -s <seed>``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import register_lcg
+from repro.frontend.dsl import Program, dgpu
+from repro.frontend.dtypes import i64, ptr_ptr
+
+DEFAULT_ROWS = 4096
+DEFAULT_ITERS = 2
+DEFAULT_SEED = 1
+
+#: Band width: offsets -3..+3 around the diagonal.
+BAND = 7
+
+
+def build_program() -> Program:
+    """Build the AMGmk relax-kernel program (see module doc for the CLI)."""
+    prog = Program("amgmk")
+    register_lcg(prog)
+
+    @prog.main
+    def main(argc: i64, argv: ptr_ptr) -> i64:
+        rows = 4096
+        iters = 2
+        seed = 1
+        i = 1
+        while i < argc:
+            if strcmp(argv[i], "-n") == 0:  # noqa: F821 - device libc
+                i += 1
+                rows = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-i") == 0:  # noqa: F821
+                i += 1
+                iters = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-s") == 0:  # noqa: F821
+                i += 1
+                seed = atoi(argv[i])  # noqa: F821
+            i += 1
+        if rows < 8 or iters < 1:
+            printf("AMGmk: bad arguments\n")  # noqa: F821
+            return 2
+
+        vals = malloc_f64(rows * 7)  # noqa: F821
+        x = malloc_f64(rows)  # noqa: F821
+        xnew = malloc_f64(rows)  # noqa: F821
+        rhs = malloc_f64(rows)  # noqa: F821
+        checksum = malloc_f64(1)  # noqa: F821
+        checksum[0] = 0.0
+
+        # --- matrix/vector generation -----------------------------------
+        for j in dgpu.parallel_range(rows * 7):
+            r = lcg_init(seed * 613 + j)  # noqa: F821
+            vals[j] = lcg_f64(r) * 0.1  # noqa: F821
+        for j in dgpu.parallel_range(rows):
+            # diagonal dominance: diag = sum(|offdiag|) + 1
+            s = 0.0
+            k = 0
+            while k < 7:
+                if k != 3:
+                    s = s + vals[j * 7 + k]
+                k += 1
+            vals[j * 7 + 3] = s + 1.0
+            r = lcg_init(seed * 769 + j)  # noqa: F821
+            rhs[j] = lcg_f64(r)  # noqa: F821
+            x[j] = 0.0
+
+        # --- relax sweeps ---------------------------------------------------
+        it = 0
+        while it < iters:
+            for row in dgpu.parallel_range(rows):
+                acc = rhs[row]
+                k = 0
+                while k < 7:
+                    col = row + k - 3
+                    if col < 0:
+                        col = 0
+                    if col > rows - 1:
+                        col = rows - 1
+                    if col != row:
+                        acc = acc - vals[row * 7 + k] * x[col]
+                    k += 1
+                xnew[row] = acc / vals[row * 7 + 3]
+            for row in dgpu.parallel_range(rows):
+                x[row] = xnew[row]
+            it += 1
+
+        for row in dgpu.parallel_range(rows):
+            dgpu.atomic_add(checksum, x[row])
+
+        v = checksum[0]
+        printf("AMGmk checksum %.10f (n=%ld i=%ld s=%ld)\n",  # noqa: F821
+               v, rows, iters, seed)
+        if v != 0.0:
+            return 0
+        return 1
+
+    return prog
+
+
+def default_args(
+    *, rows: int = DEFAULT_ROWS, iters: int = DEFAULT_ITERS, seed: int = DEFAULT_SEED
+) -> list[str]:
+    """Default AMGmk command line (keyword overrides per flag)."""
+    return ["-n", str(rows), "-i", str(iters), "-s", str(seed)]

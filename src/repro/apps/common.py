@@ -1,0 +1,50 @@
+"""Shared device-code helpers for the benchmark ports.
+
+All four benchmarks use the same 31-bit linear congruential generator so
+that (a) every instance's data is reproducible from its command-line seed
+and (b) the CPU references in :mod:`repro.apps.reference` can replay the
+exact integer arithmetic (no modulo-2^63 overflow occurs for any reachable
+state, so device and numpy agree bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.dsl import Program
+from repro.frontend.dtypes import f64, i64
+
+LCG_A = 1103515245
+LCG_C = 12345
+LCG_MASK = 2147483647  # 2^31 - 1
+LCG_INIT_MUL = 2654435761
+LCG_DENOM = 2147483648.0
+
+
+def register_lcg(prog: Program) -> None:
+    """Register ``lcg_init``/``lcg_next``/``lcg_f64`` on ``prog``."""
+
+    @prog.device
+    def lcg_init(seed: i64) -> i64:
+        return (seed * 2654435761 + 12345) & 2147483647
+
+    @prog.device
+    def lcg_next(x: i64) -> i64:
+        return (x * 1103515245 + 12345) & 2147483647
+
+    @prog.device
+    def lcg_f64(x: i64) -> f64:
+        return float(x) / 2147483648.0
+
+
+def host_lcg_init(seed: int) -> int:
+    """Host-side replay of the device lcg_init (exact integer arithmetic)."""
+    return (seed * LCG_INIT_MUL + LCG_C) & LCG_MASK
+
+
+def host_lcg_next(x: int) -> int:
+    """Host-side replay of the device lcg_next."""
+    return (x * LCG_A + LCG_C) & LCG_MASK
+
+
+def host_lcg_f64(x: int) -> float:
+    """Host-side replay of the device lcg_f64 (state -> [0, 1) double)."""
+    return x / LCG_DENOM

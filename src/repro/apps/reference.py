@@ -1,0 +1,165 @@
+"""Exact-arithmetic CPU references for the four benchmark ports.
+
+Each function replays the *same* LCG integer arithmetic and the same
+per-lookup floating-point evaluation order as the device code, so device
+and reference results agree to atomic-accumulation rounding (the only
+nondeterminism is the order in which instances' atomic adds land, bounded
+by ~1e-12 relative error for these workload sizes).
+
+These are the oracles for the functional tests; they are *not* the
+performance baselines (the paper's baseline is the 1-instance GPU run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import LCG_A, LCG_C, LCG_DENOM, LCG_INIT_MUL, LCG_MASK
+
+
+def _lcg_init_vec(seeds: np.ndarray) -> np.ndarray:
+    return (seeds * LCG_INIT_MUL + LCG_C) & LCG_MASK
+
+
+def _lcg_next_vec(x: np.ndarray) -> np.ndarray:
+    return (x * LCG_A + LCG_C) & LCG_MASK
+
+
+def _lcg_f64_vec(x: np.ndarray) -> np.ndarray:
+    return x / LCG_DENOM
+
+
+# ---------------------------------------------------------------------------
+# XSBench
+# ---------------------------------------------------------------------------
+
+
+def xsbench_data(gridpoints: int, nuclides: int, seed: int):
+    """Replay XSBench's device-side data generation (energy grid + tables)."""
+    j = np.arange(gridpoints, dtype=np.int64)
+    r = _lcg_init_vec(seed * 1000003 + j)
+    egrid = (j.astype(np.float64) + _lcg_f64_vec(r)) / float(gridpoints)
+    k = np.arange(gridpoints * nuclides * 5, dtype=np.int64)
+    xs = _lcg_f64_vec(_lcg_init_vec(seed * 7919 + k))
+    return egrid, xs
+
+
+def xsbench_checksum(
+    gridpoints: int = 512, nuclides: int = 8, lookups: int = 256, seed: int = 1
+) -> float:
+    """Exact CPU replay of the XSBench device checksum."""
+    egrid, xs = xsbench_data(gridpoints, nuclides, seed)
+    l = np.arange(lookups, dtype=np.int64)
+    r = _lcg_next_vec(_lcg_init_vec(seed + l * 31))
+    energy = _lcg_f64_vec(r)
+    lo = np.clip(np.searchsorted(egrid, energy, side="right") - 1, 0, gridpoints - 2)
+    hi = lo + 1
+    f = (energy - egrid[lo]) / (egrid[hi] - egrid[lo] + 1e-12)
+    total = np.zeros(lookups, dtype=np.float64)
+    for n in range(nuclides):
+        base = (n * gridpoints + lo) * 5
+        for k in range(5):
+            xlo = xs[base + k]
+            xhi = xs[base + 5 + k]
+            total = total + (xlo + f * (xhi - xlo))
+    return float(total.sum())
+
+
+# ---------------------------------------------------------------------------
+# RSBench
+# ---------------------------------------------------------------------------
+
+
+def rsbench_checksum(
+    poles: int = 32, nuclides: int = 4, lookups: int = 256, seed: int = 1
+) -> float:
+    """Exact CPU replay of the RSBench device checksum."""
+    nd = nuclides * poles * 4
+    j = np.arange(nd, dtype=np.int64)
+    data = _lcg_f64_vec(_lcg_init_vec(seed * 104729 + j)) + 0.001
+    l = np.arange(lookups, dtype=np.int64)
+    energy = _lcg_f64_vec(_lcg_next_vec(_lcg_init_vec(seed + l * 37)))
+    total = np.zeros(lookups, dtype=np.float64)
+    for n in range(nuclides):
+        sig_t = np.zeros(lookups)
+        sig_a = np.zeros(lookups)
+        for p in range(poles):
+            base = (n * poles + p) * 4
+            e0 = data[base]
+            wd = data[base + 1] * 0.01
+            ca = data[base + 2]
+            cb = data[base + 3]
+            dr = energy - e0
+            denom = dr * dr + wd * wd + 1e-9
+            psi_r = dr / denom
+            psi_i = wd / denom
+            broad = np.sqrt(np.abs(dr) + 0.5)
+            sig_t = sig_t + (ca * psi_r - cb * psi_i) * broad
+            sig_a = sig_a + (ca * psi_i + cb * psi_r) / broad
+        total = total + sig_t + sig_a
+    return float(total.sum())
+
+
+# ---------------------------------------------------------------------------
+# AMGmk
+# ---------------------------------------------------------------------------
+
+
+def amgmk_checksum(rows: int = 4096, iters: int = 2, seed: int = 1) -> float:
+    """Exact CPU replay of the AMGmk device checksum."""
+    j = np.arange(rows * 7, dtype=np.int64)
+    vals = (_lcg_f64_vec(_lcg_init_vec(seed * 613 + j)) * 0.1).reshape(rows, 7)
+    # diagonal dominance exactly as the device computes it (sequential sum
+    # over the 7 band entries, skipping k == 3)
+    s = np.zeros(rows)
+    for k in range(7):
+        if k != 3:
+            s = s + vals[:, k]
+    vals[:, 3] = s + 1.0
+    r = np.arange(rows, dtype=np.int64)
+    rhs = _lcg_f64_vec(_lcg_init_vec(seed * 769 + r))
+    x = np.zeros(rows)
+    cols = np.clip(r[:, None] + (np.arange(7) - 3)[None, :], 0, rows - 1)
+    for _ in range(iters):
+        acc = rhs.copy()
+        for k in range(7):
+            col = cols[:, k]
+            off_diag = col != r
+            acc = acc - np.where(off_diag, vals[:, k] * x[col], 0.0)
+        x = acc / vals[:, 3]
+    return float(x.sum())
+
+
+# ---------------------------------------------------------------------------
+# STREAM triad (model-validation microbenchmark)
+# ---------------------------------------------------------------------------
+
+
+def stream_checksum(elements: int = 8192, reps: int = 1, seed: int = 1) -> float:
+    """Exact CPU replay of the STREAM-triad device checksum."""
+    j = np.arange(elements, dtype=np.int64)
+    r = _lcg_init_vec(seed * 131 + j)
+    b = _lcg_f64_vec(r)
+    c = _lcg_f64_vec(_lcg_next_vec(r))
+    a = b + 3.0 * c  # repetitions are idempotent
+    return float(a.sum())
+
+
+# ---------------------------------------------------------------------------
+# Page-Rank
+# ---------------------------------------------------------------------------
+
+
+def pagerank_total(
+    nodes: int = 16384, degree: int = 8, iters: int = 1, seed: int = 1
+) -> float:
+    """Exact CPU replay of the Page-Rank device total-rank value."""
+    j = np.arange(nodes * degree, dtype=np.int64)
+    nbrs = (_lcg_init_vec(seed * 48271 + j) % nodes).reshape(nodes, degree)
+    rank = np.full(nodes, 1.0 / nodes)
+    for _ in range(iters):
+        acc = np.zeros(nodes)
+        for k in range(degree):
+            acc = acc + rank[nbrs[:, k]]
+        rank = 0.15 / nodes + 0.85 * acc / degree
+    return float(rank.sum())

@@ -1,0 +1,75 @@
+"""Registry of the ported benchmark applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps import amgmk, pagerank, reference, rsbench, stream, xsbench
+
+
+@dataclass(frozen=True)
+class AppEntry:
+    """One runnable benchmark."""
+
+    name: str
+    description: str
+    build_program: Callable
+    default_args: Callable[..., list[str]]
+    reference_fn: Callable[..., float]
+    bound: str  # "memory" | "compute"
+    heap_hint_bytes: int = 64 * 1024 * 1024
+    notes: str = ""
+
+
+APPS: dict[str, AppEntry] = {
+    "xsbench": AppEntry(
+        name="xsbench",
+        description="memory-bound macroscopic cross-section lookups (OpenMC proxy)",
+        build_program=xsbench.build_program,
+        default_args=xsbench.default_args,
+        reference_fn=reference.xsbench_checksum,
+        bound="memory",
+    ),
+    "rsbench": AppEntry(
+        name="rsbench",
+        description="compute-bound multipole cross-section lookups (OpenMC proxy)",
+        build_program=rsbench.build_program,
+        default_args=rsbench.default_args,
+        reference_fn=reference.rsbench_checksum,
+        bound="compute",
+    ),
+    "amgmk": AppEntry(
+        name="amgmk",
+        description="bandwidth-bound relax kernel from the CORAL AMGmk proxy",
+        build_program=amgmk.build_program,
+        default_args=amgmk.default_args,
+        reference_fn=reference.amgmk_checksum,
+        bound="memory",
+    ),
+    "stream": AppEntry(
+        name="stream",
+        description="STREAM triad microbenchmark (model validation; not in the paper)",
+        build_program=stream.build_program,
+        default_args=stream.default_args,
+        reference_fn=reference.stream_checksum,
+        bound="memory",
+        heap_hint_bytes=32 * 1024 * 1024,
+        notes="perfectly coalesced streaming; pins the bandwidth model",
+    ),
+    "pagerank": AppEntry(
+        name="pagerank",
+        description="Page-Rank propagation step (HeCBench); memory-capacity bound",
+        build_program=pagerank.build_program,
+        default_args=pagerank.default_args,
+        reference_fn=reference.pagerank_total,
+        bound="memory",
+        notes="largest per-instance heap footprint; reproduces the paper's "
+        "out-of-memory cap on instance count",
+    ),
+}
+
+
+def get_app(name: str) -> AppEntry:
+    """Look up a registered benchmark by name (KeyError if unknown)."""
+    return APPS[name]

@@ -1,0 +1,122 @@
+"""RSBench port: compute-bound multipole cross-section lookups.
+
+RSBench [Tramm et al. 2014] computes the same physics as XSBench from the
+windowed-multipole representation: instead of reading large tables, each
+lookup evaluates an analytic pole expansion — far fewer memory accesses,
+far more floating-point work (complex arithmetic, square roots).  The paper
+uses it as the compute-bound counterweight to XSBench.
+
+This port keeps that profile: every lookup walks ``-p`` poles for each of
+``-n`` nuclides; each pole evaluation loads 4 doubles and performs ~20
+double-precision operations including a square root (SFU-class work in the
+timing model), then accumulates sigT/sigA into an atomic checksum.
+
+Command line: ``-p <poles> -n <nuclides> -l <lookups> -s <seed>``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import register_lcg
+from repro.frontend.dsl import Program, dgpu
+from repro.frontend.dtypes import i64, ptr_ptr
+
+DEFAULT_POLES = 32
+DEFAULT_NUCLIDES = 4
+DEFAULT_LOOKUPS = 256
+DEFAULT_SEED = 1
+
+#: Stored quantities per pole: E0, width, sigT coefficient, sigA coefficient.
+POLE_FIELDS = 4
+
+
+def build_program() -> Program:
+    """Build the RSBench multipole-lookup program (see module doc for the CLI)."""
+    prog = Program("rsbench")
+    register_lcg(prog)
+
+    @prog.main
+    def main(argc: i64, argv: ptr_ptr) -> i64:
+        poles = 32
+        nuclides = 4
+        lookups = 256
+        seed = 1
+        i = 1
+        while i < argc:
+            if strcmp(argv[i], "-p") == 0:  # noqa: F821 - device libc
+                i += 1
+                poles = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-n") == 0:  # noqa: F821
+                i += 1
+                nuclides = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-l") == 0:  # noqa: F821
+                i += 1
+                lookups = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-s") == 0:  # noqa: F821
+                i += 1
+                seed = atoi(argv[i])  # noqa: F821
+            i += 1
+        if poles < 1 or nuclides < 1 or lookups < 1:
+            printf("RSBench: bad arguments\n")  # noqa: F821
+            return 2
+
+        ndata = nuclides * poles * 4
+        data = malloc_f64(ndata)  # noqa: F821
+        checksum = malloc_f64(1)  # noqa: F821
+        checksum[0] = 0.0
+
+        # --- multipole data -------------------------------------------------
+        for j in dgpu.parallel_range(ndata):
+            r = lcg_init(seed * 104729 + j)  # noqa: F821
+            data[j] = lcg_f64(r) + 0.001  # noqa: F821
+
+        # --- lookup kernel ---------------------------------------------------
+        for l in dgpu.parallel_range(lookups):
+            r = lcg_init(seed + l * 37)
+            r = lcg_next(r)  # noqa: F821
+            energy = lcg_f64(r)  # noqa: F821
+            total = 0.0
+            n = 0
+            while n < nuclides:
+                sig_t = 0.0
+                sig_a = 0.0
+                p = 0
+                while p < poles:
+                    base = (n * poles + p) * 4
+                    e0 = data[base]
+                    wd = data[base + 1] * 0.01
+                    ca = data[base + 2]
+                    cb = data[base + 3]
+                    # psi = 1 / (energy - e0 + i*wd): complex reciprocal
+                    dr = energy - e0
+                    denom = dr * dr + wd * wd + 1e-9
+                    psi_r = dr / denom
+                    psi_i = wd / denom
+                    # Doppler-broadening flavour: sqrt term as in the real
+                    # kernel's W function evaluation
+                    broad = dgpu.sqrt(abs(dr) + 0.5)
+                    sig_t = sig_t + (ca * psi_r - cb * psi_i) * broad
+                    sig_a = sig_a + (ca * psi_i + cb * psi_r) / broad
+                    p += 1
+                total = total + sig_t + sig_a
+                n += 1
+            dgpu.atomic_add(checksum, total)
+
+        v = checksum[0]
+        printf("RSBench checksum %.10f (p=%ld n=%ld l=%ld s=%ld)\n",  # noqa: F821
+               v, poles, nuclides, lookups, seed)
+        if v != 0.0:
+            return 0
+        return 1
+
+    return prog
+
+
+def default_args(
+    *,
+    poles: int = DEFAULT_POLES,
+    nuclides: int = DEFAULT_NUCLIDES,
+    lookups: int = DEFAULT_LOOKUPS,
+    seed: int = DEFAULT_SEED,
+) -> list[str]:
+    """Default RSBench command line (keyword overrides per flag)."""
+    return ["-p", str(poles), "-n", str(nuclides), "-l", str(lookups), "-s", str(seed)]

@@ -1,0 +1,94 @@
+"""STREAM-triad microbenchmark (model-validation app, not from the paper).
+
+The reproduction's own calibration probe: the classic ``a[i] = b[i] +
+k*c[i]`` triad is the cleanest possible bandwidth workload (perfectly
+coalesced streaming, negligible compute, no reuse), so it pins down the
+timing model's bandwidth behaviour independently of the paper's four
+benchmarks:
+
+* a single full team must achieve roughly the configured per-block
+  throughput (Little's law);
+* an ensemble of triads must saturate toward the device bandwidth ceiling
+  scaled by the row-locality efficiency.
+
+``tests/apps/test_stream.py`` asserts both properties against the model
+constants — if someone retunes `DeviceConfig`, the triad tests tell them
+what they actually changed.
+
+Command line: ``-n <elements> -r <repetitions> -s <seed>``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import register_lcg
+from repro.frontend.dsl import Program, dgpu
+from repro.frontend.dtypes import i64, ptr_ptr
+
+DEFAULT_ELEMENTS = 8192
+DEFAULT_REPS = 1
+DEFAULT_SEED = 1
+
+TRIAD_SCALAR = 3.0
+
+
+def build_program() -> Program:
+    """Build the STREAM-triad program (see module doc for the CLI)."""
+    prog = Program("stream")
+    register_lcg(prog)
+
+    @prog.main
+    def main(argc: i64, argv: ptr_ptr) -> i64:
+        n = 8192
+        reps = 1
+        seed = 1
+        i = 1
+        while i < argc:
+            if strcmp(argv[i], "-n") == 0:  # noqa: F821 - device libc
+                i += 1
+                n = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-r") == 0:  # noqa: F821
+                i += 1
+                reps = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-s") == 0:  # noqa: F821
+                i += 1
+                seed = atoi(argv[i])  # noqa: F821
+            i += 1
+        if n < 1 or reps < 1:
+            printf("STREAM: bad arguments\n")  # noqa: F821
+            return 2
+
+        a = malloc_f64(n)  # noqa: F821
+        bb = malloc_f64(n)  # noqa: F821
+        cc = malloc_f64(n)  # noqa: F821
+        checksum = malloc_f64(1)  # noqa: F821
+        checksum[0] = 0.0
+
+        for j in dgpu.parallel_range(n):
+            r = lcg_init(seed * 131 + j)  # noqa: F821
+            bb[j] = lcg_f64(r)  # noqa: F821
+            cc[j] = lcg_f64(lcg_next(r))  # noqa: F821
+
+        rep = 0
+        while rep < reps:
+            for j in dgpu.parallel_range(n):
+                a[j] = bb[j] + 3.0 * cc[j]
+            rep += 1
+
+        for j in dgpu.parallel_range(n):
+            dgpu.atomic_add(checksum, a[j])
+
+        v = checksum[0]
+        printf("STREAM triad checksum %.10f (n=%ld r=%ld s=%ld)\n",  # noqa: F821
+               v, n, reps, seed)
+        if v > 0.0:
+            return 0
+        return 1
+
+    return prog
+
+
+def default_args(
+    *, elements: int = DEFAULT_ELEMENTS, reps: int = DEFAULT_REPS, seed: int = DEFAULT_SEED
+) -> list[str]:
+    """Default STREAM command line (keyword overrides per flag)."""
+    return ["-n", str(elements), "-r", str(reps), "-s", str(seed)]

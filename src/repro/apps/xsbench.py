@@ -1,0 +1,130 @@
+"""XSBench port: memory-bound macroscopic cross-section lookups.
+
+XSBench [Tramm et al. 2014] is the OpenMC proxy whose kernel repeatedly
+(1) samples a particle energy, (2) binary-searches an energy grid, and
+(3) interpolates the five cross-section channels of every nuclide at that
+energy, accumulating macroscopic totals.  Its performance is dominated by
+irregular memory lookups — the paper uses it as the memory-bound proxy.
+
+This port keeps that structure on a simplified unionized grid:
+
+* one sorted energy grid of ``-g`` points (generated directly in sorted
+  order as ``(j + u_j)/G`` — order-independent, so the init loop can be a
+  worksharing ``parallel_range`` like the expanded-parallelism init of the
+  GPU-First work [27]),
+* ``-n`` nuclides x 5 cross-section channels per grid point,
+* ``-l`` lookups: each samples an energy, binary-searches (fixed
+  ``log2(G)`` trip count, so warps stay converged), interpolates
+  ``5 * n`` channels, and atomically accumulates into a verification
+  checksum.
+
+Command line: ``-g <gridpoints> -n <nuclides> -l <lookups> -s <seed>``.
+Exit code 0 iff the checksum is positive; the checksum prints via host-RPC
+printf for comparison against :func:`repro.apps.reference.xsbench_checksum`.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import register_lcg
+from repro.frontend.dsl import Program, dgpu
+from repro.frontend.dtypes import i64, ptr_ptr
+
+DEFAULT_GRIDPOINTS = 512
+DEFAULT_NUCLIDES = 8
+DEFAULT_LOOKUPS = 256
+DEFAULT_SEED = 1
+
+#: Cross-section channels per (nuclide, gridpoint): total/elastic/absorption/
+#: fission/nu-fission, as in XSBench.
+CHANNELS = 5
+
+
+def build_program() -> Program:
+    """Build the XSBench lookup program (see module doc for the CLI)."""
+    prog = Program("xsbench")
+    register_lcg(prog)
+
+    @prog.main
+    def main(argc: i64, argv: ptr_ptr) -> i64:
+        gridpoints = 512
+        nuclides = 8
+        lookups = 256
+        seed = 1
+        i = 1
+        while i < argc:
+            if strcmp(argv[i], "-g") == 0:  # noqa: F821 - device libc
+                i += 1
+                gridpoints = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-n") == 0:  # noqa: F821
+                i += 1
+                nuclides = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-l") == 0:  # noqa: F821
+                i += 1
+                lookups = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-s") == 0:  # noqa: F821
+                i += 1
+                seed = atoi(argv[i])  # noqa: F821
+            i += 1
+        if gridpoints < 2 or nuclides < 1 or lookups < 1:
+            printf("XSBench: bad arguments\n")  # noqa: F821
+            return 2
+
+        egrid = malloc_f64(gridpoints)  # noqa: F821
+        xs = malloc_f64(gridpoints * nuclides * 5)  # noqa: F821
+        checksum = malloc_f64(1)  # noqa: F821
+        checksum[0] = 0.0
+
+        # --- data generation (sorted by construction) -------------------
+        for j in dgpu.parallel_range(gridpoints):
+            r = lcg_init(seed * 1000003 + j)  # noqa: F821
+            egrid[j] = (float(j) + lcg_f64(r)) / float(gridpoints)  # noqa: F821
+        for j in dgpu.parallel_range(gridpoints * nuclides * 5):
+            r = lcg_init(seed * 7919 + j)  # noqa: F821
+            xs[j] = lcg_f64(r)  # noqa: F821
+
+        # --- lookup kernel ------------------------------------------------
+        for l in dgpu.parallel_range(lookups):
+            r = lcg_init(seed + l * 31)
+            r = lcg_next(r)  # noqa: F821
+            energy = lcg_f64(r)  # noqa: F821
+            total = 0.0
+            n = 0
+            while n < nuclides:
+                lo = 0
+                hi = gridpoints - 1
+                while hi - lo > 1:
+                    mid = (lo + hi) // 2
+                    if egrid[mid] <= energy:
+                        lo = mid
+                    else:
+                        hi = mid
+                f = (energy - egrid[lo]) / (egrid[hi] - egrid[lo] + 1e-12)
+                base = (n * gridpoints + lo) * 5
+                k = 0
+                while k < 5:
+                    xlo = xs[base + k]
+                    xhi = xs[base + 5 + k]
+                    total = total + xlo + f * (xhi - xlo)
+                    k += 1
+                n += 1
+            dgpu.atomic_add(checksum, total)
+
+        v = checksum[0]
+        printf("XSBench checksum %.10f (g=%ld n=%ld l=%ld s=%ld)\n",  # noqa: F821
+               v, gridpoints, nuclides, lookups, seed)
+        if v > 0.0:
+            return 0
+        return 1
+
+    return prog
+
+
+def default_args(
+    *,
+    gridpoints: int = DEFAULT_GRIDPOINTS,
+    nuclides: int = DEFAULT_NUCLIDES,
+    lookups: int = DEFAULT_LOOKUPS,
+    seed: int = DEFAULT_SEED,
+) -> list[str]:
+    """Default XSBench command line (keyword overrides per flag)."""
+    return ["-g", str(gridpoints), "-n", str(nuclides), "-l", str(lookups), "-s", str(seed)]

@@ -1,0 +1,126 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the compiler, the device model, or the runtime derives
+from :class:`ReproError` so callers can catch the whole family at once.  The
+sub-hierarchy mirrors the pipeline stages: frontend -> IR -> passes ->
+device/runtime -> host loader.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Compilation-stage errors
+# ---------------------------------------------------------------------------
+
+
+class FrontendError(ReproError):
+    """Source program rejected by the restricted-Python frontend."""
+
+    def __init__(self, message: str, *, line: int | None = None, func: str | None = None):
+        self.line = line
+        self.func = func
+        loc = ""
+        if func is not None:
+            loc += f" in {func}()"
+        if line is not None:
+            loc += f" at line {line}"
+        super().__init__(f"{message}{loc}")
+
+
+class TypeInferenceError(FrontendError):
+    """A value's type could not be inferred or two types conflicted."""
+
+
+class UnsupportedConstructError(FrontendError):
+    """A Python construct outside the supported device subset was used."""
+
+
+class IRError(ReproError):
+    """Malformed IR detected (builder misuse or verifier failure)."""
+
+
+class VerifierError(IRError):
+    """The IR verifier found a structural violation."""
+
+
+class PassError(ReproError):
+    """A transformation pass failed."""
+
+
+class LinkError(ReproError):
+    """Symbol resolution at link time failed (undefined/duplicate symbol)."""
+
+
+# ---------------------------------------------------------------------------
+# Device / runtime errors
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """Base class for errors raised by the simulated device."""
+
+
+class DeviceOutOfMemory(DeviceError):
+    """Device global-memory allocation failed.
+
+    Mirrors ``cudaErrorMemoryAllocation``: raised by the allocator when a
+    request does not fit in the configured device memory capacity.  The
+    Page-Rank experiment relies on this to reproduce the paper's
+    "due to memory limitations" cap at four instances.
+    """
+
+    def __init__(self, requested: int, free: int, capacity: int):
+        self.requested = requested
+        self.free = free
+        self.capacity = capacity
+        super().__init__(
+            f"device out of memory: requested {requested} bytes, "
+            f"{free} free of {capacity} total"
+        )
+
+
+class LaunchError(DeviceError):
+    """Kernel launch configuration is invalid for the device."""
+
+
+class DeviceTrap(DeviceError):
+    """The device program executed a trap (assertion failure, bad memory...)."""
+
+    def __init__(self, message: str, *, team: int | None = None, thread: int | None = None):
+        self.team = team
+        self.thread = thread
+        where = ""
+        if team is not None:
+            where += f" [team {team}"
+            where += f", thread {thread}]" if thread is not None else "]"
+        super().__init__(f"device trap: {message}{where}")
+
+
+class MemoryFault(DeviceTrap):
+    """Out-of-bounds or misaligned access to simulated device memory."""
+
+
+class RPCError(DeviceError):
+    """Host RPC transport or handler failure."""
+
+
+# ---------------------------------------------------------------------------
+# Host / loader errors
+# ---------------------------------------------------------------------------
+
+
+class LoaderError(ReproError):
+    """The host loader was misused (bad arguments, missing program...)."""
+
+
+class ArgFileError(LoaderError):
+    """The ensemble argument file could not be parsed."""
+
+
+class ArgScriptError(LoaderError):
+    """The argument-generation script language rejected its input."""

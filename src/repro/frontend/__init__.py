@@ -1,0 +1,46 @@
+"""Restricted-Python frontend.
+
+User applications are written as ordinary Python functions against a small
+typed subset (see :mod:`repro.frontend.compiler` for the exact rules) and
+registered on a :class:`~repro.frontend.dsl.Program`.  ``Program.compile()``
+parses each function with :mod:`ast`, type-checks it, and lowers it to the
+device IR of :mod:`repro.ir` — the moral equivalent of the paper's
+"compile the legacy CPU app with Clang, treating everything as device code".
+
+The :data:`~repro.frontend.dsl.dgpu` namespace provides the device
+intrinsics (thread/team ids, ``parallel_range`` worksharing loops, barriers,
+atomics, math, stack allocation, pointer casts).
+"""
+
+from repro.frontend.dtypes import (
+    DT_F64,
+    DT_I64,
+    DType,
+    f64,
+    i64,
+    ptr_f32,
+    ptr_f64,
+    ptr_i8,
+    ptr_i32,
+    ptr_i64,
+    ptr_ptr,
+    ptr_of,
+)
+from repro.frontend.dsl import Program, dgpu
+
+__all__ = [
+    "Program",
+    "dgpu",
+    "DType",
+    "DT_I64",
+    "DT_F64",
+    "i64",
+    "f64",
+    "ptr_i8",
+    "ptr_i32",
+    "ptr_i64",
+    "ptr_f32",
+    "ptr_f64",
+    "ptr_ptr",
+    "ptr_of",
+]

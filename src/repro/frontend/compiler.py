@@ -1,0 +1,986 @@
+"""AST -> IR compiler for the restricted-Python device subset.
+
+Supported subset
+----------------
+* typed parameters (``i64``, ``f64``, pointer types) and return annotation,
+* locals with inferred types (``x = 0`` -> i64, ``x = 0.0`` -> f64); a
+  variable keeps one type for its whole lifetime (int-to-float assignment
+  converts, float-to-int requires an explicit ``int()``),
+* arithmetic/comparison/bit operators with C-like promotion (any f64 operand
+  promotes the operation to f64; ``/`` always divides in f64; ``//`` is
+  integer division for ints and ``floor(a/b)`` for floats),
+* pointer arithmetic (``p + n`` advances by *elements*), subscript
+  loads/stores, pointer difference,
+* ``if``/``while``/``for i in range(...)`` (constant step), ``break``,
+  ``continue``, ``assert``, ``return``,
+* calls to other device functions of the same program (later inlined), to
+  host externs (later RPC-lowered), to ``dgpu.*`` intrinsics and ``math.*``,
+  and to the builtins ``int``, ``float``, ``abs``, ``min``, ``max``,
+* ``for i in dgpu.parallel_range(n)``: the OpenMP-style worksharing loop —
+  the body runs under a team-wide SPMD region (``par_begin``/``par_end``)
+  with a static-strided schedule, mirroring ``#pragma omp parallel for``,
+* string literals as call arguments (interned into constant i8 globals),
+* module-level globals declared on the :class:`~repro.frontend.dsl.Program`
+  (scalars read/write; arrays decay to pointers),
+* reads of plain int/float constants from the enclosing Python scope
+  (problem-size constants).
+
+Variables are compiled to *mutable home registers* (the IR is deliberately
+not SSA), so control-flow merges need no phi nodes.
+"""
+
+from __future__ import annotations
+
+import ast
+import math as _math_module
+import textwrap
+from typing import Any
+
+from repro.errors import (
+    FrontendError,
+    TypeInferenceError,
+    UnsupportedConstructError,
+)
+from repro.frontend.dsl import Program, SourceFunction, _DgpuNamespace
+from repro.frontend.dtypes import (
+    DT_F64,
+    DT_I64,
+    DType,
+    Value,
+    annotation_to_dtype,
+    memtype_to_dtype,
+    ptr_f64,
+    ptr_i8,
+    ptr_i64,
+)
+from repro.frontend.intrinsics import (
+    COMPILER_HANDLED,
+    HOST_FUNCS,
+    INTRINSICS,
+    host_func_ret,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, GlobalVar
+from repro.ir.types import MemType, ScalarType
+
+_MATH_TO_INTRINSIC = {
+    "sqrt": "sqrt",
+    "exp": "exp",
+    "log": "log",
+    "sin": "sin",
+    "cos": "cos",
+    "tan": "tan",
+    "fabs": "fabs",
+    "floor": "floor",
+    "ceil": "ceil",
+    "pow": "pow",
+}
+
+_STACK_ALLOC = {
+    "stack_i8": (MemType.I8, ptr_i8),
+    "stack_i32": (MemType.I32, None),  # pointer type resolved lazily below
+    "stack_i64": (MemType.I64, ptr_i64),
+    "stack_f32": (MemType.F32, None),
+    "stack_f64": (MemType.F64, ptr_f64),
+}
+
+
+def signature_of(sf: SourceFunction) -> tuple[list[tuple[str, DType]], DType | None]:
+    """Extract the frontend signature (params, return) from annotations."""
+    pyfunc = sf.pyfunc
+    code = pyfunc.__code__
+    argnames = code.co_varnames[: code.co_argcount]
+    annotations = dict(getattr(pyfunc, "__annotations__", {}))
+    params: list[tuple[str, DType]] = []
+    for name in argnames:
+        if name not in annotations:
+            raise FrontendError(
+                f"parameter {name!r} needs a type annotation", func=sf.name
+            )
+        params.append((name, _resolve_annotation(annotations[name], pyfunc)))
+    ret_ann = annotations.get("return")
+    ret: DType | None
+    if ret_ann is None or ret_ann is type(None) or ret_ann == "None":
+        ret = None
+    else:
+        ret = _resolve_annotation(ret_ann, pyfunc)
+    return params, ret
+
+
+def _resolve_annotation(ann: Any, pyfunc) -> DType:
+    if isinstance(ann, str):
+        try:
+            ann = eval(ann, pyfunc.__globals__)  # noqa: S307 - controlled input
+        except Exception:
+            pass
+    return annotation_to_dtype(ann)
+
+
+def _program_signatures(program: Program) -> dict[str, tuple[list[tuple[str, DType]], DType | None]]:
+    cache = getattr(program, "_sigtable", None)
+    if cache is None:
+        cache = {name: signature_of(sf) for name, sf in program.functions.items()}
+        program._sigtable = cache
+    return cache
+
+
+def compile_source_function(sf: SourceFunction, program: Program) -> Function:
+    """Compile one registered device function to IR."""
+    return _FunctionCompiler(sf, program).compile()
+
+
+class _LoopCtx:
+    __slots__ = ("cont_block", "break_block", "in_parallel")
+
+    def __init__(self, cont_block, break_block, in_parallel: bool):
+        self.cont_block = cont_block
+        self.break_block = break_block
+        self.in_parallel = in_parallel
+
+
+class _FunctionCompiler(ast.NodeVisitor):
+    def __init__(self, sf: SourceFunction, program: Program):
+        self.sf = sf
+        self.program = program
+        self.sigs = _program_signatures(program)
+        self.params, self.ret_dt = self.sigs[sf.name]
+        pyfunc = sf.pyfunc
+        self.py_scope: dict[str, Any] = dict(pyfunc.__globals__)
+        if pyfunc.__closure__:
+            for name, cell in zip(pyfunc.__code__.co_freevars, pyfunc.__closure__):
+                try:
+                    self.py_scope[name] = cell.cell_contents
+                except ValueError:
+                    pass
+        ret_scalar = ScalarType.VOID if self.ret_dt is None else self.ret_dt.scalar
+        self.fn = Function(
+            sf.name,
+            [(n, dt.scalar) for n, dt in self.params],
+            ret_scalar,
+        )
+        self.b = IRBuilder(self.fn)
+        self.vars: dict[str, Value] = {}
+        self.loop_stack: list[_LoopCtx] = []
+        self.par_depth = 0
+        self.cur_line = 0
+
+    # ------------------------------------------------------------------
+    def err(self, msg: str, node: ast.AST | None = None) -> FrontendError:
+        line = getattr(node, "lineno", self.cur_line) if node is not None else self.cur_line
+        return FrontendError(msg, line=line, func=self.sf.name)
+
+    def unsupported(self, msg: str, node: ast.AST | None = None) -> UnsupportedConstructError:
+        line = getattr(node, "lineno", self.cur_line) if node is not None else self.cur_line
+        return UnsupportedConstructError(msg, line=line, func=self.sf.name)
+
+    # ------------------------------------------------------------------
+    def compile(self) -> Function:
+        tree = ast.parse(textwrap.dedent(self.sf.source))
+        fdef = tree.body[0]
+        if not isinstance(fdef, ast.FunctionDef):
+            raise self.err("expected a function definition")
+        entry = self.b.create_block("entry")
+        self.b.set_block(entry)
+        for (name, dt), reg in zip(self.params, self.fn.param_regs):
+            self.vars[name] = Value(reg, dt)
+        self.compile_stmts(fdef.body)
+        if not self.b.is_terminated:
+            if self.ret_dt is None:
+                self.b.ret()
+            elif self.sf.is_main:
+                # C semantics: falling off the end of main returns 0.
+                self.b.retval(self.b.const_i(0))
+            else:
+                self.b.trap(f"missing return in {self.sf.name}")
+        return self.fn
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def compile_stmts(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if self.b.is_terminated:
+                return  # unreachable code after return/break is dropped
+            self.cur_line = getattr(stmt, "lineno", self.cur_line)
+            self.compile_stmt(stmt)
+
+    def compile_stmt(self, stmt: ast.stmt) -> None:
+        method = getattr(self, f"stmt_{type(stmt).__name__}", None)
+        if method is None:
+            raise self.unsupported(f"statement {type(stmt).__name__}", stmt)
+        method(stmt)
+
+    def stmt_Pass(self, stmt: ast.Pass) -> None:
+        pass
+
+    def stmt_Expr(self, stmt: ast.Expr) -> None:
+        if isinstance(stmt.value, ast.Constant) and isinstance(stmt.value.value, str):
+            return  # docstring
+        if isinstance(stmt.value, ast.Call):
+            self.compile_call(stmt.value, want_value=False)
+            return
+        raise self.unsupported("expression statement without effect", stmt)
+
+    def stmt_Return(self, stmt: ast.Return) -> None:
+        if self.par_depth > 0:
+            raise self.err("return inside a parallel_range region is not allowed", stmt)
+        if stmt.value is None:
+            if self.ret_dt is not None:
+                raise self.err("missing return value", stmt)
+            self.b.ret()
+            return
+        if self.ret_dt is None:
+            raise self.err("returning a value from a void function", stmt)
+        v = self.expr(stmt.value)
+        v = self.coerce_value(v, self.ret_dt, stmt)
+        self.b.retval(v.reg)
+
+    def stmt_Assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise self.unsupported("chained assignment", stmt)
+        target = stmt.targets[0]
+        if isinstance(target, ast.Tuple):
+            if not isinstance(stmt.value, ast.Tuple) or len(target.elts) != len(stmt.value.elts):
+                raise self.unsupported("tuple assignment needs a matching tuple literal", stmt)
+            values = [self.expr(e) for e in stmt.value.elts]
+            temps = []
+            for v in values:  # snapshot through temps for a, b = b, a
+                t = self.b.mov(v.reg)
+                temps.append(Value(t, v.dt))
+            for tgt, v in zip(target.elts, temps):
+                self.assign_to(tgt, v, stmt)
+            return
+        value = self.expr(stmt.value)
+        self.assign_to(target, value, stmt)
+
+    def stmt_AnnAssign(self, stmt: ast.AnnAssign) -> None:
+        if stmt.value is None:
+            raise self.unsupported("annotation without a value", stmt)
+        value = self.expr(stmt.value)
+        try:
+            want = _resolve_annotation(
+                ast.unparse(stmt.annotation), self.sf.pyfunc
+            )
+        except Exception as exc:
+            raise self.err(f"bad annotation: {exc}", stmt) from None
+        value = self.coerce_value(value, want, stmt)
+        self.assign_to(stmt.target, value, stmt)
+
+    def stmt_AugAssign(self, stmt: ast.AugAssign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            cur = self.load_name(target.id, stmt)
+            rhs = self.expr(stmt.value)
+            new = self.binop(type(stmt.op).__name__, cur, rhs, stmt)
+            self.assign_to(target, new, stmt)
+        elif isinstance(target, ast.Subscript):
+            base = self.expr(target.value)
+            if not base.is_ptr:
+                raise self.err("subscript on a non-pointer", stmt)
+            addr = self.subscript_addr(base, target, stmt)
+            mty = base.dt.elem_memtype
+            cur = Value(self.b.load(addr, mty), self._deref_dtype(base.dt))
+            rhs = self.expr(stmt.value)
+            new = self.binop(type(stmt.op).__name__, cur, rhs, stmt)
+            new = self.coerce_value(new, cur.dt, stmt)
+            self.b.store(addr, new.reg, mty)
+        else:
+            raise self.unsupported("augmented assignment target", stmt)
+
+    def stmt_If(self, stmt: ast.If) -> None:
+        cond = self.as_bool(self.expr(stmt.test), stmt)
+        then_block = self.b.create_block("if.then")
+        merge_block = self.b.create_block("if.end")
+        else_block = self.b.create_block("if.else") if stmt.orelse else merge_block
+        self.b.cbr(cond.reg, then_block, else_block)
+
+        outer_vars = set(self.vars)
+        self.b.set_block(then_block)
+        self.compile_stmts(stmt.body)
+        if not self.b.is_terminated:
+            self.b.br(merge_block)
+        self._drop_new_vars(outer_vars)
+
+        if stmt.orelse:
+            self.b.set_block(else_block)
+            self.compile_stmts(stmt.orelse)
+            if not self.b.is_terminated:
+                self.b.br(merge_block)
+            self._drop_new_vars(outer_vars)
+
+        self.b.set_block(merge_block)
+
+    def stmt_While(self, stmt: ast.While) -> None:
+        if stmt.orelse:
+            raise self.unsupported("while/else", stmt)
+        cond_block = self.b.create_block("while.cond")
+        body_block = self.b.create_block("while.body")
+        exit_block = self.b.create_block("while.end")
+        self.b.br(cond_block)
+        self.b.set_block(cond_block)
+        cond = self.as_bool(self.expr(stmt.test), stmt)
+        self.b.cbr(cond.reg, body_block, exit_block)
+
+        outer_vars = set(self.vars)
+        self.loop_stack.append(_LoopCtx(cond_block, exit_block, self.par_depth > 0))
+        self.b.set_block(body_block)
+        self.compile_stmts(stmt.body)
+        if not self.b.is_terminated:
+            self.b.br(cond_block)
+        self.loop_stack.pop()
+        self._drop_new_vars(outer_vars)
+        self.b.set_block(exit_block)
+
+    def stmt_For(self, stmt: ast.For) -> None:
+        if stmt.orelse:
+            raise self.unsupported("for/else", stmt)
+        it = stmt.iter
+        if not isinstance(it, ast.Call):
+            raise self.unsupported("for loops support range(...) and dgpu.parallel_range(...)", stmt)
+        if self._is_dgpu_attr(it.func, "parallel_range"):
+            self.compile_parallel_for(stmt, it)
+            return
+        if not (isinstance(it.func, ast.Name) and it.func.id == "range"):
+            raise self.unsupported("for loops support range(...) and dgpu.parallel_range(...)", stmt)
+        if not isinstance(stmt.target, ast.Name):
+            raise self.unsupported("for target must be a simple name", stmt)
+        args = it.args
+        if len(args) == 1:
+            start_v: Value | None = None
+            stop_node = args[0]
+            step = 1
+        elif len(args) in (2, 3):
+            start_v = self.to_i64(self.expr(args[0]), stmt)
+            stop_node = args[1]
+            step = 1
+            if len(args) == 3:
+                step = self._constant_int(args[2])
+                if step is None or step == 0:
+                    raise self.unsupported("range step must be a nonzero constant", stmt)
+        else:
+            raise self.err("range() takes 1-3 arguments", stmt)
+
+        stop = self.to_i64(self.expr(stop_node), stmt)
+        stop_snap = Value(self.b.mov(stop.reg), DT_I64)  # loop bound evaluated once
+        if start_v is None:
+            start_v = Value(self.b.const_i(0), DT_I64)
+
+        ivar = self._bind_var(stmt.target.id, DT_I64, stmt)
+        self.b.mov_to(ivar.reg, start_v.reg)
+
+        cond_block = self.b.create_block("for.cond")
+        body_block = self.b.create_block("for.body")
+        exit_block = self.b.create_block("for.end")
+        self.b.br(cond_block)
+        self.b.set_block(cond_block)
+        cmp_op = Opcode.ICMP_SLT if step > 0 else Opcode.ICMP_SGT
+        cond = self.b.binop(cmp_op, ivar.reg, stop_snap.reg)
+        self.b.cbr(cond, body_block, exit_block)
+
+        incr_block = self.b.create_block("for.incr")
+        outer_vars = set(self.vars) | {stmt.target.id}
+        self.loop_stack.append(_LoopCtx(incr_block, exit_block, self.par_depth > 0))
+        self.b.set_block(body_block)
+        self.compile_stmts(stmt.body)
+        if not self.b.is_terminated:
+            self.b.br(incr_block)
+        self.loop_stack.pop()
+        self._drop_new_vars(outer_vars)
+
+        self.b.set_block(incr_block)
+        stepr = self.b.const_i(step)
+        self.b.mov_to(ivar.reg, self.b.binop(Opcode.ADD, ivar.reg, stepr))
+        self.b.br(cond_block)
+        self.b.set_block(exit_block)
+
+    def compile_parallel_for(self, stmt: ast.For, it: ast.Call) -> None:
+        """``for i in dgpu.parallel_range(n)``: OpenMP-style worksharing.
+
+        Lowering (executed by the instance's initial thread up to
+        ``par_begin``, then by all its threads):
+
+        .. code-block:: none
+
+            n    = <trip count>          ; sequential
+            par_begin                    ; activate team, broadcast registers
+            i    = tid
+            while i < n: body; i += ntid ; static-strided schedule
+            par_end                      ; implicit barrier, back to 1 thread
+        """
+        if self.par_depth > 0:
+            raise self.unsupported("nested parallel_range", stmt)
+        if not isinstance(stmt.target, ast.Name):
+            raise self.unsupported("parallel_range target must be a simple name", stmt)
+        if len(it.args) != 1:
+            raise self.err("parallel_range takes exactly one argument", stmt)
+
+        stop = self.to_i64(self.expr(it.args[0]), stmt)
+        stop_var = self._bind_var(f"__par_stop.{stmt.lineno}", DT_I64, stmt)
+        self.b.mov_to(stop_var.reg, stop.reg)
+
+        self.b.par_begin()
+        self.par_depth += 1
+        ivar = self._bind_var(stmt.target.id, DT_I64, stmt)
+        self.b.mov_to(ivar.reg, self.b.tid())
+
+        cond_block = self.b.create_block("par.cond")
+        body_block = self.b.create_block("par.body")
+        exit_block = self.b.create_block("par.end")
+        self.b.br(cond_block)
+        self.b.set_block(cond_block)
+        cond = self.b.binop(Opcode.ICMP_SLT, ivar.reg, stop_var.reg)
+        self.b.cbr(cond, body_block, exit_block)
+
+        incr_block = self.b.create_block("par.incr")
+        outer_vars = set(self.vars) | {stmt.target.id}
+        self.loop_stack.append(_LoopCtx(incr_block, None, True))
+        self.b.set_block(body_block)
+        self.compile_stmts(stmt.body)
+        if not self.b.is_terminated:
+            self.b.br(incr_block)
+        self.loop_stack.pop()
+        self._drop_new_vars(outer_vars)
+
+        self.b.set_block(incr_block)
+        self.b.mov_to(ivar.reg, self.b.binop(Opcode.ADD, ivar.reg, self.b.ntid()))
+        self.b.br(cond_block)
+
+        self.b.set_block(exit_block)
+        self.b.par_end()
+        self.par_depth -= 1
+        self.vars.pop(f"__par_stop.{stmt.lineno}", None)
+
+    def stmt_Break(self, stmt: ast.Break) -> None:
+        if not self.loop_stack:
+            raise self.err("break outside a loop", stmt)
+        ctx = self.loop_stack[-1]
+        if ctx.break_block is None:
+            raise self.unsupported(
+                "break out of a parallel_range loop (OpenMP worksharing loops "
+                "cannot be broken)",
+                stmt,
+            )
+        self.b.br(ctx.break_block)
+
+    def stmt_Continue(self, stmt: ast.Continue) -> None:
+        if not self.loop_stack:
+            raise self.err("continue outside a loop", stmt)
+        self.b.br(self.loop_stack[-1].cont_block)
+
+    def stmt_Assert(self, stmt: ast.Assert) -> None:
+        cond = self.as_bool(self.expr(stmt.test), stmt)
+        ok_block = self.b.create_block("assert.ok")
+        fail_block = self.b.create_block("assert.fail")
+        self.b.cbr(cond.reg, ok_block, fail_block)
+        self.b.set_block(fail_block)
+        msg = "assertion failed"
+        if stmt.msg is not None and isinstance(stmt.msg, ast.Constant):
+            msg = str(stmt.msg.value)
+        self.b.trap(f"{msg} ({self.sf.name}:{stmt.lineno})")
+        self.b.set_block(ok_block)
+
+    # ------------------------------------------------------------------
+    # assignment helpers
+    # ------------------------------------------------------------------
+    def assign_to(self, target: ast.expr, value: Value, stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in self.vars:
+                home = self.vars[name]
+                value = self.coerce_value(value, home.dt, stmt)
+                self.b.mov_to(home.reg, value.reg)
+                return
+            g = self.program.globals.get(name)
+            if g is not None:
+                if not g.scalar or g.constant:
+                    raise self.err(f"cannot assign to global array {name!r}", stmt)
+                want = memtype_to_dtype(g.mty)
+                value = self.coerce_value(value, want, stmt)
+                addr = self.b.gaddr(name)
+                self.b.store(addr, value.reg, g.mty)
+                return
+            var = self._bind_var(name, value.dt, stmt)
+            self.b.mov_to(var.reg, value.reg)
+            return
+        if isinstance(target, ast.Subscript):
+            base = self.expr(target.value)
+            if not base.is_ptr:
+                raise self.err("subscript store on a non-pointer", stmt)
+            addr = self.subscript_addr(base, target, stmt)
+            mty = base.dt.elem_memtype
+            want = self._deref_dtype(base.dt)
+            value = self.coerce_value(value, want, stmt)
+            self.b.store(addr, value.reg, mty)
+            return
+        raise self.unsupported("assignment target", stmt)
+
+    def _bind_var(self, name: str, dt: DType, node) -> Value:
+        if name in self.vars:
+            cur = self.vars[name]
+            if cur.dt != dt and not (cur.dt.is_float and dt.is_int):
+                raise TypeInferenceError(
+                    f"variable {name!r} changes type from {cur.dt} to {dt}",
+                    line=getattr(node, "lineno", None),
+                    func=self.sf.name,
+                )
+            return cur
+        reg = self.fn.new_reg(dt.scalar)
+        v = Value(reg, dt)
+        self.vars[name] = v
+        return v
+
+    def _drop_new_vars(self, keep: set[str]) -> None:
+        for name in [n for n in self.vars if n not in keep]:
+            del self.vars[name]
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def expr(self, node: ast.expr) -> Value:
+        method = getattr(self, f"expr_{type(node).__name__}", None)
+        if method is None:
+            raise self.unsupported(f"expression {type(node).__name__}", node)
+        return method(node)
+
+    def expr_Constant(self, node: ast.Constant) -> Value:
+        v = node.value
+        if isinstance(v, bool):
+            return Value(self.b.const_i(int(v)), DT_I64)
+        if isinstance(v, int):
+            return Value(self.b.const_i(v), DT_I64)
+        if isinstance(v, float):
+            return Value(self.b.const_f(v), DT_F64)
+        if isinstance(v, str):
+            return self.intern_string(v)
+        raise self.unsupported(f"constant {v!r}", node)
+
+    def expr_Name(self, node: ast.Name) -> Value:
+        return self.load_name(node.id, node)
+
+    def load_name(self, name: str, node) -> Value:
+        if name in self.vars:
+            return self.vars[name]
+        g = self.program.globals.get(name)
+        if g is not None:
+            addr = self.b.gaddr(name)
+            if g.scalar:
+                return Value(self.b.load(addr, g.mty), memtype_to_dtype(g.mty))
+            from repro.frontend.dtypes import ptr_of
+
+            return Value(addr, ptr_of(g.mty))
+        if name in self.py_scope:
+            obj = self.py_scope[name]
+            if isinstance(obj, bool):
+                return Value(self.b.const_i(int(obj)), DT_I64)
+            if isinstance(obj, int):
+                return Value(self.b.const_i(obj), DT_I64)
+            if isinstance(obj, float):
+                return Value(self.b.const_f(obj), DT_F64)
+            raise self.err(
+                f"name {name!r} resolves to host object {type(obj).__name__}; only "
+                "int/float constants can be captured from the enclosing scope",
+                node,
+            )
+        if name in self.program.functions or name in HOST_FUNCS:
+            raise self.err(f"function {name!r} can only be called, not referenced", node)
+        raise self.err(f"undefined name {name!r}", node)
+
+    def expr_IfExp(self, node: ast.IfExp) -> Value:
+        cond = self.as_bool(self.expr(node.test), node)
+        a = self.expr(node.body)
+        c = self.expr(node.orelse)
+        a, c = self.promote_pair(a, c, node)
+        return Value(self.b.select(cond.reg, a.reg, c.reg), a.dt)
+
+    def expr_BinOp(self, node: ast.BinOp) -> Value:
+        a = self.expr(node.left)
+        b = self.expr(node.right)
+        return self.binop(type(node.op).__name__, a, b, node)
+
+    def expr_UnaryOp(self, node: ast.UnaryOp) -> Value:
+        v = self.expr(node.operand)
+        if isinstance(node.op, ast.USub):
+            if v.dt.is_float:
+                return Value(self.b.unop(Opcode.FNEG, v.reg), DT_F64)
+            return Value(self.b.unop(Opcode.INEG, v.reg), DT_I64)
+        if isinstance(node.op, ast.UAdd):
+            return v
+        if isinstance(node.op, ast.Not):
+            nb = self.as_bool(v, node)
+            zero = self.b.const_i(0)
+            return Value(self.b.binop(Opcode.ICMP_EQ, nb.reg, zero), DT_I64)
+        if isinstance(node.op, ast.Invert):
+            if not v.dt.is_int:
+                raise self.err("~ requires an integer", node)
+            return Value(self.b.unop(Opcode.BNOT, v.reg), DT_I64)
+        raise self.unsupported("unary operator", node)
+
+    def expr_BoolOp(self, node: ast.BoolOp) -> Value:
+        # Both sides evaluate (no short-circuit); result is 0/1.
+        acc = self.as_bool(self.expr(node.values[0]), node)
+        op = Opcode.AND if isinstance(node.op, ast.And) else Opcode.OR
+        for sub in node.values[1:]:
+            nxt = self.as_bool(self.expr(sub), node)
+            acc = Value(self.b.binop(op, acc.reg, nxt.reg), DT_I64)
+        return acc
+
+    _CMP_INT = {
+        ast.Eq: Opcode.ICMP_EQ,
+        ast.NotEq: Opcode.ICMP_NE,
+        ast.Lt: Opcode.ICMP_SLT,
+        ast.LtE: Opcode.ICMP_SLE,
+        ast.Gt: Opcode.ICMP_SGT,
+        ast.GtE: Opcode.ICMP_SGE,
+    }
+    _CMP_FLT = {
+        ast.Eq: Opcode.FCMP_EQ,
+        ast.NotEq: Opcode.FCMP_NE,
+        ast.Lt: Opcode.FCMP_LT,
+        ast.LtE: Opcode.FCMP_LE,
+        ast.Gt: Opcode.FCMP_GT,
+        ast.GtE: Opcode.FCMP_GE,
+    }
+
+    def expr_Compare(self, node: ast.Compare) -> Value:
+        if len(node.ops) != 1:
+            raise self.unsupported("chained comparison", node)
+        a = self.expr(node.left)
+        b = self.expr(node.comparators[0])
+        a, b = self.promote_pair(a, b, node)
+        table = self._CMP_FLT if a.dt.is_float else self._CMP_INT
+        op = table.get(type(node.ops[0]))
+        if op is None:
+            raise self.unsupported(f"comparison {type(node.ops[0]).__name__}", node)
+        return Value(self.b.binop(op, a.reg, b.reg), DT_I64)
+
+    def expr_Subscript(self, node: ast.Subscript) -> Value:
+        base = self.expr(node.value)
+        if not base.is_ptr:
+            raise self.err("subscript on a non-pointer", node)
+        addr = self.subscript_addr(base, node, node)
+        mty = base.dt.elem_memtype
+        return Value(self.b.load(addr, mty), self._deref_dtype(base.dt))
+
+    def expr_Call(self, node: ast.Call) -> Value:
+        v = self.compile_call(node, want_value=True)
+        assert v is not None
+        return v
+
+    def expr_Attribute(self, node: ast.Attribute) -> Value:
+        if isinstance(node.value, ast.Name):
+            obj = self.py_scope.get(node.value.id)
+            if obj is _math_module:
+                const = {"pi": _math_module.pi, "e": _math_module.e, "inf": _math_module.inf}.get(
+                    node.attr
+                )
+                if const is not None:
+                    return Value(self.b.const_f(const), DT_F64)
+        raise self.unsupported("attribute access (only math.pi/e/inf and calls)", node)
+
+    # ------------------------------------------------------------------
+    # call compilation
+    # ------------------------------------------------------------------
+    def compile_call(self, node: ast.Call, *, want_value: bool) -> Value | None:
+        if node.keywords:
+            raise self.unsupported("keyword arguments", node)
+        func = node.func
+
+        # dgpu.<intrinsic>(...)
+        if isinstance(func, ast.Attribute) and self._is_dgpu(func.value):
+            return self.compile_intrinsic(func.attr, node)
+
+        # math.<fn>(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and self.py_scope.get(func.value.id) is _math_module
+        ):
+            intr = _MATH_TO_INTRINSIC.get(func.attr)
+            if intr is None:
+                raise self.unsupported(f"math.{func.attr}", node)
+            args = [self.expr(a) for a in node.args]
+            return INTRINSICS[intr](self.b, args)
+
+        if not isinstance(func, ast.Name):
+            raise self.unsupported("indirect call", node)
+        name = func.id
+
+        # builtins
+        if name == "int":
+            args = [self.expr(a) for a in node.args]
+            return INTRINSICS["i64"](self.b, args)
+        if name == "float":
+            args = [self.expr(a) for a in node.args]
+            return INTRINSICS["f64"](self.b, args)
+        if name == "abs":
+            (v,) = [self.expr(a) for a in node.args]
+            if v.dt.is_float:
+                return Value(self.b.unop(Opcode.FABS, v.reg), DT_F64)
+            neg = self.b.unop(Opcode.INEG, v.reg)
+            zero = self.b.const_i(0)
+            isneg = self.b.binop(Opcode.ICMP_SLT, v.reg, zero)
+            return Value(self.b.select(isneg, neg, v.reg), DT_I64)
+        if name in ("min", "max"):
+            if len(node.args) != 2:
+                raise self.unsupported(f"{name} with {len(node.args)} args", node)
+            a = self.expr(node.args[0])
+            b = self.expr(node.args[1])
+            a, b = self.promote_pair(a, b, node)
+            if a.dt.is_float:
+                op = Opcode.FMIN if name == "min" else Opcode.FMAX
+                return Value(self.b.binop(op, a.reg, b.reg), DT_F64)
+            op = Opcode.IMIN if name == "min" else Opcode.IMAX
+            return Value(self.b.binop(op, a.reg, b.reg), a.dt)
+        if name == "print":
+            raise self.unsupported("print (use printf, serviced via host RPC)", node)
+
+        # device function in the same program (or the linked libc)
+        sig = self.sigs.get(name)
+        if sig is None and self.program.link_libc:
+            from repro.runtime.libc import LIBC_SIGNATURES
+
+            sig = LIBC_SIGNATURES.get(name)
+        if sig is not None:
+            params, ret = sig
+            if len(node.args) != len(params):
+                raise self.err(
+                    f"{name}() takes {len(params)} arguments, got {len(node.args)}", node
+                )
+            argvals = []
+            for anode, (pname, pdt) in zip(node.args, params):
+                v = self.coerce_value(self.expr(anode), pdt, node)
+                argvals.append(v.reg)
+            ret_scalar = ScalarType.VOID if ret is None else ret.scalar
+            res = self.b.call(name, argvals, ret_scalar)
+            if ret is None:
+                return None if not want_value else self._void_error(name, node)
+            return Value(res, ret)
+
+        # host extern
+        if name in HOST_FUNCS or name in self.program.extern_host:
+            sig = HOST_FUNCS.get(name, (None, DT_I64))
+            fixed, ret_dt = sig
+            argvals = [self.expr(a) for a in node.args]
+            if fixed is not None and len(argvals) != len(fixed):
+                raise self.err(
+                    f"{name}() takes {len(fixed)} arguments, got {len(argvals)}", node
+                )
+            regs = [v.reg for v in argvals]
+            res = self.b.call(name, regs, host_func_ret(name))
+            if ret_dt is None:
+                return None if not want_value else self._void_error(name, node)
+            return Value(res, ret_dt)
+
+        raise self.err(f"call to unknown function {name!r}", node)
+
+    def _void_error(self, name: str, node) -> Value:
+        raise self.err(f"{name}() returns no value", node)
+
+    def compile_intrinsic(self, attr: str, node: ast.Call) -> Value | None:
+        if attr == "parallel_range":
+            raise self.err("parallel_range is only valid as a for-loop iterator", node)
+        if attr == "cast":
+            if len(node.args) != 2:
+                raise self.err("dgpu.cast takes (value, dtype)", node)
+            v = self.expr(node.args[0])
+            dt = self._static_dtype(node.args[1])
+            if v.dt.is_float and (dt.is_ptr or dt.is_int):
+                raise self.err("cast f64 -> pointer/int needs int() first", node)
+            return Value(v.reg, dt)
+        if attr in _STACK_ALLOC:
+            mty, pdt = _STACK_ALLOC[attr]
+            if pdt is None:
+                from repro.frontend.dtypes import ptr_of
+
+                pdt = ptr_of(mty)
+            count = self._constant_int(node.args[0]) if node.args else None
+            if count is None or count <= 0:
+                raise self.err(
+                    f"dgpu.{attr} needs a positive compile-time constant count", node
+                )
+            reg = self.b.salloc(count * mty.size)
+            return Value(reg, pdt)
+        if attr == "trap":
+            msg = "device trap"
+            if node.args and isinstance(node.args[0], ast.Constant):
+                msg = str(node.args[0].value)
+            self.b.trap(msg)
+            return None
+        emitter = INTRINSICS.get(attr)
+        if emitter is None:
+            raise self.err(f"unknown intrinsic dgpu.{attr}", node)
+        args = [self.expr(a) for a in node.args]
+        return emitter(self.b, args)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _is_dgpu(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Name)
+            and isinstance(self.py_scope.get(node.id), _DgpuNamespace)
+        )
+
+    def _is_dgpu_attr(self, node: ast.expr, attr: str) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and self._is_dgpu(node.value)
+        )
+
+    def _static_dtype(self, node: ast.expr) -> DType:
+        if isinstance(node, ast.Name):
+            obj = self.py_scope.get(node.id)
+            if isinstance(obj, DType):
+                return obj
+        raise self.err("dtype argument must name an imported repro type", node)
+
+    def _constant_int(self, node: ast.expr) -> int | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = self._constant_int(node.operand)
+            return None if inner is None else -inner
+        if isinstance(node, ast.Name):
+            obj = self.py_scope.get(node.id)
+            if isinstance(obj, int) and not isinstance(obj, bool):
+                return obj
+        return None
+
+    def subscript_addr(self, base: Value, node: ast.Subscript, stmt) -> Any:
+        idx = self.to_i64(self.expr(node.slice), stmt)
+        esize = base.dt.elem_size
+        scaled = self.b.binop(Opcode.MUL, idx.reg, self.b.const_i(esize))
+        return self.b.binop(Opcode.ADD, base.reg, scaled)
+
+    def _deref_dtype(self, pdt: DType) -> DType:
+        return pdt.deref
+
+    def to_i64(self, v: Value, node) -> Value:
+        if v.dt.is_float:
+            raise self.err("expected an integer (use int() to truncate)", node)
+        return v
+
+    def as_bool(self, v: Value, node) -> Value:
+        if v.dt.is_float:
+            zero = self.b.const_f(0.0)
+            return Value(self.b.binop(Opcode.FCMP_NE, v.reg, zero), DT_I64)
+        zero = self.b.const_i(0)
+        return Value(self.b.binop(Opcode.ICMP_NE, v.reg, zero), DT_I64)
+
+    def coerce_value(self, v: Value, want: DType, node) -> Value:
+        if v.dt == want:
+            return v
+        if want.is_float and v.dt.is_int:
+            return Value(self.b.sitofp(v.reg), DT_F64)
+        if want.is_int and v.dt.is_ptr:
+            return Value(v.reg, DT_I64)  # pointers decay to integers
+        if want.is_ptr and v.dt.is_int:
+            return Value(v.reg, want)  # ints may be cast to pointers implicitly
+        if want.is_ptr and v.dt.is_ptr:
+            raise TypeInferenceError(
+                f"pointer type mismatch: have {v.dt}, want {want} (use dgpu.cast)",
+                line=getattr(node, "lineno", None),
+                func=self.sf.name,
+            )
+        raise TypeInferenceError(
+            f"cannot convert {v.dt} to {want}",
+            line=getattr(node, "lineno", None),
+            func=self.sf.name,
+        )
+
+    def promote_pair(self, a: Value, b: Value, node) -> tuple[Value, Value]:
+        if a.dt.is_float or b.dt.is_float:
+            if a.dt.is_ptr or b.dt.is_ptr:
+                raise self.err("cannot mix pointers and floats", node)
+            if not a.dt.is_float:
+                a = Value(self.b.sitofp(a.reg), DT_F64)
+            if not b.dt.is_float:
+                b = Value(self.b.sitofp(b.reg), DT_F64)
+        return a, b
+
+    # ------------------------------------------------------------------
+    # binary operator dispatch
+    # ------------------------------------------------------------------
+    def binop(self, opname: str, a: Value, b: Value, node) -> Value:
+        if opname == "Add":
+            if a.is_ptr and b.dt.is_int:
+                return self._ptr_advance(a, b)
+            if b.is_ptr and a.dt.is_int:
+                return self._ptr_advance(b, a)
+            a, b = self.promote_pair(a, b, node)
+            op = Opcode.FADD if a.dt.is_float else Opcode.ADD
+            return Value(self.b.binop(op, a.reg, b.reg), a.dt)
+        if opname == "Sub":
+            if a.is_ptr and b.is_ptr:
+                if a.dt != b.dt:
+                    raise self.err("pointer difference of mismatched types", node)
+                diff = self.b.binop(Opcode.SUB, a.reg, b.reg)
+                esz = self.b.const_i(a.dt.elem_size)
+                return Value(self.b.binop(Opcode.SDIV, diff, esz), DT_I64)
+            if a.is_ptr and b.dt.is_int:
+                neg = self.b.unop(Opcode.INEG, b.reg)
+                return self._ptr_advance(a, Value(neg, DT_I64))
+            a, b = self.promote_pair(a, b, node)
+            op = Opcode.FSUB if a.dt.is_float else Opcode.SUB
+            return Value(self.b.binop(op, a.reg, b.reg), a.dt)
+        if opname == "Mult":
+            a, b = self.promote_pair(a, b, node)
+            op = Opcode.FMUL if a.dt.is_float else Opcode.MUL
+            return Value(self.b.binop(op, a.reg, b.reg), a.dt)
+        if opname == "Div":
+            a = Value(self.b.sitofp(a.reg), DT_F64) if not a.dt.is_float else a
+            b = Value(self.b.sitofp(b.reg), DT_F64) if not b.dt.is_float else b
+            return Value(self.b.binop(Opcode.FDIV, a.reg, b.reg), DT_F64)
+        if opname == "FloorDiv":
+            a, b = self.promote_pair(a, b, node)
+            if a.dt.is_float:
+                q = self.b.binop(Opcode.FDIV, a.reg, b.reg)
+                return Value(self.b.unop(Opcode.FLOOR, q), DT_F64)
+            return Value(self.b.binop(Opcode.SDIV, a.reg, b.reg), DT_I64)
+        if opname == "Mod":
+            a, b = self.promote_pair(a, b, node)
+            if a.dt.is_float:
+                raise self.unsupported("float % (use x - floor(x/y)*y)", node)
+            return Value(self.b.binop(Opcode.SREM, a.reg, b.reg), DT_I64)
+        if opname == "Pow":
+            a = Value(self.b.sitofp(a.reg), DT_F64) if not a.dt.is_float else a
+            b = Value(self.b.sitofp(b.reg), DT_F64) if not b.dt.is_float else b
+            return Value(self.b.binop(Opcode.FPOW, a.reg, b.reg), DT_F64)
+        if opname in ("LShift", "RShift", "BitAnd", "BitOr", "BitXor"):
+            if not (a.dt.is_int and b.dt.is_int):
+                raise self.err(f"{opname} requires integers", node)
+            op = {
+                "LShift": Opcode.SHL,
+                "RShift": Opcode.ASHR,
+                "BitAnd": Opcode.AND,
+                "BitOr": Opcode.OR,
+                "BitXor": Opcode.XOR,
+            }[opname]
+            return Value(self.b.binop(op, a.reg, b.reg), DT_I64)
+        raise self.unsupported(f"operator {opname}", node)
+
+    def _ptr_advance(self, p: Value, n: Value) -> Value:
+        esz = self.b.const_i(p.dt.elem_size)
+        off = self.b.binop(Opcode.MUL, n.reg, esz)
+        return Value(self.b.binop(Opcode.ADD, p.reg, off), p.dt)
+
+    # ------------------------------------------------------------------
+    # string interning
+    # ------------------------------------------------------------------
+    def intern_string(self, text: str) -> Value:
+        import numpy as np
+
+        pool: dict[str, str] = getattr(self.program, "_interned", None) or {}
+        if not hasattr(self.program, "_interned"):
+            self.program._interned = pool
+        name = pool.get(text)
+        if name is None:
+            name = f"__str.{len(pool)}"
+            pool[text] = name
+            data = np.frombuffer(text.encode() + b"\x00", dtype=np.int8).copy()
+            self.program.globals[name] = GlobalVar(
+                name, MemType.I8, data.size, init=data, constant=True
+            )
+        return Value(self.b.gaddr(name), ptr_i8)

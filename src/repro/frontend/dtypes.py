@@ -1,0 +1,146 @@
+"""Frontend-level types.
+
+The IR only knows I64/F64 registers; the frontend additionally tracks
+*pointer* types (pointee element type, possibly another pointer) so that
+subscripts compile to correctly-scaled, correctly-typed loads and stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.types import F64, I64, MemType, ScalarType
+
+
+@dataclass(frozen=True)
+class DType:
+    """A frontend type: ``i64``, ``f64``, or ``ptr`` to an element.
+
+    ``elem`` is a :class:`~repro.ir.types.MemType` for leaf pointers, or a
+    nested ``DType(kind='ptr', ...)`` for pointer-to-pointer (stored in
+    memory as an i64 address).
+    """
+
+    kind: str  # 'i64' | 'f64' | 'ptr'
+    elem: object = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("i64", "f64", "ptr"):
+            raise ValueError(f"bad DType kind {self.kind!r}")
+        if self.kind == "ptr" and not isinstance(self.elem, (MemType, DType)):
+            raise ValueError("pointer DType needs a MemType or DType element")
+
+    @property
+    def is_ptr(self) -> bool:
+        return self.kind == "ptr"
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind == "i64"
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "f64"
+
+    @property
+    def scalar(self) -> ScalarType:
+        """The register type carrying values of this DType."""
+        return F64 if self.kind == "f64" else I64
+
+    @property
+    def elem_size(self) -> int:
+        """Byte size of the pointee (pointer types only)."""
+        if not self.is_ptr:
+            raise ValueError(f"{self} is not a pointer")
+        if isinstance(self.elem, MemType):
+            return self.elem.size
+        return 8  # nested pointers are stored as i64 addresses
+
+    @property
+    def elem_memtype(self) -> MemType:
+        """Memory type used for load/store through this pointer."""
+        if not self.is_ptr:
+            raise ValueError(f"{self} is not a pointer")
+        if isinstance(self.elem, MemType):
+            return self.elem
+        return MemType.I64
+
+    @property
+    def deref(self) -> "DType":
+        """DType of ``p[i]`` for a pointer ``p``."""
+        if not self.is_ptr:
+            raise ValueError(f"{self} is not a pointer")
+        if isinstance(self.elem, DType):
+            return self.elem
+        return DT_F64 if self.elem in (MemType.F32, MemType.F64) else DT_I64
+
+    def __str__(self) -> str:
+        if self.kind != "ptr":
+            return self.kind
+        if isinstance(self.elem, MemType):
+            return f"ptr<{self.elem.label}>"
+        return f"ptr<{self.elem}>"
+
+
+DT_I64 = DType("i64")
+DT_F64 = DType("f64")
+
+
+@dataclass(frozen=True)
+class Value:
+    """A compiled expression: an IR register plus its frontend type."""
+
+    reg: object  # repro.ir.types.Reg
+    dt: DType
+
+    @property
+    def is_ptr(self) -> bool:
+        return self.dt.is_ptr
+
+
+def ptr_of(elem) -> DType:
+    """Pointer type to ``elem`` (a MemType or another pointer DType)."""
+    return DType("ptr", elem)
+
+
+# Annotation objects used in device-function signatures.
+i64 = DT_I64
+f64 = DT_F64
+ptr_i8 = ptr_of(MemType.I8)
+ptr_i32 = ptr_of(MemType.I32)
+ptr_i64 = ptr_of(MemType.I64)
+ptr_f32 = ptr_of(MemType.F32)
+ptr_f64 = ptr_of(MemType.F64)
+ptr_ptr = ptr_of(ptr_i8)  # char** — the argv type
+
+_BY_NAME = {
+    "i64": i64,
+    "int": i64,
+    "f64": f64,
+    "float": f64,
+    "ptr_i8": ptr_i8,
+    "ptr_i32": ptr_i32,
+    "ptr_i64": ptr_i64,
+    "ptr_f32": ptr_f32,
+    "ptr_f64": ptr_f64,
+    "ptr_ptr": ptr_ptr,
+}
+
+
+def annotation_to_dtype(ann) -> DType:
+    """Resolve a signature annotation (DType object, ``int``/``float``, or a
+    string naming one of the exported types) to a DType."""
+    if isinstance(ann, DType):
+        return ann
+    if ann is int:
+        return DT_I64
+    if ann is float:
+        return DT_F64
+    if isinstance(ann, str) and ann in _BY_NAME:
+        return _BY_NAME[ann]
+    raise TypeError(f"unsupported type annotation {ann!r}")
+
+
+def memtype_to_dtype(mty: MemType) -> DType:
+    """Value DType produced by loading a MemType."""
+    return DT_F64 if mty in (MemType.F32, MemType.F64) else DT_I64

@@ -1,0 +1,216 @@
+"""Device intrinsics (``dgpu.*``) and host-function signatures.
+
+Each intrinsic is an emitter: given the IR builder and already-compiled
+argument :class:`~repro.frontend.dtypes.Value` objects, it emits IR and
+returns the result value (or ``None`` for void intrinsics).  A few
+constructs — ``parallel_range``, ``cast``, ``stack_*`` — need compile-time
+information and are handled directly by the compiler instead.
+
+``HOST_FUNCS`` lists the host-only symbols the partial runtime supports,
+with their device-visible signatures.  Device code may *call* them like
+normal functions; the RPC-lowering pass rewrites the calls to ``rpc``
+instructions, and :mod:`repro.host.rpc_host` implements the host side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import FrontendError
+from repro.frontend.dtypes import (
+    DT_F64,
+    DT_I64,
+    DType,
+    Value,
+    memtype_to_dtype,
+    ptr_i8,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.types import F64, I64, ScalarType
+
+
+def _want_args(name: str, args: list[Value], n: int) -> None:
+    if len(args) != n:
+        raise FrontendError(f"dgpu.{name} expects {n} argument(s), got {len(args)}")
+
+
+def _to_f64(b: IRBuilder, v: Value) -> Value:
+    if v.dt.is_float:
+        return v
+    if v.dt.is_int:
+        return Value(b.sitofp(v.reg), DT_F64)
+    raise FrontendError(f"cannot convert {v.dt} to f64")
+
+
+def _to_i64(b: IRBuilder, v: Value) -> Value:
+    if v.dt.is_float:
+        return Value(b.fptosi(v.reg), DT_I64)
+    return Value(v.reg, DT_I64)  # ints and pointers are i64 registers
+
+
+def _nullary(op_name: str) -> Callable:
+    def emit(b: IRBuilder, args: list[Value]) -> Value:
+        _want_args(op_name, args, 0)
+        return Value(getattr(b, op_name)(), DT_I64)
+
+    return emit
+
+
+def _math1(op: Opcode, name: str) -> Callable:
+    def emit(b: IRBuilder, args: list[Value]) -> Value:
+        _want_args(name, args, 1)
+        x = _to_f64(b, args[0])
+        return Value(b.unop(op, x.reg), DT_F64)
+
+    return emit
+
+
+def _math2(op: Opcode, name: str) -> Callable:
+    def emit(b: IRBuilder, args: list[Value]) -> Value:
+        _want_args(name, args, 2)
+        x = _to_f64(b, args[0])
+        y = _to_f64(b, args[1])
+        return Value(b.binop(op, x.reg, y.reg), DT_F64)
+
+    return emit
+
+
+def _emit_barrier(b: IRBuilder, args: list[Value]) -> None:
+    _want_args("barrier", args, 0)
+    b.barrier()
+
+
+def _emit_atomic(op: Opcode, name: str) -> Callable:
+    def emit(b: IRBuilder, args: list[Value]) -> Value:
+        _want_args(name, args, 2)
+        ptr, val = args
+        if not ptr.is_ptr:
+            raise FrontendError(f"dgpu.{name}: first argument must be a pointer")
+        mty = ptr.dt.elem_memtype
+        want = memtype_to_dtype(mty)
+        v = _to_f64(b, val) if want.is_float else _to_i64(b, val)
+        if op is Opcode.ATOMIC_ADD:
+            res = b.atomic_add(ptr.reg, v.reg, mty)
+        else:
+            res = b.atomic_max(ptr.reg, v.reg, mty)
+        return Value(res, want)
+
+    return emit
+
+
+def _emit_reduce(op: Opcode, name: str) -> Callable:
+    def emit(b: IRBuilder, args: list[Value]) -> Value:
+        _want_args(name, args, 1)
+        v = args[0]
+        if v.is_ptr:
+            raise FrontendError(f"dgpu.{name}: cannot reduce a pointer")
+        return Value(b.reduce(op, v.reg), v.dt)
+
+    return emit
+
+
+def _emit_i64_cast(b: IRBuilder, args: list[Value]) -> Value:
+    _want_args("i64", args, 1)
+    return _to_i64(b, args[0])
+
+
+def _emit_f64_cast(b: IRBuilder, args: list[Value]) -> Value:
+    _want_args("f64", args, 1)
+    return _to_f64(b, args[0])
+
+
+def _emit_shfl(op: Opcode, name: str) -> Callable:
+    def emit(b: IRBuilder, args: list[Value]) -> Value:
+        _want_args(name, args, 2)
+        value, sel = args
+        if value.is_ptr:
+            raise FrontendError(f"dgpu.{name}: cannot shuffle pointers")
+        sel = _to_i64(b, sel)
+        if op is Opcode.SHFL_DOWN:
+            return Value(b.shfl_down(value.reg, sel.reg), value.dt)
+        return Value(b.shfl_idx(value.reg, sel.reg), value.dt)
+
+    return emit
+
+
+def _emit_select(b: IRBuilder, args: list[Value]) -> Value:
+    _want_args("select", args, 3)
+    cond = _to_i64(b, args[0])
+    a, c = args[1], args[2]
+    if a.dt.is_float or c.dt.is_float:
+        a, c = _to_f64(b, a), _to_f64(b, c)
+        return Value(b.select(cond.reg, a.reg, c.reg), DT_F64)
+    res_dt = a.dt if a.dt == c.dt else DT_I64
+    return Value(b.select(cond.reg, a.reg, c.reg), res_dt)
+
+
+#: dgpu.<name> -> emitter(builder, argvalues) -> Value | None
+INTRINSICS: dict[str, Callable] = {
+    "thread_id": _nullary("tid"),
+    "num_threads": _nullary("ntid"),
+    "team_id": _nullary("ctaid"),
+    "num_teams": _nullary("nctaid"),
+    "lane_id": _nullary("laneid"),
+    "instance_id": _nullary("instance"),
+    "barrier": _emit_barrier,
+    "atomic_add": _emit_atomic(Opcode.ATOMIC_ADD, "atomic_add"),
+    "atomic_max": _emit_atomic(Opcode.ATOMIC_MAX, "atomic_max"),
+    "shfl_down": _emit_shfl(Opcode.SHFL_DOWN, "shfl_down"),
+    "shfl_idx": _emit_shfl(Opcode.SHFL_IDX, "shfl_idx"),
+    "reduce_add": _emit_reduce(Opcode.RED_ADD, "reduce_add"),
+    "reduce_max": _emit_reduce(Opcode.RED_MAX, "reduce_max"),
+    "reduce_min": _emit_reduce(Opcode.RED_MIN, "reduce_min"),
+    "sqrt": _math1(Opcode.SQRT, "sqrt"),
+    "exp": _math1(Opcode.EXP, "exp"),
+    "log": _math1(Opcode.LOG, "log"),
+    "sin": _math1(Opcode.SIN, "sin"),
+    "cos": _math1(Opcode.COS, "cos"),
+    "tan": _math1(Opcode.TAN, "tan"),
+    "fabs": _math1(Opcode.FABS, "fabs"),
+    "floor": _math1(Opcode.FLOOR, "floor"),
+    "ceil": _math1(Opcode.CEIL, "ceil"),
+    "pow": _math2(Opcode.FPOW, "pow"),
+    "fmin": _math2(Opcode.FMIN, "fmin"),
+    "fmax": _math2(Opcode.FMAX, "fmax"),
+    "i64": _emit_i64_cast,
+    "f64": _emit_f64_cast,
+    "select": _emit_select,
+}
+
+#: Intrinsics the compiler must handle itself (they consume AST, not Values).
+COMPILER_HANDLED = frozenset(
+    {
+        "parallel_range",
+        "cast",
+        "stack_i8",
+        "stack_i32",
+        "stack_i64",
+        "stack_f32",
+        "stack_f64",
+        "trap",
+    }
+)
+
+
+#: Host-only functions: name -> (fixed param DTypes or None for varargs,
+#: return DType or None for void).  Calls to these are legal in device code
+#: and are rewritten to RPC by the lowering pass.
+HOST_FUNCS: dict[str, tuple[tuple | None, DType | None]] = {
+    "printf": (None, DT_I64),  # varargs: (fmt, ...)
+    "puts": ((ptr_i8,), DT_I64),
+    "putchar": ((DT_I64,), DT_I64),
+    "fopen": ((ptr_i8, ptr_i8), DT_I64),  # returns host file handle
+    "fclose": ((DT_I64,), DT_I64),
+    "fputs": ((ptr_i8, DT_I64), DT_I64),
+    "host_time_ns": ((), DT_I64),
+    "abort": ((), None),
+}
+
+
+def host_func_ret(name: str) -> ScalarType:
+    """IR return type of a host function (VOID when it returns nothing)."""
+    sig = HOST_FUNCS.get(name)
+    if sig is None or sig[1] is None:
+        return ScalarType.VOID
+    return F64 if sig[1].is_float else I64

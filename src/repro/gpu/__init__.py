@@ -1,0 +1,27 @@
+"""Simulated GPU: device memory, allocator, occupancy, coalescing, caches,
+DRAM contention, and the kernel timing model.
+
+The functional half (:class:`~repro.gpu.memory.GlobalMemory`,
+:class:`~repro.gpu.allocator.DeviceAllocator`) backs device memory with a
+real numpy buffer, so kernels compute real results.  The timing half
+(:mod:`repro.gpu.coalescing`, :mod:`repro.gpu.cache`, :mod:`repro.gpu.dram`,
+:mod:`repro.gpu.timing`) consumes the event trace the interpreter emits and
+produces the simulated cycle counts that Figure 6 is built from.
+"""
+
+from repro.gpu.device import GPUDevice, DeviceImage, LaunchResult
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.allocator import DeviceAllocator
+from repro.gpu.occupancy import OccupancyResult, occupancy
+
+__all__ = [
+    "GPUDevice",
+    "DeviceImage",
+    "LaunchResult",
+    "LaunchConfig",
+    "GlobalMemory",
+    "DeviceAllocator",
+    "OccupancyResult",
+    "occupancy",
+]

@@ -1,0 +1,105 @@
+"""First-fit free-list allocator over device global memory.
+
+Used by the host side (loaders, device images, launch-time stack/team-local
+regions).  Device-side ``malloc`` is different: it bump-allocates from a
+heap region that the loader carves out with this allocator (see
+:mod:`repro.runtime.libc`) — that is what gives every ensemble instance its
+own non-contiguous heap allocations, the effect §4.3 of the paper blames
+for non-coalesced cross-team access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceOutOfMemory
+from repro.gpu.memory import NULL_GUARD
+
+_ALIGN = 256  # allocation granularity; keeps regions sector- and row-aligned
+
+
+def _round_up(x: int, align: int = _ALIGN) -> int:
+    return (x + align - 1) & ~(align - 1)
+
+
+@dataclass
+class _FreeRange:
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+class DeviceAllocator:
+    """Tracks [start, end) free ranges of the device arena."""
+
+    def __init__(self, capacity: int, *, base: int = NULL_GUARD):
+        if base >= capacity:
+            raise ValueError("allocator base beyond capacity")
+        self.capacity = capacity
+        self.base = base
+        self._free: list[_FreeRange] = [_FreeRange(base, capacity - base)]
+        self._live: dict[int, int] = {}  # addr -> size
+
+    # ------------------------------------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        return sum(r.size for r in self._free)
+
+    @property
+    def used_bytes(self) -> int:
+        return (self.capacity - self.base) - self.free_bytes
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` (rounded to 256B); raises DeviceOutOfMemory."""
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        size = _round_up(nbytes)
+        for i, r in enumerate(self._free):
+            if r.size >= size:
+                addr = r.start
+                if r.size == size:
+                    self._free.pop(i)
+                else:
+                    r.start += size
+                    r.size -= size
+                self._live[addr] = size
+                return addr
+        raise DeviceOutOfMemory(nbytes, self.free_bytes, self.capacity - self.base)
+
+    def free(self, addr: int) -> None:
+        """Release an allocation, coalescing with adjacent free ranges."""
+        size = self._live.pop(addr, None)
+        if size is None:
+            raise ValueError(f"free of unallocated address 0x{addr:x}")
+        new = _FreeRange(addr, size)
+        # insert sorted by start, then coalesce neighbours
+        pos = 0
+        while pos < len(self._free) and self._free[pos].start < addr:
+            pos += 1
+        self._free.insert(pos, new)
+        merged: list[_FreeRange] = []
+        for r in self._free:
+            if merged and merged[-1].end == r.start:
+                merged[-1].size += r.size
+            else:
+                merged.append(r)
+        self._free = merged
+
+    def free_all(self) -> None:
+        """Reset the allocator (all live allocations are dropped)."""
+        self._live.clear()
+        self._free = [_FreeRange(self.base, self.capacity - self.base)]
+
+    def owns(self, addr: int) -> bool:
+        return addr in self._live
+
+    def size_of(self, addr: int) -> int:
+        return self._live[addr]

@@ -1,0 +1,288 @@
+"""The simulated GPU device: image loading and kernel launching.
+
+:class:`GPUDevice` owns the global-memory arena and its allocator, loads
+finalized IR modules into :class:`DeviceImage` objects (globals materialized
+at device addresses), and launches kernels block-by-block through the SIMT
+interpreter, collecting the per-block traces the timing model consumes.
+
+Launch-scoped resources (per-lane stacks, team-local copies of relocated
+globals) are allocated before and freed after every launch, so a harness can
+run hundreds of launches against one device without leaking the arena.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import DEFAULT_DEVICE, DEFAULT_SIM, DeviceConfig, SimConfig
+from repro.errors import DeviceError, DeviceTrap, LaunchError
+from repro.gpu.allocator import DeviceAllocator
+from repro.gpu.launch import config_1d
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.timing import BlockTrace, KernelTiming, TimingModel
+from repro.ir.module import Module
+from repro.runtime.interpreter import BlockContext, BlockExecutor
+from repro.runtime.machine import LoweredKernel, lower_kernel
+from repro.runtime.trace import TraceCollector
+
+#: Occupancy-model register estimate per thread (post-regalloc estimate; the
+#: virtual-register count of our unallocated IR is not meaningful hardware
+#: pressure, so a fixed realistic figure is used).
+HW_REGS_PER_THREAD = 32
+
+
+@dataclass
+class DeviceImage:
+    """A module loaded onto the device."""
+
+    module: Module
+    base: int
+    size: int
+    symbols: dict[str, int]
+    template: bytes = b""
+    team_local_offsets: dict[str, int] = field(default_factory=dict)
+    team_local_size: int = 0
+    team_local_template: bytes = b""
+    lowered: dict[str, LoweredKernel] = field(default_factory=dict)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise DeviceError(f"image has no symbol {name!r}") from None
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    kernel: str
+    num_teams: int
+    thread_limit: int
+    instances_per_team: int
+    cycles: float | None
+    timing: KernelTiming | None
+    interpreter_steps: int
+    traces: list[BlockTrace] = field(default_factory=list)
+
+    @property
+    def summary(self) -> dict:
+        out = {
+            "kernel": self.kernel,
+            "teams": self.num_teams,
+            "thread_limit": self.thread_limit,
+            "steps": self.interpreter_steps,
+        }
+        if self.timing is not None:
+            out.update(self.timing.summary())
+        return out
+
+
+class GPUDevice:
+    """A simulated GPU with an A100-like default configuration."""
+
+    def __init__(
+        self,
+        config: DeviceConfig = DEFAULT_DEVICE,
+        sim: SimConfig = DEFAULT_SIM,
+    ):
+        config.validate()
+        self.config = config
+        self.sim = sim
+        self.memory = GlobalMemory(config.global_mem_bytes)
+        self.allocator = DeviceAllocator(self.memory.capacity)
+        self.timing_model = TimingModel(config, sim)
+
+    # ------------------------------------------------------------------
+    # memory facade
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int) -> int:
+        return self.allocator.alloc(nbytes)
+
+    def free(self, addr: int) -> None:
+        self.allocator.free(addr)
+
+    def memcpy_h2d(self, addr: int, data) -> None:
+        if isinstance(data, (bytes, bytearray)):
+            self.memory.write_bytes(addr, bytes(data))
+        else:
+            self.memory.write_array(addr, np.ascontiguousarray(data))
+
+    def memcpy_d2h(self, addr: int, dtype, count: int) -> np.ndarray:
+        return self.memory.read_array(addr, dtype, count)
+
+    # ------------------------------------------------------------------
+    # image loading
+    # ------------------------------------------------------------------
+    def load_image(self, module: Module) -> DeviceImage:
+        """Materialize a finalized module's globals in device memory."""
+        regular: list[tuple[str, bytes]] = []
+        team_local: list[tuple[str, bytes]] = []
+        for g in module.globals.values():
+            bucket = team_local if g.team_local else regular
+            bucket.append((g.name, g.initial_bytes()))
+
+        def layout(items: list[tuple[str, bytes]]) -> tuple[dict[str, int], bytes]:
+            offsets: dict[str, int] = {}
+            blob = bytearray()
+            for name, raw in items:
+                if len(blob) % 8:
+                    blob.extend(b"\x00" * (8 - len(blob) % 8))
+                offsets[name] = len(blob)
+                blob.extend(raw)
+            return offsets, bytes(blob)
+
+        reg_off, reg_blob = layout(regular)
+        tl_off, tl_blob = layout(team_local)
+
+        base = self.alloc(max(8, len(reg_blob)))
+        if reg_blob:
+            self.memory.write_bytes(base, reg_blob)
+        symbols = {name: base + off for name, off in reg_off.items()}
+        return DeviceImage(
+            module=module,
+            base=base,
+            size=len(reg_blob),
+            symbols=symbols,
+            template=reg_blob,
+            team_local_offsets=tl_off,
+            team_local_size=len(tl_blob),
+            team_local_template=tl_blob,
+        )
+
+    def reset_image(self, image: DeviceImage) -> None:
+        """Restore every global to its initial value (fresh-process
+        semantics between launches: an application run must not observe
+        the previous run's global state)."""
+        if image.template:
+            self.memory.write_bytes(image.base, image.template)
+
+    def unload_image(self, image: DeviceImage) -> None:
+        self.free(image.base)
+
+    # ------------------------------------------------------------------
+    # launching
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        image: DeviceImage,
+        kernel_name: str,
+        *,
+        num_teams: int,
+        thread_limit: int,
+        params: tuple = (),
+        instances_per_team: int = 1,
+        stack_bytes: int = 1024,
+        rpc=None,
+        collect_timing: bool = True,
+        max_steps: int = 200_000_000,
+    ) -> LaunchResult:
+        cfg = config_1d(num_teams, thread_limit, instances_per_team)
+        cfg.validate(self.config)
+        if num_teams > self.config.num_sms * self.config.max_blocks_per_sm:
+            raise LaunchError(f"{num_teams} teams exceed device block capacity")
+
+        kern = image.lowered.get(kernel_name)
+        if kern is None:
+            fn = image.module.get_function(kernel_name)
+            kern = lower_kernel(fn)
+            image.lowered[kernel_name] = kern
+
+        warp = self.config.warp_size
+        lanes = -(-thread_limit // warp) * warp  # padded per team
+
+        # --- launch-scoped allocations ---------------------------------
+        stacks_addr = None
+        if stack_bytes > 0:
+            stacks_addr = self.alloc(num_teams * lanes * stack_bytes)
+        tl_addr = None
+        tl_stride = 0
+        if image.team_local_size > 0:
+            tl_stride = (image.team_local_size + 255) & ~255
+            tl_addr = self.alloc(num_teams * tl_stride)
+            for team in range(num_teams):
+                self.memory.write_bytes(
+                    tl_addr + team * tl_stride, image.team_local_template
+                )
+
+        def make_resolver(team: int):
+            def resolve(sym: str) -> int:
+                addr = image.symbols.get(sym)
+                if addr is not None:
+                    return addr
+                off = image.team_local_offsets.get(sym)
+                if off is not None:
+                    if tl_addr is None:
+                        raise DeviceError(
+                            f"team-local global {sym!r} without a team-local region"
+                        )
+                    return tl_addr + team * tl_stride + off
+                raise DeviceTrap(f"undefined global symbol {sym!r}", team=team)
+
+            return resolve
+
+        traces: list[BlockTrace] = []
+        total_steps = 0
+        try:
+            for team in range(num_teams):
+                shared_range = None
+                if tl_addr is not None:
+                    base = tl_addr + team * tl_stride
+                    shared_range = (base, base + image.team_local_size)
+                collector = None
+                if collect_timing:
+                    collector = TraceCollector(
+                        team,
+                        lanes // warp,
+                        model_coalescing=self.sim.model_coalescing,
+                        shared_range=shared_range,
+                    )
+                ctx = BlockContext(
+                    memory=self.memory,
+                    resolve=make_resolver(team),
+                    params=params,
+                    team_id=team,
+                    num_teams=num_teams,
+                    instances_per_team=instances_per_team,
+                    threads_per_instance=thread_limit // instances_per_team,
+                    stack_base=stacks_addr if stacks_addr is not None else 0,
+                    stack_bytes=stack_bytes,
+                    rpc=rpc,
+                    warp_size=warp,
+                    max_steps=max_steps,
+                    collector=collector,
+                    shared_range=shared_range,
+                )
+                executor = BlockExecutor(kern, ctx)
+                executor.run()
+                total_steps += executor.steps
+                if collector is not None:
+                    traces.append(collector.finalize())
+        finally:
+            if stacks_addr is not None:
+                self.free(stacks_addr)
+            if tl_addr is not None:
+                self.free(tl_addr)
+
+        timing = None
+        cycles = None
+        if collect_timing:
+            timing = self.timing_model.kernel_time(
+                traces,
+                threads_per_block=thread_limit,
+                regs_per_thread=HW_REGS_PER_THREAD,
+                shared_mem_per_block=image.team_local_size,
+            )
+            cycles = timing.cycles
+        return LaunchResult(
+            kernel=kernel_name,
+            num_teams=num_teams,
+            thread_limit=thread_limit,
+            instances_per_team=instances_per_team,
+            cycles=cycles,
+            timing=timing,
+            interpreter_steps=total_steps,
+            traces=traces,
+        )

@@ -1,0 +1,87 @@
+"""Kernel launch geometry (grid/block dimensions) and validation.
+
+The loaders only use one dimension — exactly like current LLVM OpenMP
+offloading, as §3.1 of the paper notes — but the geometry type supports all
+three so the packed multi-instance mapping ``(N/M, M, 1)`` proposed there
+can be expressed and tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DeviceConfig
+from repro.errors import LaunchError
+
+
+@dataclass(frozen=True)
+class Dim3:
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.x, self.y, self.z) < 1:
+            raise LaunchError(f"dimensions must be >= 1: {self}")
+
+    @property
+    def total(self) -> int:
+        return self.x * self.y * self.z
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y}, {self.z})"
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Validated launch configuration.
+
+    ``instances_per_block`` expresses the paper's packed mapping: M
+    instances share one block as a ``(threads/M, M, 1)``-shaped geometry;
+    each instance privately uses ``threads_per_instance`` threads.
+    """
+
+    grid: Dim3
+    block: Dim3
+    instances_per_block: int = 1
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid.total
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block.total
+
+    @property
+    def threads_per_instance(self) -> int:
+        return self.threads_per_block // self.instances_per_block
+
+    def validate(self, device: DeviceConfig) -> None:
+        if self.threads_per_block > device.max_threads_per_block:
+            raise LaunchError(
+                f"block {self.block} has {self.threads_per_block} threads; the "
+                f"device supports at most {device.max_threads_per_block}"
+            )
+        if self.instances_per_block < 1:
+            raise LaunchError("instances_per_block must be >= 1")
+        if self.threads_per_block % self.instances_per_block:
+            raise LaunchError(
+                f"{self.threads_per_block} threads cannot be split evenly into "
+                f"{self.instances_per_block} instances (the (N/M, M, 1) mapping "
+                "requires M to divide the thread limit)"
+            )
+        if self.num_blocks < 1:
+            raise LaunchError("grid must contain at least one block")
+
+
+def config_1d(
+    num_blocks: int, threads_per_block: int, instances_per_block: int = 1
+) -> LaunchConfig:
+    """The 1-D configuration the loaders use (teams x thread_limit)."""
+    if instances_per_block > 1:
+        # the packed mapping reshapes the block to (T/M, M, 1)
+        block = Dim3(threads_per_block // instances_per_block, instances_per_block, 1)
+    else:
+        block = Dim3(threads_per_block, 1, 1)
+    return LaunchConfig(Dim3(num_blocks, 1, 1), block, instances_per_block)

@@ -1,0 +1,72 @@
+"""CUDA-style occupancy calculator.
+
+Determines how many thread blocks can be simultaneously resident on one SM
+given the block's thread count, register pressure, and shared-memory usage —
+the same arithmetic the CUDA occupancy calculator performs.  The block
+scheduler uses it to decide how many kernel "waves" a launch needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DeviceConfig
+from repro.errors import LaunchError
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    blocks_per_sm: int
+    active_warps_per_sm: int
+    occupancy: float
+    """Fraction of the SM's warp slots occupied."""
+    limiter: str
+    """Which resource capped residency: threads/warps/blocks/registers/shared."""
+
+
+def occupancy(
+    device: DeviceConfig,
+    threads_per_block: int,
+    *,
+    regs_per_thread: int = 32,
+    shared_mem_per_block: int = 0,
+) -> OccupancyResult:
+    """Blocks-per-SM residency for a block shape (CUDA occupancy math)."""
+    if threads_per_block <= 0:
+        raise LaunchError("threads_per_block must be positive")
+    if threads_per_block > device.max_threads_per_block:
+        raise LaunchError(
+            f"{threads_per_block} threads per block exceeds the device limit "
+            f"of {device.max_threads_per_block}"
+        )
+    if shared_mem_per_block > device.shared_mem_per_block:
+        raise LaunchError(
+            f"{shared_mem_per_block} bytes of shared memory per block exceeds "
+            f"the device limit of {device.shared_mem_per_block}"
+        )
+
+    warps_per_block = -(-threads_per_block // device.warp_size)
+    limits = {
+        "threads": device.max_threads_per_sm // threads_per_block,
+        "warps": device.max_warps_per_sm // warps_per_block,
+        "blocks": device.max_blocks_per_sm,
+    }
+    regs_per_block = max(1, regs_per_thread) * threads_per_block
+    limits["registers"] = device.registers_per_sm // regs_per_block
+    if shared_mem_per_block > 0:
+        limits["shared"] = device.shared_mem_per_sm // shared_mem_per_block
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(0, limits[limiter])
+    if blocks == 0:
+        raise LaunchError(
+            f"kernel cannot be scheduled: resource {limiter!r} allows zero "
+            "blocks per SM"
+        )
+    active_warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        active_warps_per_sm=active_warps,
+        occupancy=min(1.0, active_warps / device.max_warps_per_sm),
+        limiter=limiter,
+    )

@@ -1,0 +1,40 @@
+"""Block-to-SM scheduling.
+
+Thread blocks are dispatched greedily to the SM slot that frees up first
+(hardware work distributors behave like this to a first approximation).
+With residency R blocks per SM and S SMs there are ``R*S`` slots; a launch
+larger than that proceeds in "waves".  The makespan of the greedy schedule
+is the SM-side component of the kernel time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ScheduleResult:
+    makespan: float
+    waves: int
+    per_slot_busy: list[float] = field(default_factory=list)
+
+
+def schedule_blocks(
+    block_times: list[float], *, num_sms: int, blocks_per_sm: int
+) -> ScheduleResult:
+    """Greedy earliest-available-slot scheduling of blocks onto SM slots."""
+    slots = max(1, num_sms * blocks_per_sm)
+    n = len(block_times)
+    if n == 0:
+        return ScheduleResult(0.0, 0, [])
+    if n <= slots:
+        # every block is resident from cycle 0: one wave
+        return ScheduleResult(max(block_times), 1, list(block_times))
+    heap = [0.0] * slots
+    heapq.heapify(heap)
+    for t in block_times:
+        earliest = heapq.heappop(heap)
+        heapq.heappush(heap, earliest + t)
+    busy = sorted(heap)
+    return ScheduleResult(busy[-1], -(-n // slots), busy)

@@ -1,0 +1,122 @@
+"""Mechanism ablations.
+
+DESIGN.md attributes the sub-linear ensemble scaling to three modeled
+mechanisms; each can be switched off independently via
+:class:`~repro.config.SimConfig` to show which one produces which part of
+the Figure-6 gap:
+
+* ``coalescing``  — warp accesses collapse to unique 32B sectors (off:
+  every lane pays a private transaction);
+* ``row_locality`` — interleaved per-instance heap streams reduce DRAM
+  row-buffer hits (off: DRAM always runs at peak efficiency);
+* ``l2``           — instances' working sets compete for the shared L2
+  (off: all traffic goes to DRAM).
+
+There is also a mapping ablation: the paper's one-instance-per-team scheme
+versus the §3.1 packed ``(N/M, M, 1)`` mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.apps.registry import APPS
+from repro.config import DEFAULT_DEVICE, DEFAULT_SIM, DeviceConfig, SimConfig
+from repro.gpu.device import GPUDevice
+from repro.harness.experiment import build_instance_lines
+from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.mapping import OneInstancePerTeam, PackedMapping
+
+#: name -> SimConfig overrides
+ABLATIONS: dict[str, dict] = {
+    "full-model": {},
+    "no-coalescing": {"model_coalescing": False},
+    "no-row-locality": {"model_row_locality": False},
+    "no-l2": {"model_l2": False},
+}
+
+
+@dataclass
+class AblationRow:
+    variant: str
+    t1_cycles: float
+    tn_cycles: float
+    speedup: float
+
+
+def run_mechanism_ablation(
+    app_name: str,
+    workload_args: list[str],
+    *,
+    instances: int = 32,
+    thread_limit: int = 32,
+    device_config: DeviceConfig = DEFAULT_DEVICE,
+    heap_bytes: int | None = None,
+) -> list[AblationRow]:
+    """S(N) under each SimConfig variant for one benchmark/workload."""
+    app = APPS[app_name]
+    rows: list[AblationRow] = []
+    for variant, overrides in ABLATIONS.items():
+        sim = replace(DEFAULT_SIM, **overrides)
+        device = GPUDevice(device_config, sim)
+        loader = EnsembleLoader(
+            app.build_program(), device, heap_bytes=heap_bytes or app.heap_hint_bytes
+        )
+        r1 = loader.run_ensemble(
+            build_instance_lines(workload_args, 1), thread_limit=thread_limit
+        )
+        rn = loader.run_ensemble(
+            build_instance_lines(workload_args, instances), thread_limit=thread_limit
+        )
+        rows.append(
+            AblationRow(
+                variant=variant,
+                t1_cycles=r1.cycles,
+                tn_cycles=rn.cycles,
+                speedup=r1.cycles * instances / rn.cycles,
+            )
+        )
+    return rows
+
+
+def run_mapping_ablation(
+    app_name: str,
+    workload_args: list[str],
+    *,
+    instances: int = 16,
+    thread_limit: int = 128,
+    pack_factors: tuple[int, ...] = (1, 2, 4),
+    device_config: DeviceConfig = DEFAULT_DEVICE,
+    heap_bytes: int | None = None,
+) -> list[AblationRow]:
+    """Compare one-instance-per-team against packed (N/M, M, 1) mappings.
+
+    The packed mapping trades per-instance thread count for fewer teams:
+    useful exactly when the application cannot use a full team's threads —
+    §3.1's motivation."""
+    app = APPS[app_name]
+    rows: list[AblationRow] = []
+    for m in pack_factors:
+        mapping = OneInstancePerTeam() if m == 1 else PackedMapping(m)
+        device = GPUDevice(device_config, DEFAULT_SIM)
+        loader = EnsembleLoader(
+            app.build_program(),
+            device,
+            mapping=mapping,
+            heap_bytes=heap_bytes or app.heap_hint_bytes,
+        )
+        r1 = loader.run_ensemble(
+            build_instance_lines(workload_args, 1), thread_limit=thread_limit
+        )
+        rn = loader.run_ensemble(
+            build_instance_lines(workload_args, instances), thread_limit=thread_limit
+        )
+        rows.append(
+            AblationRow(
+                variant=mapping.describe(),
+                t1_cycles=r1.cycles,
+                tn_cycles=rn.cycles,
+                speedup=r1.cycles * instances / rn.cycles,
+            )
+        )
+    return rows

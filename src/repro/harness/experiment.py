@@ -1,0 +1,150 @@
+"""The scaling experiment: ensemble speedup versus instance count.
+
+Methodology copied from §4.2/§4.3 of the paper:
+
+* the number of teams equals the number of instances (each team executes
+  exactly one instance);
+* every instance gets its own command line (here: same workload, distinct
+  seed — "each invocation of an application on a different input");
+* speedup is ``S(N) = T1 * N / TN`` where ``T1`` is the single-instance
+  time at the *same* thread limit;
+* a configuration that exhausts device memory is recorded as OOM and the
+  sweep continues (the paper simply omits those points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.registry import AppEntry
+from repro.config import DEFAULT_SIM, DeviceConfig, SimConfig
+from repro.errors import DeviceOutOfMemory
+from repro.gpu.device import GPUDevice
+from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.mapping import MappingStrategy, OneInstancePerTeam
+
+
+@dataclass
+class ScalingRow:
+    """One (N, thread_limit) measurement."""
+
+    instances: int
+    cycles: float | None
+    speedup: float | None
+    efficiency: float | None
+    oom: bool = False
+    l2_hit_rate: float | None = None
+    dram_efficiency: float | None = None
+    makespan: float | None = None
+    dram_cycles: float | None = None
+
+    @property
+    def label(self) -> str:
+        if self.oom:
+            return "OOM"
+        return f"{self.speedup:.1f}x"
+
+
+@dataclass
+class ScalingResult:
+    """A full sweep for one benchmark at one thread limit."""
+
+    app: str
+    thread_limit: int
+    workload_args: list[str]
+    rows: list[ScalingRow] = field(default_factory=list)
+
+    @property
+    def t1_cycles(self) -> float | None:
+        for row in self.rows:
+            if row.instances == 1 and not row.oom:
+                return row.cycles
+        return None
+
+    def speedup_at(self, n: int) -> float | None:
+        for row in self.rows:
+            if row.instances == n:
+                return row.speedup
+        return None
+
+    def max_speedup(self) -> float:
+        return max((r.speedup for r in self.rows if r.speedup), default=0.0)
+
+    def series(self) -> dict[int, float]:
+        return {r.instances: r.speedup for r in self.rows if r.speedup is not None}
+
+    def oom_at(self) -> int | None:
+        for row in self.rows:
+            if row.oom:
+                return row.instances
+        return None
+
+
+def build_instance_lines(
+    workload_args: list[str], n: int, *, seed_flag: str = "-s", seed_base: int = 1
+) -> list[list[str]]:
+    """N command lines: the workload with per-instance seeds (distinct
+    inputs per instance, as in the paper's usage model)."""
+    lines = []
+    for i in range(n):
+        lines.append(list(workload_args) + [seed_flag, str(seed_base + i)])
+    return lines
+
+
+def run_scaling(
+    app: AppEntry,
+    workload_args: list[str],
+    *,
+    thread_limit: int,
+    instance_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    device_config: DeviceConfig | None = None,
+    sim: SimConfig = DEFAULT_SIM,
+    heap_bytes: int | None = None,
+    mapping: MappingStrategy = OneInstancePerTeam(),
+    loader: EnsembleLoader | None = None,
+) -> ScalingResult:
+    """Sweep instance counts for one benchmark at one thread limit."""
+    if loader is None:
+        from repro.config import DEFAULT_DEVICE
+
+        device = GPUDevice(device_config or DEFAULT_DEVICE, sim)
+        loader = EnsembleLoader(
+            app.build_program(),
+            device,
+            mapping=mapping,
+            heap_bytes=heap_bytes or app.heap_hint_bytes,
+        )
+
+    result = ScalingResult(app.name, thread_limit, list(workload_args))
+    t1: float | None = None
+    for n in instance_counts:
+        lines = build_instance_lines(workload_args, n)
+        try:
+            run = loader.run_ensemble(lines, thread_limit=thread_limit)
+        except DeviceOutOfMemory:
+            result.rows.append(
+                ScalingRow(n, None, None, None, oom=True)
+            )
+            continue
+        if any(code != 0 for code in run.return_codes):
+            raise RuntimeError(
+                f"{app.name}: instance failed (exit codes {run.return_codes})"
+            )
+        cycles = run.cycles
+        if n == 1:
+            t1 = cycles
+        speedup = (t1 * n / cycles) if (t1 and cycles) else None
+        timing = run.timing
+        result.rows.append(
+            ScalingRow(
+                instances=n,
+                cycles=cycles,
+                speedup=speedup,
+                efficiency=(speedup / n) if speedup else None,
+                l2_hit_rate=timing.l2_hit_rate if timing else None,
+                dram_efficiency=timing.dram_efficiency if timing else None,
+                makespan=timing.makespan if timing else None,
+                dram_cycles=timing.dram_cycles if timing else None,
+            )
+        )
+    return result

@@ -1,0 +1,170 @@
+"""Regenerate Figure 6: relative speedup vs. number of instances.
+
+Workload sizes are scaled to the simulator (documented per benchmark
+below); the experiment protocol is the paper's: N ∈ {1,2,4,8,16,32,64},
+teams == instances, thread limits 32 and 1024, speedup ``T1*N/TN``.
+
+Page-Rank uses a deliberately small device heap so that — exactly like the
+paper — only a handful of instances fit and larger counts are reported as
+OOM rather than plotted.
+
+Run as a module or via the console script::
+
+    python -m repro.harness.figure6 --thread-limit 32
+    repro-figure6 --thread-limit both --csv results.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+from repro.apps.registry import APPS, AppEntry
+from repro.config import DEFAULT_DEVICE, DEFAULT_SIM, DeviceConfig, SimConfig
+from repro.harness.experiment import ScalingResult, run_scaling
+from repro.harness.paper_data import PAPER_INSTANCE_COUNTS
+
+
+@dataclass(frozen=True)
+class Figure6Workload:
+    """Simulator-scale workload for one benchmark."""
+
+    app: str
+    args: list[str]
+    heap_bytes: int
+    note: str
+
+
+#: Workloads sized so each benchmark stays in its paper regime
+#: (memory-bound / compute-bound / bandwidth-bound / capacity-bound) at
+#: simulator scale.  The Page-Rank heap is sized to fit 4 but not 8
+#: instances — the paper's "memory limitations" cap.
+FIGURE6_WORKLOADS: dict[str, Figure6Workload] = {
+    "xsbench": Figure6Workload(
+        "xsbench",
+        ["-g", "1024", "-n", "8", "-l", "256"],
+        heap_bytes=96 * 1024 * 1024,
+        note="memory-bound random lookups; ~0.35 MiB tables per instance",
+    ),
+    "rsbench": Figure6Workload(
+        "rsbench",
+        ["-p", "48", "-n", "4", "-l", "256"],
+        heap_bytes=32 * 1024 * 1024,
+        note="compute-bound pole evaluation; tiny tables",
+    ),
+    "amgmk": Figure6Workload(
+        "amgmk",
+        ["-n", "4096", "-i", "2"],
+        heap_bytes=96 * 1024 * 1024,
+        note="bandwidth-bound banded Jacobi sweeps; ~0.3 MiB per instance",
+    ),
+    "pagerank": Figure6Workload(
+        "pagerank",
+        ["-n", "16384", "-d", "8", "-i", "1"],
+        heap_bytes=8 * 1024 * 1024,
+        note="graph ~1.3 MiB per instance; heap sized so N=8 goes OOM "
+        "(paper: results only for 2 and 4 instances)",
+    ),
+}
+
+
+def run_figure6(
+    thread_limit: int,
+    *,
+    apps: list[str] | None = None,
+    instance_counts: tuple[int, ...] = PAPER_INSTANCE_COUNTS,
+    device_config: DeviceConfig = DEFAULT_DEVICE,
+    sim: SimConfig = DEFAULT_SIM,
+    workloads: dict[str, Figure6Workload] | None = None,
+    progress=None,
+) -> dict[str, ScalingResult]:
+    """Run one panel of Figure 6; returns results keyed by benchmark.
+
+    ``workloads`` overrides the default per-benchmark configurations (used
+    by tests to run miniature panels)."""
+    table = workloads or FIGURE6_WORKLOADS
+    names = apps or list(table)
+    results: dict[str, ScalingResult] = {}
+    for name in names:
+        wl = table[name]
+        entry: AppEntry = APPS[name]
+        if progress:
+            progress(f"[figure6 t={thread_limit}] {name} {' '.join(wl.args)}")
+        results[name] = run_scaling(
+            entry,
+            wl.args,
+            thread_limit=thread_limit,
+            instance_counts=instance_counts,
+            device_config=device_config,
+            sim=sim,
+            heap_bytes=wl.heap_bytes,
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: regenerate Figure 6 panels (see module doc)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-figure6", description="Regenerate Figure 6 of the paper."
+    )
+    parser.add_argument(
+        "--thread-limit",
+        default="both",
+        choices=["32", "1024", "both"],
+        help="which panel to run (32 -> Fig 6a, 1024 -> Fig 6b)",
+    )
+    parser.add_argument(
+        "--apps",
+        nargs="+",
+        choices=list(FIGURE6_WORKLOADS),
+        default=None,
+        help="subset of benchmarks",
+    )
+    parser.add_argument(
+        "--max-instances",
+        type=int,
+        default=64,
+        help="largest instance count to sweep",
+    )
+    parser.add_argument("--csv", default=None, help="also write results to CSV")
+    parser.add_argument("--json", default=None, help="also write results to JSON")
+    parser.add_argument(
+        "--plot", action="store_true", help="render an ASCII plot of each panel"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.harness.report import (
+        render_ascii_plot,
+        render_figure6_table,
+        save_results_json,
+        write_csv,
+    )
+
+    limits = [32, 1024] if args.thread_limit == "both" else [int(args.thread_limit)]
+    counts = tuple(n for n in PAPER_INSTANCE_COUNTS if n <= args.max_instances)
+    all_results: dict[int, dict[str, ScalingResult]] = {}
+    for tl in limits:
+        all_results[tl] = run_figure6(
+            tl,
+            apps=args.apps,
+            instance_counts=counts,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+        panel = "a" if tl == 32 else "b"
+        print(f"\nFigure 6({panel}) — thread limit {tl}")
+        print(render_figure6_table(all_results[tl], thread_limit=tl))
+        if args.plot:
+            print()
+            print(render_ascii_plot(all_results[tl]))
+    if args.csv:
+        write_csv(args.csv, all_results)
+        print(f"\nwrote {args.csv}")
+    if args.json:
+        save_results_json(args.json, all_results)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Reference data digitized from the paper.
+
+The paper's evaluation consists of Figure 6(a) (thread limit 32) and
+Figure 6(b) (thread limit 1024): relative speedup ``S(N) = T1*N/TN`` over
+N ∈ {2,...,64} for XSBench, RSBench, AMGmk and Page-Rank, plus a "Linear"
+upper-bound line.
+
+**Provenance / uncertainty.**  The paper prints curves without a data
+table; the y-axis carries explicit tick labels only at 4, 8, 13, 25, 47,
+51 (panel a) and 4, 8, 13, 21, 26, 32, 50 (panel b), which anchor the
+values below.  Points between anchors are eyeball-digitized and should be
+treated as ±15% — the reproduction therefore compares *shape* (monotone
+growth, sub-linearity, where the gap opens, relative benchmark ordering,
+the AMGmk@1024 falloff, the Page-Rank cap) rather than exact values; see
+EXPERIMENTS.md.
+
+In-text anchors (§4.3 / abstract):
+* "up to 51X speedup for 64 instances";
+* "all the benchmarks exhibited a sub-linear scaling behavior,
+  particularly evident when the number of instances was 16 or less"
+  (i.e. close to linear up to ~16, with the gap growing beyond);
+* "the scaling gap became more pronounced ... particularly notable in the
+  case of AMGmk with a thread limit of 1024";
+* "due to memory limitations, we were only able to show the results for
+  two and four instances in the case of Page-Rank".
+"""
+
+from __future__ import annotations
+
+PAPER_HEADLINE_SPEEDUP = 51.0
+PAPER_HEADLINE_INSTANCES = 64
+
+#: thread_limit -> benchmark -> {N: approximate speedup}
+PAPER_FIG6: dict[int, dict[str, dict[int, float]]] = {
+    32: {
+        "xsbench": {2: 2.0, 4: 4.0, 8: 7.7, 16: 13.0, 32: 25.0, 64: 47.0},
+        "rsbench": {2: 2.0, 4: 4.0, 8: 7.8, 16: 14.0, 32: 26.0, 64: 51.0},
+        "amgmk": {2: 2.0, 4: 3.9, 8: 7.5, 16: 13.0, 32: 24.0, 64: 45.0},
+        "pagerank": {2: 1.9, 4: 3.8},
+    },
+    1024: {
+        "xsbench": {2: 2.0, 4: 3.9, 8: 7.6, 16: 13.0, 32: 26.0, 64: 50.0},
+        "rsbench": {2: 2.0, 4: 4.0, 8: 7.8, 16: 14.0, 32: 27.0, 64: 50.0},
+        "amgmk": {2: 1.9, 4: 3.7, 8: 6.8, 16: 11.0, 32: 16.0, 64: 21.0},
+        "pagerank": {2: 1.9, 4: 3.7},
+    },
+}
+
+#: Benchmarks whose instance count is capped by device memory in the paper.
+PAPER_OOM_LIMITED = {"pagerank": 4}
+
+#: The instance counts the paper sweeps.
+PAPER_INSTANCE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+#: The two thread limits of the evaluation: a warp (the scheduler's minimum
+#: unit) and the hardware maximum per block.
+PAPER_THREAD_LIMITS = (32, 1024)

@@ -1,0 +1,129 @@
+"""Kernel profiling: an nvprof-style report over a launch's traces.
+
+The interpreter already collects everything a profiler would sample; this
+module aggregates a :class:`~repro.gpu.device.LaunchResult` into the
+summary a performance engineer would ask for:
+
+* dynamic instructions, memory transactions, bytes moved,
+* sequential-mode vs parallel-region cycle split (how much of the run is
+  single-thread Amdahl territory — the paper's core motivation),
+* per-block balance (slowest/fastest team),
+* model diagnostics (L2 hit rate, DRAM efficiency, occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.coalescing import SECTOR_BYTES
+from repro.gpu.device import LaunchResult
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    kernel: str
+    num_teams: int
+    thread_limit: int
+    cycles: float
+    dynamic_instructions: int
+    divergent_instructions: int
+    memory_transactions: int
+    bytes_moved: int
+    lane_accesses: int
+    seq_issue_cycles: float
+    par_issue_cycles: float
+    seq_sectors: int
+    par_sectors: int
+    slowest_block: float
+    fastest_block: float
+    l2_hit_rate: float
+    dram_efficiency: float
+    occupancy: float
+
+    @property
+    def parallel_fraction(self) -> float:
+        """Fraction of issue cycles spent inside parallel regions."""
+        total = self.seq_issue_cycles + self.par_issue_cycles
+        return self.par_issue_cycles / total if total else 0.0
+
+    @property
+    def divergence_fraction(self) -> float:
+        """Fraction of dynamic instructions executed under divergence."""
+        if self.dynamic_instructions == 0:
+            return 0.0
+        return self.divergent_instructions / self.dynamic_instructions
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Lane accesses per memory transaction (32 = perfectly coalesced
+        byte access, 4 = perfectly coalesced f64, 1 = fully scattered)."""
+        if self.memory_transactions == 0:
+            return 0.0
+        return self.lane_accesses / self.memory_transactions
+
+    @property
+    def block_imbalance(self) -> float:
+        """slowest/fastest block time (1.0 = perfectly balanced teams)."""
+        if self.fastest_block <= 0:
+            return 1.0
+        return self.slowest_block / self.fastest_block
+
+    def render(self) -> str:
+        lines = [
+            f"kernel {self.kernel}: {self.num_teams} teams x {self.thread_limit} threads",
+            f"  simulated cycles       {self.cycles:>16,.0f}",
+            f"  dynamic instructions   {self.dynamic_instructions:>16,}",
+            f"  memory transactions    {self.memory_transactions:>16,}"
+            f"  ({self.bytes_moved / 1024:,.1f} KiB)",
+            f"  coalescing ratio       {self.coalescing_ratio:>16.2f} lane-accesses/txn",
+            f"  divergence fraction    {self.divergence_fraction:>16.1%}",
+            f"  parallel fraction      {self.parallel_fraction:>16.1%}",
+            f"  block imbalance        {self.block_imbalance:>16.2f}x",
+            f"  L2 hit rate            {self.l2_hit_rate:>16.1%}",
+            f"  DRAM efficiency        {self.dram_efficiency:>16.1%}",
+            f"  occupancy              {self.occupancy:>16.1%}",
+        ]
+        return "\n".join(lines)
+
+
+def profile_launch(result: LaunchResult) -> KernelProfile:
+    """Aggregate a launch (run with ``collect_timing=True``) into a profile."""
+    if result.timing is None or not result.traces:
+        raise ValueError("profile_launch needs a launch with collect_timing=True")
+    timing = result.timing
+    seq_cycles = par_cycles = 0.0
+    seq_sectors = par_sectors = 0
+    lane_accesses = 0
+    instructions = 0
+    divergent = 0
+    for trace in result.traces:
+        instructions += trace.dynamic_instructions
+        divergent += trace.divergent_instructions
+        for phase in trace.phases:
+            lane_accesses += phase.lane_accesses
+            if phase.parallel:
+                par_cycles += phase.issue_cycles_total
+                par_sectors += phase.sectors
+            else:
+                seq_cycles += phase.issue_cycles_total
+                seq_sectors += phase.sectors
+    return KernelProfile(
+        kernel=result.kernel,
+        num_teams=result.num_teams,
+        thread_limit=result.thread_limit,
+        cycles=timing.cycles,
+        dynamic_instructions=instructions,
+        divergent_instructions=divergent,
+        memory_transactions=timing.total_sectors,
+        bytes_moved=timing.total_sectors * SECTOR_BYTES,
+        lane_accesses=lane_accesses,
+        seq_issue_cycles=seq_cycles,
+        par_issue_cycles=par_cycles,
+        seq_sectors=seq_sectors,
+        par_sectors=par_sectors,
+        slowest_block=max(timing.block_times),
+        fastest_block=min(timing.block_times),
+        l2_hit_rate=timing.l2_hit_rate,
+        dram_efficiency=timing.dram_efficiency,
+        occupancy=timing.occupancy.occupancy,
+    )

@@ -1,0 +1,201 @@
+"""Rendering of harness results: ASCII tables, CSV, paper comparison."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.harness.experiment import ScalingResult
+from repro.harness.paper_data import PAPER_FIG6
+
+
+def render_figure6_table(
+    results: dict[str, ScalingResult], *, thread_limit: int | None = None
+) -> str:
+    """Table with one row per benchmark and one column per instance count,
+    matching the series Figure 6 plots (plus the Linear bound and the
+    paper's digitized values where available)."""
+    counts = sorted(
+        {row.instances for res in results.values() for row in res.rows}
+    )
+    header = ["benchmark"] + [f"N={n}" for n in counts]
+    lines = [header]
+    lines.append(["linear"] + [f"{float(n):.1f}" for n in counts])
+    paper = PAPER_FIG6.get(thread_limit or -1, {})
+    for name, res in results.items():
+        row = [name]
+        for n in counts:
+            match = [r for r in res.rows if r.instances == n]
+            row.append(match[0].label if match else "-")
+        lines.append(row)
+        pseries = paper.get(name)
+        if pseries:
+            prow = [f"  (paper)"]
+            for n in counts:
+                prow.append(f"{pseries[n]:.1f}x" if n in pseries else "-")
+            lines.append(prow)
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+    out = []
+    for line in lines:
+        out.append("  ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def render_scaling_detail(res: ScalingResult) -> str:
+    """Per-row diagnostic table (cycles, L2 hit, DRAM efficiency)."""
+    lines = [
+        f"{res.app} @ thread_limit={res.thread_limit} args={' '.join(res.workload_args)}",
+        f"{'N':>4} {'cycles':>14} {'speedup':>8} {'eff':>6} {'L2hit':>6} {'DRAMeff':>8}",
+    ]
+    for row in res.rows:
+        if row.oom:
+            lines.append(f"{row.instances:>4} {'OOM':>14}")
+            continue
+        lines.append(
+            f"{row.instances:>4} {row.cycles:>14.0f} {row.speedup:>7.1f}x "
+            f"{row.efficiency:>6.2f} {row.l2_hit_rate:>6.2f} {row.dram_efficiency:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def write_csv(path: str | Path, all_results: dict[int, dict[str, ScalingResult]]) -> None:
+    """CSV with columns thread_limit, benchmark, instances, cycles, speedup."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "thread_limit",
+                "benchmark",
+                "instances",
+                "cycles",
+                "speedup",
+                "efficiency",
+                "oom",
+                "l2_hit_rate",
+                "dram_efficiency",
+            ]
+        )
+        for tl, results in sorted(all_results.items()):
+            for name, res in results.items():
+                for row in res.rows:
+                    writer.writerow(
+                        [
+                            tl,
+                            name,
+                            row.instances,
+                            f"{row.cycles:.0f}" if row.cycles else "",
+                            f"{row.speedup:.3f}" if row.speedup else "",
+                            f"{row.efficiency:.3f}" if row.efficiency else "",
+                            int(row.oom),
+                            f"{row.l2_hit_rate:.3f}" if row.l2_hit_rate is not None else "",
+                            f"{row.dram_efficiency:.3f}"
+                            if row.dram_efficiency is not None
+                            else "",
+                        ]
+                    )
+
+
+def render_ascii_plot(
+    results: dict[str, ScalingResult],
+    *,
+    width: int = 64,
+    height: int = 18,
+    max_speedup: float | None = None,
+) -> str:
+    """Terminal rendering of a Figure-6 panel (log2 x-axis, one letter per
+    benchmark, ``*`` for the Linear bound)."""
+    import math
+
+    counts = sorted(
+        {r.instances for res in results.values() for r in res.rows if not r.oom}
+    )
+    if not counts:
+        return "(no data)"
+    top = max_speedup or max(
+        [max(counts)] + [r.speedup for res in results.values() for r in res.rows if r.speedup]
+    )
+    grid = [[" "] * width for _ in range(height)]
+
+    def x_of(n: int) -> int:
+        lo, hi = math.log2(counts[0]), math.log2(counts[-1])
+        if hi == lo:
+            return 0
+        return round((math.log2(n) - lo) / (hi - lo) * (width - 1))
+
+    def y_of(s: float) -> int:
+        return height - 1 - round(min(s, top) / top * (height - 1))
+
+    for n in counts:  # linear bound
+        grid[y_of(float(n))][x_of(n)] = "*"
+    letters = {}
+    for name, res in results.items():
+        letter = name[0].upper()
+        letters[letter] = name
+        for row in res.rows:
+            if row.speedup is not None:
+                grid[y_of(row.speedup)][x_of(row.instances)] = letter
+    lines = [f"{top:6.0f}x |" + "".join(grid[0])]
+    for row in grid[1:]:
+        lines.append("        |" + "".join(row))
+    lines.append("        +" + "-" * width)
+    ticks = "        " + " " * 1
+    axis = [" "] * width
+    for n in counts:
+        label = str(n)
+        x = x_of(n)
+        for i, ch in enumerate(label):
+            if x + i < width:
+                axis[x + i] = ch
+    lines.append("         " + "".join(axis))
+    legend = "  ".join(f"{k}={v}" for k, v in sorted(letters.items())) + "  *=linear"
+    lines.append("        " + legend)
+    return "\n".join(lines)
+
+
+def save_results_json(path: str | Path, all_results: dict[int, dict[str, ScalingResult]]) -> None:
+    """Persist sweeps (thread_limit -> benchmark -> rows) as JSON."""
+    import json
+
+    payload = {}
+    for tl, results in all_results.items():
+        payload[str(tl)] = {
+            name: {
+                "workload_args": res.workload_args,
+                "rows": [
+                    {
+                        "instances": r.instances,
+                        "cycles": r.cycles,
+                        "speedup": r.speedup,
+                        "oom": r.oom,
+                        "l2_hit_rate": r.l2_hit_rate,
+                        "dram_efficiency": r.dram_efficiency,
+                    }
+                    for r in res.rows
+                ],
+            }
+            for name, res in results.items()
+        }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def compare_to_paper(
+    results: dict[str, ScalingResult], thread_limit: int
+) -> list[dict]:
+    """Paper-vs-measured records for EXPERIMENTS.md generation."""
+    paper = PAPER_FIG6.get(thread_limit, {})
+    records = []
+    for name, res in results.items():
+        pseries = paper.get(name, {})
+        for row in res.rows:
+            rec = {
+                "thread_limit": thread_limit,
+                "benchmark": name,
+                "instances": row.instances,
+                "measured": row.speedup,
+                "paper": pseries.get(row.instances),
+                "oom": row.oom,
+            }
+            if rec["measured"] and rec["paper"]:
+                rec["ratio"] = rec["measured"] / rec["paper"]
+            records.append(rec)
+    return records

@@ -1,0 +1,149 @@
+"""Cross-validation runner: every ported benchmark vs. its CPU reference.
+
+Runs each registered application on the simulated GPU at a small workload
+and compares its printed checksum against the exact numpy reference
+(`repro.apps.reference`).  Exposed both as a library call and a CLI::
+
+    python -m repro.harness.validate
+    python -m repro.harness.validate --apps xsbench amgmk --thread-limit 128
+
+This is the artifact-evaluation smoke test: if it reports all-MATCH, the
+entire stack (frontend, passes, interpreter, loaders, RPC, references) is
+consistent on this machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass
+
+from repro.apps.registry import APPS
+from repro.config import DeviceConfig
+from repro.gpu.device import GPUDevice
+from repro.host.ensemble_loader import EnsembleLoader
+
+_NUMBER_RE = re.compile(r"(?:checksum|total rank) ([-\d.]+)")
+
+#: Small validation workloads: (args, reference kwargs)
+VALIDATION_WORKLOADS: dict[str, tuple[list[str], dict]] = {
+    "xsbench": (
+        ["-g", "128", "-n", "4", "-l", "32", "-s", "3"],
+        dict(gridpoints=128, nuclides=4, lookups=32, seed=3),
+    ),
+    "rsbench": (
+        ["-p", "8", "-n", "2", "-l", "32", "-s", "3"],
+        dict(poles=8, nuclides=2, lookups=32, seed=3),
+    ),
+    "amgmk": (
+        ["-n", "256", "-i", "2", "-s", "3"],
+        dict(rows=256, iters=2, seed=3),
+    ),
+    "pagerank": (
+        ["-n", "512", "-d", "4", "-i", "2", "-s", "3"],
+        dict(nodes=512, degree=4, iters=2, seed=3),
+    ),
+    "stream": (
+        ["-n", "1024", "-r", "1", "-s", "3"],
+        dict(elements=1024, reps=1, seed=3),
+    ),
+}
+
+
+@dataclass
+class ValidationRow:
+    app: str
+    measured: float | None
+    expected: float
+    exit_code: int
+    match: bool
+    detail: str = ""
+
+
+def validate_apps(
+    apps: list[str] | None = None,
+    *,
+    thread_limit: int = 32,
+    device_config: DeviceConfig | None = None,
+    rel_tol: float = 1e-9,
+) -> list[ValidationRow]:
+    """Run each app and compare against its reference; returns one row per
+    app (exceptions are captured into the row, not raised)."""
+    from repro.config import DEFAULT_DEVICE
+
+    names = apps or list(VALIDATION_WORKLOADS)
+    rows: list[ValidationRow] = []
+    for name in names:
+        args, ref_kwargs = VALIDATION_WORKLOADS[name]
+        entry = APPS[name]
+        expected = entry.reference_fn(**ref_kwargs)
+        try:
+            loader = EnsembleLoader(
+                entry.build_program(),
+                GPUDevice(device_config or DEFAULT_DEVICE),
+                heap_bytes=8 * 1024 * 1024,
+            )
+            run = loader.run_ensemble(
+                [args], thread_limit=thread_limit, collect_timing=False
+            )
+            stdout = run.instances[0].stdout
+            m = _NUMBER_RE.search(stdout)
+            measured = float(m.group(1)) if m else None
+            ok = (
+                measured is not None
+                and run.return_codes[0] == 0
+                and abs(measured - expected) <= rel_tol * max(1.0, abs(expected))
+            )
+            rows.append(
+                ValidationRow(
+                    app=name,
+                    measured=measured,
+                    expected=expected,
+                    exit_code=run.return_codes[0],
+                    match=ok,
+                    detail="" if ok else stdout.strip(),
+                )
+            )
+        except Exception as exc:  # captured for the report
+            rows.append(
+                ValidationRow(
+                    app=name,
+                    measured=None,
+                    expected=expected,
+                    exit_code=-1,
+                    match=False,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
+    return rows
+
+
+def render_rows(rows: list[ValidationRow]) -> str:
+    """Fixed-width table of validation outcomes."""
+    lines = [f"{'app':10s} {'status':7s} {'measured':>20s} {'reference':>20s}"]
+    for r in rows:
+        status = "MATCH" if r.match else "FAIL"
+        measured = f"{r.measured:.10f}" if r.measured is not None else "-"
+        lines.append(f"{r.app:10s} {status:7s} {measured:>20s} {r.expected:>20.10f}")
+        if r.detail:
+            lines.append(f"           {r.detail}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: exit 0 iff every app matches its reference."""
+    parser = argparse.ArgumentParser(
+        prog="repro-validate",
+        description="Validate every benchmark port against its CPU reference.",
+    )
+    parser.add_argument("--apps", nargs="+", choices=list(VALIDATION_WORKLOADS))
+    parser.add_argument("--thread-limit", type=int, default=32)
+    args = parser.parse_args(argv)
+    rows = validate_apps(args.apps, thread_limit=args.thread_limit)
+    print(render_rows(rows))
+    return 0 if all(r.match for r in rows) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Argument-file parsing (§3.2, Figure 5b).
+
+One line per application instance; tokens separated by whitespace.  Two
+quality-of-life extensions over the paper's proof of concept (both clearly
+optional: a file written for the paper's loader parses identically here):
+
+* blank lines and ``#`` comment lines are skipped,
+* single/double quotes group tokens containing spaces (POSIX shell rules).
+"""
+
+from __future__ import annotations
+
+import shlex
+from pathlib import Path
+
+from repro.errors import ArgFileError
+
+
+def parse_argument_text(text: str) -> list[list[str]]:
+    """Parse argument-file contents into one token list per instance."""
+    instances: list[list[str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            tokens = shlex.split(line, posix=True)
+        except ValueError as exc:
+            raise ArgFileError(f"line {lineno}: {exc}") from exc
+        if tokens:
+            instances.append(tokens)
+    return instances
+
+
+def parse_argument_file(path: str | Path) -> list[list[str]]:
+    """Read and parse an argument file."""
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise ArgFileError(f"cannot read argument file {p}: {exc}") from exc
+    return parse_argument_text(text)
+
+
+def write_argument_file(path: str | Path, instances: list[list[str]]) -> None:
+    """Write instances back in the file format (round-trips with parse)."""
+    lines = []
+    for tokens in instances:
+        quoted = [shlex.quote(t) for t in tokens]
+        lines.append(" ".join(quoted))
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,175 @@
+"""Argument-generation script language (§3.2 future work).
+
+The paper plans "a script language ... to generate command line arguments
+for each instance dynamically".  This module implements that extension: a
+line-oriented template language expanded into a plain argument file.
+
+Syntax
+------
+::
+
+    @set base = 1000                # bind a variable
+    @foreach i in 0..3              # inclusive integer range
+    -s {base * (i + 1)} -seed {i}   # {expr} substitutes an expression
+    @end
+    -s 9999 -seed 42                # plain lines pass through
+
+* ``@foreach NAME in A..B`` / ``@foreach NAME in A..B..STEP`` loops over an
+  inclusive range; loops nest.
+* ``@set NAME = EXPR`` assigns (visible to subsequent lines at that depth).
+* ``{EXPR}`` inside a line is evaluated and substituted; expressions are a
+  safe arithmetic subset (ints/floats, ``+ - * / // % **``, comparisons,
+  unary minus, names, ``min``/``max``/``abs``).
+* Comments (``#``) and blank lines are dropped, as in plain argument files.
+
+:func:`expand_argument_script` returns the expanded text, suitable for
+:func:`repro.host.argfile.parse_argument_text`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.errors import ArgScriptError
+
+_SUBST_RE = re.compile(r"\{([^{}]+)\}")
+_FOREACH_RE = re.compile(
+    r"^@foreach\s+([A-Za-z_]\w*)\s+in\s+(\S+?)\.\.(\S+?)(?:\.\.(\S+))?\s*$"
+)
+_SET_RE = re.compile(r"^@set\s+([A-Za-z_]\w*)\s*=\s*(.+)$")
+
+_ALLOWED_FUNCS = {"min": min, "max": max, "abs": abs}
+
+_ALLOWED_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a**b,
+}
+_ALLOWED_CMPOPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+}
+
+
+def _eval_expr(expr: str, env: dict) -> object:
+    """Safely evaluate an arithmetic expression against ``env``."""
+    try:
+        tree = ast.parse(expr.strip(), mode="eval")
+    except SyntaxError as exc:
+        raise ArgScriptError(f"bad expression {expr!r}: {exc}") from None
+
+    def ev(node: ast.AST):
+        if isinstance(node, ast.Expression):
+            return ev(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            raise ArgScriptError(f"undefined variable {node.id!r} in {expr!r}")
+        if isinstance(node, ast.BinOp) and type(node.op) in _ALLOWED_BINOPS:
+            return _ALLOWED_BINOPS[type(node.op)](ev(node.left), ev(node.right))
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return -ev(node.operand)
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            op = type(node.ops[0])
+            if op in _ALLOWED_CMPOPS:
+                return int(
+                    _ALLOWED_CMPOPS[op](ev(node.left), ev(node.comparators[0]))
+                )
+        if isinstance(node, ast.IfExp):
+            return ev(node.body) if ev(node.test) else ev(node.orelse)
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ALLOWED_FUNCS
+            and not node.keywords
+        ):
+            return _ALLOWED_FUNCS[node.func.id](*[ev(a) for a in node.args])
+        raise ArgScriptError(f"unsupported construct in expression {expr!r}")
+
+    return ev(tree)
+
+
+def _substitute(line: str, env: dict) -> str:
+    def repl(match: re.Match) -> str:
+        value = _eval_expr(match.group(1), env)
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+
+    return _SUBST_RE.sub(repl, line)
+
+
+def _parse_blocks(lines: list[str]) -> list:
+    """Parse into a tree of plain lines / set directives / foreach blocks."""
+    pos = 0
+
+    def block(depth: int) -> list:
+        nonlocal pos
+        items: list = []
+        while pos < len(lines):
+            raw = lines[pos]
+            stripped = raw.strip()
+            pos += 1
+            if not stripped or stripped.startswith("#"):
+                continue
+            if stripped == "@end":
+                if depth == 0:
+                    raise ArgScriptError(f"line {pos}: @end without @foreach")
+                return items
+            m = _FOREACH_RE.match(stripped)
+            if m:
+                body = block(depth + 1)
+                items.append(("foreach", m.group(1), m.group(2), m.group(3), m.group(4), body))
+                continue
+            m = _SET_RE.match(stripped)
+            if m:
+                items.append(("set", m.group(1), m.group(2)))
+                continue
+            if stripped.startswith("@"):
+                raise ArgScriptError(f"line {pos}: unknown directive {stripped.split()[0]!r}")
+            items.append(("line", stripped))
+        if depth != 0:
+            raise ArgScriptError("unterminated @foreach (missing @end)")
+        return items
+
+    return block(0)
+
+
+def _emit(items: list, env: dict, out: list[str]) -> None:
+    for item in items:
+        kind = item[0]
+        if kind == "line":
+            out.append(_substitute(item[1], env))
+        elif kind == "set":
+            env[item[1]] = _eval_expr(_substitute(item[2], env), env)
+        elif kind == "foreach":
+            _, name, lo_s, hi_s, step_s, body = item
+            lo = int(_eval_expr(_substitute(lo_s, env), env))
+            hi = int(_eval_expr(_substitute(hi_s, env), env))
+            step = int(_eval_expr(_substitute(step_s, env), env)) if step_s else 1
+            if step == 0:
+                raise ArgScriptError("@foreach step must be nonzero")
+            stop = hi + (1 if step > 0 else -1)  # inclusive range
+            inner = dict(env)
+            for value in range(lo, stop, step):
+                inner[name] = value
+                _emit(body, inner, out)
+
+
+def expand_argument_script(text: str, *, variables: dict | None = None) -> str:
+    """Expand an argument script into plain argument-file text."""
+    tree = _parse_blocks(text.splitlines())
+    out: list[str] = []
+    _emit(tree, dict(variables or {}), out)
+    return "\n".join(out) + ("\n" if out else "")

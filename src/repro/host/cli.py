@@ -1,0 +1,138 @@
+"""Command-line interface mirroring the paper's GPU ensembler (Figure 5c)::
+
+    repro-ensemble --app xsbench -f arguments.txt -n 4 -t 128
+
+``--app`` selects one of the ported benchmarks (the paper's equivalent is
+"which binary you compiled"); ``-f``/``-n``/``-t`` are exactly the enhanced
+loader's options from §3.2.  ``--script`` treats the file as an argument
+*script* (§3.2 future work) and expands it first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import DEFAULT_DEVICE
+from repro.errors import DeviceOutOfMemory, ReproError
+from repro.gpu.device import GPUDevice
+from repro.host.argscript import expand_argument_script
+from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.mapping import OneInstancePerTeam, PackedMapping
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ensembler CLI (-f/-n/-t of the paper)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ensemble",
+        description="Run ensembles of directly-GPU-compiled applications "
+        "on the simulated device.",
+    )
+    parser.add_argument(
+        "--app",
+        required=True,
+        help="benchmark application to run (see --list-apps)",
+    )
+    parser.add_argument("-f", "--arg-file", help="command-line arguments file")
+    parser.add_argument(
+        "-n",
+        "--num-instances",
+        type=int,
+        default=None,
+        help="number of instances to launch simultaneously",
+    )
+    parser.add_argument(
+        "-t",
+        "--thread-limit",
+        type=int,
+        default=1024,
+        help="maximum number of threads each instance can utilize",
+    )
+    parser.add_argument(
+        "--pack",
+        type=int,
+        default=1,
+        metavar="M",
+        help="pack M instances per team using the (N/M, M, 1) mapping",
+    )
+    parser.add_argument(
+        "--script",
+        action="store_true",
+        help="treat the -f file as an argument script and expand it",
+    )
+    parser.add_argument(
+        "--heap-mb",
+        type=int,
+        default=64,
+        help="device heap size for application malloc (MiB)",
+    )
+    parser.add_argument("--list-apps", action="store_true", help="list available apps")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-instance stdout"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run an application ensemble (Figure 5c)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    from repro.apps.registry import APPS, get_app
+
+    if args.list_apps:
+        for name, entry in sorted(APPS.items()):
+            print(f"{name:12s} {entry.description}")
+        return 0
+
+    try:
+        app = get_app(args.app)
+    except KeyError:
+        parser.error(f"unknown app {args.app!r}; try --list-apps")
+
+    if args.arg_file is None:
+        parser.error("-f/--arg-file is required to run an ensemble")
+
+    try:
+        if args.script:
+            from pathlib import Path
+
+            text = expand_argument_script(Path(args.arg_file).read_text())
+            arg_source = text
+        else:
+            arg_source = args.arg_file
+
+        mapping = PackedMapping(args.pack) if args.pack > 1 else OneInstancePerTeam()
+        device = GPUDevice(DEFAULT_DEVICE)
+        loader = EnsembleLoader(
+            app.build_program(),
+            device,
+            mapping=mapping,
+            heap_bytes=args.heap_mb * 1024 * 1024,
+        )
+        result = loader.run_ensemble(
+            arg_source,
+            num_instances=args.num_instances,
+            thread_limit=args.thread_limit,
+        )
+    except DeviceOutOfMemory as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    for inst in result.instances:
+        if not args.quiet and inst.stdout:
+            sys.stdout.write(inst.stdout)
+        print(f"[instance {inst.index}] args={' '.join(inst.args)} -> exit {inst.exit_code}")
+    print(
+        f"ensemble: {result.num_instances} instances, "
+        f"{result.geometry.num_teams} teams x {result.thread_limit} threads, "
+        f"{result.cycles:.0f} simulated cycles"
+    )
+    return 0 if result.all_succeeded else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

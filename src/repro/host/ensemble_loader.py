@@ -1,0 +1,183 @@
+"""Enhanced ensemble loader — the paper's contribution (§3).
+
+Extends the base loader with the three command-line options of §3.2::
+
+    -f <file>   argument file: one line of command-line args per instance
+    -n <N>      number of instances launched simultaneously
+    -t <T>      per-instance thread limit
+
+Every instance becomes one iteration of a ``target teams distribute`` loop
+(Figure 4): ``Ret[I] = __user_main(Argc[I], &Argv[I][0])``.  The default
+mapping executes one instance per team (teams == instances, as in the
+evaluation); a :class:`~repro.host.mapping.PackedMapping` strategy packs M
+instances per team using the ``(N/M, M, 1)`` geometry of §3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import LoaderError
+from repro.frontend.dsl import Program
+from repro.gpu.device import GPUDevice, LaunchResult
+from repro.gpu.timing import KernelTiming
+from repro.host.argfile import parse_argument_file, parse_argument_text
+from repro.host.loader import Loader
+from repro.host.mapping import MappingStrategy, OneInstancePerTeam
+from repro.host.rpc_host import RPCHost
+from repro.ir.module import Module
+from repro.runtime.kernel import ENSEMBLE_KERNEL
+from repro.runtime.teams import TeamGeometry
+
+
+@dataclass
+class InstanceOutcome:
+    """Result of one application instance within an ensemble."""
+
+    index: int
+    args: list[str]
+    exit_code: int
+    slot: int
+    stdout: str
+
+
+@dataclass
+class EnsembleResult:
+    """Outcome of one ensemble launch."""
+
+    num_instances: int
+    thread_limit: int
+    geometry: TeamGeometry
+    return_codes: list[int]
+    instances: list[InstanceOutcome]
+    cycles: float | None
+    timing: KernelTiming | None
+    launch: LaunchResult = field(repr=False)
+
+    @property
+    def all_succeeded(self) -> bool:
+        return all(c == 0 for c in self.return_codes)
+
+    def stdout_of(self, index: int) -> str:
+        return self.instances[index].stdout
+
+
+class EnsembleLoader(Loader):
+    """The enhanced loader: ``./user_app_gpu -f args.txt -n N -t T``."""
+
+    def __init__(
+        self,
+        program: Program | Module,
+        device: GPUDevice | None = None,
+        *,
+        mapping: MappingStrategy = OneInstancePerTeam(),
+        heap_bytes: int = 64 * 1024 * 1024,
+        stack_bytes: int = 2048,
+        team_local_globals: bool = False,
+        optimize: bool = True,
+        rpc_transport: str = "direct",
+    ):
+        super().__init__(
+            program,
+            device,
+            heap_bytes=heap_bytes,
+            stack_bytes=stack_bytes,
+            team_local_globals=team_local_globals,
+            optimize=optimize,
+            rpc_transport=rpc_transport,
+        )
+        self.mapping = mapping
+
+    # ------------------------------------------------------------------
+    def run_ensemble(
+        self,
+        arg_source,
+        *,
+        num_instances: int | None = None,
+        thread_limit: int = 1024,
+        collect_timing: bool = True,
+        max_steps: int = 400_000_000,
+    ) -> EnsembleResult:
+        """Launch an ensemble.
+
+        ``arg_source`` may be a path to an argument file, raw argument-file
+        text, or an already-parsed ``list[list[str]]`` (one token list per
+        instance).  ``num_instances`` (the ``-n`` flag) defaults to the
+        number of lines; giving a smaller N runs the first N lines, a larger
+        N is an error (the paper's loader reads exactly one line per
+        instance).
+        """
+        instances = self._resolve_args(arg_source)
+        if num_instances is None:
+            num_instances = len(instances)
+        if num_instances < 1:
+            raise LoaderError("-n must request at least one instance")
+        if num_instances > len(instances):
+            raise LoaderError(
+                f"-n {num_instances} requested but the argument file has only "
+                f"{len(instances)} lines"
+            )
+        instances = instances[:num_instances]
+        argvs = [[self.app_name] + line for line in instances]
+
+        geometry = self.mapping.geometry(num_instances, thread_limit)
+        self._reset_for_run()
+        rpc_host = RPCHost(self.device.memory)
+        block = self._marshal_instances(argvs)
+        try:
+            launch = self._launch(
+                ENSEMBLE_KERNEL,
+                block,
+                num_teams=geometry.num_teams,
+                thread_limit=geometry.thread_limit,
+                instances_per_team=geometry.instances_per_team,
+                total_slots=geometry.total_slots,
+                rpc_host=rpc_host,
+                collect_timing=collect_timing,
+                max_steps=max_steps,
+            )
+            codes = self.device.memory.read_array(
+                block.ret_addr, np.int64, num_instances
+            )
+        finally:
+            self.device.free(block.base)
+            rpc_host.close()
+
+        outcomes = []
+        for i, line in enumerate(instances):
+            slot = i % geometry.total_slots
+            outcomes.append(
+                InstanceOutcome(
+                    index=i,
+                    args=line,
+                    exit_code=int(codes[i]),
+                    slot=slot,
+                    stdout=rpc_host.instance_stdout(slot),
+                )
+            )
+        return EnsembleResult(
+            num_instances=num_instances,
+            thread_limit=thread_limit,
+            geometry=geometry,
+            return_codes=[int(c) for c in codes],
+            instances=outcomes,
+            cycles=launch.cycles,
+            timing=launch.timing,
+            launch=launch,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_args(arg_source) -> list[list[str]]:
+        if isinstance(arg_source, (list, tuple)):
+            return [list(map(str, line)) for line in arg_source]
+        if isinstance(arg_source, Path):
+            return parse_argument_file(arg_source)
+        if isinstance(arg_source, str):
+            if "\n" not in arg_source and Path(arg_source).exists():
+                return parse_argument_file(arg_source)
+            return parse_argument_text(arg_source)
+        raise LoaderError(f"unsupported argument source {type(arg_source).__name__}")

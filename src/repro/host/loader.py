@@ -1,0 +1,263 @@
+"""Base loader: the "main wrapper" host entry point of the original direct
+GPU compilation framework [26].
+
+Responsibilities (§2.2 of the paper):
+
+* compile + link the user program as device code (declare-target marking,
+  ``main`` -> ``__user_main`` renaming, RPC lowering, kernel construction,
+  LTO-style finalization),
+* load the image onto the device and install the device heap,
+* map the program arguments into device memory (``argc``/``argv`` with
+  C-style NUL-terminated strings and a NULL-terminated pointer array),
+* launch the wrapper kernel and collect the exit code and host-RPC output.
+
+:class:`~repro.host.ensemble_loader.EnsembleLoader` builds on the same
+machinery for multi-instance execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DEFAULT_DEVICE, DEFAULT_SIM
+from repro.errors import DeviceOutOfMemory, DeviceTrap, LoaderError
+from repro.frontend.dsl import Program
+from repro.gpu.device import DeviceImage, GPUDevice, LaunchResult
+from repro.gpu.timing import KernelTiming
+from repro.host.rpc_host import RPCHost
+from repro.ir.module import Module
+from repro.passes import (
+    compile_for_device,
+    finalize_executable,
+    globals_to_shared_pass,
+)
+from repro.runtime.kernel import (
+    ENSEMBLE_KERNEL,
+    SINGLE_KERNEL,
+    build_ensemble_kernel,
+    build_single_kernel,
+)
+from repro.runtime.libc import HEAP_CURSOR, HEAP_END
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single-instance run."""
+
+    exit_code: int
+    stdout: str
+    cycles: float | None
+    timing: KernelTiming | None
+    launch: LaunchResult
+
+
+@dataclass
+class _ArgBlock:
+    base: int
+    argc_addr: int
+    argv_addr: int
+    ret_addr: int
+    num_instances: int
+
+
+class Loader:
+    """Loads one application onto one simulated device."""
+
+    def __init__(
+        self,
+        program: Program | Module,
+        device: GPUDevice | None = None,
+        *,
+        heap_bytes: int = 32 * 1024 * 1024,
+        stack_bytes: int = 2048,
+        team_local_globals: bool = False,
+        optimize: bool = True,
+        rpc_transport: str = "direct",
+    ):
+        if rpc_transport not in ("direct", "ring"):
+            raise LoaderError(f"unknown rpc_transport {rpc_transport!r}")
+        self.device = device if device is not None else GPUDevice(DEFAULT_DEVICE, DEFAULT_SIM)
+        self.heap_bytes = heap_bytes
+        self.stack_bytes = stack_bytes
+        self.rpc_transport = rpc_transport
+        self.app_name = program.name if isinstance(program, (Program, Module)) else "app"
+
+        module = program.compile() if isinstance(program, Program) else program
+        module = compile_for_device(module)
+        build_single_kernel(module)
+        build_ensemble_kernel(module)
+        if team_local_globals:
+            globals_to_shared_pass(
+                module, shared_mem_budget=self.device.config.shared_mem_per_block
+            )
+        module = finalize_executable(module, optimize=optimize)
+        self.module = module
+        self.image: DeviceImage = self.device.load_image(module)
+        self.heap_addr = self.device.alloc(heap_bytes)
+
+    # ------------------------------------------------------------------
+    # plumbing shared with the ensemble loader
+    # ------------------------------------------------------------------
+    def _reset_for_run(self) -> None:
+        """Fresh-process semantics: re-init globals and the device heap."""
+        self.device.reset_image(self.image)
+        if HEAP_CURSOR in self.image.symbols:  # absent when libc is unlinked
+            mem = self.device.memory
+            mem.write_i64(self.image.symbol(HEAP_CURSOR), self.heap_addr)
+            mem.write_i64(
+                self.image.symbol(HEAP_END), self.heap_addr + self.heap_bytes
+            )
+
+    def _marshal_instances(self, instances: list[list[str]]) -> _ArgBlock:
+        """Place argc/argv for every instance into one device allocation.
+
+        Layout: ``Argc[NI] | ArgvPtr[NI] | Ret[NI] | per-instance char*
+        arrays (NULL-terminated) | string bytes``.
+        """
+        ni = len(instances)
+        if ni == 0:
+            raise LoaderError("no instances to marshal")
+        header = 3 * ni * 8
+        ptr_arrays_off = header
+        ptr_arrays_len = sum((len(argv) + 1) * 8 for argv in instances)
+        strings_off = ptr_arrays_off + ptr_arrays_len
+        encoded = [[a.encode() + b"\x00" for a in argv] for argv in instances]
+        strings_len = sum(len(s) for argv in encoded for s in argv)
+        total = strings_off + strings_len
+
+        base = self.device.alloc(max(total, 8))
+        argc_arr = np.array([len(argv) for argv in instances], dtype=np.int64)
+        argvptr_arr = np.zeros(ni, dtype=np.int64)
+
+        # string placement
+        str_cursor = base + strings_off
+        ptr_cursor = base + ptr_arrays_off
+        blob = bytearray(total)
+        for i, argv in enumerate(encoded):
+            argvptr_arr[i] = ptr_cursor
+            ptrs = np.zeros(len(argv) + 1, dtype=np.int64)
+            for j, s in enumerate(argv):
+                ptrs[j] = str_cursor
+                off = str_cursor - base
+                blob[off : off + len(s)] = s
+                str_cursor += len(s)
+            off = ptr_cursor - base
+            blob[off : off + ptrs.nbytes] = ptrs.tobytes()
+            ptr_cursor += ptrs.nbytes
+
+        blob[0 : ni * 8] = argc_arr.tobytes()
+        blob[ni * 8 : 2 * ni * 8] = argvptr_arr.tobytes()
+        # Ret[NI] stays zero
+        self.device.memory.write_bytes(base, bytes(blob))
+        return _ArgBlock(
+            base=base,
+            argc_addr=base,
+            argv_addr=base + ni * 8,
+            ret_addr=base + 2 * ni * 8,
+            num_instances=ni,
+        )
+
+    def _launch(
+        self,
+        kernel: str,
+        block: _ArgBlock,
+        *,
+        num_teams: int,
+        thread_limit: int,
+        instances_per_team: int,
+        total_slots: int,
+        rpc_host: RPCHost,
+        collect_timing: bool,
+        max_steps: int,
+    ) -> LaunchResult:
+        params: tuple = (
+            block.num_instances,
+            block.argc_addr,
+            block.argv_addr,
+            block.ret_addr,
+            total_slots,
+        )
+        transport = None
+        endpoint = rpc_host.handle
+        if self.rpc_transport == "ring":
+            from repro.host.transport import RingTransport
+
+            transport = RingTransport(self.device, rpc_host)
+            endpoint = transport.endpoint()
+        try:
+            return self.device.launch(
+                self.image,
+                kernel,
+                num_teams=num_teams,
+                thread_limit=thread_limit,
+                params=params,
+                instances_per_team=instances_per_team,
+                stack_bytes=self.stack_bytes,
+                rpc=endpoint,
+                collect_timing=collect_timing,
+                max_steps=max_steps,
+            )
+        except DeviceTrap as trap:
+            if "out of memory" in str(trap):
+                raise DeviceOutOfMemory(
+                    requested=0,
+                    free=0,
+                    capacity=self.heap_bytes,
+                ) from trap
+            raise
+        finally:
+            if transport is not None:
+                transport.close()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        args: list[str] | None = None,
+        *,
+        thread_limit: int = 1024,
+        collect_timing: bool = True,
+        max_steps: int = 200_000_000,
+    ) -> RunResult:
+        """Run the application once with C-style arguments.
+
+        ``args`` are the argv *tail* (``argv[0]`` is the program name, added
+        automatically, exactly like the enhanced loader does in Figure 4).
+        """
+        argv = [self.app_name] + list(args or [])
+        self._reset_for_run()
+        rpc_host = RPCHost(self.device.memory)
+        block = self._marshal_instances([argv])
+        try:
+            launch = self._launch(
+                SINGLE_KERNEL,
+                block,
+                num_teams=1,
+                thread_limit=thread_limit,
+                instances_per_team=1,
+                total_slots=1,
+                rpc_host=rpc_host,
+                collect_timing=collect_timing,
+                max_steps=max_steps,
+            )
+            code = int(self.device.memory.read_i64(block.ret_addr))
+        finally:
+            self.device.free(block.base)
+            rpc_host.close()
+        return RunResult(
+            exit_code=code,
+            stdout=rpc_host.all_stdout(),
+            cycles=launch.cycles,
+            timing=launch.timing,
+            launch=launch,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release device resources held by this loader."""
+        self.device.free(self.heap_addr)
+        self.device.unload_image(self.image)
+
+
+__all__ = ["Loader", "RunResult", "SINGLE_KERNEL", "ENSEMBLE_KERNEL"]

@@ -1,0 +1,68 @@
+"""Instance-to-team mapping strategies (§3.1).
+
+The paper's proof of concept maps one instance per team.  Its §3.1 also
+describes — but does not implement, due to LLVM OpenMP limitations — a
+packed mapping that places M instances in one team shaped ``(N/M, M, 1)``,
+trading per-instance parallelism for concurrency.  Our runtime has no such
+limitation, so :class:`PackedMapping` implements the proposal and the
+ablation benchmarks compare the two.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+from repro.runtime.teams import TeamGeometry
+
+
+class MappingStrategy(ABC):
+    """Decides the launch geometry for a given instance count."""
+
+    @abstractmethod
+    def geometry(self, num_instances: int, thread_limit: int) -> TeamGeometry:
+        """Resolve the launch geometry."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable name for reports."""
+
+
+@dataclass(frozen=True)
+class OneInstancePerTeam(MappingStrategy):
+    """The paper's scheme: teams == instances, block shape (T, 1, 1)."""
+
+    def geometry(self, num_instances: int, thread_limit: int) -> TeamGeometry:
+        if num_instances < 1:
+            raise LaunchError("need at least one instance")
+        return TeamGeometry(num_instances, thread_limit, instances_per_team=1)
+
+    def describe(self) -> str:
+        return "one-instance-per-team"
+
+
+@dataclass(frozen=True)
+class PackedMapping(MappingStrategy):
+    """§3.1 future-work scheme: M instances per team, shape (T/M, M, 1)."""
+
+    instances_per_team: int
+
+    def __post_init__(self) -> None:
+        if self.instances_per_team < 1:
+            raise LaunchError("instances_per_team must be >= 1")
+
+    def geometry(self, num_instances: int, thread_limit: int) -> TeamGeometry:
+        if num_instances < 1:
+            raise LaunchError("need at least one instance")
+        m = self.instances_per_team
+        if thread_limit % m:
+            raise LaunchError(
+                f"thread limit {thread_limit} not divisible by M={m} "
+                "(the (N/M, M, 1) mapping requires M | N)"
+            )
+        teams = -(-num_instances // m)
+        return TeamGeometry(teams, thread_limit, instances_per_team=m)
+
+    def describe(self) -> str:
+        return f"packed-{self.instances_per_team}-per-team"

@@ -1,0 +1,216 @@
+"""Host RPC endpoint.
+
+Services the device's ``rpc`` instructions (generated from calls to
+host-only functions by the RPC-lowering pass).  Two transports exist:
+
+* **direct** — the interpreter invokes :meth:`RPCHost.handle` synchronously
+  (the timing model charges each RPC a large fixed latency);
+* **ring** — the transport-faithful path over a ring buffer in device
+  memory (:mod:`repro.runtime.rpc_device`), optionally drained by a real
+  background thread, mirroring the RPC service thread in Figure 2 of the
+  paper.  The loaders use the direct path; the ring is exercised by the RPC
+  framework tests and :meth:`RPCHost.serve_ring`.
+
+Output capture: ``printf``/``puts`` bytes are captured **per application
+instance**, so an ensemble run can return each instance its own stdout —
+the host-side counterpart of instance isolation.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import defaultdict
+
+from repro.errors import DeviceTrap, RPCError
+from repro.gpu.memory import GlobalMemory
+from repro.runtime.interpreter import RpcLane
+from repro.runtime.rpc_device import HostRing, RpcRecord, decode_float_arg
+
+_FMT_RE = re.compile(r"%[-+ #0]*\d*(?:\.\d+)?(?:hh|h|ll|l|z)?[diufeEgGxXscp%]")
+
+
+class RPCHost:
+    """Dispatch table + output capture for device-originated calls."""
+
+    def __init__(self, memory: GlobalMemory):
+        self.memory = memory
+        self.stdout: dict[int, list[str]] = defaultdict(list)
+        self.call_counts: dict[str, int] = defaultdict(int)
+        self._files: dict[int, object] = {}
+        self._next_handle = 3  # 0/1/2 reserved like stdio
+        self._handlers = {
+            "printf": self._printf,
+            "puts": self._puts,
+            "putchar": self._putchar,
+            "fopen": self._fopen,
+            "fclose": self._fclose,
+            "fputs": self._fputs,
+            "host_time_ns": self._host_time_ns,
+            "abort": self._abort,
+        }
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def register(self, service: str, handler) -> None:
+        """Install a custom handler: ``handler(args, lane) -> value``."""
+        self._handlers[service] = handler
+
+    def handle(self, service: str, args: list, lane: RpcLane):
+        fn = self._handlers.get(service)
+        if fn is None:
+            raise RPCError(f"no host handler for RPC service {service!r}")
+        self.call_counts[service] += 1
+        return fn(args, lane)
+
+    def instance_stdout(self, instance: int) -> str:
+        return "".join(self.stdout.get(instance, []))
+
+    def all_stdout(self) -> str:
+        return "".join(
+            "".join(chunks) for _, chunks in sorted(self.stdout.items())
+        )
+
+    def close(self) -> None:
+        for fh in self._files.values():
+            try:
+                fh.close()
+            except Exception:
+                pass
+        self._files.clear()
+
+    # ------------------------------------------------------------------
+    # printf formatting
+    # ------------------------------------------------------------------
+    def format_printf(self, fmt: str, args: list) -> str:
+        """C-style formatting against raw device argument values."""
+        out: list[str] = []
+        pos = 0
+        argi = 0
+        for match in _FMT_RE.finditer(fmt):
+            out.append(fmt[pos : match.start()])
+            pos = match.end()
+            spec = match.group()
+            conv = spec[-1]
+            if conv == "%":
+                out.append("%")
+                continue
+            if argi >= len(args):
+                raise RPCError(f"printf format {fmt!r} consumes more than {len(args)} args")
+            value = args[argi]
+            argi += 1
+            pyspec = re.sub(r"(?:hh|h|ll|l|z)(?=[diuxX])", "", spec)
+            if conv in "di":
+                out.append(pyspec.replace("i", "d") % int(value))
+            elif conv == "u":
+                out.append(pyspec.replace("u", "d") % (int(value) & (1 << 64) - 1))
+            elif conv in "xX":
+                out.append(pyspec % (int(value) & (1 << 64) - 1))
+            elif conv in "feEgG":
+                out.append(pyspec % float(value))
+            elif conv == "c":
+                out.append(chr(int(value) & 0xFF))
+            elif conv == "s":
+                out.append(self.memory.read_cstring(int(value)))
+            elif conv == "p":
+                out.append(f"0x{int(value):x}")
+        out.append(fmt[pos:])
+        return "".join(out)
+
+    # ------------------------------------------------------------------
+    # standard handlers
+    # ------------------------------------------------------------------
+    def _printf(self, args: list, lane: RpcLane) -> int:
+        if not args:
+            raise RPCError("printf needs a format string")
+        fmt = self.memory.read_cstring(int(args[0]))
+        text = self.format_printf(fmt, args[1:])
+        self.stdout[lane.instance].append(text)
+        return len(text)
+
+    def _puts(self, args: list, lane: RpcLane) -> int:
+        text = self.memory.read_cstring(int(args[0])) + "\n"
+        self.stdout[lane.instance].append(text)
+        return len(text)
+
+    def _putchar(self, args: list, lane: RpcLane) -> int:
+        ch = int(args[0]) & 0xFF
+        self.stdout[lane.instance].append(chr(ch))
+        return ch
+
+    def _fopen(self, args: list, lane: RpcLane) -> int:
+        path = self.memory.read_cstring(int(args[0]))
+        mode = self.memory.read_cstring(int(args[1]))
+        try:
+            fh = open(path, mode)  # noqa: SIM115 - handle tracked in registry
+        except OSError:
+            return 0
+        handle = self._next_handle
+        self._next_handle += 1
+        self._files[handle] = fh
+        return handle
+
+    def _fclose(self, args: list, lane: RpcLane) -> int:
+        fh = self._files.pop(int(args[0]), None)
+        if fh is None:
+            return -1
+        fh.close()
+        return 0
+
+    def _fputs(self, args: list, lane: RpcLane) -> int:
+        fh = self._files.get(int(args[1]))
+        if fh is None:
+            return -1
+        text = self.memory.read_cstring(int(args[0]))
+        fh.write(text)
+        return len(text)
+
+    def _host_time_ns(self, args: list, lane: RpcLane) -> int:
+        return time.monotonic_ns()
+
+    def _abort(self, args: list, lane: RpcLane):
+        raise DeviceTrap("abort() called", team=lane.team, thread=lane.lane)
+
+    # ------------------------------------------------------------------
+    # ring transport (service thread)
+    # ------------------------------------------------------------------
+    def serve_ring(
+        self,
+        ring: HostRing,
+        service_names: dict[int, str],
+        *,
+        stop: threading.Event,
+        float_args: dict[str, tuple[int, ...]] | None = None,
+        poll_interval: float = 0.0005,
+    ) -> threading.Thread:
+        """Start a daemon thread draining ``ring`` until ``stop`` is set.
+
+        ``service_names`` maps interned service ids to names;
+        ``float_args`` optionally lists which argument positions of a
+        service are f64 (raw slot values are bit-cast back).
+        """
+        float_args = float_args or {}
+
+        def decode(record: RpcRecord) -> object:
+            name = service_names.get(record.service_id)
+            if name is None:
+                raise RPCError(f"unknown RPC service id {record.service_id}")
+            fpos = float_args.get(name, ())
+            args = [
+                decode_float_arg(a) if i in fpos else a
+                for i, a in enumerate(record.args_raw)
+            ]
+            lane = RpcLane(team=-1, instance=-1, lane=-1)  # ring carries no lane
+            return self.handle(name, args, lane)
+
+        def loop() -> None:
+            while not stop.is_set():
+                if ring.drain(decode) == 0:
+                    time.sleep(poll_interval)
+            ring.drain(decode)  # final sweep
+
+        thread = threading.Thread(target=loop, name="repro-rpc", daemon=True)
+        thread.start()
+        return thread

@@ -1,0 +1,43 @@
+"""Typed register IR targeted by the restricted-Python frontend.
+
+The IR is a conventional register machine over basic blocks:
+
+* two scalar types (:data:`~repro.ir.types.I64`, :data:`~repro.ir.types.F64`);
+  pointers are ``I64`` byte addresses into simulated device memory,
+* an unbounded set of typed virtual registers per function,
+* explicit terminators (``br`` / ``cbr`` / ``ret`` / ``retval``),
+* GPU intrinsics (thread/team ids, barriers, parallel-region markers,
+  team reductions, atomics) and a device->host ``rpc`` instruction.
+
+The design intentionally mirrors what the paper's toolchain sees after Clang
+codegen: the device passes in :mod:`repro.passes` (declare-target marking,
+``main`` renaming, RPC lowering, full inlining) operate on this IR, and the
+SIMT interpreter in :mod:`repro.runtime` executes it.
+"""
+
+from repro.ir.types import I64, F64, VOID, MemType, Reg, ScalarType
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.module import Block, Function, GlobalVar, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import verify_function, verify_module
+from repro.ir.printer import print_function, print_module
+
+__all__ = [
+    "I64",
+    "F64",
+    "VOID",
+    "MemType",
+    "Reg",
+    "ScalarType",
+    "Instr",
+    "Opcode",
+    "Block",
+    "Function",
+    "GlobalVar",
+    "Module",
+    "IRBuilder",
+    "verify_function",
+    "verify_module",
+    "print_function",
+    "print_module",
+]

@@ -1,0 +1,317 @@
+"""Convenience builder for emitting IR with operand type checking.
+
+The frontend and the loaders construct all IR through this class; it owns a
+current insertion block and refuses obviously ill-typed instructions early,
+so most type errors surface at build time instead of inside the interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Instr,
+    Opcode,
+    fcmp_ops,
+    float_binops,
+    icmp_ops,
+    int_binops,
+    math_unops,
+)
+from repro.ir.module import Block, Function
+from repro.ir.types import F64, I64, MemType, Reg, ScalarType
+
+_INT_BIN = int_binops()
+_FLT_BIN = float_binops()
+_MATH_UN = math_unops()
+_ICMP = icmp_ops()
+_FCMP = fcmp_ops()
+
+
+class IRBuilder:
+    """Builds instructions into a :class:`~repro.ir.module.Function`."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.block: Block | None = None
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # blocks
+    # ------------------------------------------------------------------
+    def create_block(self, hint: str = "bb") -> Block:
+        label = f"{hint}.{self._label_counter}"
+        self._label_counter += 1
+        return self.fn.add_block(label)
+
+    def set_block(self, block: Block) -> None:
+        self.block = block
+
+    def position_at(self, block: Block) -> None:
+        self.set_block(block)
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.block is not None and self.block.terminator is not None
+
+    # ------------------------------------------------------------------
+    # low-level emit
+    # ------------------------------------------------------------------
+    def emit(self, instr: Instr) -> Instr:
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        if self.block.terminator is not None:
+            raise IRError(
+                f"emitting {instr.op.name} after terminator in block {self.block.label!r}"
+            )
+        self.block.instrs.append(instr)
+        return instr
+
+    def _check(self, cond: bool, msg: str) -> None:
+        if not cond:
+            raise IRError(msg)
+
+    def _res(self, ty: ScalarType) -> Reg:
+        return self.fn.new_reg(ty)
+
+    # ------------------------------------------------------------------
+    # constants and moves
+    # ------------------------------------------------------------------
+    def const_i(self, value: int) -> Reg:
+        dest = self._res(I64)
+        self.emit(Instr(Opcode.MOVI, dest, imm=int(value)))
+        return dest
+
+    def const_f(self, value: float) -> Reg:
+        dest = self._res(F64)
+        self.emit(Instr(Opcode.MOVF, dest, imm=float(value)))
+        return dest
+
+    def mov(self, src: Reg) -> Reg:
+        dest = self._res(src.ty)
+        self.emit(Instr(Opcode.MOV, dest, (src,)))
+        return dest
+
+    def mov_to(self, dest: Reg, src: Reg) -> None:
+        """Move into an *existing* register (used for variable assignment)."""
+        self._check(dest.ty is src.ty, f"mov type mismatch {dest.ty} <- {src.ty}")
+        self.emit(Instr(Opcode.MOV, dest, (src,)))
+
+    def select(self, cond: Reg, a: Reg, b: Reg) -> Reg:
+        self._check(cond.ty is I64, "select condition must be i64")
+        self._check(a.ty is b.ty, "select arms must have the same type")
+        dest = self._res(a.ty)
+        self.emit(Instr(Opcode.SELECT, dest, (cond, a, b)))
+        return dest
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def binop(self, op: Opcode, a: Reg, b: Reg) -> Reg:
+        if op in _INT_BIN:
+            self._check(a.ty is I64 and b.ty is I64, f"{op.name} requires i64 operands")
+            dest = self._res(I64)
+        elif op in _FLT_BIN:
+            self._check(a.ty is F64 and b.ty is F64, f"{op.name} requires f64 operands")
+            dest = self._res(F64)
+        elif op in _ICMP:
+            self._check(a.ty is I64 and b.ty is I64, f"{op.name} requires i64 operands")
+            dest = self._res(I64)
+        elif op in _FCMP:
+            self._check(a.ty is F64 and b.ty is F64, f"{op.name} requires f64 operands")
+            dest = self._res(I64)
+        else:
+            raise IRError(f"{op.name} is not a binary op")
+        self.emit(Instr(op, dest, (a, b)))
+        return dest
+
+    def unop(self, op: Opcode, a: Reg) -> Reg:
+        if op in _MATH_UN or op is Opcode.FNEG:
+            self._check(a.ty is F64, f"{op.name} requires an f64 operand")
+            dest = self._res(F64)
+        elif op in (Opcode.INEG, Opcode.BNOT):
+            self._check(a.ty is I64, f"{op.name} requires an i64 operand")
+            dest = self._res(I64)
+        else:
+            raise IRError(f"{op.name} is not a unary op")
+        self.emit(Instr(op, dest, (a,)))
+        return dest
+
+    def fpow(self, a: Reg, b: Reg) -> Reg:
+        return self.binop(Opcode.FPOW, a, b)
+
+    def sitofp(self, a: Reg) -> Reg:
+        self._check(a.ty is I64, "sitofp requires i64")
+        dest = self._res(F64)
+        self.emit(Instr(Opcode.SITOFP, dest, (a,)))
+        return dest
+
+    def fptosi(self, a: Reg) -> Reg:
+        self._check(a.ty is F64, "fptosi requires f64")
+        dest = self._res(I64)
+        self.emit(Instr(Opcode.FPTOSI, dest, (a,)))
+        return dest
+
+    def coerce(self, a: Reg, ty: ScalarType) -> Reg:
+        """Insert a conversion if needed so ``a`` has scalar type ``ty``."""
+        if a.ty is ty:
+            return a
+        if a.ty is I64 and ty is F64:
+            return self.sitofp(a)
+        if a.ty is F64 and ty is I64:
+            return self.fptosi(a)
+        raise IRError(f"cannot coerce {a.ty} to {ty}")
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def load(self, addr: Reg, mty: MemType, offset: int = 0) -> Reg:
+        self._check(addr.ty is I64, "load address must be i64")
+        dest = self._res(mty.reg_ty)
+        self.emit(Instr(Opcode.LOAD, dest, (addr,), mty=mty, offset=offset))
+        return dest
+
+    def store(self, addr: Reg, value: Reg, mty: MemType, offset: int = 0) -> None:
+        self._check(addr.ty is I64, "store address must be i64")
+        self._check(
+            value.ty is mty.reg_ty,
+            f"store of {value.ty} into {mty.label} slot",
+        )
+        self.emit(Instr(Opcode.STORE, None, (addr, value), mty=mty, offset=offset))
+
+    def atomic_add(self, addr: Reg, value: Reg, mty: MemType) -> Reg:
+        self._check(addr.ty is I64, "atomic address must be i64")
+        self._check(value.ty is mty.reg_ty, "atomic operand type mismatch")
+        dest = self._res(mty.reg_ty)
+        self.emit(Instr(Opcode.ATOMIC_ADD, dest, (addr, value), mty=mty))
+        return dest
+
+    def atomic_max(self, addr: Reg, value: Reg, mty: MemType) -> Reg:
+        self._check(addr.ty is I64, "atomic address must be i64")
+        self._check(value.ty is mty.reg_ty, "atomic operand type mismatch")
+        dest = self._res(mty.reg_ty)
+        self.emit(Instr(Opcode.ATOMIC_MAX, dest, (addr, value), mty=mty))
+        return dest
+
+    def gaddr(self, sym: str) -> Reg:
+        dest = self._res(I64)
+        self.emit(Instr(Opcode.GADDR, dest, sym=sym))
+        return dest
+
+    def salloc(self, nbytes: int) -> Reg:
+        self._check(nbytes > 0, "salloc size must be positive")
+        dest = self._res(I64)
+        self.emit(Instr(Opcode.SALLOC, dest, imm=int(nbytes)))
+        return dest
+
+    def memcpy(self, dst: Reg, src: Reg, nbytes: Reg) -> None:
+        self._check(
+            dst.ty is I64 and src.ty is I64 and nbytes.ty is I64,
+            "memcpy operands must be i64",
+        )
+        self.emit(Instr(Opcode.MEMCPY, None, (dst, src, nbytes)))
+
+    def memset(self, dst: Reg, byte: Reg, nbytes: Reg) -> None:
+        self._check(
+            dst.ty is I64 and byte.ty is I64 and nbytes.ty is I64,
+            "memset operands must be i64",
+        )
+        self.emit(Instr(Opcode.MEMSET, None, (dst, byte, nbytes)))
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    def br(self, target: Block) -> None:
+        self.emit(Instr(Opcode.BR, targets=(target.label,)))
+
+    def cbr(self, cond: Reg, then_block: Block, else_block: Block) -> None:
+        self._check(cond.ty is I64, "branch condition must be i64")
+        self.emit(Instr(Opcode.CBR, args=(cond,), targets=(then_block.label, else_block.label)))
+
+    def ret(self) -> None:
+        self.emit(Instr(Opcode.RET))
+
+    def retval(self, value: Reg) -> None:
+        self._check(
+            self.fn.ret_ty is value.ty,
+            f"returning {value.ty} from function declared {self.fn.ret_ty}",
+        )
+        self.emit(Instr(Opcode.RETVAL, args=(value,)))
+
+    def call(self, callee: str, args: Sequence[Reg], ret_ty: ScalarType) -> Reg | None:
+        dest = None if ret_ty is ScalarType.VOID else self._res(ret_ty)
+        self.emit(Instr(Opcode.CALL, dest, tuple(args), callee=callee))
+        return dest
+
+    def trap(self, message: str) -> None:
+        self.emit(Instr(Opcode.TRAP, sym=message))
+
+    # ------------------------------------------------------------------
+    # GPU intrinsics
+    # ------------------------------------------------------------------
+    def _nullary_i(self, op: Opcode) -> Reg:
+        dest = self._res(I64)
+        self.emit(Instr(op, dest))
+        return dest
+
+    def tid(self) -> Reg:
+        return self._nullary_i(Opcode.TID)
+
+    def ntid(self) -> Reg:
+        return self._nullary_i(Opcode.NTID)
+
+    def ctaid(self) -> Reg:
+        return self._nullary_i(Opcode.CTAID)
+
+    def nctaid(self) -> Reg:
+        return self._nullary_i(Opcode.NCTAID)
+
+    def laneid(self) -> Reg:
+        return self._nullary_i(Opcode.LANEID)
+
+    def instance(self) -> Reg:
+        return self._nullary_i(Opcode.INSTANCE)
+
+    def barrier(self) -> None:
+        self.emit(Instr(Opcode.BARRIER))
+
+    def par_begin(self) -> None:
+        self.emit(Instr(Opcode.PAR_BEGIN))
+
+    def par_end(self) -> None:
+        self.emit(Instr(Opcode.PAR_END))
+
+    def shfl_down(self, value: Reg, delta: Reg) -> Reg:
+        self._check(delta.ty is I64, "shuffle delta must be i64")
+        dest = self._res(value.ty)
+        self.emit(Instr(Opcode.SHFL_DOWN, dest, (value, delta)))
+        return dest
+
+    def shfl_idx(self, value: Reg, lane: Reg) -> Reg:
+        self._check(lane.ty is I64, "shuffle lane must be i64")
+        dest = self._res(value.ty)
+        self.emit(Instr(Opcode.SHFL_IDX, dest, (value, lane)))
+        return dest
+
+    def reduce(self, op: Opcode, value: Reg) -> Reg:
+        self._check(
+            op in (Opcode.RED_ADD, Opcode.RED_MAX, Opcode.RED_MIN),
+            f"{op.name} is not a reduction",
+        )
+        dest = self._res(value.ty)
+        self.emit(Instr(op, dest, (value,)))
+        return dest
+
+    # ------------------------------------------------------------------
+    # host interaction
+    # ------------------------------------------------------------------
+    def rpc(self, service: str, args: Sequence[Reg], ret_ty: ScalarType) -> Reg | None:
+        dest = None if ret_ty is ScalarType.VOID else self._res(ret_ty)
+        self.emit(Instr(Opcode.RPC, dest, tuple(args), service=service))
+        return dest
+
+    def kparam(self, index: int, ty: ScalarType = I64) -> Reg:
+        dest = self._res(ty)
+        self.emit(Instr(Opcode.KPARAM, dest, imm=int(index)))
+        return dest

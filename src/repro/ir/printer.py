@@ -1,0 +1,73 @@
+"""Textual dump of IR modules/functions (for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.module import Function, Module
+from repro.ir.types import Reg
+
+
+def _operand(a) -> str:
+    if isinstance(a, Reg):
+        return repr(a)
+    return repr(a)
+
+
+def format_instr(instr: Instr) -> str:
+    """One-line textual form of an instruction."""
+    parts: list[str] = []
+    if instr.dest is not None:
+        parts.append(f"{instr.dest!r} =")
+    parts.append(instr.op.name.lower())
+    if instr.mty is not None:
+        parts.append(f".{instr.mty.label}")
+    if instr.args:
+        parts.append(", ".join(_operand(a) for a in instr.args))
+    if instr.op in (Opcode.LOAD, Opcode.STORE) and instr.offset:
+        parts.append(f"+{instr.offset}")
+    if instr.imm is not None:
+        parts.append(f"#{instr.imm}")
+    if instr.sym is not None:
+        parts.append(f"@{instr.sym}")
+    if instr.callee is not None:
+        parts.append(f"@{instr.callee}")
+    if instr.service is not None:
+        parts.append(f"${instr.service}")
+    if instr.targets:
+        parts.append("-> " + ", ".join(instr.targets))
+    return " ".join(parts)
+
+
+def print_function(fn: Function) -> str:
+    """Textual dump of a function (header, attributes, blocks)."""
+    attrs = []
+    if fn.is_kernel:
+        attrs.append("kernel")
+    if fn.declare_target:
+        attrs.append("declare_target")
+    if fn.nohost:
+        attrs.append("nohost")
+    attr_str = f" [{' '.join(attrs)}]" if attrs else ""
+    params = ", ".join(f"{n}: {t}" for n, t in fn.params)
+    lines = [f"func @{fn.name}({params}) -> {fn.ret_ty}{attr_str} {{"]
+    for block in fn.iter_blocks():
+        lines.append(f"{block.label}:")
+        for instr in block.instrs:
+            lines.append(f"  {format_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Textual dump of a whole module (externs, globals, functions)."""
+    lines = [f"module @{module.name}"]
+    for name in sorted(module.extern_host):
+        lines.append(f"extern_host @{name}")
+    for g in module.globals.values():
+        tl = " team_local" if g.team_local else ""
+        const = " const" if g.constant else ""
+        lines.append(f"global @{g.name}: {g.mty.label} x {g.count}{tl}{const}")
+    for fn in module.functions.values():
+        lines.append("")
+        lines.append(print_function(fn))
+    return "\n".join(lines)

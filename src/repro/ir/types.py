@@ -1,0 +1,71 @@
+"""Scalar and memory types of the device IR."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ScalarType(enum.Enum):
+    """Register types.  Pointers are I64 byte addresses."""
+
+    I64 = "i64"
+    F64 = "f64"
+    VOID = "void"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_int(self) -> bool:
+        return self is ScalarType.I64
+
+    @property
+    def is_float(self) -> bool:
+        return self is ScalarType.F64
+
+
+I64 = ScalarType.I64
+F64 = ScalarType.F64
+VOID = ScalarType.VOID
+
+
+class MemType(enum.Enum):
+    """Element types for loads/stores (byte-addressed, little-endian)."""
+
+    I8 = ("i8", 1, ScalarType.I64)
+    I32 = ("i32", 4, ScalarType.I64)
+    I64 = ("i64", 8, ScalarType.I64)
+    F32 = ("f32", 4, ScalarType.F64)
+    F64 = ("f64", 8, ScalarType.F64)
+
+    def __init__(self, label: str, size: int, reg_ty: ScalarType):
+        self.label = label
+        self.size = size
+        self.reg_ty = reg_ty
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+    @classmethod
+    def from_label(cls, label: str) -> "MemType":
+        for m in cls:
+            if m.label == label:
+                return m
+        raise KeyError(f"unknown memory type {label!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A typed virtual register.
+
+    Registers are function-local; ``id`` is unique within the function that
+    created them (via :class:`~repro.ir.builder.IRBuilder`).
+    """
+
+    id: int
+    ty: ScalarType
+
+    def __repr__(self) -> str:
+        prefix = "f" if self.ty is ScalarType.F64 else "r"
+        return f"%{prefix}{self.id}"

@@ -1,0 +1,231 @@
+"""Structural verifier for the device IR.
+
+Checks, per function:
+
+* every block ends in exactly one terminator (and only at the end),
+* all branch targets exist,
+* register operand types match the opcode's contract,
+* ``retval``/``ret`` agree with the declared return type,
+* parallel-region markers are balanced on every path (conservatively: the
+  function-wide count matches and no ``par_begin`` nests),
+* ``kparam`` indices are non-negative.
+
+Per module:
+
+* call sites reference defined device functions or declared host externs,
+* ``gaddr`` symbols resolve to globals,
+* kernels do not take the VOID return type with RETVAL etc.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerifierError
+from repro.ir.instructions import (
+    Instr,
+    Opcode,
+    fcmp_ops,
+    float_binops,
+    icmp_ops,
+    int_binops,
+    math_unops,
+)
+from repro.ir.module import Function, Module
+from repro.ir.types import F64, I64, Reg, ScalarType
+
+_INT_BIN = int_binops()
+_FLT_BIN = float_binops()
+_MATH_UN = math_unops()
+_ICMP = icmp_ops()
+_FCMP = fcmp_ops()
+
+
+def _fail(fn: Function, msg: str) -> None:
+    raise VerifierError(f"in function {fn.name!r}: {msg}")
+
+
+def _check_operand_types(fn: Function, instr: Instr) -> None:
+    op = instr.op
+    regs = [a for a in instr.args if isinstance(a, Reg)]
+
+    def want(n: int) -> None:
+        if len(regs) != n:
+            _fail(fn, f"{op.name} expects {n} register operands, got {len(regs)}")
+
+    if op in _INT_BIN or op in _ICMP:
+        want(2)
+        if not (regs[0].ty is I64 and regs[1].ty is I64):
+            _fail(fn, f"{op.name} requires i64 operands")
+    elif op in _FLT_BIN or op in _FCMP:
+        want(2)
+        if not (regs[0].ty is F64 and regs[1].ty is F64):
+            _fail(fn, f"{op.name} requires f64 operands")
+    elif op in _MATH_UN or op is Opcode.FNEG:
+        want(1)
+        if regs[0].ty is not F64:
+            _fail(fn, f"{op.name} requires an f64 operand")
+    elif op in (Opcode.INEG, Opcode.BNOT):
+        want(1)
+        if regs[0].ty is not I64:
+            _fail(fn, f"{op.name} requires an i64 operand")
+    elif op is Opcode.SITOFP:
+        want(1)
+        if regs[0].ty is not I64:
+            _fail(fn, "sitofp requires i64")
+    elif op is Opcode.FPTOSI:
+        want(1)
+        if regs[0].ty is not F64:
+            _fail(fn, "fptosi requires f64")
+    elif op is Opcode.LOAD:
+        want(1)
+        if regs[0].ty is not I64:
+            _fail(fn, "load address must be i64")
+        if instr.mty is None:
+            _fail(fn, "load missing memory type")
+        if instr.dest is None or instr.dest.ty is not instr.mty.reg_ty:
+            _fail(fn, "load destination type mismatch")
+    elif op is Opcode.STORE:
+        want(2)
+        if regs[0].ty is not I64:
+            _fail(fn, "store address must be i64")
+        if instr.mty is None:
+            _fail(fn, "store missing memory type")
+        if regs[1].ty is not instr.mty.reg_ty:
+            _fail(fn, "store value type mismatch")
+    elif op in (Opcode.ATOMIC_ADD, Opcode.ATOMIC_MAX):
+        want(2)
+        if instr.mty is None:
+            _fail(fn, f"{op.name} missing memory type")
+        if regs[0].ty is not I64 or regs[1].ty is not instr.mty.reg_ty:
+            _fail(fn, f"{op.name} operand type mismatch")
+    elif op is Opcode.SELECT:
+        want(3)
+        if regs[0].ty is not I64:
+            _fail(fn, "select condition must be i64")
+        if regs[1].ty is not regs[2].ty:
+            _fail(fn, "select arms must match")
+        if instr.dest is None or instr.dest.ty is not regs[1].ty:
+            _fail(fn, "select destination type mismatch")
+    elif op is Opcode.MOV:
+        want(1)
+        if instr.dest is None or instr.dest.ty is not regs[0].ty:
+            _fail(fn, "mov type mismatch")
+    elif op is Opcode.MOVI:
+        if instr.dest is None or instr.dest.ty is not I64 or not isinstance(instr.imm, int):
+            _fail(fn, "movi must write an int immediate to an i64 register")
+    elif op is Opcode.MOVF:
+        if instr.dest is None or instr.dest.ty is not F64 or not isinstance(instr.imm, float):
+            _fail(fn, "movf must write a float immediate to an f64 register")
+    elif op is Opcode.CBR:
+        want(1)
+        if regs[0].ty is not I64:
+            _fail(fn, "cbr condition must be i64")
+        if len(instr.targets) != 2:
+            _fail(fn, "cbr needs two targets")
+    elif op is Opcode.BR:
+        if len(instr.targets) != 1:
+            _fail(fn, "br needs one target")
+    elif op is Opcode.RETVAL:
+        want(1)
+        if fn.ret_ty is ScalarType.VOID:
+            _fail(fn, "retval in a void function")
+        if regs[0].ty is not fn.ret_ty:
+            _fail(fn, f"retval type {regs[0].ty} != declared {fn.ret_ty}")
+    elif op is Opcode.RET:
+        if fn.ret_ty is not ScalarType.VOID and not fn.is_kernel:
+            _fail(fn, "ret (void) in a non-void function")
+    elif op is Opcode.GADDR:
+        if instr.sym is None:
+            _fail(fn, "gaddr missing symbol")
+        if instr.dest is None or instr.dest.ty is not I64:
+            _fail(fn, "gaddr destination must be i64")
+    elif op is Opcode.SALLOC:
+        if not isinstance(instr.imm, int) or instr.imm <= 0:
+            _fail(fn, "salloc needs a positive byte-count immediate")
+    elif op is Opcode.KPARAM:
+        if not isinstance(instr.imm, int) or instr.imm < 0:
+            _fail(fn, "kparam needs a non-negative index immediate")
+    elif op is Opcode.CALL:
+        if instr.callee is None:
+            _fail(fn, "call missing callee")
+    elif op is Opcode.RPC:
+        if instr.service is None:
+            _fail(fn, "rpc missing service name")
+    elif op in (Opcode.RED_ADD, Opcode.RED_MAX, Opcode.RED_MIN):
+        want(1)
+        if instr.dest is None or instr.dest.ty is not regs[0].ty:
+            _fail(fn, f"{op.name} destination type mismatch")
+    elif op in (Opcode.MEMCPY, Opcode.MEMSET):
+        want(3)
+        if any(r.ty is not I64 for r in regs):
+            _fail(fn, f"{op.name} operands must be i64")
+    elif op in (Opcode.SHFL_DOWN, Opcode.SHFL_IDX):
+        want(2)
+        if regs[1].ty is not I64:
+            _fail(fn, f"{op.name} lane/delta operand must be i64")
+        if instr.dest is None or instr.dest.ty is not regs[0].ty:
+            _fail(fn, f"{op.name} destination must match the value type")
+
+
+def verify_function(fn: Function) -> None:
+    """Raise :class:`~repro.errors.VerifierError` if ``fn`` is malformed."""
+    if not fn.block_order:
+        _fail(fn, "no blocks")
+    par_depth_delta = 0
+    for block in fn.iter_blocks():
+        if not block.instrs:
+            _fail(fn, f"block {block.label!r} is empty")
+        for i, instr in enumerate(block.instrs):
+            last = i == len(block.instrs) - 1
+            if instr.is_terminator and not last:
+                _fail(fn, f"terminator {instr.op.name} mid-block in {block.label!r}")
+            if last and not instr.is_terminator:
+                _fail(fn, f"block {block.label!r} lacks a terminator")
+            for target in instr.targets:
+                if target not in fn.blocks:
+                    _fail(fn, f"branch to unknown block {target!r}")
+            if instr.op is Opcode.PAR_BEGIN:
+                par_depth_delta += 1
+            elif instr.op is Opcode.PAR_END:
+                par_depth_delta -= 1
+            _check_operand_types(fn, instr)
+    if par_depth_delta != 0:
+        _fail(fn, "unbalanced par_begin/par_end")
+    # params must be registers 0..n-1
+    for i, reg in enumerate(fn.param_regs):
+        if reg.id != i:
+            _fail(fn, "parameter registers must be the first registers")
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function plus cross-function/global references."""
+    for fn in module.functions.values():
+        verify_function(fn)
+        for instr in fn.iter_instrs():
+            if instr.op is Opcode.GADDR and instr.sym not in module.globals:
+                _fail(fn, f"gaddr of undefined global {instr.sym!r}")
+            if instr.op is Opcode.CALL:
+                callee = instr.callee
+                if callee in module.functions:
+                    target = module.functions[callee]
+                    nparams = len(target.params)
+                    if len(instr.args) != nparams:
+                        _fail(
+                            fn,
+                            f"call to {callee!r} with {len(instr.args)} args, "
+                            f"expected {nparams}",
+                        )
+                    for arg, (pname, pty) in zip(instr.args, target.params):
+                        if isinstance(arg, Reg) and arg.ty is not pty:
+                            _fail(
+                                fn,
+                                f"call to {callee!r}: arg {pname!r} has type "
+                                f"{arg.ty}, expected {pty}",
+                            )
+                    want = target.ret_ty
+                    have = ScalarType.VOID if instr.dest is None else instr.dest.ty
+                    if want is not ScalarType.VOID and have is not want:
+                        _fail(fn, f"call to {callee!r} result type mismatch")
+                elif callee in module.extern_host:
+                    pass  # legal until RPC lowering runs; checked by pipeline
+                else:
+                    _fail(fn, f"call to undefined symbol {callee!r}")

@@ -1,0 +1,148 @@
+"""Local constant folding and algebraic simplification.
+
+The IR is not SSA (assignment reuses a variable's home register), so
+constant knowledge is tracked **within a basic block only** and a register's
+constant binding dies as soon as the register is redefined.  This keeps the
+pass trivially sound while still cleaning up the address arithmetic and
+literal chains the frontend emits.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.module import Function, Module
+from repro.ir.types import Reg
+
+_INT_FOLD = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: _wrap64(a << (b & 63)),
+    Opcode.ASHR: lambda a, b: a >> (b & 63),
+    Opcode.IMIN: min,
+    Opcode.IMAX: max,
+    Opcode.ICMP_EQ: lambda a, b: int(a == b),
+    Opcode.ICMP_NE: lambda a, b: int(a != b),
+    Opcode.ICMP_SLT: lambda a, b: int(a < b),
+    Opcode.ICMP_SLE: lambda a, b: int(a <= b),
+    Opcode.ICMP_SGT: lambda a, b: int(a > b),
+    Opcode.ICMP_SGE: lambda a, b: int(a >= b),
+}
+
+_FLT_FOLD = {
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FMIN: min,
+    Opcode.FMAX: max,
+}
+
+_FLT_UN = {
+    Opcode.SQRT: math.sqrt,
+    Opcode.FABS: abs,
+    Opcode.FLOOR: math.floor,
+    Opcode.CEIL: math.ceil,
+    Opcode.FNEG: lambda x: -x,
+}
+
+
+def _wrap64(x: int) -> int:
+    x &= (1 << 64) - 1
+    return x - (1 << 64) if x >= (1 << 63) else x
+
+
+def constfold_pass(module: Module) -> None:
+    """Fold block-local constants and algebraic identities in every function."""
+    for fn in module.functions.values():
+        _fold_function(fn)
+
+
+def _fold_function(fn: Function) -> None:
+    for block in fn.iter_blocks():
+        consts: dict[int, int | float] = {}
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            instr = _try_fold(instr, consts)
+            # register redefinition invalidates its old binding
+            if instr.dest is not None:
+                consts.pop(instr.dest.id, None)
+            if instr.op is Opcode.MOVI:
+                consts[instr.dest.id] = int(instr.imm)
+            elif instr.op is Opcode.MOVF:
+                consts[instr.dest.id] = float(instr.imm)
+            elif instr.op is Opcode.MOV and isinstance(instr.args[0], Reg):
+                src = instr.args[0].id
+                if src in consts:
+                    consts[instr.dest.id] = consts[src]
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+
+
+def _try_fold(instr: Instr, consts: dict[int, int | float]) -> Instr:
+    def const_of(a) -> int | float | None:
+        if isinstance(a, Reg):
+            return consts.get(a.id)
+        return None
+
+    op = instr.op
+    if op in _INT_FOLD and len(instr.args) == 2:
+        a, b = (const_of(x) for x in instr.args)
+        if a is not None and b is not None:
+            return Instr(Opcode.MOVI, instr.dest, imm=_wrap64(int(_INT_FOLD[op](a, b))))
+        # algebraic identities
+        if op is Opcode.ADD and b == 0:
+            return Instr(Opcode.MOV, instr.dest, (instr.args[0],))
+        if op is Opcode.ADD and a == 0:
+            return Instr(Opcode.MOV, instr.dest, (instr.args[1],))
+        if op is Opcode.MUL and b == 1:
+            return Instr(Opcode.MOV, instr.dest, (instr.args[0],))
+        if op is Opcode.MUL and a == 1:
+            return Instr(Opcode.MOV, instr.dest, (instr.args[1],))
+        if op is Opcode.MUL and (a == 0 or b == 0):
+            return Instr(Opcode.MOVI, instr.dest, imm=0)
+        if op is Opcode.SUB and b == 0:
+            return Instr(Opcode.MOV, instr.dest, (instr.args[0],))
+    elif op in (Opcode.SDIV, Opcode.SREM) and len(instr.args) == 2:
+        a, b = (const_of(x) for x in instr.args)
+        if a is not None and b not in (None, 0):
+            if op is Opcode.SDIV:
+                val = int(math.trunc(a / b))  # C-style truncating division
+            else:
+                val = int(a - int(math.trunc(a / b)) * b)
+            return Instr(Opcode.MOVI, instr.dest, imm=_wrap64(val))
+        if op is Opcode.SDIV and b == 1:
+            return Instr(Opcode.MOV, instr.dest, (instr.args[0],))
+    elif op in _FLT_FOLD and len(instr.args) == 2:
+        a, b = (const_of(x) for x in instr.args)
+        if a is not None and b is not None:
+            return Instr(Opcode.MOVF, instr.dest, imm=float(_FLT_FOLD[op](a, b)))
+    elif op is Opcode.FDIV and len(instr.args) == 2:
+        a, b = (const_of(x) for x in instr.args)
+        if a is not None and b is not None and b != 0:
+            return Instr(Opcode.MOVF, instr.dest, imm=float(a) / float(b))
+    elif op in _FLT_UN and len(instr.args) == 1:
+        a = const_of(instr.args[0])
+        if a is not None:
+            try:
+                return Instr(Opcode.MOVF, instr.dest, imm=float(_FLT_UN[op](a)))
+            except (ValueError, OverflowError):
+                pass
+    elif op is Opcode.SITOFP:
+        a = const_of(instr.args[0])
+        if a is not None:
+            return Instr(Opcode.MOVF, instr.dest, imm=float(a))
+    elif op is Opcode.FPTOSI:
+        a = const_of(instr.args[0])
+        if a is not None:
+            return Instr(Opcode.MOVI, instr.dest, imm=int(a))
+    elif op is Opcode.SELECT:
+        c = const_of(instr.args[0])
+        if c is not None:
+            chosen = instr.args[1] if c else instr.args[2]
+            return Instr(Opcode.MOV, instr.dest, (chosen,))
+    return instr

@@ -1,0 +1,107 @@
+"""Dead code elimination.
+
+Removes side-effect-free instructions whose destination register is never
+read anywhere in the function.  Because the IR is non-SSA (registers are
+reassigned), "never read anywhere" is the only sound criterion without a
+liveness analysis — still enough to sweep the temporaries that inlining and
+constant folding leave behind.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, Module
+from repro.ir.types import Reg
+
+#: Pure value-producing opcodes that may be dropped when their result is dead.
+_REMOVABLE = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.ASHR,
+        Opcode.IMIN,
+        Opcode.IMAX,
+        Opcode.INEG,
+        Opcode.BNOT,
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FMUL,
+        Opcode.FDIV,
+        Opcode.FMIN,
+        Opcode.FMAX,
+        Opcode.FNEG,
+        Opcode.SQRT,
+        Opcode.EXP,
+        Opcode.LOG,
+        Opcode.SIN,
+        Opcode.COS,
+        Opcode.TAN,
+        Opcode.FABS,
+        Opcode.FLOOR,
+        Opcode.CEIL,
+        Opcode.FPOW,
+        Opcode.ICMP_EQ,
+        Opcode.ICMP_NE,
+        Opcode.ICMP_SLT,
+        Opcode.ICMP_SLE,
+        Opcode.ICMP_SGT,
+        Opcode.ICMP_SGE,
+        Opcode.FCMP_EQ,
+        Opcode.FCMP_NE,
+        Opcode.FCMP_LT,
+        Opcode.FCMP_LE,
+        Opcode.FCMP_GT,
+        Opcode.FCMP_GE,
+        Opcode.SITOFP,
+        Opcode.FPTOSI,
+        Opcode.MOVI,
+        Opcode.MOVF,
+        Opcode.MOV,
+        Opcode.SELECT,
+        Opcode.GADDR,
+        Opcode.TID,
+        Opcode.NTID,
+        Opcode.CTAID,
+        Opcode.NCTAID,
+        Opcode.LANEID,
+        Opcode.INSTANCE,
+        Opcode.KPARAM,
+        Opcode.SHFL_DOWN,
+        Opcode.SHFL_IDX,
+        Opcode.LOAD,  # loads trap only on faults; dead loads may be elided
+    }
+)
+
+
+def dce_pass(module: Module) -> None:
+    """Remove side-effect-free instructions whose results are never read."""
+    for fn in module.functions.values():
+        _dce_function(fn)
+
+
+def _dce_function(fn: Function) -> None:
+    changed = True
+    while changed:
+        changed = False
+        read: set[int] = set()
+        for instr in fn.iter_instrs():
+            for a in instr.args:
+                if isinstance(a, Reg):
+                    read.add(a.id)
+        for block in fn.iter_blocks():
+            kept = []
+            for instr in block.instrs:
+                if (
+                    instr.op in _REMOVABLE
+                    and instr.dest is not None
+                    and instr.dest.id not in read
+                ):
+                    changed = True
+                    continue
+                kept.append(instr)
+            block.instrs = kept

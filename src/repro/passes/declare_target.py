@@ -1,0 +1,25 @@
+"""Declare-target marking pass.
+
+Mirrors the user wrapper header of the paper (Figure 3): every user function
+is treated as if it were enclosed in
+
+.. code-block:: c
+
+    #pragma omp begin declare target device_type(nohost)
+
+i.e. it becomes device code with no host fallback version.  Downstream
+stages refuse to "run on the host" anything that is not marked, so this pass
+is the formal entry gate of the direct-compilation scheme.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+
+
+def declare_target_pass(module: Module) -> None:
+    """Mark every function declare-target + nohost."""
+    for fn in module.functions.values():
+        fn.declare_target = True
+        fn.nohost = True
+    module.metadata["declare_target"] = True

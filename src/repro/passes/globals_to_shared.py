@@ -1,0 +1,68 @@
+"""Globals-to-team-local transformation (§3.3 mitigation).
+
+Running multiple application instances inside one kernel launch breaks the
+process-level isolation instances would normally enjoy: *mutable* module
+globals become shared between instances and can race.  The paper proposes
+relocating such globals to GPU shared memory, which is team-local.
+
+This pass marks every mutable global (or an explicit subset) ``team_local``;
+the machine then materializes one private copy per team, re-initialized at
+launch, and resolves ``gaddr`` per-team.  Constant globals (lookup tables,
+interned strings) stay truly global — they are read-only and sharing them is
+both safe and what real shared memory capacity would force anyway.
+
+The pass reports globals that exceed the per-block shared-memory budget, the
+practical limit the paper's future-work discussion would hit on real
+hardware.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PassError
+from repro.ir.module import Module
+
+
+def globals_to_shared_pass(
+    module: Module,
+    names: list[str] | None = None,
+    *,
+    shared_mem_budget: int | None = None,
+) -> list[str]:
+    """Mark mutable globals team-local; returns the list of relocated names.
+
+    Parameters
+    ----------
+    names:
+        Explicit globals to relocate; default: every non-constant global.
+    shared_mem_budget:
+        Optional per-team byte budget (e.g. ``DeviceConfig.shared_mem_per_block``);
+        exceeding it is an error, mirroring real shared-memory capacity.
+    """
+    if names is None:
+        # "__"-prefixed globals belong to the runtime (device heap cursor,
+        # interned strings); relocating those per-team would break malloc.
+        targets = [
+            g.name
+            for g in module.globals.values()
+            if not g.constant and not g.name.startswith("__")
+        ]
+    else:
+        targets = []
+        for name in names:
+            g = module.globals.get(name)
+            if g is None:
+                raise PassError(f"globals_to_shared: unknown global {name!r}")
+            if g.constant:
+                raise PassError(f"globals_to_shared: {name!r} is constant")
+            targets.append(name)
+
+    total = sum(module.globals[n].nbytes for n in targets)
+    if shared_mem_budget is not None and total > shared_mem_budget:
+        raise PassError(
+            f"team-local globals need {total} bytes, exceeding the shared-memory "
+            f"budget of {shared_mem_budget} bytes per team"
+        )
+    for name in targets:
+        module.globals[name].team_local = True
+    module.metadata["team_local_globals"] = sorted(targets)
+    return targets

@@ -1,0 +1,160 @@
+"""Mandatory full inlining.
+
+GPU device code is traditionally aggressively inlined; our SIMT interpreter
+takes this to its logical end and only executes **call-free** kernels, so
+every ``call`` to a device-defined function must be expanded.  (``rpc``
+instructions and math opcodes survive — they are not calls at this level.)
+
+Direct recursion and mutual recursion are rejected (as on real GPU OpenMP
+offload, where unbounded recursion is unsupported in practice); an expansion
+budget guards against pathological exponential inlining.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PassError
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.module import Block, Function, Module
+from repro.ir.types import Reg
+
+#: Hard cap on call-site expansions per root function.
+MAX_EXPANSIONS = 50_000
+
+
+def inline_all_pass(module: Module, roots: list[str] | None = None) -> None:
+    """Inline every device call reachable from ``roots`` (default: kernels)."""
+    if roots is None:
+        roots = [f.name for f in module.kernels()]
+        if not roots:
+            roots = list(module.functions)
+    _check_no_recursion(module, roots)
+    for root in roots:
+        _inline_into(module, module.get_function(root))
+
+
+def _check_no_recursion(module: Module, roots: list[str]) -> None:
+    # DFS over the static call graph looking for cycles.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[str, int] = {}
+
+    def visit(name: str, stack: list[str]) -> None:
+        color[name] = GRAY
+        stack.append(name)
+        fn = module.functions.get(name)
+        if fn is not None:
+            for callee in sorted(fn.called_symbols()):
+                if callee not in module.functions:
+                    continue
+                c = color.get(callee, WHITE)
+                if c == GRAY:
+                    cycle = " -> ".join(stack[stack.index(callee):] + [callee])
+                    raise PassError(f"recursive call chain cannot be inlined: {cycle}")
+                if c == WHITE:
+                    visit(callee, stack)
+        stack.pop()
+        color[name] = BLACK
+
+    for root in roots:
+        if color.get(root, WHITE) == WHITE:
+            visit(root, [])
+
+
+def _inline_into(module: Module, fn: Function) -> None:
+    expansions = 0
+    counter = 0
+    while True:
+        site = _find_call_site(module, fn)
+        if site is None:
+            return
+        block_label, index, instr = site
+        expansions += 1
+        if expansions > MAX_EXPANSIONS:
+            raise PassError(f"inlining budget exceeded in {fn.name!r}")
+        counter += 1
+        _expand(module, fn, block_label, index, instr, counter)
+
+
+def _find_call_site(module: Module, fn: Function) -> tuple[str, int, Instr] | None:
+    for label in fn.block_order:
+        block = fn.blocks[label]
+        for i, instr in enumerate(block.instrs):
+            if instr.op is Opcode.CALL and instr.callee in module.functions:
+                return label, i, instr
+    return None
+
+
+def _expand(
+    module: Module,
+    caller: Function,
+    block_label: str,
+    index: int,
+    call: Instr,
+    counter: int,
+) -> None:
+    callee = module.get_function(call.callee)
+    prefix = f"inl{counter}.{callee.name}"
+
+    # Split the call block: head keeps [0, index), a fresh continuation block
+    # receives the tail [index+1, ...] including the original terminator.
+    head = caller.blocks[block_label]
+    tail_instrs = head.instrs[index + 1 :]
+    head.instrs = head.instrs[:index]
+
+    cont = Block(f"{prefix}.cont")
+    cont.instrs = tail_instrs
+    caller.blocks[cont.label] = cont
+
+    # Clone callee bodies with remapped registers and labels.
+    reg_map: dict[int, Reg] = {}
+
+    def map_reg(r: Reg) -> Reg:
+        got = reg_map.get(r.id)
+        if got is None:
+            got = caller.new_reg(r.ty)
+            reg_map[r.id] = got
+        return got
+
+    label_map = {lbl: f"{prefix}.{lbl}" for lbl in callee.block_order}
+
+    # Bind arguments: fresh registers standing for the callee's parameters.
+    for param_reg, arg in zip(callee.param_regs, call.args):
+        dst = map_reg(param_reg)
+        head.instrs.append(Instr(Opcode.MOV, dst, (arg,)))
+    head.instrs.append(Instr(Opcode.BR, targets=(label_map[callee.block_order[0]],)))
+
+    new_labels: list[str] = []
+    for lbl in callee.block_order:
+        src = callee.blocks[lbl]
+        nb = Block(label_map[lbl])
+        for instr in src.instrs:
+            ni = instr.copy()
+            ni.args = tuple(map_reg(a) if isinstance(a, Reg) else a for a in ni.args)
+            if ni.dest is not None:
+                ni.dest = map_reg(ni.dest)
+            if ni.targets:
+                ni.targets = tuple(label_map[t] for t in ni.targets)
+            if ni.op is Opcode.RET:
+                ni = Instr(Opcode.BR, targets=(cont.label,))
+            elif ni.op is Opcode.RETVAL:
+                value = ni.args[0]
+                nb.instrs.extend(
+                    [
+                        Instr(Opcode.MOV, call.dest, (value,))
+                        if call.dest is not None
+                        else Instr(Opcode.MOV, caller.new_reg(value.ty), (value,)),
+                        Instr(Opcode.BR, targets=(cont.label,)),
+                    ]
+                )
+                continue
+            nb.instrs.append(ni)
+        caller.blocks[nb.label] = nb
+        new_labels.append(nb.label)
+
+    # Keep block order: ... head, [callee clones], cont, rest ...
+    pos = caller.block_order.index(block_label)
+    caller.block_order = (
+        caller.block_order[: pos + 1]
+        + new_labels
+        + [cont.label]
+        + caller.block_order[pos + 1 :]
+    )

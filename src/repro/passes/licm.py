@@ -1,0 +1,261 @@
+"""Loop-invariant code motion.
+
+Hoists pure, non-trapping instructions whose operands do not change inside
+a loop into a freshly created preheader.  Because the IR is not SSA, the
+pass restricts itself to **single-definition registers** (registers written
+exactly once in the whole function — the frontend's expression temporaries
+all qualify), which makes hoisting trivially sound: the hoisted instruction
+computes the same value it would have computed on every iteration, and no
+other definition can be clobbered.
+
+This matters beyond compiler hygiene: address computations like
+``gaddr @table`` + constant scaling are emitted inside loop bodies by the
+frontend, and every hoisted instruction is one fewer dynamic instruction
+per loop iteration for the SIMT interpreter *and* for the modeled issue
+cycles — like the real toolchain, optimization affects measured kernel
+time.
+
+Pipeline position: after full inlining, before/interleaved with constant
+folding and DCE (see :func:`repro.passes.pipeline.finalize_executable`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.module import Block, Function, Module
+from repro.ir.types import Reg
+
+#: Pure opcodes that can never trap and have no side effects.
+_HOISTABLE = frozenset(
+    {
+        Opcode.MOVI,
+        Opcode.MOVF,
+        Opcode.MOV,
+        Opcode.GADDR,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.ASHR,
+        Opcode.IMIN,
+        Opcode.IMAX,
+        Opcode.INEG,
+        Opcode.BNOT,
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FMUL,
+        Opcode.FDIV,  # IEEE: x/0 -> inf, no trap
+        Opcode.FMIN,
+        Opcode.FMAX,
+        Opcode.FNEG,
+        Opcode.FPOW,
+        Opcode.SQRT,
+        Opcode.EXP,
+        Opcode.LOG,
+        Opcode.SIN,
+        Opcode.COS,
+        Opcode.TAN,
+        Opcode.FABS,
+        Opcode.FLOOR,
+        Opcode.CEIL,
+        Opcode.SITOFP,
+        Opcode.ICMP_EQ,
+        Opcode.ICMP_NE,
+        Opcode.ICMP_SLT,
+        Opcode.ICMP_SLE,
+        Opcode.ICMP_SGT,
+        Opcode.ICMP_SGE,
+        Opcode.FCMP_EQ,
+        Opcode.FCMP_NE,
+        Opcode.FCMP_LT,
+        Opcode.FCMP_LE,
+        Opcode.FCMP_GT,
+        Opcode.FCMP_GE,
+        Opcode.SELECT,
+        Opcode.KPARAM,
+        Opcode.TID,  # constant within a lane's execution
+        Opcode.NTID,
+        Opcode.CTAID,
+        Opcode.NCTAID,
+        Opcode.LANEID,
+        Opcode.INSTANCE,
+    }
+)
+
+
+def licm_pass(module: Module) -> None:
+    """Hoist loop-invariant single-definition values into loop preheaders."""
+    for fn in module.functions.values():
+        _licm_function(fn)
+
+
+# ---------------------------------------------------------------------------
+# CFG analyses
+# ---------------------------------------------------------------------------
+
+
+def _predecessors(fn: Function) -> dict[str, list[str]]:
+    preds: dict[str, list[str]] = {lbl: [] for lbl in fn.block_order}
+    for block in fn.iter_blocks():
+        for succ in block.successors():
+            preds[succ].append(block.label)
+    return preds
+
+
+def _dominators(fn: Function, preds: dict[str, list[str]]) -> dict[str, set[str]]:
+    """Iterative dataflow dominator computation (fine at our CFG sizes)."""
+    labels = fn.block_order
+    entry = labels[0]
+    all_set = set(labels)
+    dom = {lbl: set(all_set) for lbl in labels}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for lbl in labels:
+            if lbl == entry:
+                continue
+            ps = [p for p in preds[lbl] if p in dom]
+            if not ps:
+                continue
+            new = set.intersection(*(dom[p] for p in ps)) | {lbl}
+            if new != dom[lbl]:
+                dom[lbl] = new
+                changed = True
+    return dom
+
+
+def _natural_loops(
+    fn: Function, preds: dict[str, list[str]], dom: dict[str, set[str]]
+) -> dict[str, set[str]]:
+    """header -> set of body labels (merging loops sharing a header)."""
+    loops: dict[str, set[str]] = defaultdict(set)
+    for block in fn.iter_blocks():
+        for succ in block.successors():
+            if succ in dom[block.label]:  # back edge block -> succ(header)
+                body = {succ, block.label}
+                stack = [block.label]
+                while stack:
+                    cur = stack.pop()
+                    if cur == succ:
+                        continue
+                    for p in preds[cur]:
+                        if p not in body:
+                            body.add(p)
+                            stack.append(p)
+                loops[succ] |= body
+    return dict(loops)
+
+
+# ---------------------------------------------------------------------------
+# hoisting
+# ---------------------------------------------------------------------------
+
+
+def _licm_function(fn: Function) -> None:
+    if len(fn.blocks) < 2:
+        return
+    preds = _predecessors(fn)
+    dom = _dominators(fn, preds)
+    loops = _natural_loops(fn, preds, dom)
+    if not loops:
+        return
+
+    # definition counts over the whole function (single-def = SSA-like)
+    def_count: dict[int, int] = defaultdict(int)
+    for instr in fn.iter_instrs():
+        if instr.dest is not None:
+            def_count[instr.dest.id] += 1
+    for reg in fn.param_regs:
+        def_count[reg.id] += 1
+
+    # process larger (outer) loops last so inner-hoisted code can keep
+    # moving outward across runs of the pass
+    for header in sorted(loops, key=lambda h: len(loops[h])):
+        _hoist_loop(fn, header, loops[header], preds, def_count)
+        preds = _predecessors(fn)  # preheader insertion changed the CFG
+
+
+def _hoist_loop(
+    fn: Function,
+    header: str,
+    body: set[str],
+    preds: dict[str, list[str]],
+    def_count: dict[int, int],
+) -> None:
+    # registers defined anywhere in the loop
+    defined_in_loop: set[int] = set()
+    loop_has_par = False
+    for lbl in body:
+        for instr in fn.blocks[lbl].instrs:
+            if instr.dest is not None:
+                defined_in_loop.add(instr.dest.id)
+            if instr.op in (Opcode.PAR_BEGIN, Opcode.PAR_END):
+                loop_has_par = True
+
+    # A loop enclosing a parallel region: hoisting a lane-variant value
+    # (tid/laneid) above the region's par_begin would let the region-entry
+    # register broadcast clobber it with the initial thread's copy.
+    banned = {Opcode.TID, Opcode.LANEID} if loop_has_par else set()
+
+    hoisted: list[Instr] = []
+    hoisted_ids: set[int] = set()
+
+    changed = True
+    while changed:
+        changed = False
+        for lbl in sorted(body):
+            block = fn.blocks[lbl]
+            kept: list[Instr] = []
+            for instr in block.instrs:
+                if instr.op not in banned and _can_hoist(
+                    instr, defined_in_loop, hoisted_ids, def_count
+                ):
+                    hoisted.append(instr)
+                    hoisted_ids.add(instr.dest.id)
+                    changed = True
+                else:
+                    kept.append(instr)
+            block.instrs = kept
+
+    if not hoisted:
+        return
+
+    # build the preheader and retarget the loop's outside entries
+    pre = Block(f"licm.{header}")
+    pre.instrs = hoisted + [Instr(Opcode.BR, targets=(header,))]
+    fn.blocks[pre.label] = pre
+    pos = fn.block_order.index(header)
+    fn.block_order.insert(pos, pre.label)
+
+    for plbl in preds[header]:
+        if plbl in body:
+            continue  # back edges keep pointing at the header
+        term = fn.blocks[plbl].terminator
+        term.targets = tuple(
+            pre.label if t == header else t for t in term.targets
+        )
+
+
+def _can_hoist(
+    instr: Instr,
+    defined_in_loop: set[int],
+    hoisted_ids: set[int],
+    def_count: dict[int, int],
+) -> bool:
+    if instr.op not in _HOISTABLE or instr.dest is None:
+        return False
+    if def_count[instr.dest.id] != 1:
+        return False
+    for a in instr.args:
+        if isinstance(a, Reg):
+            if a.id in defined_in_loop and a.id not in hoisted_ids:
+                return False
+            if def_count[a.id] != 1:
+                return False
+    return True

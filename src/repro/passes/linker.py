@@ -1,0 +1,28 @@
+"""Module linker: merges device modules into one linkage unit."""
+
+from __future__ import annotations
+
+from repro.errors import LinkError
+from repro.ir.module import Module
+
+
+def link_modules(dst: Module, *sources: Module) -> Module:
+    """Link ``sources`` into ``dst`` (mutated and returned).
+
+    Function and global symbols must be unique across the inputs; host-extern
+    declarations merge set-wise.  A symbol that ``dst`` already defines and a
+    source also defines is a duplicate-symbol link error, mirroring a normal
+    linker.  Globals keep identity (no copying), so callers should not reuse
+    a source module after linking it somewhere.
+    """
+    for src in sources:
+        for name, fn in src.functions.items():
+            if name in dst.functions:
+                raise LinkError(f"duplicate symbol {name!r} while linking {src.name!r}")
+            dst.functions[name] = fn
+        for name, g in src.globals.items():
+            if name in dst.globals:
+                raise LinkError(f"duplicate global {name!r} while linking {src.name!r}")
+            dst.globals[name] = g
+        dst.extern_host |= src.extern_host
+    return dst

@@ -1,0 +1,46 @@
+"""Minimal pass manager: ordered module passes with optional verification."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import PassError
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+
+ModulePass = Callable[[Module], Module | None]
+
+
+class PassManager:
+    """Runs module passes in order.
+
+    A pass is a callable taking a :class:`~repro.ir.module.Module` and
+    returning either ``None`` (in-place mutation) or a replacement module.
+    With ``verify_each=True`` the IR verifier runs after every pass, which
+    pinpoints the pass that broke an invariant.
+    """
+
+    def __init__(self, *, verify_each: bool = False):
+        self.passes: list[tuple[str, ModulePass]] = []
+        self.verify_each = verify_each
+
+    def add(self, p: ModulePass, name: str | None = None) -> "PassManager":
+        self.passes.append((name or getattr(p, "__name__", "pass"), p))
+        return self
+
+    def run(self, module: Module) -> Module:
+        for name, p in self.passes:
+            try:
+                result = p(module)
+            except PassError:
+                raise
+            except Exception as exc:  # wrap for attribution
+                raise PassError(f"pass {name!r} failed: {exc}") from exc
+            if result is not None:
+                module = result
+            if self.verify_each:
+                verify_module(module)
+        return module
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PassManager {[n for n, _ in self.passes]}>"

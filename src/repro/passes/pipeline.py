@@ -1,0 +1,62 @@
+"""Canonical pass pipelines.
+
+``compile_for_device``
+    Run on the module produced by ``Program.compile()``: declare-target
+    marking, ``main`` -> ``__user_main`` renaming, RPC lowering, verify.
+    This is the moral equivalent of "clang -include wrapper.h ... -flto"
+    in the paper's Figure 2.
+
+``finalize_executable``
+    Run after a loader has linked its kernel into the module: mandatory full
+    inlining, then the optimization sweep (constant folding, DCE, CFG
+    simplification) iterated to a small fixpoint, then verification.  The
+    result is a call-free module ready for the SIMT machine.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.passes.cfg_simplify import cfg_simplify_pass
+from repro.passes.constfold import constfold_pass
+from repro.passes.dce import dce_pass
+from repro.passes.declare_target import declare_target_pass
+from repro.passes.inliner import inline_all_pass
+from repro.passes.licm import licm_pass
+from repro.passes.pass_manager import PassManager
+from repro.passes.rename_main import rename_main_pass
+from repro.passes.rpc_lowering import rpc_lowering_pass
+
+
+def compile_for_device(
+    module: Module, *, require_main: bool = True, verify: bool = True
+) -> Module:
+    """Apply the direct-GPU-compilation front half to a program module."""
+    pm = PassManager()
+    pm.add(declare_target_pass, "declare-target")
+    pm.add(lambda m: rename_main_pass(m, require_main=require_main), "rename-main")
+    pm.add(rpc_lowering_pass, "rpc-lowering")
+    module = pm.run(module)
+    if verify:
+        verify_module(module)
+    return module
+
+
+def finalize_executable(
+    module: Module, *, optimize: bool = True, verify: bool = True
+) -> Module:
+    """Inline + optimize a linked module into its executable form."""
+    pm = PassManager()
+    pm.add(rpc_lowering_pass, "rpc-lowering")  # idempotent; covers loader code
+    pm.add(inline_all_pass, "inline-all")
+    if optimize:
+        for round_ in range(2):
+            pm.add(constfold_pass, f"constfold.{round_}")
+            pm.add(dce_pass, f"dce.{round_}")
+            if round_ == 0:
+                pm.add(licm_pass, "licm")
+            pm.add(cfg_simplify_pass, f"cfg-simplify.{round_}")
+    module = pm.run(module)
+    if verify:
+        verify_module(module)
+    return module

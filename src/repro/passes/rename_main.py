@@ -1,0 +1,43 @@
+"""Canonicalize and rename the user's ``main`` to ``__user_main``.
+
+The paper's user wrapper declares::
+
+    int main(int, char *[]) asm("__user_main");
+
+so the host loader owns the real entry point and calls ``__user_main`` on
+the device (Figure 3, §2.2).  This pass performs the same renaming on the IR
+module and checks the canonical ``int main(int argc, char **argv)``
+signature (two integer-register parameters returning i64).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PassError
+from repro.ir.module import Module
+from repro.ir.types import I64, ScalarType
+
+USER_MAIN = "__user_main"
+
+
+def rename_main_pass(module: Module, *, require_main: bool = True) -> None:
+    """Rename ``main`` -> ``__user_main`` and validate its signature."""
+    if "main" not in module.functions:
+        if require_main:
+            raise PassError(
+                f"module {module.name!r} has no main() to canonicalize; "
+                "register one with @program.main"
+            )
+        return
+    fn = module.functions["main"]
+    if len(fn.params) != 2:
+        raise PassError(
+            "main must have the canonical form int main(int argc, char *argv[]); "
+            f"got {len(fn.params)} parameters"
+        )
+    for pname, pty in fn.params:
+        if pty is not I64:
+            raise PassError(f"main parameter {pname!r} must be integer-register typed")
+    if fn.ret_ty is not ScalarType.I64:
+        raise PassError("main must return int")
+    module.rename_function("main", USER_MAIN)
+    module.metadata["user_main"] = USER_MAIN

@@ -1,0 +1,40 @@
+"""RPC lowering: rewrite calls to host-only symbols into ``rpc`` instructions.
+
+This is the automated stub generation of the extended direct-compilation
+work [27]: earlier users had to hand-write stub code delegating host-only
+functions (printf, file I/O, ...) through the RPC framework; the custom LTO
+pass generates those calls automatically.  Here: every ``call @f`` where
+``f`` is declared ``extern_host`` becomes ``rpc $f`` with identical operands
+and destination.  The host side (:mod:`repro.host.rpc_host`) dispatches on
+the service name.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PassError
+from repro.ir.instructions import Opcode
+from repro.ir.module import Module
+
+
+def rpc_lowering_pass(module: Module) -> None:
+    """Lower host-extern calls to RPC; error on truly undefined symbols."""
+    lowered = 0
+    for fn in module.functions.values():
+        for block in fn.iter_blocks():
+            for instr in block.instrs:
+                if instr.op is not Opcode.CALL:
+                    continue
+                callee = instr.callee
+                if callee in module.functions:
+                    continue
+                if callee in module.extern_host:
+                    instr.op = Opcode.RPC
+                    instr.service = callee
+                    instr.callee = None
+                    lowered += 1
+                else:
+                    raise PassError(
+                        f"call to {callee!r} in {fn.name!r}: not defined on the "
+                        "device and not a declared host function"
+                    )
+    module.metadata["rpc_lowered"] = module.metadata.get("rpc_lowered", 0) + lowered

@@ -1,0 +1,25 @@
+"""Device-side execution: IR lowering, the SIMT interpreter, the partial
+device libc, and the device half of the RPC framework.
+
+Execution model (mirrors LLVM/OpenMP device runtime semantics):
+
+* a kernel is launched over ``num_teams`` thread blocks; each block hosts
+  one application instance (or M packed instances — the paper's future-work
+  ``(N/M, M, 1)`` mapping);
+* each instance starts in **sequential mode**: only its initial thread
+  executes (user code is single-threaded host code);
+* ``par_begin`` (emitted by ``dgpu.parallel_range``) wakes the instance's
+  remaining threads, broadcasts the initial thread's registers (the
+  shared-state broadcast real implementations do through shared memory),
+  and the worksharing loop runs SPMD; ``par_end`` is an implicit barrier
+  after which only the initial thread continues;
+* divergence is handled by min-PC lockstep scheduling over per-lane program
+  counters, with blocks laid out in reverse post-order so that join points
+  execute only after all their feeding paths.
+"""
+
+from repro.runtime.machine import LoweredKernel, lower_kernel
+from repro.runtime.interpreter import BlockExecutor
+from repro.runtime.kernel import KernelSpec
+
+__all__ = ["LoweredKernel", "lower_kernel", "BlockExecutor", "KernelSpec"]

@@ -1,0 +1,178 @@
+"""Partial device libc, written in the restricted-Python DSL itself.
+
+The direct-compilation framework ships a partial libc compiled as device
+code (Figure 2 of the paper); ours is compiled by the very same frontend the
+applications use, which both exercises the compiler and keeps the semantics
+honest (string parsing really executes instruction-by-instruction on the
+simulated GPU).
+
+Provided functions
+------------------
+``strlen, strcmp, strncmp, atoi, atof`` — string/number parsing used by the
+command-line handling of every ported benchmark.
+
+``malloc, free, malloc_f64, malloc_i64`` — the device heap.  ``malloc``
+bump-allocates from a heap region the loader installs via the
+``__heap_cursor``/``__heap_end`` globals, using an **atomic** fetch-add so
+concurrent ensemble instances allocate disjoint chunks.  That is precisely
+why instances end up with separate, non-contiguous heap allocations — the
+effect §4.3 blames for non-coalesced cross-team memory behaviour.  ``free``
+is a no-op (bump allocator), matching the paper's proof-of-concept scope.
+
+Exhausting the heap traps with ``device malloc: out of memory``, which the
+loader surfaces as :class:`~repro.errors.DeviceOutOfMemory` — the mechanism
+behind the Page-Rank instance cap in the evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.dsl import Program, dgpu
+from repro.frontend.dtypes import DT_F64, DT_I64, f64, i64, ptr_f64, ptr_i64, ptr_i8
+
+#: Frontend-visible signatures of the libc device functions, so application
+#: code can call them before linking (mirrors including <string.h> etc.).
+#: name -> (parameter DTypes, return DType or None)
+LIBC_SIGNATURES = {
+    "strlen": ([("s", ptr_i8)], DT_I64),
+    "strcmp": ([("a", ptr_i8), ("b", ptr_i8)], DT_I64),
+    "strncmp": ([("a", ptr_i8), ("b", ptr_i8), ("n", DT_I64)], DT_I64),
+    "atoi": ([("s", ptr_i8)], DT_I64),
+    "atof": ([("s", ptr_i8)], DT_F64),
+    "malloc": ([("nbytes", DT_I64)], ptr_i8),
+    "free": ([("p", ptr_i8)], None),
+    "malloc_f64": ([("count", DT_I64)], ptr_f64),
+    "malloc_i64": ([("count", DT_I64)], ptr_i64),
+}
+
+#: Alignment of device-heap allocations (bytes); row-sized so that separate
+#: instances' allocations never share a DRAM row.
+HEAP_ALIGN = 256
+
+HEAP_CURSOR = "__heap_cursor"
+HEAP_END = "__heap_end"
+OOM_MESSAGE = "device malloc: out of memory"
+
+
+def build_libc_program() -> Program:
+    """Construct a fresh libc Program (one per linked application)."""
+    prog = Program("libc", link_libc=False)
+    prog.global_array(HEAP_CURSOR, "i64", count=1)
+    prog.global_array(HEAP_END, "i64", count=1)
+
+    @prog.device
+    def strlen(s: ptr_i8) -> i64:
+        n = 0
+        while s[n] != 0:
+            n += 1
+        return n
+
+    @prog.device
+    def strcmp(a: ptr_i8, b: ptr_i8) -> i64:
+        i = 0
+        while True:
+            ca = a[i]
+            cb = b[i]
+            if ca != cb:
+                return ca - cb
+            if ca == 0:
+                return 0
+            i += 1
+
+    @prog.device
+    def strncmp(a: ptr_i8, b: ptr_i8, n: i64) -> i64:
+        i = 0
+        while i < n:
+            ca = a[i]
+            cb = b[i]
+            if ca != cb:
+                return ca - cb
+            if ca == 0:
+                return 0
+            i += 1
+        return 0
+
+    @prog.device
+    def atoi(s: ptr_i8) -> i64:
+        i = 0
+        while s[i] == 32 or s[i] == 9:
+            i += 1
+        sign = 1
+        if s[i] == 45:
+            sign = -1
+            i += 1
+        elif s[i] == 43:
+            i += 1
+        v = 0
+        while s[i] >= 48 and s[i] <= 57:
+            v = v * 10 + (s[i] - 48)
+            i += 1
+        return sign * v
+
+    @prog.device
+    def atof(s: ptr_i8) -> f64:
+        i = 0
+        while s[i] == 32 or s[i] == 9:
+            i += 1
+        sign = 1.0
+        if s[i] == 45:
+            sign = -1.0
+            i += 1
+        elif s[i] == 43:
+            i += 1
+        v = 0.0
+        while s[i] >= 48 and s[i] <= 57:
+            v = v * 10.0 + float(s[i] - 48)
+            i += 1
+        if s[i] == 46:  # '.'
+            i += 1
+            scale = 0.1
+            while s[i] >= 48 and s[i] <= 57:
+                v = v + float(s[i] - 48) * scale
+                scale = scale * 0.1
+                i += 1
+        if s[i] == 101 or s[i] == 69:  # 'e' / 'E'
+            i += 1
+            esign = 1
+            if s[i] == 45:
+                esign = -1
+                i += 1
+            elif s[i] == 43:
+                i += 1
+            ev = 0
+            while s[i] >= 48 and s[i] <= 57:
+                ev = ev * 10 + (s[i] - 48)
+                i += 1
+            v = v * dgpu.pow(10.0, float(esign * ev))
+        return sign * v
+
+    @prog.device
+    def malloc(nbytes: i64) -> ptr_i8:
+        if nbytes <= 0:
+            dgpu.trap("device malloc: non-positive size")
+        aligned = ((nbytes + 255) >> 8) << 8
+        cur = dgpu.atomic_add(__heap_cursor, aligned)  # noqa: F821 - device global
+        end = __heap_end[0]  # noqa: F821 - device global
+        if cur + aligned > end:
+            dgpu.trap("device malloc: out of memory")
+        return dgpu.cast(cur, ptr_i8)
+
+    @prog.device
+    def free(p: ptr_i8) -> None:
+        # bump allocator: free is a documented no-op (paper-scope fidelity)
+        return
+
+    @prog.device
+    def malloc_f64(count: i64) -> ptr_f64:
+        return dgpu.cast(malloc(count * 8), ptr_f64)
+
+    @prog.device
+    def malloc_i64(count: i64) -> ptr_i64:
+        return dgpu.cast(malloc(count * 8), ptr_i64)
+
+    return prog
+
+
+def libc_module():
+    """Compile a fresh libc module (fresh so later passes can mutate it
+    without affecting other linked applications)."""
+    return build_libc_program().compile()

@@ -1,0 +1,66 @@
+"""Reference implementations of team-level reductions.
+
+The device opcode path (``dgpu.reduce_add``/``reduce_max``/``reduce_min``)
+reduces over the active threads of an instance in a single synchronizing
+step.  These host-side references compute the same results the way a real
+GPU runtime would (warp-shuffle tree then cross-warp combine), so tests can
+check both the value *and* that the tree shape is associativity-safe for
+the orderings we claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def warp_tree_reduce(values: np.ndarray, op, warp_size: int = 32) -> float:
+    """Reduce like a GPU: shuffle-down trees within warps, then a tree over
+    warp partials.  ``op`` is a binary callable (e.g. ``np.add``)."""
+    vals = np.asarray(values, dtype=np.float64).copy()
+    n = vals.size
+    if n == 0:
+        raise ValueError("cannot reduce zero values")
+    padded = -(-n // warp_size) * warp_size
+    identity = _identity_like(op, vals)
+    buf = np.full(padded, identity, dtype=np.float64)
+    buf[:n] = vals
+    lanes = buf.reshape(-1, warp_size)
+    stride = warp_size // 2
+    while stride:
+        lanes[:, :stride] = op(lanes[:, :stride], lanes[:, stride : 2 * stride])
+        stride //= 2
+    partials = lanes[:, 0].copy()
+    while partials.size > 1:
+        half = (partials.size + 1) // 2
+        merged = np.full(half, identity, dtype=np.float64)
+        merged[: partials.size - half] = op(
+            partials[: partials.size - half], partials[half:]
+        )
+        merged[partials.size - half :] = partials[partials.size - half : half]
+        partials = merged
+    return float(partials[0])
+
+
+def _identity_like(op, vals: np.ndarray) -> float:
+    if op is np.add:
+        return 0.0
+    if op is np.maximum:
+        return -np.inf
+    if op is np.minimum:
+        return np.inf
+    raise ValueError("unsupported reduction op")
+
+
+def reduce_add(values) -> float:
+    """GPU-shaped tree sum (see warp_tree_reduce)."""
+    return warp_tree_reduce(np.asarray(values), np.add)
+
+
+def reduce_max(values) -> float:
+    """GPU-shaped tree max."""
+    return warp_tree_reduce(np.asarray(values), np.maximum)
+
+
+def reduce_min(values) -> float:
+    """GPU-shaped tree min."""
+    return warp_tree_reduce(np.asarray(values), np.minimum)

@@ -1,0 +1,68 @@
+"""Team geometry: how instances map onto thread blocks.
+
+The paper's main scheme is one instance per team; §3.1 sketches a packed
+mapping where M instances share a team shaped ``(T/M, M, 1)``.  Both are
+described by :class:`TeamGeometry`, which the device launcher and the
+mapping strategies in :mod:`repro.host.mapping` share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+
+
+@dataclass(frozen=True)
+class TeamGeometry:
+    """Resolved geometry of one kernel launch."""
+
+    num_teams: int
+    thread_limit: int
+    instances_per_team: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_teams < 1:
+            raise LaunchError("num_teams must be >= 1")
+        if self.thread_limit < 1:
+            raise LaunchError("thread_limit must be >= 1")
+        if self.instances_per_team < 1:
+            raise LaunchError("instances_per_team must be >= 1")
+        if self.thread_limit % self.instances_per_team:
+            raise LaunchError(
+                f"thread limit {self.thread_limit} is not divisible by "
+                f"{self.instances_per_team} packed instances (the (N/M, M, 1) "
+                "mapping needs M | T)"
+            )
+
+    @property
+    def threads_per_instance(self) -> int:
+        return self.thread_limit // self.instances_per_team
+
+    @property
+    def total_slots(self) -> int:
+        """Concurrent instance slots across the whole launch."""
+        return self.num_teams * self.instances_per_team
+
+    @property
+    def block_shape(self) -> tuple[int, int, int]:
+        """The (x, y, z) block shape: (T, 1, 1) or (T/M, M, 1)."""
+        if self.instances_per_team == 1:
+            return (self.thread_limit, 1, 1)
+        return (self.threads_per_instance, self.instances_per_team, 1)
+
+
+def geometry_for_instances(
+    num_instances: int,
+    thread_limit: int,
+    *,
+    instances_per_team: int = 1,
+    max_teams: int | None = None,
+) -> TeamGeometry:
+    """Geometry for an ensemble run: one slot per instance when possible
+    (the paper sets teams == instances), capped at ``max_teams``."""
+    slots_needed = -(-num_instances // 1)
+    teams = -(-slots_needed // instances_per_team)
+    if max_teams is not None:
+        teams = min(teams, max_teams)
+    return TeamGeometry(max(1, teams), thread_limit, instances_per_team)

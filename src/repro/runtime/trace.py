@@ -1,0 +1,181 @@
+"""Per-block trace collection feeding the timing model.
+
+The collector is deliberately separated from the interpreter: functional
+execution works identically with tracing off (``collect=False`` launches run
+faster, e.g. in unit tests that only check results).
+
+What is measured, per block:
+
+* CPI-weighted issue cycles per warp, bucketed into phases (sequential
+  initial-thread mode vs team-wide parallel regions) because the two modes
+  have different active-warp counts and therefore different latency-hiding
+  ability;
+* memory transactions after warp-level coalescing over the **actual lane
+  addresses** (32-byte sectors);
+* DRAM row-run statistics of the block's own transaction stream (used by
+  the DRAM model to compute each stream's intrinsic sequentiality);
+* the block's unique-sector working set (used by the L2 model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.coalescing import (
+    SECTOR_BYTES,
+    uncoalesced_keys,
+    warp_sector_keys,
+)
+from repro.gpu.timing import BlockTrace, PhaseStats, cpi_of
+from repro.ir.instructions import Opcode
+
+_ROW_SHIFT = 5  # sectors per 1024-byte row = 32 -> row = sector >> 5
+
+
+class TraceCollector:
+    """Accumulates one block's issue/memory events into a BlockTrace."""
+    def __init__(
+        self,
+        block_id: int,
+        num_warps: int,
+        *,
+        model_coalescing: bool = True,
+        shared_range: tuple[int, int] | None = None,
+    ):
+        self.block_id = block_id
+        self.num_warps = num_warps
+        self.model_coalescing = model_coalescing
+        self.shared_range = shared_range
+        self.trace = BlockTrace(block_id)
+        self._par_count = 0  # instances currently inside parallel regions
+        self._warp_cycles = np.zeros(num_warps, dtype=np.float64)
+        self._phase = PhaseStats(parallel=False)
+        self._last_row = np.full(num_warps, -1, dtype=np.int64)
+        self._sector_chunks: list[np.ndarray] = []
+        self._phase_mem_warps = np.zeros(num_warps, dtype=bool)
+        # uniform-stretch batching (fast interpreter path)
+        self._pending_cycles = 0.0
+        self._pending_instrs = 0
+        self._pending_warp_mask: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # uniform-stretch API: during a stretch where the active warp set does
+    # not change, issue cycles are accumulated as scalars and flushed once.
+    # ------------------------------------------------------------------
+    def begin_uniform(self, warp_mask: np.ndarray) -> None:
+        self._flush_uniform()
+        self._pending_warp_mask = warp_mask.copy()
+
+    def note_uniform(self, cycles: float) -> None:
+        self._pending_cycles += cycles
+        self._pending_instrs += 1
+
+    def end_uniform(self) -> None:
+        self._flush_uniform()
+
+    def _flush_uniform(self) -> None:
+        wm = self._pending_warp_mask
+        if wm is None or self._pending_instrs == 0:
+            self._pending_warp_mask = None
+            self._pending_cycles = 0.0
+            self._pending_instrs = 0
+            return
+        cycles = self._pending_cycles
+        self._warp_cycles[wm] += cycles
+        n = int(wm.sum())
+        self._phase.issue_cycles_total += cycles * n
+        if n > self._phase.active_warps:
+            self._phase.active_warps = n
+        self.trace.dynamic_instructions += self._pending_instrs
+        self._pending_warp_mask = None
+        self._pending_cycles = 0.0
+        self._pending_instrs = 0
+
+    # ------------------------------------------------------------------
+    def on_instr(self, op: Opcode, warp_mask: np.ndarray) -> None:
+        """Record issue of one instruction by the active warps (called on
+        the interpreter's divergent path; uniform stretches batch through
+        note_uniform)."""
+        cycles = cpi_of(op)
+        self._warp_cycles[warp_mask] += cycles
+        n = int(warp_mask.sum())
+        self._phase.issue_cycles_total += cycles * n
+        if n > self._phase.active_warps:
+            self._phase.active_warps = n
+        self.trace.dynamic_instructions += 1
+        self.trace.divergent_instructions += 1
+
+    def on_mem(self, lane_ids: np.ndarray, addrs: np.ndarray, access_size: int) -> None:
+        """Record a memory access by the given lanes.  Accesses into the
+        team's shared-memory range are on-chip (SRAM): counted separately,
+        never fed to the coalescer/L2/DRAM models."""
+        if lane_ids.size == 0:
+            return
+        if self.shared_range is not None:
+            lo, hi = self.shared_range
+            is_shared = (addrs >= lo) & (addrs < hi)
+            n_shared = int(is_shared.sum())
+            if n_shared:
+                self._phase.shared_accesses += n_shared
+                if n_shared == lane_ids.size:
+                    return
+                keep = ~is_shared
+                lane_ids = lane_ids[keep]
+                addrs = addrs[keep]
+        if self.model_coalescing:
+            keys = warp_sector_keys(lane_ids, addrs, access_size)
+        else:
+            keys = uncoalesced_keys(lane_ids, addrs)
+        self._phase.sectors += int(keys.size)
+        self._phase.lane_accesses += int(lane_ids.size)
+        warps = keys >> 40
+        self._phase_mem_warps[warps] = True
+        sectors = keys & ((1 << 40) - 1)
+        rows = sectors >> _ROW_SHIFT
+        self._sector_chunks.append(sectors)
+        # consecutive transactions within the same warp stream & same row
+        if keys.size > 1:
+            same = (np.diff(warps) == 0) & (np.diff(rows) == 0)
+            hits = int(same.sum())
+        else:
+            hits = 0
+        # stream boundaries: first transaction of each warp in this access
+        # compares against the warp's last row from the previous access
+        first_idx = np.flatnonzero(np.concatenate(([True], np.diff(warps) != 0)))
+        fw = warps[first_idx]
+        hits += int((rows[first_idx] == self._last_row[fw]).sum())
+        self.trace.row_transitions += int(keys.size)
+        self.trace.row_hits += hits
+        # update last row per warp (last transaction of each warp group)
+        last_idx = np.concatenate((first_idx[1:] - 1, [keys.size - 1]))
+        self._last_row[warps[last_idx]] = rows[last_idx]
+
+    def on_parallel_enter(self) -> None:
+        self._par_count += 1
+        if self._par_count == 1:
+            self._close_phase(parallel=True)
+
+    def on_parallel_exit(self) -> None:
+        self._par_count = max(0, self._par_count - 1)
+        if self._par_count == 0:
+            self._close_phase(parallel=False)
+
+    # ------------------------------------------------------------------
+    def _close_phase(self, *, parallel: bool) -> None:
+        self._flush_uniform()
+        ph = self._phase
+        ph.issue_cycles_max_warp = float(self._warp_cycles.max()) if self.num_warps else 0.0
+        ph.mem_warps = int(self._phase_mem_warps.sum())
+        if ph.issue_cycles_total > 0 or ph.sectors > 0:
+            self.trace.phases.append(ph)
+        self._warp_cycles[:] = 0.0
+        self._phase_mem_warps[:] = False
+        self._phase = PhaseStats(parallel=parallel)
+
+    def finalize(self) -> BlockTrace:
+        self._close_phase(parallel=False)
+        if self._sector_chunks:
+            self.trace.unique_sectors = np.unique(np.concatenate(self._sector_chunks))
+        else:
+            self.trace.unique_sectors = np.empty(0, dtype=np.int64)
+        return self.trace

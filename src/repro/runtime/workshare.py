@@ -1,0 +1,38 @@
+"""Worksharing schedule math (host-side mirror of the device lowering).
+
+The device runtime implements two schedules:
+
+* ``distribute`` across instance slots (the ensemble loop in
+  :mod:`repro.runtime.kernel`): slot ``s`` of ``S`` executes instances
+  ``s, s+S, s+2S, ...`` — OpenMP's static schedule with chunk 1;
+* ``parallel_range`` within a team: thread ``t`` of ``T`` executes
+  iterations ``t, t+T, ...``.
+
+These helpers compute the same assignments in pure Python so tests (and the
+harness, when it validates per-instance results) can predict exactly which
+worker executed which iteration.
+"""
+
+from __future__ import annotations
+
+
+def static_iterations(total: int, num_workers: int, worker: int) -> list[int]:
+    """Iterations assigned to ``worker`` under a static-strided schedule."""
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    if not 0 <= worker < num_workers:
+        raise ValueError(f"worker {worker} out of range [0, {num_workers})")
+    return list(range(worker, total, num_workers))
+
+
+def iteration_owner(iteration: int, num_workers: int) -> int:
+    """Which worker executes ``iteration`` under the static schedule."""
+    if iteration < 0:
+        raise ValueError("iteration must be non-negative")
+    return iteration % num_workers
+
+
+def iterations_per_worker(total: int, num_workers: int) -> list[int]:
+    """Iteration counts per worker (balanced to within one)."""
+    base, extra = divmod(total, num_workers)
+    return [base + (1 if w < extra else 0) for w in range(num_workers)]

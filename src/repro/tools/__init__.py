@@ -1,0 +1,1 @@
+"""Developer tools: IR inspection (`repro.tools.objdump`)."""

@@ -1,0 +1,68 @@
+"""AMGmk relax kernel vs. its exact CPU reference."""
+
+import re
+
+import pytest
+
+from repro.apps import reference
+
+ARGS = ["-n", "256", "-i", "2"]
+
+
+def checksum_of(result, index=0):
+    m = re.search(r"checksum ([-\d.]+)", result.instances[index].stdout)
+    assert m
+    return float(m.group(1))
+
+
+def test_matches_reference(amgmk_loader):
+    res = amgmk_loader.run_ensemble(
+        [ARGS + ["-s", "1"]], thread_limit=32, collect_timing=False
+    )
+    assert res.return_codes == [0]
+    expect = reference.amgmk_checksum(256, 2, 1)
+    assert checksum_of(res) == pytest.approx(expect, rel=1e-9)
+
+
+def test_more_sweeps_change_result(amgmk_loader):
+    one = amgmk_loader.run_ensemble(
+        [["-n", "256", "-i", "1", "-s", "1"]], thread_limit=32, collect_timing=False
+    )
+    three = amgmk_loader.run_ensemble(
+        [["-n", "256", "-i", "3", "-s", "1"]], thread_limit=32, collect_timing=False
+    )
+    assert checksum_of(one) != checksum_of(three)
+    assert checksum_of(three) == pytest.approx(
+        reference.amgmk_checksum(256, 3, 1), rel=1e-9
+    )
+
+
+def test_jacobi_converges_toward_solution(amgmk_loader):
+    """Diagonally dominant Jacobi converges; more sweeps approach the
+    reference fixed point (checked on the CPU reference as the oracle)."""
+    import numpy as np
+
+    x10 = reference.amgmk_checksum(128, 10, 1)
+    x11 = reference.amgmk_checksum(128, 11, 1)
+    x2 = reference.amgmk_checksum(128, 2, 1)
+    assert abs(x11 - x10) < abs(x10 - x2)
+
+
+def test_memory_bound_profile(amgmk_loader):
+    """The relax kernel is bandwidth-bound: the memory side of the timing
+    model must dominate compute."""
+    res = amgmk_loader.run_ensemble(
+        [["-n", "2048", "-i", "2", "-s", "1"]], thread_limit=32
+    )
+    t = res.timing
+    # nearly all block time comes from memory phases, so the makespan far
+    # exceeds what issue cycles alone would take
+    issue_only = sum(p.issue_cycles_total for tr in res.launch.traces for p in tr.phases)
+    assert t.makespan > issue_only
+
+
+def test_bad_args(amgmk_loader):
+    res = amgmk_loader.run_ensemble(
+        [["-n", "2"]], thread_limit=32, collect_timing=False
+    )
+    assert res.return_codes == [2]

@@ -1,0 +1,64 @@
+"""Page-Rank propagation vs. its exact CPU reference."""
+
+import re
+
+import pytest
+
+from repro.apps import pagerank, reference
+
+ARGS = ["-n", "512", "-d", "4", "-i", "2"]
+
+
+def total_of(result, index=0):
+    m = re.search(r"total rank ([-\d.]+)", result.instances[index].stdout)
+    assert m
+    return float(m.group(1))
+
+
+def test_matches_reference(pagerank_loader):
+    res = pagerank_loader.run_ensemble(
+        [ARGS + ["-s", "1"]], thread_limit=32, collect_timing=False
+    )
+    assert res.return_codes == [0]
+    expect = reference.pagerank_total(512, 4, 2, 1)
+    assert total_of(res) == pytest.approx(expect, rel=1e-9)
+
+
+def test_total_rank_near_one(pagerank_loader):
+    res = pagerank_loader.run_ensemble(
+        [ARGS + ["-s", "5"]], thread_limit=32, collect_timing=False
+    )
+    assert 0.5 < total_of(res) < 1.5
+
+
+def test_heap_footprint_estimate_consistent():
+    est = pagerank.heap_bytes_per_instance(16384, 8)
+    # graph is the dominant allocation: nodes*degree*8 bytes
+    assert est >= 16384 * 8 * 8
+
+
+def test_oom_with_too_many_instances():
+    """The paper's §4.3 observation: instance count is capped by memory."""
+    from repro.errors import DeviceOutOfMemory
+    from repro.gpu.device import GPUDevice
+    from repro.host.ensemble_loader import EnsembleLoader
+    from tests.util import SMALL_DEVICE
+
+    loader = EnsembleLoader(
+        pagerank.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=1 << 20
+    )
+    big = ["-n", "4096", "-d", "8", "-i", "1"]
+    loader.run_ensemble([big + ["-s", "1"]], thread_limit=32,
+                        collect_timing=False)  # one fits (~0.3 MiB)
+    with pytest.raises(DeviceOutOfMemory):
+        loader.run_ensemble(
+            [big + ["-s", str(s)] for s in range(1, 9)],
+            thread_limit=32, collect_timing=False,
+        )
+
+
+def test_bad_args(pagerank_loader):
+    res = pagerank_loader.run_ensemble(
+        [["-n", "1"]], thread_limit=32, collect_timing=False
+    )
+    assert res.return_codes == [2]

@@ -1,0 +1,77 @@
+"""Cross-cutting checks on the CPU references themselves."""
+
+import numpy as np
+import pytest
+
+from repro.apps import reference
+from repro.apps.common import (
+    LCG_MASK,
+    host_lcg_f64,
+    host_lcg_init,
+    host_lcg_next,
+)
+
+
+class TestLCG:
+    def test_state_stays_in_31_bits(self):
+        x = host_lcg_init(123456)
+        for _ in range(1000):
+            assert 0 <= x <= LCG_MASK
+            x = host_lcg_next(x)
+
+    def test_no_i64_overflow_reachable(self):
+        """The device multiplies state by the LCG constants in i64; the
+        product must never exceed 2^63 for any reachable state."""
+        assert LCG_MASK * 1103515245 + 12345 < 2**63
+        # init path: seed expressions used by the apps stay below 2^31-ish
+        assert (2**31) * 2654435761 + 12345 < 2**63
+
+    def test_f64_in_unit_interval(self):
+        x = host_lcg_init(7)
+        for _ in range(100):
+            v = host_lcg_f64(x)
+            assert 0.0 <= v < 1.0
+            x = host_lcg_next(x)
+
+    def test_different_seeds_diverge(self):
+        assert host_lcg_init(1) != host_lcg_init(2)
+
+
+class TestReferenceProperties:
+    def test_xsbench_scales_with_lookups(self):
+        a = reference.xsbench_checksum(128, 4, 16, 1)
+        b = reference.xsbench_checksum(128, 4, 32, 1)
+        # more lookups accumulate more (positive) cross sections
+        assert b > a > 0
+
+    def test_xsbench_deterministic(self):
+        assert reference.xsbench_checksum(64, 2, 8, 5) == reference.xsbench_checksum(
+            64, 2, 8, 5
+        )
+
+    def test_pagerank_total_is_stochastic_fixed_point(self):
+        # repeated propagation keeps total rank near 1 (fixed out-degree pull)
+        for iters in (1, 3, 6):
+            total = reference.pagerank_total(2048, 8, iters, 1)
+            assert 0.8 < total < 1.2
+
+    def test_amgmk_converges(self):
+        # Jacobi on a diagonally dominant system: successive sweeps contract
+        deltas = []
+        prev = reference.amgmk_checksum(128, 1, 1)
+        for iters in (2, 3, 4, 5):
+            cur = reference.amgmk_checksum(128, iters, 1)
+            deltas.append(abs(cur - prev))
+            prev = cur
+        assert deltas[-1] < deltas[0]
+
+    def test_stream_checksum_linear_in_scalar(self):
+        # triad with k=3: checksum = sum(b) + 3*sum(c); sanity against parts
+        j = np.arange(256, dtype=np.int64)
+        from repro.apps.reference import _lcg_f64_vec, _lcg_init_vec, _lcg_next_vec
+
+        r = _lcg_init_vec(1 * 131 + j)
+        b = _lcg_f64_vec(r)
+        c = _lcg_f64_vec(_lcg_next_vec(r))
+        expect = float((b + 3.0 * c).sum())
+        assert reference.stream_checksum(256, 1, 1) == pytest.approx(expect, rel=1e-12)

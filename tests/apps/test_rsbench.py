@@ -1,0 +1,72 @@
+"""RSBench port vs. its exact CPU reference."""
+
+import re
+
+import pytest
+
+from repro.apps import reference
+
+ARGS = ["-p", "8", "-n", "2", "-l", "32"]
+
+
+def checksum_of(result, index=0):
+    m = re.search(r"checksum ([-\d.]+)", result.instances[index].stdout)
+    assert m
+    return float(m.group(1))
+
+
+def test_matches_reference(rsbench_loader):
+    res = rsbench_loader.run_ensemble(
+        [ARGS + ["-s", "1"]], thread_limit=32, collect_timing=False
+    )
+    assert res.return_codes == [0]
+    expect = reference.rsbench_checksum(8, 2, 32, 1)
+    assert checksum_of(res) == pytest.approx(expect, rel=1e-9)
+
+
+def test_scales_with_poles(rsbench_loader):
+    few = rsbench_loader.run_ensemble(
+        [["-p", "4", "-n", "2", "-l", "16", "-s", "1"]],
+        thread_limit=32,
+    )
+    many = rsbench_loader.run_ensemble(
+        [["-p", "32", "-n", "2", "-l", "16", "-s", "1"]],
+        thread_limit=32,
+    )
+    assert many.cycles > few.cycles  # more poles -> more compute
+
+
+def test_compute_bound_profile(rsbench_loader):
+    """RSBench must be compute-dominated: simulated time barely moves when
+    the memory system is ablated away entirely."""
+    from dataclasses import replace
+
+    from repro.config import SimConfig
+    from repro.gpu.device import GPUDevice
+    from repro.apps import rsbench
+    from repro.host.ensemble_loader import EnsembleLoader
+    from tests.util import SMALL_DEVICE
+
+    base = rsbench_loader.run_ensemble(
+        [["-p", "32", "-n", "4", "-l", "64", "-s", "1"]], thread_limit=32
+    )
+    timing = base.timing
+    # compute (makespan) dominates DRAM service by a wide margin
+    assert timing.makespan > 5 * timing.dram_cycles
+
+
+def test_ensemble_isolation(rsbench_loader):
+    res = rsbench_loader.run_ensemble(
+        [ARGS + ["-s", str(s)] for s in (1, 2, 3)],
+        thread_limit=32, collect_timing=False,
+    )
+    assert res.return_codes == [0, 0, 0]
+    sums = {checksum_of(res, i) for i in range(3)}
+    assert len(sums) == 3  # distinct seeds -> distinct checksums
+
+
+def test_bad_args(rsbench_loader):
+    res = rsbench_loader.run_ensemble(
+        [["-p", "0"]], thread_limit=32, collect_timing=False
+    )
+    assert res.return_codes == [2]

@@ -1,0 +1,97 @@
+"""STREAM triad: correctness + bandwidth-model validation.
+
+The triad is the cleanest bandwidth probe; these tests pin the timing
+model's bandwidth behaviour to its configured constants, so retuning
+`DeviceConfig` or the DRAM model shows up here first.
+"""
+
+import re
+
+import pytest
+
+from repro.apps import reference, stream
+from repro.config import DEFAULT_SIM
+from repro.gpu.coalescing import SECTOR_BYTES
+from repro.gpu.device import GPUDevice
+from repro.host.ensemble_loader import EnsembleLoader
+from tests.util import SMALL_DEVICE
+
+
+@pytest.fixture(scope="module")
+def loader():
+    return EnsembleLoader(
+        stream.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=16 * 1024 * 1024
+    )
+
+
+def checksum_of(result, index=0):
+    m = re.search(r"checksum ([-\d.]+)", result.instances[index].stdout)
+    assert m
+    return float(m.group(1))
+
+
+class TestCorrectness:
+    def test_matches_reference(self, loader):
+        res = loader.run_ensemble(
+            [["-n", "1024", "-r", "1", "-s", "1"]], thread_limit=32,
+            collect_timing=False,
+        )
+        assert res.return_codes == [0]
+        assert checksum_of(res) == pytest.approx(
+            reference.stream_checksum(1024, 1, 1), rel=1e-9
+        )
+
+    def test_repetitions_idempotent(self, loader):
+        one = loader.run_ensemble(
+            [["-n", "512", "-r", "1", "-s", "2"]], thread_limit=32,
+            collect_timing=False,
+        )
+        three = loader.run_ensemble(
+            [["-n", "512", "-r", "3", "-s", "2"]], thread_limit=32,
+            collect_timing=False,
+        )
+        assert checksum_of(one) == pytest.approx(checksum_of(three), rel=1e-12)
+
+
+class TestBandwidthModel:
+    def test_triad_is_perfectly_coalesced(self, loader):
+        from repro.harness.profile import profile_launch
+
+        res = loader.run_ensemble(
+            [["-n", "8192", "-r", "2", "-s", "1"]], thread_limit=1024
+        )
+        prof = profile_launch(res.launch)
+        # f64 streaming: 4 lane-accesses per 32B sector is the optimum
+        assert prof.coalescing_ratio == pytest.approx(4.0, rel=0.15)
+
+    def test_single_block_throughput_near_littles_law(self, loader):
+        """Achieved B/cycle of one full team must be close to (and never
+        above) concurrency/latency * efficiency."""
+        res = loader.run_ensemble(
+            [["-n", "16384", "-r", "4", "-s", "1"]], thread_limit=1024
+        )
+        timing = res.timing
+        dev = loader.device.config
+        # DRAM-bound traffic only: L2 hits are legitimately served faster
+        achieved_dram = timing.total_dram_bytes / timing.makespan
+        ceiling = (
+            32 * dev.mlp_per_warp * SECTOR_BYTES / dev.mem_latency_cycles
+        )  # 32 warps at Little's-law concurrency
+        assert achieved_dram <= ceiling * 1.05
+        assert achieved_dram >= ceiling * 0.2  # right order of magnitude
+
+    def test_ensemble_never_exceeds_device_bandwidth(self, loader):
+        res = loader.run_ensemble(
+            [["-n", "8192", "-r", "2", "-s", str(s)] for s in range(1, 17)],
+            thread_limit=1024,
+        )
+        timing = res.timing
+        bytes_moved = timing.total_sectors * SECTOR_BYTES
+        achieved = bytes_moved / timing.cycles
+        assert achieved <= loader.device.config.dram.bytes_per_cycle
+
+    def test_row_sequentiality_high_for_streaming(self, loader):
+        res = loader.run_ensemble(
+            [["-n", "8192", "-r", "1", "-s", "1"]], thread_limit=1024
+        )
+        assert res.timing.row_seq_fraction > 0.8  # near-perfect row runs

@@ -1,0 +1,60 @@
+"""Shared fixtures.
+
+Expensive objects (compiled benchmark loaders) are session-scoped: each
+:class:`~repro.host.loader.Loader` resets device state (globals, heap)
+before every run, so sharing one loader across tests is safe and saves the
+repeated compile+link+load cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import GPUDevice
+from tests.util import SMALL_DEVICE, small_device
+
+
+@pytest.fixture
+def device() -> GPUDevice:
+    """A fresh small-arena device."""
+    return small_device()
+
+
+@pytest.fixture(scope="session")
+def xsbench_loader():
+    from repro.apps import xsbench
+    from repro.host.ensemble_loader import EnsembleLoader
+
+    return EnsembleLoader(
+        xsbench.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=16 * 1024 * 1024
+    )
+
+
+@pytest.fixture(scope="session")
+def rsbench_loader():
+    from repro.apps import rsbench
+    from repro.host.ensemble_loader import EnsembleLoader
+
+    return EnsembleLoader(
+        rsbench.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=8 * 1024 * 1024
+    )
+
+
+@pytest.fixture(scope="session")
+def amgmk_loader():
+    from repro.apps import amgmk
+    from repro.host.ensemble_loader import EnsembleLoader
+
+    return EnsembleLoader(
+        amgmk.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=16 * 1024 * 1024
+    )
+
+
+@pytest.fixture(scope="session")
+def pagerank_loader():
+    from repro.apps import pagerank
+    from repro.host.ensemble_loader import EnsembleLoader
+
+    return EnsembleLoader(
+        pagerank.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=8 * 1024 * 1024
+    )

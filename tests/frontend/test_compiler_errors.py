@@ -1,0 +1,241 @@
+"""Frontend rejection paths: unsupported constructs, type errors."""
+
+import pytest
+
+from repro.errors import (
+    FrontendError,
+    TypeInferenceError,
+    UnsupportedConstructError,
+)
+from repro.frontend import Program, dgpu, i64, ptr_ptr
+
+
+def compile_main(pyfunc):
+    prog = Program(f"err_{pyfunc.__name__}", link_libc=False)
+    prog.main(pyfunc)
+    return prog.compile()
+
+
+class TestTypeErrors:
+    def test_variable_cannot_change_type(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            x = 1.5
+            x = argv  # pointer into float var
+            return 0
+
+        with pytest.raises(TypeInferenceError):
+            compile_main(main)
+
+    def test_float_to_int_requires_explicit_cast(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            return 1.5  # returning f64 from int main
+
+        with pytest.raises(TypeInferenceError):
+            compile_main(main)
+
+    def test_missing_parameter_annotation(self):
+        def main(argc, argv: ptr_ptr) -> i64:
+            return 0
+
+        with pytest.raises(FrontendError, match="annotation"):
+            compile_main(main)
+
+    def test_subscript_on_non_pointer(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            x = 5
+            return x[0]
+
+        with pytest.raises(FrontendError, match="non-pointer"):
+            compile_main(main)
+
+    def test_pointer_type_mismatch_needs_cast(self):
+        from repro.frontend import f64, ptr_f64
+
+        def helper(p: ptr_f64) -> f64:
+            return p[0]
+
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            return int(helper(argv[0]))  # char* into double* param
+
+        prog = Program("ptrmismatch", link_libc=False)
+        prog.device(helper)
+        prog.main(main)
+        with pytest.raises(TypeInferenceError, match="dgpu.cast"):
+            prog.compile()
+
+
+class TestUnsupported:
+    def test_no_nested_parallel(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            for i in dgpu.parallel_range(10):
+                for j in dgpu.parallel_range(10):
+                    pass
+            return 0
+
+        with pytest.raises(UnsupportedConstructError, match="nested"):
+            compile_main(main)
+
+    def test_no_break_in_parallel_loop(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            for i in dgpu.parallel_range(10):
+                if i > 3:
+                    break
+            return 0
+
+        with pytest.raises(UnsupportedConstructError, match="break"):
+            compile_main(main)
+
+    def test_no_return_in_parallel_region(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            for i in dgpu.parallel_range(10):
+                return 1
+            return 0
+
+        with pytest.raises(FrontendError, match="parallel_range"):
+            compile_main(main)
+
+    def test_for_over_arbitrary_iterable(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            for c in argv:
+                pass
+            return 0
+
+        with pytest.raises(UnsupportedConstructError):
+            compile_main(main)
+
+    def test_print_suggests_printf(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            print("hello")
+            return 0
+
+        with pytest.raises(UnsupportedConstructError, match="printf"):
+            compile_main(main)
+
+    def test_chained_comparison(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            if 0 < argc < 5:
+                return 1
+            return 0
+
+        with pytest.raises(UnsupportedConstructError, match="chained"):
+            compile_main(main)
+
+    def test_while_else(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            while argc > 0:
+                argc -= 1
+            else:
+                return 1
+            return 0
+
+        with pytest.raises(UnsupportedConstructError, match="while/else"):
+            compile_main(main)
+
+    def test_keyword_arguments(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            return min(a=1, b=2)
+
+        with pytest.raises(UnsupportedConstructError, match="keyword"):
+            compile_main(main)
+
+    def test_float_modulo(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            x = 5.5 % 2.0
+            return int(x)
+
+        with pytest.raises(UnsupportedConstructError, match="float %"):
+            compile_main(main)
+
+
+class TestNameResolution:
+    def test_undefined_name(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            return undefined_thing  # noqa: F821
+
+        with pytest.raises(FrontendError, match="undefined name"):
+            compile_main(main)
+
+    def test_unknown_function(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            return launch_missiles()  # noqa: F821
+
+        with pytest.raises(FrontendError, match="unknown function"):
+            compile_main(main)
+
+    def test_unknown_intrinsic(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            return dgpu.warp_speed()
+
+        with pytest.raises(FrontendError, match="unknown intrinsic"):
+            compile_main(main)
+
+    def test_host_object_capture_rejected(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            return len(SOME_LIST)  # noqa: F821
+
+        global SOME_LIST
+        SOME_LIST = [1, 2, 3]
+        try:
+            with pytest.raises(FrontendError):
+                compile_main(main)
+        finally:
+            del SOME_LIST
+
+    def test_parallel_range_outside_for(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            x = dgpu.parallel_range(10)
+            return 0
+
+        with pytest.raises(FrontendError, match="for-loop"):
+            compile_main(main)
+
+
+class TestSignatureRules:
+    def test_main_must_return_int(self):
+        from repro.errors import PassError
+        from repro.passes import compile_for_device
+
+        def main(argc: i64, argv: ptr_ptr) -> None:
+            pass
+
+        prog = Program("badmain", link_libc=False)
+        prog.main(main)
+        with pytest.raises(PassError, match="must return int"):
+            compile_for_device(prog.compile())
+
+    def test_main_must_take_two_args(self):
+        from repro.errors import PassError
+        from repro.passes import compile_for_device
+
+        def main(argc: i64) -> i64:
+            return 0
+
+        prog = Program("badmain2", link_libc=False)
+        prog.main(main)
+        with pytest.raises(PassError, match="canonical form"):
+            compile_for_device(prog.compile())
+
+    def test_duplicate_function_name(self):
+        prog = Program("dup", link_libc=False)
+
+        @prog.device
+        def f(x: i64) -> i64:
+            return x
+
+        with pytest.raises(Exception, match="duplicate"):
+
+            @prog.device  # noqa: F811
+            def f(x: i64) -> i64:  # noqa: F811
+                return x + 1
+
+    def test_stack_alloc_requires_constant(self):
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            p = dgpu.stack_f64(argc)  # not a compile-time constant
+            return 0
+
+        with pytest.raises(FrontendError, match="compile-time constant"):
+            compile_main(main)
+
+    def test_dgpu_intrinsic_not_callable_on_host(self):
+        with pytest.raises(RuntimeError, match="device intrinsic"):
+            dgpu.thread_id()

@@ -1,0 +1,86 @@
+"""Frontend DType model."""
+
+import pytest
+
+from repro.frontend.dtypes import (
+    DT_F64,
+    DT_I64,
+    DType,
+    annotation_to_dtype,
+    memtype_to_dtype,
+    ptr_f64,
+    ptr_i8,
+    ptr_of,
+    ptr_ptr,
+)
+from repro.ir.types import F64, I64, MemType
+
+
+class TestBasics:
+    def test_scalar_register_types(self):
+        assert DT_I64.scalar is I64
+        assert DT_F64.scalar is F64
+        assert ptr_f64.scalar is I64  # pointers live in integer registers
+
+    def test_predicates(self):
+        assert DT_I64.is_int and not DT_I64.is_ptr
+        assert DT_F64.is_float
+        assert ptr_i8.is_ptr
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DType("i32")
+
+    def test_ptr_needs_element(self):
+        with pytest.raises(ValueError):
+            DType("ptr")
+
+
+class TestPointerGeometry:
+    def test_elem_sizes(self):
+        assert ptr_i8.elem_size == 1
+        assert ptr_f64.elem_size == 8
+        assert ptr_of(MemType.I32).elem_size == 4
+        assert ptr_ptr.elem_size == 8  # pointers stored as i64
+
+    def test_deref_types(self):
+        assert ptr_f64.deref == DT_F64
+        assert ptr_i8.deref == DT_I64
+        assert ptr_ptr.deref == ptr_i8  # char** -> char*
+
+    def test_elem_memtype(self):
+        assert ptr_f64.elem_memtype is MemType.F64
+        assert ptr_ptr.elem_memtype is MemType.I64
+
+    def test_non_pointer_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            _ = DT_I64.elem_size
+        with pytest.raises(ValueError):
+            _ = DT_F64.deref
+
+
+class TestAnnotations:
+    def test_python_builtin_types(self):
+        assert annotation_to_dtype(int) == DT_I64
+        assert annotation_to_dtype(float) == DT_F64
+
+    def test_string_annotations(self):
+        assert annotation_to_dtype("i64") == DT_I64
+        assert annotation_to_dtype("ptr_f64") == ptr_f64
+
+    def test_dtype_passthrough(self):
+        assert annotation_to_dtype(ptr_i8) is ptr_i8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TypeError):
+            annotation_to_dtype(list)
+
+    def test_memtype_to_dtype(self):
+        assert memtype_to_dtype(MemType.F32) == DT_F64
+        assert memtype_to_dtype(MemType.I8) == DT_I64
+
+
+def test_str_forms():
+    assert str(DT_I64) == "i64"
+    assert "ptr" in str(ptr_f64)
+    assert "ptr" in str(ptr_ptr)

@@ -1,0 +1,103 @@
+"""First-fit allocator: allocation, OOM, free-list coalescing."""
+
+import pytest
+
+from repro.errors import DeviceOutOfMemory
+from repro.gpu.allocator import DeviceAllocator
+from repro.gpu.memory import NULL_GUARD
+
+CAP = 1 << 20
+
+
+@pytest.fixture
+def alloc():
+    return DeviceAllocator(CAP)
+
+
+def test_allocations_dont_overlap(alloc):
+    spans = []
+    for _ in range(10):
+        a = alloc.alloc(1000)
+        spans.append((a, a + alloc.size_of(a)))
+    spans.sort()
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+def test_allocations_avoid_null_guard(alloc):
+    assert alloc.alloc(64) >= NULL_GUARD
+
+
+def test_alignment_256(alloc):
+    for _ in range(5):
+        assert alloc.alloc(17) % 256 == 0
+
+
+def test_oom_raises_with_details(alloc):
+    with pytest.raises(DeviceOutOfMemory) as exc:
+        alloc.alloc(CAP * 2)
+    assert exc.value.requested == CAP * 2
+    assert exc.value.capacity == CAP - NULL_GUARD
+
+
+def test_free_enables_reuse(alloc):
+    a = alloc.alloc(CAP // 2)
+    with pytest.raises(DeviceOutOfMemory):
+        alloc.alloc(CAP // 2)
+    alloc.free(a)
+    b = alloc.alloc(CAP // 2)
+    assert b == a
+
+
+def test_free_coalesces_adjacent(alloc):
+    a = alloc.alloc(1000)
+    b = alloc.alloc(1000)
+    c = alloc.alloc(1000)
+    alloc.free(a)
+    alloc.free(c)
+    alloc.free(b)  # middle last: must merge all three + trailing space
+    big = alloc.alloc(CAP - NULL_GUARD - 256)
+    assert big == a
+
+
+def test_double_free_rejected(alloc):
+    a = alloc.alloc(100)
+    alloc.free(a)
+    with pytest.raises(ValueError):
+        alloc.free(a)
+
+
+def test_free_unknown_rejected(alloc):
+    with pytest.raises(ValueError):
+        alloc.free(123456)
+
+
+def test_counters(alloc):
+    before = alloc.free_bytes
+    a = alloc.alloc(512)
+    assert alloc.used_bytes == 512
+    assert alloc.live_allocations == 1
+    alloc.free(a)
+    assert alloc.free_bytes == before
+    assert alloc.live_allocations == 0
+
+
+def test_free_all(alloc):
+    for _ in range(5):
+        alloc.alloc(1024)
+    alloc.free_all()
+    assert alloc.used_bytes == 0
+    assert alloc.live_allocations == 0
+
+
+def test_nonpositive_size_rejected(alloc):
+    with pytest.raises(ValueError):
+        alloc.alloc(0)
+
+
+def test_first_fit_reuses_earliest_hole(alloc):
+    a = alloc.alloc(4096)
+    alloc.alloc(256)
+    alloc.free(a)
+    c = alloc.alloc(1024)
+    assert c == a  # earliest sufficient hole

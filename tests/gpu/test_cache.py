@@ -1,0 +1,49 @@
+"""Analytic L2 model invariants."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.gpu.cache import L2Model
+from repro.gpu.coalescing import SECTOR_BYTES
+
+
+def model(size=1 << 20, enabled=True):
+    return L2Model(CacheConfig(size_bytes=size, enabled=enabled))
+
+
+def test_no_reuse_no_hits():
+    out = model().evaluate(total_sectors=1000, unique_sectors=1000)
+    assert out.hit_rate == 0.0
+    assert out.dram_bytes == 1000 * SECTOR_BYTES
+
+
+def test_full_reuse_in_cache_mostly_hits():
+    # 10 sectors touched 1000 times, tiny working set
+    out = model().evaluate(total_sectors=1000, unique_sectors=10)
+    assert out.hit_rate == pytest.approx(0.99, abs=0.01)
+
+
+def test_capacity_overflow_scales_hits_down():
+    size = 100 * SECTOR_BYTES
+    fits = model(size).evaluate(total_sectors=1000, unique_sectors=100)
+    spills = model(size).evaluate(total_sectors=1000, unique_sectors=400)
+    assert spills.hit_rate < fits.hit_rate
+    # 4x overflow -> capacity factor 1/4
+    assert spills.hit_rate == pytest.approx((1 - 0.4) * 0.25)
+
+
+def test_disabled_cache_sends_everything_to_dram():
+    out = model(enabled=False).evaluate(total_sectors=500, unique_sectors=10)
+    assert out.hit_rate == 0.0
+    assert out.dram_bytes == 500 * SECTOR_BYTES
+
+
+def test_bytes_conserved():
+    out = model().evaluate(total_sectors=800, unique_sectors=200)
+    assert out.dram_bytes + out.hit_bytes == pytest.approx(800 * SECTOR_BYTES)
+
+
+def test_zero_traffic():
+    out = model().evaluate(0, 0)
+    assert out.hit_rate == 0.0
+    assert out.dram_bytes == 0.0

@@ -1,0 +1,80 @@
+"""Warp-level coalescing: sector math from real addresses."""
+
+import numpy as np
+
+from repro.gpu.coalescing import (
+    SECTOR_BYTES,
+    transactions_per_warp,
+    uncoalesced_keys,
+    warp_sector_keys,
+)
+
+
+def lanes(n, start=0):
+    return np.arange(start, start + n, dtype=np.int64)
+
+
+class TestCoalesced:
+    def test_contiguous_f64_warp_costs_8_sectors(self):
+        # 32 lanes x 8B contiguous = 256B = 8 sectors of 32B
+        addrs = 4096 + lanes(32) * 8
+        keys = warp_sector_keys(lanes(32), addrs, 8)
+        assert keys.size == 8
+
+    def test_same_address_broadcast_costs_1(self):
+        addrs = np.full(32, 4096, dtype=np.int64)
+        keys = warp_sector_keys(lanes(32), addrs, 8)
+        assert keys.size == 1
+
+    def test_strided_access_defeats_coalescing(self):
+        addrs = 4096 + lanes(32) * 128  # one lane per sector
+        keys = warp_sector_keys(lanes(32), addrs, 8)
+        assert keys.size == 32
+
+    def test_i8_contiguous_single_sector(self):
+        addrs = 4096 + lanes(32)
+        keys = warp_sector_keys(lanes(32), addrs, 1)
+        assert keys.size == 1
+
+
+class TestMultiWarp:
+    def test_warps_counted_separately(self):
+        # two warps, each contiguous: 8 sectors per warp even at the same
+        # addresses (transactions are per warp)
+        l = lanes(64)
+        addrs = 4096 + (l % 32) * 8
+        keys = warp_sector_keys(l, addrs, 8)
+        assert keys.size == 16
+        per_warp = transactions_per_warp(keys)
+        assert per_warp == {0: 8, 1: 8}
+
+    def test_partial_warp(self):
+        l = lanes(4, start=32)  # 4 lanes of warp 1
+        addrs = 4096 + lanes(4) * 8
+        keys = warp_sector_keys(l, addrs, 8)
+        assert transactions_per_warp(keys) == {1: 1}
+
+
+class TestUncoalescedAblation:
+    def test_every_lane_pays(self):
+        addrs = 4096 + lanes(32) * 8  # would coalesce to 8
+        keys = uncoalesced_keys(lanes(32), addrs)
+        assert keys.size == 32
+
+    def test_ablation_at_least_as_expensive(self):
+        rng = np.random.default_rng(7)
+        addrs = 4096 + rng.integers(0, 4096, size=32) * 8
+        co = warp_sector_keys(lanes(32), addrs, 8)
+        unco = uncoalesced_keys(lanes(32), addrs)
+        assert unco.size >= co.size
+
+
+def test_keys_sorted_and_unique():
+    rng = np.random.default_rng(3)
+    addrs = 4096 + rng.integers(0, 1 << 20, size=64) * 8
+    keys = warp_sector_keys(lanes(64), addrs, 8)
+    assert np.all(np.diff(keys) > 0)
+
+
+def test_sector_bytes_constant():
+    assert SECTOR_BYTES == 32

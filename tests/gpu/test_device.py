@@ -1,0 +1,126 @@
+"""GPUDevice: image loading, resets, launch validation, resource hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.config import DeviceConfig
+from repro.errors import DeviceError, LaunchError
+from repro.gpu.device import GPUDevice
+from repro.ir.instructions import Opcode
+from repro.ir.module import GlobalVar
+from repro.ir.types import MemType
+from tests.util import SMALL_DEVICE, build_kernel_module, small_device
+
+
+def counter_module(team_local=False):
+    def setup(m):
+        m.add_global(
+            GlobalVar(
+                "counter",
+                MemType.I64,
+                1,
+                init=np.array([100], dtype=np.int64),
+                team_local=team_local,
+            )
+        )
+        m.add_global(GlobalVar("out", MemType.I64, 8))
+
+    def build(b, fn, module):
+        caddr = b.gaddr("counter")
+        v = b.atomic_add(caddr, b.const_i(1), MemType.I64)
+        team = b.ctaid()
+        out = b.gaddr("out")
+        addr = b.binop(Opcode.ADD, out, b.binop(Opcode.MUL, team, b.const_i(8)))
+        b.store(addr, v, MemType.I64)
+        b.ret()
+
+    return build_kernel_module(build, globals_setup=setup)
+
+
+class TestImages:
+    def test_globals_initialized(self, device):
+        m = counter_module()
+        image = device.load_image(m)
+        assert device.memory.read_i64(image.symbol("counter")) == 100
+
+    def test_unknown_symbol_raises(self, device):
+        image = device.load_image(counter_module())
+        with pytest.raises(DeviceError, match="no symbol"):
+            image.symbol("ghost")
+
+    def test_reset_image_restores_initial_values(self, device):
+        image = device.load_image(counter_module())
+        device.memory.write_i64(image.symbol("counter"), 999)
+        device.reset_image(image)
+        assert device.memory.read_i64(image.symbol("counter")) == 100
+
+    def test_unload_frees_memory(self, device):
+        used = device.allocator.used_bytes
+        image = device.load_image(counter_module())
+        device.unload_image(image)
+        assert device.allocator.used_bytes == used
+
+
+class TestTeamLocalGlobals:
+    def test_shared_global_accumulates_across_teams(self, device):
+        image = device.load_image(counter_module(team_local=False))
+        device.launch(image, "k", num_teams=4, thread_limit=32,
+                      collect_timing=False)
+        out = device.memory.read_array(image.symbol("out"), np.int64, 4)
+        assert sorted(out) == [100, 101, 102, 103]
+
+    def test_team_local_global_gives_private_copies(self, device):
+        image = device.load_image(counter_module(team_local=True))
+        device.launch(image, "k", num_teams=4, thread_limit=32,
+                      collect_timing=False)
+        out = device.memory.read_array(image.symbol("out"), np.int64, 4)
+        assert list(out) == [100, 100, 100, 100]  # every team saw its own 100
+
+    def test_team_local_region_freed_after_launch(self, device):
+        image = device.load_image(counter_module(team_local=True))
+        used = device.allocator.used_bytes
+        device.launch(image, "k", num_teams=4, thread_limit=32,
+                      collect_timing=False)
+        assert device.allocator.used_bytes == used
+
+
+class TestLaunchValidation:
+    def test_too_many_threads(self, device):
+        image = device.load_image(counter_module())
+        with pytest.raises(LaunchError):
+            device.launch(image, "k", num_teams=1, thread_limit=4096)
+
+    def test_too_many_teams(self, device):
+        image = device.load_image(counter_module())
+        with pytest.raises(LaunchError, match="block capacity"):
+            device.launch(image, "k", num_teams=10**6, thread_limit=32)
+
+    def test_bad_config_rejected_at_device_creation(self):
+        with pytest.raises(ValueError):
+            GPUDevice(DeviceConfig(warp_size=33)).config
+
+    def test_launch_without_timing_has_no_cycles(self, device):
+        image = device.load_image(counter_module())
+        res = device.launch(image, "k", num_teams=1, thread_limit=32,
+                            collect_timing=False)
+        assert res.cycles is None
+        assert res.timing is None
+        assert res.interpreter_steps > 0
+
+    def test_lowered_kernel_cached(self, device):
+        image = device.load_image(counter_module())
+        device.launch(image, "k", num_teams=1, thread_limit=32,
+                      collect_timing=False)
+        first = image.lowered["k"]
+        device.launch(image, "k", num_teams=1, thread_limit=32,
+                      collect_timing=False)
+        assert image.lowered["k"] is first
+
+
+class TestSummary:
+    def test_launch_summary_fields(self, device):
+        image = device.load_image(counter_module())
+        res = device.launch(image, "k", num_teams=2, thread_limit=32)
+        s = res.summary
+        assert s["teams"] == 2
+        assert s["cycles"] > 0

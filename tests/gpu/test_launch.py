@@ -1,0 +1,48 @@
+"""Launch geometry validation, including the packed (N/M, M, 1) shape."""
+
+import pytest
+
+from repro.config import DeviceConfig
+from repro.errors import LaunchError
+from repro.gpu.launch import Dim3, LaunchConfig, config_1d
+
+DEV = DeviceConfig(global_mem_bytes=1 << 26)
+
+
+class TestDim3:
+    def test_total(self):
+        assert Dim3(4, 2, 3).total == 24
+
+    def test_defaults(self):
+        assert Dim3(5).total == 5
+
+    def test_zero_rejected(self):
+        with pytest.raises(LaunchError):
+            Dim3(0)
+
+
+class TestConfig1D:
+    def test_plain_block(self):
+        cfg = config_1d(8, 128)
+        assert cfg.num_blocks == 8
+        assert cfg.block == Dim3(128, 1, 1)
+        cfg.validate(DEV)
+
+    def test_packed_block_shape(self):
+        cfg = config_1d(4, 128, instances_per_block=4)
+        assert cfg.block == Dim3(32, 4, 1)
+        assert cfg.threads_per_instance == 32
+        cfg.validate(DEV)
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(LaunchError):
+            config_1d(1, 2048).validate(DEV)
+
+    def test_uneven_packing_rejected(self):
+        cfg = LaunchConfig(Dim3(2), Dim3(100), instances_per_block=3)
+        with pytest.raises(LaunchError, match="split evenly"):
+            cfg.validate(DEV)
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(LaunchError):
+            Dim3(0, 1, 1)

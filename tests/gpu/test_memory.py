@@ -1,0 +1,134 @@
+"""Functional device memory: typed access, faults, atomics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryFault
+from repro.gpu.memory import NULL_GUARD, GlobalMemory
+from repro.ir.types import MemType
+
+BASE = 8192
+
+
+@pytest.fixture
+def mem():
+    return GlobalMemory(1 << 20)
+
+
+class TestGatherScatter:
+    def test_f64_roundtrip(self, mem):
+        addrs = BASE + np.arange(8) * 8
+        vals = np.linspace(0.0, 7.0, 8)
+        mem.scatter(addrs, vals, MemType.F64)
+        out = mem.gather(addrs, MemType.F64)
+        np.testing.assert_array_equal(out, vals)
+
+    def test_i8_sign_extension(self, mem):
+        addrs = np.array([BASE])
+        mem.scatter(addrs, np.array([-1]), MemType.I8)
+        assert mem.gather(addrs, MemType.I8)[0] == -1
+
+    def test_i32_roundtrip(self, mem):
+        addrs = BASE + np.arange(4) * 4
+        mem.scatter(addrs, np.array([1, -2, 3, -4]), MemType.I32)
+        np.testing.assert_array_equal(
+            mem.gather(addrs, MemType.I32), [1, -2, 3, -4]
+        )
+
+    def test_scatter_conflict_single_winner(self, mem):
+        addrs = np.array([BASE, BASE, BASE])
+        mem.scatter(addrs, np.array([1, 2, 3]), MemType.I64)
+        assert mem.gather(np.array([BASE]), MemType.I64)[0] in (1, 2, 3)
+
+    def test_empty_access_is_noop(self, mem):
+        out = mem.gather(np.array([], dtype=np.int64), MemType.F64)
+        assert out.size == 0
+
+
+class TestFaults:
+    def test_null_guard(self, mem):
+        with pytest.raises(MemoryFault, match="null guard"):
+            mem.gather(np.array([8]), MemType.I64)
+
+    def test_guard_boundary_is_exclusive(self, mem):
+        mem.gather(np.array([NULL_GUARD]), MemType.I64)  # first legal byte
+
+    def test_out_of_range(self, mem):
+        with pytest.raises(MemoryFault, match="beyond"):
+            mem.gather(np.array([mem.capacity]), MemType.I64)
+
+    def test_misaligned_f64(self, mem):
+        with pytest.raises(MemoryFault, match="misaligned"):
+            mem.gather(np.array([BASE + 4]), MemType.F64)
+
+    def test_i8_has_no_alignment(self, mem):
+        mem.gather(np.array([BASE + 3]), MemType.I8)
+
+    def test_host_access_checked(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.read_bytes(0, 16)
+
+
+class TestAtomics:
+    def test_fetch_add_disjoint(self, mem):
+        addrs = BASE + np.arange(4) * 8
+        old = mem.fetch_add(addrs, np.array([1.0, 2.0, 3.0, 4.0]), MemType.F64)
+        np.testing.assert_array_equal(old, np.zeros(4))
+        np.testing.assert_array_equal(
+            mem.gather(addrs, MemType.F64), [1.0, 2.0, 3.0, 4.0]
+        )
+
+    def test_fetch_add_colliding_lanes_serialize(self, mem):
+        addrs = np.full(4, BASE, dtype=np.int64)
+        old = mem.fetch_add(addrs, np.array([1, 10, 100, 1000]), MemType.I64)
+        # lane order: each sees the sum of the previous lanes' adds
+        np.testing.assert_array_equal(old, [0, 1, 11, 111])
+        assert mem.gather(np.array([BASE]), MemType.I64)[0] == 1111
+
+    def test_fetch_add_mixed_collisions(self, mem):
+        addrs = np.array([BASE, BASE + 8, BASE, BASE + 8], dtype=np.int64)
+        old = mem.fetch_add(addrs, np.array([1.0, 2.0, 3.0, 4.0]), MemType.F64)
+        np.testing.assert_array_equal(old, [0.0, 0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(
+            mem.gather(np.array([BASE, BASE + 8]), MemType.F64), [4.0, 6.0]
+        )
+
+    def test_fetch_max(self, mem):
+        addrs = np.full(3, BASE, dtype=np.int64)
+        mem.write_i64(BASE, 5)
+        old = mem.fetch_max(addrs, np.array([3, 9, 7]), MemType.I64)
+        np.testing.assert_array_equal(old, [5, 5, 9])
+        assert mem.read_i64(BASE) == 9
+
+
+class TestHostHelpers:
+    def test_cstring_roundtrip(self, mem):
+        mem.write_bytes(BASE, b"hello\x00")
+        assert mem.read_cstring(BASE) == "hello"
+
+    def test_unterminated_string_faults(self):
+        m = GlobalMemory(NULL_GUARD + 64)
+        m.write_bytes(NULL_GUARD, b"\x01" * (m.capacity - NULL_GUARD))
+        with pytest.raises(MemoryFault, match="unterminated"):
+            m.read_cstring(NULL_GUARD)
+
+    def test_scalar_helpers(self, mem):
+        mem.write_f64(BASE, 2.5)
+        assert mem.read_f64(BASE) == 2.5
+        mem.write_i64(BASE, -7)
+        assert mem.read_i64(BASE) == -7
+
+    def test_array_roundtrip(self, mem):
+        arr = np.arange(10, dtype=np.int32)
+        mem.write_array(BASE, arr)
+        np.testing.assert_array_equal(mem.read_array(BASE, np.int32, 10), arr)
+
+    def test_zero(self, mem):
+        mem.write_bytes(BASE, b"\xff" * 16)
+        mem.zero(BASE, 16)
+        assert mem.read_bytes(BASE, 16) == b"\x00" * 16
+
+
+def test_capacity_must_exceed_guard():
+    with pytest.raises(ValueError):
+        GlobalMemory(NULL_GUARD)

@@ -1,0 +1,59 @@
+"""Occupancy calculator against hand-computed A100-style cases."""
+
+import pytest
+
+from repro.config import DeviceConfig
+from repro.errors import LaunchError
+from repro.gpu.occupancy import occupancy
+
+DEV = DeviceConfig(global_mem_bytes=1 << 26)
+
+
+def test_small_blocks_limited_by_block_slots():
+    # 32-thread blocks: thread limit allows 64/block-slot limit is 32
+    r = occupancy(DEV, 32, regs_per_thread=32)
+    assert r.blocks_per_sm == 32
+    assert r.limiter == "blocks"
+    assert r.active_warps_per_sm == 32
+    assert r.occupancy == 0.5
+
+
+def test_1024_thread_blocks():
+    r = occupancy(DEV, 1024, regs_per_thread=32)
+    # 2048 threads/SM / 1024 = 2 blocks; 65536 regs / (32*1024) = 2
+    assert r.blocks_per_sm == 2
+    assert r.occupancy == 1.0
+
+
+def test_register_pressure_limits():
+    r = occupancy(DEV, 256, regs_per_thread=128)
+    # regs: 65536 // (128*256) = 2 blocks -> 16 warps of 64
+    assert r.blocks_per_sm == 2
+    assert r.limiter == "registers"
+
+
+def test_shared_memory_limits():
+    r = occupancy(DEV, 64, regs_per_thread=16, shared_mem_per_block=48 * 1024)
+    # smem: 164KB // 48KB = 3
+    assert r.blocks_per_sm == 3
+    assert r.limiter == "shared"
+
+
+def test_impossible_block_raises():
+    with pytest.raises(LaunchError, match="exceeds the device limit"):
+        occupancy(DEV, 2048)
+
+
+def test_excess_shared_memory_raises():
+    with pytest.raises(LaunchError, match="shared memory"):
+        occupancy(DEV, 64, shared_mem_per_block=1 << 20)
+
+
+def test_zero_threads_rejected():
+    with pytest.raises(LaunchError):
+        occupancy(DEV, 0)
+
+
+def test_nonmultiple_warp_rounds_up():
+    r = occupancy(DEV, 48)  # 2 warps worth of slots
+    assert r.active_warps_per_sm == r.blocks_per_sm * 2

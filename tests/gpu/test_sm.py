@@ -1,0 +1,37 @@
+"""Block-to-SM greedy scheduling."""
+
+import pytest
+
+from repro.gpu.sm import schedule_blocks
+
+
+def test_fewer_blocks_than_slots_single_wave():
+    r = schedule_blocks([5.0, 3.0, 8.0], num_sms=4, blocks_per_sm=2)
+    assert r.waves == 1
+    assert r.makespan == 8.0
+
+
+def test_oversubscription_produces_waves():
+    r = schedule_blocks([1.0] * 10, num_sms=2, blocks_per_sm=2)
+    assert r.waves == 3  # 10 blocks / 4 slots
+    assert r.makespan == pytest.approx(3.0)
+
+
+def test_greedy_balances_heterogeneous_blocks():
+    # one long block + shorties: greedy puts shorties on the other slot
+    r = schedule_blocks([10.0, 1.0, 1.0, 1.0, 1.0], num_sms=1, blocks_per_sm=2)
+    assert r.makespan == pytest.approx(10.0)
+
+
+def test_empty_launch():
+    r = schedule_blocks([], num_sms=4, blocks_per_sm=2)
+    assert r.makespan == 0.0
+    assert r.waves == 0
+
+
+def test_makespan_at_least_mean_load():
+    times = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+    slots = 3
+    r = schedule_blocks(times, num_sms=3, blocks_per_sm=1)
+    assert r.makespan >= sum(times) / slots
+    assert r.makespan >= max(times)

@@ -1,0 +1,137 @@
+"""Kernel timing model: composition of traces into cycle counts."""
+
+import numpy as np
+import pytest
+
+from repro.config import DeviceConfig, SimConfig
+from repro.gpu.timing import (
+    CPI,
+    LAUNCH_OVERHEAD_CYCLES,
+    BlockTrace,
+    PhaseStats,
+    TimingModel,
+    cpi_of,
+)
+from repro.ir.instructions import Opcode
+
+DEV = DeviceConfig(global_mem_bytes=1 << 26)
+
+
+def trace(block_id=0, *, sectors=0, issue=100.0, warps=1, parallel=False,
+          unique=None, transitions=0, hits=0):
+    t = BlockTrace(block_id)
+    t.phases.append(
+        PhaseStats(
+            parallel=parallel,
+            active_warps=warps,
+            mem_warps=warps if sectors else 0,
+            issue_cycles_total=issue,
+            issue_cycles_max_warp=issue / max(1, warps),
+            sectors=sectors,
+        )
+    )
+    t.row_transitions = transitions or sectors
+    t.row_hits = hits
+    t.unique_sectors = np.arange(unique if unique is not None else sectors)
+    return t
+
+
+def model(sim=SimConfig()):
+    return TimingModel(DEV, sim)
+
+
+class TestBasics:
+    def test_compute_only_block(self):
+        kt = model().kernel_time([trace(issue=1000.0)], threads_per_block=32)
+        assert kt.cycles == pytest.approx(1000.0 + LAUNCH_OVERHEAD_CYCLES)
+
+    def test_launch_overhead_always_present(self):
+        kt = model().kernel_time([trace(issue=0.0)], threads_per_block=32)
+        assert kt.cycles >= LAUNCH_OVERHEAD_CYCLES
+
+    def test_memory_bound_block_slower_than_compute_only(self):
+        c = model().kernel_time([trace(issue=100.0)], threads_per_block=32)
+        m = model().kernel_time(
+            [trace(issue=100.0, sectors=10_000)], threads_per_block=32
+        )
+        assert m.cycles > c.cycles
+
+    def test_no_traces_rejected(self):
+        with pytest.raises(Exception):
+            model().kernel_time([], threads_per_block=32)
+
+
+class TestContention:
+    def test_more_blocks_inflate_block_time(self):
+        """The same per-block work takes longer when 64 copies contend
+        (disjoint working sets: each instance owns its own heap)."""
+        def make(i):
+            t = trace(i, sectors=5000, transitions=5000, hits=4500, unique=5000)
+            t.unique_sectors = np.arange(i * 5000, (i + 1) * 5000)
+            return t
+
+        one = model().kernel_time([make(0)], threads_per_block=32)
+        many = model().kernel_time(
+            [make(i) for i in range(64)], threads_per_block=32
+        )
+        assert max(many.block_times) > max(one.block_times)
+        assert many.cycles > one.cycles
+        assert many.dram_efficiency < one.dram_efficiency
+
+    def test_row_locality_ablation_removes_inflation(self):
+        sim = SimConfig(model_row_locality=False)
+        many = model(sim).kernel_time(
+            [trace(i, sectors=5000) for i in range(64)], threads_per_block=32
+        )
+        assert many.dram_efficiency == 1.0
+
+    def test_l2_ablation_increases_dram_traffic(self):
+        ts = [trace(sectors=1000, unique=100)]
+        with_l2 = model().kernel_time(ts, threads_per_block=32)
+        no_l2 = model(SimConfig(model_l2=False)).kernel_time(
+            ts, threads_per_block=32
+        )
+        assert no_l2.l2_hit_rate == 0.0
+        assert no_l2.total_dram_bytes > with_l2.total_dram_bytes
+
+
+class TestPhases:
+    def test_parallel_phase_with_more_warps_is_faster(self):
+        seq = model().kernel_time(
+            [trace(sectors=2000, warps=1)], threads_per_block=1024
+        )
+        par = model().kernel_time(
+            [trace(sectors=2000, warps=32)], threads_per_block=1024
+        )
+        assert par.cycles < seq.cycles
+
+    def test_phases_sum(self):
+        t = BlockTrace(0)
+        t.phases = [
+            PhaseStats(parallel=False, active_warps=1, issue_cycles_total=500.0,
+                       issue_cycles_max_warp=500.0),
+            PhaseStats(parallel=True, active_warps=4, issue_cycles_total=400.0,
+                       issue_cycles_max_warp=100.0),
+        ]
+        t.unique_sectors = np.arange(0)
+        kt = model().kernel_time([t], threads_per_block=128)
+        assert kt.cycles == pytest.approx(500.0 + 100.0 + LAUNCH_OVERHEAD_CYCLES)
+
+
+class TestCPI:
+    def test_transcendentals_cost_more_than_alu(self):
+        assert cpi_of(Opcode.EXP) > cpi_of(Opcode.FADD) > cpi_of(Opcode.ADD)
+
+    def test_rpc_is_expensive(self):
+        assert cpi_of(Opcode.RPC) >= 1000
+
+    def test_default_cpi_for_unlisted(self):
+        assert cpi_of(Opcode.MOV) == 1.0
+        assert Opcode.MOV not in CPI
+
+
+def test_summary_fields():
+    kt = model().kernel_time([trace(sectors=100)], threads_per_block=32)
+    s = kt.summary()
+    for key in ("cycles", "l2_hit_rate", "dram_efficiency", "occupancy", "waves"):
+        assert key in s

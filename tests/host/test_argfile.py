@@ -1,0 +1,58 @@
+"""Argument-file parsing (§3.2, Figure 5b)."""
+
+import pytest
+
+from repro.errors import ArgFileError
+from repro.host.argfile import (
+    parse_argument_file,
+    parse_argument_text,
+    write_argument_file,
+)
+
+PAPER_EXAMPLE = """-a 1 -b -c data-1.bin
+-a 2 -b -c data-2.bin
+-a 1 -b -c data-3.bin
+-a 3 -b -c data-4.bin
+"""
+
+
+def test_paper_figure_5b_parses_verbatim():
+    instances = parse_argument_text(PAPER_EXAMPLE)
+    assert len(instances) == 4
+    assert instances[0] == ["-a", "1", "-b", "-c", "data-1.bin"]
+    assert instances[3] == ["-a", "3", "-b", "-c", "data-4.bin"]
+
+
+def test_blank_lines_and_comments_skipped():
+    text = "\n# a comment\n-x 1\n\n   \n-x 2\n"
+    assert parse_argument_text(text) == [["-x", "1"], ["-x", "2"]]
+
+
+def test_quoting():
+    text = '-f "file with spaces.bin" -t \'single quoted\'\n'
+    assert parse_argument_text(text) == [
+        ["-f", "file with spaces.bin", "-t", "single quoted"]
+    ]
+
+
+def test_unterminated_quote_rejected():
+    with pytest.raises(ArgFileError, match="line 1"):
+        parse_argument_text('-f "oops\n')
+
+
+def test_file_roundtrip(tmp_path):
+    instances = [["-a", "1"], ["-b", "x y"], ["--flag"]]
+    path = tmp_path / "arguments.txt"
+    write_argument_file(path, instances)
+    assert parse_argument_file(path) == instances
+
+
+def test_missing_file_raises():
+    with pytest.raises(ArgFileError, match="cannot read"):
+        parse_argument_file("/nonexistent/arguments.txt")
+
+
+def test_empty_file_is_zero_instances(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_text("")
+    assert parse_argument_file(path) == []

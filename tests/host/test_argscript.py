@@ -1,0 +1,94 @@
+"""Argument script language (§3.2 future work)."""
+
+import pytest
+
+from repro.errors import ArgScriptError
+from repro.host.argfile import parse_argument_text
+from repro.host.argscript import expand_argument_script
+
+
+def lines_of(text):
+    return [l for l in text.splitlines() if l]
+
+
+class TestPlain:
+    def test_passthrough(self):
+        out = expand_argument_script("-a 1 -b\n-a 2\n")
+        assert lines_of(out) == ["-a 1 -b", "-a 2"]
+
+    def test_comments_dropped(self):
+        out = expand_argument_script("# hi\n-a 1\n")
+        assert lines_of(out) == ["-a 1"]
+
+
+class TestSubstitution:
+    def test_expression(self):
+        out = expand_argument_script("@set x = 4\n-n {x * 10 + 2}\n")
+        assert lines_of(out) == ["-n 42"]
+
+    def test_float_formats_as_int_when_whole(self):
+        out = expand_argument_script("-s {8 / 2}\n")
+        assert lines_of(out) == ["-s 4"]
+
+    def test_functions(self):
+        out = expand_argument_script("-m {max(3, 7)} {min(3, 7)} {abs(-2)}\n")
+        assert lines_of(out) == ["-m 7 3 2"]
+
+    def test_conditional_expression(self):
+        out = expand_argument_script("@set n = 5\n-t {32 if n > 3 else 64}\n")
+        assert lines_of(out) == ["-t 32"]
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(ArgScriptError, match="undefined variable"):
+            expand_argument_script("-n {missing}\n")
+
+    def test_dangerous_constructs_rejected(self):
+        with pytest.raises(ArgScriptError):
+            expand_argument_script("-n {__import__('os')}\n")
+
+
+class TestForeach:
+    def test_simple_loop(self):
+        out = expand_argument_script("@foreach i in 0..3\n-s {i}\n@end\n")
+        assert lines_of(out) == ["-s 0", "-s 1", "-s 2", "-s 3"]
+
+    def test_step(self):
+        out = expand_argument_script("@foreach i in 10..2..-4\n-s {i}\n@end\n")
+        assert lines_of(out) == ["-s 10", "-s 6", "-s 2"]
+
+    def test_nested_loops(self):
+        script = "@foreach i in 0..1\n@foreach j in 0..1\n-p {i}{j}\n@end\n@end\n"
+        out = expand_argument_script(script)
+        assert lines_of(out) == ["-p 00", "-p 01", "-p 10", "-p 11"]
+
+    def test_loop_bounds_are_expressions(self):
+        out = expand_argument_script("@set n = 2\n@foreach i in 0..n\n-x {i}\n@end\n")
+        assert lines_of(out) == ["-x 0", "-x 1", "-x 2"]
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(ArgScriptError, match="unterminated"):
+            expand_argument_script("@foreach i in 0..3\n-s {i}\n")
+
+    def test_stray_end_rejected(self):
+        with pytest.raises(ArgScriptError, match="@end without"):
+            expand_argument_script("@end\n")
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ArgScriptError, match="nonzero"):
+            expand_argument_script("@foreach i in 0..3..0\n-s {i}\n@end\n")
+
+
+class TestIntegration:
+    def test_expansion_feeds_argfile_parser(self):
+        script = "@foreach i in 1..4\n-g {256 * i} -s {i}\n@end\n"
+        instances = parse_argument_text(expand_argument_script(script))
+        assert len(instances) == 4
+        assert instances[2] == ["-g", "768", "-s", "3"]
+
+    def test_external_variables(self):
+        out = expand_argument_script("-n {base}\n", variables={"base": 99})
+        assert lines_of(out) == ["-n 99"]
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ArgScriptError, match="unknown directive"):
+            expand_argument_script("@repeat 5\n")

@@ -1,0 +1,90 @@
+"""The ensembler CLI (Figure 5c): ./user_app_gpu -f arguments.txt -n 4 -t 128."""
+
+import pytest
+
+from repro.host.cli import build_parser, main
+
+
+@pytest.fixture
+def argfile(tmp_path):
+    f = tmp_path / "arguments.txt"
+    f.write_text("-p 8 -n 2 -l 16 -s 1\n-p 8 -n 2 -l 16 -s 2\n")
+    return str(f)
+
+
+class TestParser:
+    def test_paper_flags_accepted(self):
+        args = build_parser().parse_args(
+            ["--app", "rsbench", "-f", "a.txt", "-n", "4", "-t", "128"]
+        )
+        assert args.app == "rsbench"
+        assert args.arg_file == "a.txt"
+        assert args.num_instances == 4
+        assert args.thread_limit == 128
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--app", "xsbench", "-f", "x"])
+        assert args.num_instances is None
+        assert args.thread_limit == 1024
+        assert args.pack == 1
+
+
+class TestExecution:
+    def test_list_apps(self, capsys):
+        assert main(["--app", "xsbench", "--list-apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("xsbench", "rsbench", "amgmk", "pagerank"):
+            assert name in out
+
+    def test_unknown_app_errors(self, argfile):
+        with pytest.raises(SystemExit):
+            main(["--app", "doom", "-f", argfile])
+
+    def test_missing_argfile_errors(self):
+        with pytest.raises(SystemExit):
+            main(["--app", "rsbench"])
+
+    def test_full_run(self, argfile, capsys):
+        code = main(
+            ["--app", "rsbench", "-f", argfile, "-n", "2", "-t", "32", "--heap-mb", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RSBench checksum" in out
+        assert "ensemble: 2 instances, 2 teams x 32 threads" in out
+
+    def test_quiet_suppresses_instance_stdout(self, argfile, capsys):
+        main(["--app", "rsbench", "-f", argfile, "-t", "32", "--quiet",
+              "--heap-mb", "4"])
+        out = capsys.readouterr().out
+        assert "RSBench checksum" not in out
+        assert "exit 0" in out
+
+    def test_script_mode(self, tmp_path, capsys):
+        script = tmp_path / "gen.args"
+        script.write_text("@foreach i in 1..2\n-p 8 -n 2 -l 16 -s {i}\n@end\n")
+        code = main(
+            ["--app", "rsbench", "-f", str(script), "--script", "-t", "32",
+             "--heap-mb", "4"]
+        )
+        assert code == 0
+        assert "2 instances" in capsys.readouterr().out
+
+    def test_packed_mapping_flag(self, argfile, capsys):
+        code = main(
+            ["--app", "rsbench", "-f", argfile, "-t", "64", "--pack", "2",
+             "--heap-mb", "4", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 teams x 64 threads" in out  # 2 instances packed into 1 team
+
+    def test_oom_exit_code(self, tmp_path, capsys):
+        f = tmp_path / "args.txt"
+        f.write_text("\n".join("-n 16384 -d 8 -i 1 -s %d" % i for i in range(8)) + "\n")
+        code = main(
+            ["--app", "pagerank", "-f", str(f), "-t", "32", "--heap-mb", "2",
+             "--quiet"]
+        )
+        assert code == 2
+        assert "out of memory" in capsys.readouterr().err

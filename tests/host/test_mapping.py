@@ -1,0 +1,48 @@
+"""Mapping strategies (§3.1)."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.host.mapping import OneInstancePerTeam, PackedMapping
+
+
+class TestOnePerTeam:
+    def test_teams_equal_instances(self):
+        g = OneInstancePerTeam().geometry(16, 32)
+        assert g.num_teams == 16
+        assert g.instances_per_team == 1
+        assert g.total_slots == 16
+
+    def test_block_shape_1d(self):
+        g = OneInstancePerTeam().geometry(4, 128)
+        assert g.block_shape == (128, 1, 1)
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(LaunchError):
+            OneInstancePerTeam().geometry(0, 32)
+
+
+class TestPacked:
+    def test_shape_matches_paper_formula(self):
+        # §3.1: thread limit N, M instances -> block (N/M, M, 1)
+        g = PackedMapping(4).geometry(8, 128)
+        assert g.block_shape == (32, 4, 1)
+        assert g.num_teams == 2
+        assert g.total_slots == 8
+
+    def test_rounding_up_teams(self):
+        g = PackedMapping(4).geometry(10, 64)
+        assert g.num_teams == 3  # ceil(10/4)
+        assert g.total_slots == 12
+
+    def test_indivisible_thread_limit_rejected(self):
+        with pytest.raises(LaunchError, match="divisible"):
+            PackedMapping(3).geometry(6, 64)
+
+    def test_m_must_be_positive(self):
+        with pytest.raises(LaunchError):
+            PackedMapping(0)
+
+    def test_describe(self):
+        assert "packed-2" in PackedMapping(2).describe()
+        assert "one-instance" in OneInstancePerTeam().describe()

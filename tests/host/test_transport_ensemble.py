@@ -1,0 +1,44 @@
+"""Ring RPC transport under ensemble execution: per-instance output must
+stay correctly keyed even when all calls funnel through one ring."""
+
+import pytest
+
+from repro.frontend import Program, i64, ptr_ptr
+from repro.gpu.device import GPUDevice
+from repro.host.ensemble_loader import EnsembleLoader
+from tests.util import SMALL_DEVICE
+
+
+def chatty():
+    prog = Program("ring_ens")
+
+    @prog.main
+    def main(argc: i64, argv: ptr_ptr) -> i64:
+        me = atoi(argv[1])  # noqa: F821
+        printf("from instance %ld\n", me)  # noqa: F821
+        return me
+
+    return prog
+
+
+@pytest.fixture(scope="module")
+def loaders():
+    ring = EnsembleLoader(
+        chatty(), GPUDevice(SMALL_DEVICE), heap_bytes=1 << 20,
+        rpc_transport="ring",
+    )
+    direct = EnsembleLoader(
+        chatty(), GPUDevice(SMALL_DEVICE), heap_bytes=1 << 20,
+        rpc_transport="direct",
+    )
+    return ring, direct
+
+
+def test_ensemble_over_ring_matches_direct(loaders):
+    ring, direct = loaders
+    lines = [[str(i)] for i in (7, 8, 9, 10)]
+    a = ring.run_ensemble(lines, thread_limit=32, collect_timing=False)
+    b = direct.run_ensemble(lines, thread_limit=32, collect_timing=False)
+    assert a.return_codes == b.return_codes == [7, 8, 9, 10]
+    for i in range(4):
+        assert a.stdout_of(i) == b.stdout_of(i) == f"from instance {7 + i}\n"

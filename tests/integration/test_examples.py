@@ -1,0 +1,45 @@
+"""The shipped examples must actually run (they are the quickstart docs)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "pi ~= 3.14159265" in out
+    assert "all exit codes zero: True" in out
+
+
+def test_packed_mapping(capsys):
+    out = run_example("packed_mapping.py", capsys)
+    assert "one-instance-per-team" in out
+    assert "packed-4-per-team" in out
+    assert "ok=True" in out
+
+
+def test_xsbench_ensemble(capsys):
+    out = run_example("xsbench_ensemble.py", capsys)
+    assert "expanded argument file" in out
+    assert "S(8) = T1*N/TN" in out
+    assert "XSBench checksum" in out
+
+
+@pytest.mark.slow
+def test_pagerank_capacity(capsys):
+    out = run_example("pagerank_capacity.py", capsys)
+    assert "device out of memory" in out
+
+
+def test_profiling_example_listed():
+    # the slow profiling example is exercised manually; assert it exists
+    assert (EXAMPLES / "profiling.py").exists()

@@ -1,0 +1,97 @@
+"""Unit behaviour of the scaling-experiment harness itself."""
+
+import pytest
+
+from repro.apps.registry import APPS, get_app
+from repro.harness.experiment import (
+    ScalingResult,
+    ScalingRow,
+    build_instance_lines,
+    run_scaling,
+)
+from tests.util import SMALL_DEVICE
+
+
+class TestInstanceLines:
+    def test_distinct_seeds_per_instance(self):
+        lines = build_instance_lines(["-l", "8"], 3)
+        assert lines == [
+            ["-l", "8", "-s", "1"],
+            ["-l", "8", "-s", "2"],
+            ["-l", "8", "-s", "3"],
+        ]
+
+    def test_custom_seed_flag_and_base(self):
+        lines = build_instance_lines(["-n", "4"], 2, seed_flag="-r", seed_base=10)
+        assert lines == [["-n", "4", "-r", "10"], ["-n", "4", "-r", "11"]]
+
+    def test_workload_not_mutated(self):
+        args = ["-l", "8"]
+        build_instance_lines(args, 2)
+        assert args == ["-l", "8"]
+
+
+class TestScalingResult:
+    def make(self):
+        res = ScalingResult("x", 32, ["-l", "8"])
+        res.rows = [
+            ScalingRow(1, 100.0, 1.0, 1.0),
+            ScalingRow(2, 110.0, 100 * 2 / 110, 0.9),
+            ScalingRow(4, None, None, None, oom=True),
+        ]
+        return res
+
+    def test_t1(self):
+        assert self.make().t1_cycles == 100.0
+
+    def test_speedup_at(self):
+        res = self.make()
+        assert res.speedup_at(2) == pytest.approx(1.818, rel=1e-3)
+        assert res.speedup_at(4) is None
+        assert res.speedup_at(99) is None
+
+    def test_oom_at(self):
+        assert self.make().oom_at() == 4
+
+    def test_series_skips_oom(self):
+        assert set(self.make().series()) == {1, 2}
+
+    def test_max_speedup(self):
+        assert self.make().max_speedup() == pytest.approx(1.818, rel=1e-3)
+
+
+class TestRunScaling:
+    def test_failing_instance_raises(self):
+        # bad workload args -> app exits 2 -> harness must not silently plot it
+        with pytest.raises(RuntimeError, match="exit codes"):
+            run_scaling(
+                APPS["xsbench"],
+                ["-g", "1"],  # rejected by the app
+                thread_limit=32,
+                instance_counts=(1,),
+                device_config=SMALL_DEVICE,
+                heap_bytes=1 << 20,
+            )
+
+    def test_loader_reuse(self, rsbench_loader):
+        res = run_scaling(
+            get_app("rsbench"),
+            ["-p", "4", "-n", "2", "-l", "16"],
+            thread_limit=32,
+            instance_counts=(1, 2),
+            loader=rsbench_loader,
+        )
+        assert res.speedup_at(2) > 1.5
+
+    def test_rows_carry_model_diagnostics(self, rsbench_loader):
+        res = run_scaling(
+            get_app("rsbench"),
+            ["-p", "4", "-n", "2", "-l", "16"],
+            thread_limit=32,
+            instance_counts=(1,),
+            loader=rsbench_loader,
+        )
+        row = res.rows[0]
+        assert 0 <= row.l2_hit_rate <= 1
+        assert 0 < row.dram_efficiency <= 1
+        assert row.makespan is not None

@@ -1,0 +1,68 @@
+"""The Figure-6 panel driver on miniature workloads (the full-size panels
+run in benchmarks/)."""
+
+import pytest
+
+from repro.harness.figure6 import FIGURE6_WORKLOADS, Figure6Workload, run_figure6
+from tests.util import SMALL_DEVICE
+
+MINI = {
+    "rsbench": Figure6Workload(
+        "rsbench", ["-p", "4", "-n", "2", "-l", "16"], 4 * 1024 * 1024, "mini"
+    ),
+    "pagerank": Figure6Workload(
+        "pagerank",
+        ["-n", "2048", "-d", "4", "-i", "1"],
+        256 * 1024,  # fits ~2 graphs
+        "mini, OOM beyond 2",
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return run_figure6(
+        32,
+        instance_counts=(1, 2, 4),
+        device_config=SMALL_DEVICE,
+        workloads=MINI,
+        progress=lambda msg: None,
+    )
+
+
+def test_panel_covers_requested_apps(panel):
+    assert set(panel) == {"rsbench", "pagerank"}
+
+
+def test_scaling_rows_complete(panel):
+    rs = panel["rsbench"]
+    assert [r.instances for r in rs.rows] == [1, 2, 4]
+    assert rs.speedup_at(4) > 2.5
+
+
+def test_oom_recorded_in_panel(panel):
+    pr = panel["pagerank"]
+    assert pr.oom_at() == 4
+    assert pr.speedup_at(2) is not None
+
+
+def test_apps_filter():
+    res = run_figure6(
+        32,
+        apps=["rsbench"],
+        instance_counts=(1,),
+        device_config=SMALL_DEVICE,
+        workloads=MINI,
+    )
+    assert set(res) == {"rsbench"}
+
+
+def test_default_workloads_sane():
+    """The shipped full-size workloads stay consistent with the registry."""
+    from repro.apps.registry import APPS
+
+    for name, wl in FIGURE6_WORKLOADS.items():
+        assert name in APPS
+        assert wl.heap_bytes > 0
+        assert wl.args  # non-empty argument list
+        assert wl.note

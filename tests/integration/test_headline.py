@@ -1,0 +1,44 @@
+"""Headline claim, scaled down: a big ensemble yields a large fraction of
+linear speedup ("up to 51X speedup for 64 instances" at full scale).
+
+The full 64-instance sweep runs in the benchmark harness; here 32 instances
+of a fast workload must reach well over half of linear, demonstrating the
+effect at test-suite cost.
+"""
+
+import pytest
+
+from repro.apps.registry import APPS
+from repro.harness.experiment import run_scaling
+from repro.harness.paper_data import (
+    PAPER_HEADLINE_INSTANCES,
+    PAPER_HEADLINE_SPEEDUP,
+)
+from tests.util import SMALL_DEVICE
+
+
+@pytest.fixture(scope="module")
+def rs_scaling():
+    return run_scaling(
+        APPS["rsbench"],
+        ["-p", "16", "-n", "2", "-l", "64"],
+        thread_limit=32,
+        instance_counts=(1, 32),
+        device_config=SMALL_DEVICE,
+        heap_bytes=8 * 1024 * 1024,
+    )
+
+
+def test_large_ensemble_large_speedup(rs_scaling):
+    s32 = rs_scaling.speedup_at(32)
+    assert s32 > 20.0  # well over half of the 32x linear bound
+
+
+def test_speedup_bounded_by_linear(rs_scaling):
+    assert rs_scaling.speedup_at(32) <= 32.0 * 1.001
+
+
+def test_paper_headline_constants():
+    """Keep the recorded paper anchors from silently drifting."""
+    assert PAPER_HEADLINE_SPEEDUP == 51.0
+    assert PAPER_HEADLINE_INSTANCES == 64

@@ -1,0 +1,45 @@
+"""Page-Rank memory-capacity experiment (§4.3): the instance count is
+capped by device memory — the sweep records OOM instead of data points,
+exactly like the paper shows only N=2 and N=4."""
+
+import pytest
+
+from repro.apps.registry import APPS
+from repro.harness.experiment import run_scaling
+from tests.util import SMALL_DEVICE
+
+ARGS = ["-n", "4096", "-d", "8", "-i", "1"]  # ~0.3 MiB per instance
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_scaling(
+        APPS["pagerank"],
+        ARGS,
+        thread_limit=32,
+        instance_counts=(1, 2, 4, 8),
+        device_config=SMALL_DEVICE,
+        heap_bytes=2 * 1024 * 1024,  # fits 4, not 8
+    )
+
+
+def test_small_counts_succeed(sweep):
+    for n in (1, 2, 4):
+        assert sweep.speedup_at(n) is not None
+
+
+def test_eight_instances_oom(sweep):
+    assert sweep.oom_at() == 8
+    oom_row = [r for r in sweep.rows if r.instances == 8][0]
+    assert oom_row.oom
+    assert oom_row.cycles is None
+
+
+def test_surviving_points_scale(sweep):
+    assert sweep.speedup_at(2) > 1.5
+    assert sweep.speedup_at(4) > 3.0
+
+
+def test_oom_label(sweep):
+    oom_row = [r for r in sweep.rows if r.oom][0]
+    assert oom_row.label == "OOM"

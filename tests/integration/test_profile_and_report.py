@@ -1,0 +1,109 @@
+"""Harness surfaces: kernel profiling, tables, ASCII plots, persistence."""
+
+import json
+
+import pytest
+
+from repro.apps.registry import APPS
+from repro.harness.experiment import run_scaling
+from repro.harness.profile import profile_launch
+from repro.harness.report import (
+    compare_to_paper,
+    render_ascii_plot,
+    render_figure6_table,
+    render_scaling_detail,
+    save_results_json,
+    write_csv,
+)
+from tests.util import SMALL_DEVICE
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_scaling(
+        APPS["rsbench"],
+        ["-p", "8", "-n", "2", "-l", "32"],
+        thread_limit=32,
+        instance_counts=(1, 2, 4),
+        device_config=SMALL_DEVICE,
+        heap_bytes=4 * 1024 * 1024,
+    )
+
+
+@pytest.fixture(scope="module")
+def launch(rsbench_loader):
+    res = rsbench_loader.run_ensemble(
+        [["-p", "8", "-n", "2", "-l", "64", "-s", "1"]], thread_limit=32
+    )
+    return res.launch
+
+
+class TestProfile:
+    def test_profile_fields(self, launch):
+        p = profile_launch(launch)
+        assert p.dynamic_instructions > 0
+        assert p.memory_transactions > 0
+        assert p.bytes_moved == p.memory_transactions * 32
+        assert 0.0 <= p.l2_hit_rate <= 1.0
+        assert 0.0 < p.dram_efficiency <= 1.0
+
+    def test_parallel_fraction_dominates_for_worksharing_app(self, launch):
+        p = profile_launch(launch)
+        assert p.parallel_fraction > 0.5
+
+    def test_coalescing_ratio_bounds(self, launch):
+        p = profile_launch(launch)
+        assert 1.0 <= p.coalescing_ratio <= 32.0
+
+    def test_render_mentions_key_metrics(self, launch):
+        text = profile_launch(launch).render()
+        for needle in ("simulated cycles", "coalescing ratio", "L2 hit rate"):
+            assert needle in text
+
+    def test_requires_timing(self, rsbench_loader):
+        res = rsbench_loader.run_ensemble(
+            [["-p", "8", "-n", "2", "-l", "16", "-s", "1"]],
+            thread_limit=32, collect_timing=False,
+        )
+        with pytest.raises(ValueError):
+            profile_launch(res.launch)
+
+
+class TestReport:
+    def test_scaling_detail_renders(self, sweep):
+        text = render_scaling_detail(sweep)
+        assert "rsbench" in text
+        assert "speedup" in text
+
+    def test_figure6_table_includes_linear_and_paper(self, sweep):
+        text = render_figure6_table({"rsbench": sweep}, thread_limit=32)
+        assert "linear" in text
+        assert "(paper)" in text
+        assert "N=4" in text
+
+    def test_ascii_plot(self, sweep):
+        plot = render_ascii_plot({"rsbench": sweep})
+        assert "R=rsbench" in plot
+        assert "*" in plot  # linear bound
+        assert "R" in plot
+
+    def test_csv_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "res.csv"
+        write_csv(path, {32: {"rsbench": sweep}})
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("thread_limit,benchmark")
+        assert len(lines) == 1 + len(sweep.rows)
+
+    def test_json_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "res.json"
+        save_results_json(path, {32: {"rsbench": sweep}})
+        data = json.loads(path.read_text())
+        rows = data["32"]["rsbench"]["rows"]
+        assert rows[0]["instances"] == 1
+        assert rows[-1]["speedup"] == pytest.approx(sweep.rows[-1].speedup)
+
+    def test_compare_to_paper_records(self, sweep):
+        recs = compare_to_paper({"rsbench": sweep}, 32)
+        n2 = [r for r in recs if r["instances"] == 2][0]
+        assert n2["paper"] == 2.0
+        assert "ratio" in n2

@@ -1,0 +1,54 @@
+"""Top-level package API surface: everything README imports must exist."""
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_imports():
+    from repro import (  # noqa: F401
+        DeviceConfig,
+        DeviceOutOfMemory,
+        EnsembleLoader,
+        GPUDevice,
+        Loader,
+        OneInstancePerTeam,
+        PackedMapping,
+        Program,
+        SimConfig,
+        dgpu,
+    )
+
+
+def test_version_matches_packaging():
+    import tomllib
+    from pathlib import Path
+
+    root = Path(repro.__file__).resolve().parents[2]
+    meta = tomllib.loads((root / "pyproject.toml").read_text())
+    assert repro.__version__ == meta["project"]["version"]
+
+
+def test_quickstart_doctest_flow():
+    """The module docstring's quickstart snippet works as written."""
+    from repro import EnsembleLoader, GPUDevice
+    from repro.apps import xsbench
+
+    loader = EnsembleLoader(xsbench.build_program(), GPUDevice())
+    result = loader.run_ensemble("-l 64 -g 256\n-l 64 -g 256\n", thread_limit=32)
+    assert result.all_succeeded
+
+
+def test_console_scripts_registered():
+    import tomllib
+    from pathlib import Path
+
+    root = Path(repro.__file__).resolve().parents[2]
+    meta = tomllib.loads((root / "pyproject.toml").read_text())
+    scripts = meta["project"]["scripts"]
+    assert scripts["repro-ensemble"] == "repro.host.cli:main"
+    assert scripts["repro-figure6"] == "repro.harness.figure6:main"
+    assert scripts["repro-objdump"] == "repro.tools.objdump:main"

@@ -1,0 +1,83 @@
+"""Scaled-down Figure-6 shape checks (fast versions of the benchmark runs).
+
+The full reproduction lives in ``benchmarks/``; these tests assert the
+paper's *qualitative* findings on miniature workloads so the suite stays
+fast:
+
+* speedup grows with N but stays below linear (sub-linear scaling),
+* the scaling gap grows with N,
+* an AMGmk-style bandwidth-bound kernel at thread limit 1024 scales worse
+  than at 32 (the §4.3 "particularly notable" case).
+"""
+
+import pytest
+
+from repro.apps.registry import APPS
+from repro.harness.experiment import run_scaling
+from tests.util import SMALL_DEVICE
+
+COUNTS = (1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def xs_scaling():
+    return run_scaling(
+        APPS["xsbench"],
+        ["-g", "256", "-n", "4", "-l", "64"],
+        thread_limit=32,
+        instance_counts=COUNTS,
+        device_config=SMALL_DEVICE,
+        heap_bytes=16 * 1024 * 1024,
+    )
+
+
+def test_speedup_monotonically_increases(xs_scaling):
+    series = [r.speedup for r in xs_scaling.rows]
+    assert all(b > a for a, b in zip(series, series[1:]))
+
+
+def test_speedup_sublinear(xs_scaling):
+    for row in xs_scaling.rows:
+        assert row.speedup <= row.instances * 1.001
+
+
+def test_gap_grows_with_instances(xs_scaling):
+    effs = [r.efficiency for r in xs_scaling.rows[1:]]
+    # efficiency = S(N)/N must be non-increasing
+    assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:]))
+    assert effs[-1] < effs[0]
+
+
+def test_dram_efficiency_declines(xs_scaling):
+    de = [r.dram_efficiency for r in xs_scaling.rows]
+    assert de[-1] < de[0]
+
+
+def test_amgmk_worse_at_full_thread_limit():
+    """Per-instance bandwidth appetite grows with the thread limit, so the
+    ensemble efficiency at N=8 must be lower at T=1024 than at T=32."""
+    args = ["-n", "1024", "-i", "2"]
+    narrow = run_scaling(
+        APPS["amgmk"], args, thread_limit=32, instance_counts=(1, 8),
+        device_config=SMALL_DEVICE, heap_bytes=16 * 1024 * 1024,
+    )
+    wide = run_scaling(
+        APPS["amgmk"], args, thread_limit=1024, instance_counts=(1, 8),
+        device_config=SMALL_DEVICE, heap_bytes=16 * 1024 * 1024,
+    )
+    assert wide.speedup_at(8) < narrow.speedup_at(8)
+
+
+def test_wide_run_is_absolutely_faster_despite_worse_scaling():
+    """T=1024 scales worse but each instance is still much faster than at
+    T=32 (the paper's motivation for using the speedup metric)."""
+    args = ["-n", "1024", "-i", "2"]
+    narrow = run_scaling(
+        APPS["amgmk"], args, thread_limit=32, instance_counts=(1,),
+        device_config=SMALL_DEVICE, heap_bytes=16 * 1024 * 1024,
+    )
+    wide = run_scaling(
+        APPS["amgmk"], args, thread_limit=1024, instance_counts=(1,),
+        device_config=SMALL_DEVICE, heap_bytes=16 * 1024 * 1024,
+    )
+    assert wide.t1_cycles < narrow.t1_cycles

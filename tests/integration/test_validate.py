@@ -1,0 +1,43 @@
+"""The cross-validation runner (artifact-evaluation smoke test)."""
+
+import pytest
+
+from repro.harness.validate import main, render_rows, validate_apps
+
+
+def test_all_apps_match_references():
+    rows = validate_apps()
+    assert len(rows) == 5
+    for row in rows:
+        assert row.match, f"{row.app}: {row.detail}"
+
+
+def test_subset_and_thread_limit():
+    rows = validate_apps(["rsbench"], thread_limit=128)
+    assert len(rows) == 1
+    assert rows[0].match
+
+
+def test_render(capsys):
+    rows = validate_apps(["stream"])
+    text = render_rows(rows)
+    assert "MATCH" in text
+    assert "stream" in text
+
+
+def test_cli_exit_codes(capsys):
+    assert main(["--apps", "rsbench"]) == 0
+    out = capsys.readouterr().out
+    assert "MATCH" in out
+
+
+def test_failure_is_reported_not_raised(monkeypatch):
+    """A broken app must produce a FAIL row, not crash the runner."""
+    import repro.harness.validate as v
+
+    broken = dict(v.VALIDATION_WORKLOADS)
+    broken["rsbench"] = (["-p", "0"], dict(poles=8, nuclides=2, lookups=32, seed=3))
+    monkeypatch.setattr(v, "VALIDATION_WORKLOADS", broken)
+    rows = v.validate_apps(["rsbench"])
+    assert not rows[0].match
+    assert rows[0].exit_code != 0

@@ -1,0 +1,154 @@
+"""IRBuilder: typed emission and misuse rejection."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function
+from repro.ir.types import F64, I64, MemType, ScalarType
+
+
+def make_fn(params=(), ret=ScalarType.VOID):
+    fn = Function("f", params, ret)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    return fn, b
+
+
+class TestConstants:
+    def test_const_i_allocates_i64(self):
+        _, b = make_fn()
+        r = b.const_i(42)
+        assert r.ty is I64
+
+    def test_const_f_allocates_f64(self):
+        _, b = make_fn()
+        r = b.const_f(2.5)
+        assert r.ty is F64
+
+    def test_registers_are_unique(self):
+        _, b = make_fn()
+        assert b.const_i(1).id != b.const_i(1).id
+
+
+class TestBinops:
+    def test_int_add(self):
+        _, b = make_fn()
+        r = b.binop(Opcode.ADD, b.const_i(1), b.const_i(2))
+        assert r.ty is I64
+
+    def test_float_requires_f64(self):
+        _, b = make_fn()
+        with pytest.raises(IRError):
+            b.binop(Opcode.FADD, b.const_i(1), b.const_i(2))
+
+    def test_int_op_rejects_floats(self):
+        _, b = make_fn()
+        with pytest.raises(IRError):
+            b.binop(Opcode.ADD, b.const_f(1.0), b.const_f(2.0))
+
+    def test_icmp_produces_i64(self):
+        _, b = make_fn()
+        r = b.binop(Opcode.ICMP_SLT, b.const_i(1), b.const_i(2))
+        assert r.ty is I64
+
+    def test_fcmp_produces_i64(self):
+        _, b = make_fn()
+        r = b.binop(Opcode.FCMP_LT, b.const_f(1.0), b.const_f(2.0))
+        assert r.ty is I64
+
+    def test_unknown_binop_rejected(self):
+        _, b = make_fn()
+        with pytest.raises(IRError):
+            b.binop(Opcode.BR, b.const_i(1), b.const_i(2))
+
+
+class TestMemory:
+    def test_load_result_type_follows_memtype(self):
+        _, b = make_fn()
+        addr = b.const_i(4096)
+        assert b.load(addr, MemType.F64).ty is F64
+        assert b.load(addr, MemType.I8).ty is I64
+
+    def test_store_type_checked(self):
+        _, b = make_fn()
+        addr = b.const_i(4096)
+        with pytest.raises(IRError):
+            b.store(addr, b.const_i(1), MemType.F64)
+
+    def test_store_address_must_be_int(self):
+        _, b = make_fn()
+        with pytest.raises(IRError):
+            b.store(b.const_f(1.0), b.const_i(1), MemType.I64)
+
+    def test_atomic_add_types(self):
+        _, b = make_fn()
+        addr = b.const_i(4096)
+        r = b.atomic_add(addr, b.const_f(1.0), MemType.F64)
+        assert r.ty is F64
+
+    def test_salloc_requires_positive(self):
+        _, b = make_fn()
+        with pytest.raises(IRError):
+            b.salloc(0)
+
+
+class TestControlFlow:
+    def test_no_emission_after_terminator(self):
+        fn, b = make_fn()
+        b.ret()
+        with pytest.raises(IRError):
+            b.const_i(1)
+
+    def test_cbr_requires_i64_cond(self):
+        fn, b = make_fn()
+        t1 = b.create_block("t")
+        t2 = b.create_block("e")
+        with pytest.raises(IRError):
+            b.cbr(b.const_f(1.0), t1, t2)
+
+    def test_retval_type_checked(self):
+        fn, b = make_fn(ret=ScalarType.I64)
+        with pytest.raises(IRError):
+            b.retval(b.const_f(1.0))
+
+    def test_retval_void_function_rejected(self):
+        fn, b = make_fn()
+        with pytest.raises(IRError):
+            b.retval(b.const_i(0))
+
+    def test_select_arms_must_match(self):
+        _, b = make_fn()
+        with pytest.raises(IRError):
+            b.select(b.const_i(1), b.const_i(1), b.const_f(1.0))
+
+
+class TestCoerce:
+    def test_coerce_inserts_conversion(self):
+        _, b = make_fn()
+        r = b.coerce(b.const_i(3), F64)
+        assert r.ty is F64
+
+    def test_coerce_noop_when_same(self):
+        _, b = make_fn()
+        v = b.const_i(3)
+        assert b.coerce(v, I64) is v
+
+
+class TestReductions:
+    def test_reduce_type_follows_operand(self):
+        _, b = make_fn()
+        assert b.reduce(Opcode.RED_ADD, b.const_f(1.0)).ty is F64
+        assert b.reduce(Opcode.RED_MAX, b.const_i(1)).ty is I64
+
+    def test_reduce_rejects_non_reduction(self):
+        _, b = make_fn()
+        with pytest.raises(IRError):
+            b.reduce(Opcode.ADD, b.const_i(1))
+
+
+def test_param_registers_come_first():
+    fn = Function("g", [("a", I64), ("b", F64)], ScalarType.VOID)
+    assert [r.id for r in fn.param_regs] == [0, 1]
+    assert fn.param_regs[1].ty is F64

@@ -1,0 +1,76 @@
+"""Instruction metadata: result types, terminators, opcode groups."""
+
+from repro.ir.instructions import (
+    SYNC_OPS,
+    TERMINATORS,
+    Instr,
+    Opcode,
+    fcmp_ops,
+    float_binops,
+    icmp_ops,
+    int_binops,
+    math_unops,
+    result_type,
+)
+from repro.ir.types import F64, I64, MemType, Reg
+
+
+class TestResultTypes:
+    def test_int_ops_produce_i64(self):
+        for op in int_binops() | icmp_ops() | fcmp_ops():
+            assert result_type(op) is I64
+
+    def test_float_ops_produce_f64(self):
+        for op in float_binops() | math_unops():
+            assert result_type(op) is F64
+
+    def test_loads_follow_memtype(self):
+        assert result_type(Opcode.LOAD, MemType.F64) is F64
+        assert result_type(Opcode.LOAD, MemType.I8) is I64
+        assert result_type(Opcode.ATOMIC_ADD, MemType.F64) is F64
+
+    def test_geometry_intrinsics_are_int(self):
+        for op in (Opcode.TID, Opcode.NTID, Opcode.CTAID, Opcode.NCTAID,
+                   Opcode.LANEID, Opcode.INSTANCE):
+            assert result_type(op) is I64
+
+    def test_polymorphic_ops_have_no_static_type(self):
+        for op in (Opcode.MOV, Opcode.SELECT, Opcode.RED_ADD,
+                   Opcode.SHFL_DOWN, Opcode.CALL, Opcode.RPC):
+            assert result_type(op) is None
+
+
+class TestGroups:
+    def test_terminators(self):
+        assert Opcode.BR in TERMINATORS
+        assert Opcode.CBR in TERMINATORS
+        assert Opcode.TRAP in TERMINATORS
+        assert Opcode.BARRIER not in TERMINATORS
+
+    def test_sync_ops(self):
+        assert Opcode.BARRIER in SYNC_OPS
+        assert Opcode.PAR_END in SYNC_OPS
+        assert Opcode.PAR_BEGIN not in SYNC_OPS  # only the main lane executes it
+
+    def test_groups_disjoint(self):
+        assert not (int_binops() & float_binops())
+        assert not (icmp_ops() & fcmp_ops())
+
+
+class TestInstr:
+    def test_regs_read(self):
+        a, b = Reg(0, I64), Reg(1, I64)
+        i = Instr(Opcode.ADD, Reg(2, I64), (a, b))
+        assert i.regs_read() == (a, b)
+
+    def test_copy_is_deep_enough(self):
+        i = Instr(Opcode.BR, targets=("x",), meta={"k": 1})
+        j = i.copy()
+        j.targets = ("y",)
+        j.meta["k"] = 2
+        assert i.targets == ("x",)
+        assert i.meta["k"] == 1
+
+    def test_is_terminator_property(self):
+        assert Instr(Opcode.RET).is_terminator
+        assert not Instr(Opcode.ADD, Reg(0, I64), (Reg(1, I64), Reg(2, I64))).is_terminator

@@ -1,0 +1,115 @@
+"""Module container: symbol management, renaming, linking hooks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError, LinkError
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, GlobalVar, Module
+from repro.ir.types import I64, MemType, ScalarType
+
+
+def simple_fn(name, callee=None):
+    fn = Function(name, [], ScalarType.VOID)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    if callee:
+        b.call(callee, [], ScalarType.VOID)
+    b.ret()
+    return fn
+
+
+class TestSymbols:
+    def test_duplicate_function_rejected(self):
+        m = Module("m")
+        m.add_function(simple_fn("f"))
+        with pytest.raises(LinkError, match="duplicate"):
+            m.add_function(simple_fn("f"))
+
+    def test_function_global_collision_rejected(self):
+        m = Module("m")
+        m.add_function(simple_fn("x"))
+        with pytest.raises(LinkError):
+            m.add_global(GlobalVar("x", MemType.I64, 1))
+
+    def test_get_undefined_function_raises(self):
+        m = Module("m")
+        with pytest.raises(LinkError, match="undefined function"):
+            m.get_function("nope")
+
+
+class TestRename:
+    def test_rename_updates_call_sites(self):
+        m = Module("m")
+        m.add_function(simple_fn("main"))
+        m.add_function(simple_fn("caller", callee="main"))
+        m.rename_function("main", "__user_main")
+        assert "__user_main" in m.functions
+        assert "main" not in m.functions
+        call = next(
+            i for i in m.get_function("caller").iter_instrs() if i.op is Opcode.CALL
+        )
+        assert call.callee == "__user_main"
+
+    def test_rename_to_existing_symbol_rejected(self):
+        m = Module("m")
+        m.add_function(simple_fn("a"))
+        m.add_function(simple_fn("b"))
+        with pytest.raises(LinkError):
+            m.rename_function("a", "b")
+
+
+class TestGlobals:
+    def test_initial_bytes_zero_filled(self):
+        g = GlobalVar("g", MemType.F64, 4)
+        assert g.initial_bytes() == b"\x00" * 32
+
+    def test_initial_bytes_from_array(self):
+        g = GlobalVar("g", MemType.I64, 2, init=np.array([1, 2], dtype=np.int64))
+        raw = np.frombuffer(g.initial_bytes(), dtype=np.int64)
+        assert list(raw) == [1, 2]
+
+    def test_size_mismatch_detected(self):
+        g = GlobalVar("g", MemType.I64, 3, init=np.array([1], dtype=np.int64))
+        with pytest.raises(IRError):
+            g.initial_bytes()
+
+
+class TestQueries:
+    def test_undefined_callees(self):
+        m = Module("m")
+        m.add_function(simple_fn("f", callee="ghost"))
+        assert m.undefined_callees() == {"ghost"}
+        m.declare_extern_host("ghost")
+        assert m.undefined_callees() == set()
+
+    def test_kernels_listed(self):
+        m = Module("m")
+        f = simple_fn("k")
+        f.is_kernel = True
+        m.add_function(f)
+        m.add_function(simple_fn("g"))
+        assert [k.name for k in m.kernels()] == ["k"]
+
+    def test_instruction_count(self):
+        fn = simple_fn("f")
+        assert fn.instruction_count() == 1  # just ret
+
+
+class TestBlocks:
+    def test_duplicate_label_rejected(self):
+        fn = Function("f")
+        fn.add_block("bb")
+        with pytest.raises(IRError):
+            fn.add_block("bb")
+
+    def test_cannot_remove_entry(self):
+        fn = Function("f")
+        fn.add_block("entry")
+        with pytest.raises(IRError):
+            fn.remove_block("entry")
+
+    def test_successors_follow_terminator(self):
+        fn = simple_fn("f")
+        assert fn.entry.successors() == ()

@@ -1,0 +1,45 @@
+"""Textual IR dump sanity (used as a debugging surface, keep it stable)."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Function, GlobalVar, Module
+from repro.ir.printer import print_function, print_module
+from repro.ir.types import I64, MemType, ScalarType
+
+
+def test_function_dump_contains_blocks_and_attrs():
+    fn = Function("foo", [("x", I64)], ScalarType.I64, is_kernel=True)
+    fn.declare_target = True
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    b.retval(b.mov(fn.param_regs[0]))
+    text = print_function(fn)
+    assert "func @foo" in text
+    assert "kernel" in text
+    assert "declare_target" in text
+    assert "entry" in text
+    assert "retval" in text
+
+
+def test_module_dump_lists_globals_and_externs():
+    m = Module("m")
+    m.declare_extern_host("printf")
+    m.add_global(GlobalVar("tbl", MemType.F64, 8, team_local=True))
+    fn = Function("f", [], ScalarType.VOID)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    b.ret()
+    m.add_function(fn)
+    text = print_module(m)
+    assert "extern_host @printf" in text
+    assert "global @tbl: f64 x 8 team_local" in text
+    assert "func @f" in text
+
+
+def test_instr_repr_shows_symbols():
+    fn = Function("f", [], ScalarType.VOID)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    b.gaddr("some_global")
+    b.ret()
+    text = print_function(fn)
+    assert "@some_global" in text

@@ -1,0 +1,52 @@
+"""IR scalar and memory types."""
+
+import pytest
+
+from repro.ir.types import F64, I64, VOID, MemType, Reg, ScalarType
+
+
+class TestScalarType:
+    def test_predicates(self):
+        assert I64.is_int and not I64.is_float
+        assert F64.is_float and not F64.is_int
+        assert not VOID.is_int and not VOID.is_float
+
+    def test_str(self):
+        assert str(I64) == "i64"
+        assert str(F64) == "f64"
+
+
+class TestMemType:
+    def test_sizes(self):
+        assert MemType.I8.size == 1
+        assert MemType.I32.size == 4
+        assert MemType.I64.size == 8
+        assert MemType.F32.size == 4
+        assert MemType.F64.size == 8
+
+    def test_register_types(self):
+        assert MemType.I8.reg_ty is I64
+        assert MemType.I32.reg_ty is I64
+        assert MemType.F32.reg_ty is F64
+        assert MemType.F64.reg_ty is F64
+
+    def test_from_label_roundtrip(self):
+        for m in MemType:
+            assert MemType.from_label(m.label) is m
+
+    def test_from_label_unknown(self):
+        with pytest.raises(KeyError):
+            MemType.from_label("i128")
+
+
+class TestReg:
+    def test_repr_distinguishes_banks(self):
+        assert repr(Reg(3, I64)) == "%r3"
+        assert repr(Reg(3, F64)) == "%f3"
+
+    def test_hashable_and_frozen(self):
+        r = Reg(1, I64)
+        assert r == Reg(1, I64)
+        assert hash(r) == hash(Reg(1, I64))
+        with pytest.raises(Exception):
+            r.id = 2  # type: ignore[misc]

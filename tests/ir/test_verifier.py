@@ -1,0 +1,128 @@
+"""IR verifier: structural violations are caught."""
+
+import pytest
+
+from repro.errors import VerifierError
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.module import Function, Module
+from repro.ir.types import I64, MemType, ScalarType
+from repro.ir.verifier import verify_function, verify_module
+
+
+def fresh(ret=ScalarType.VOID, params=()):
+    fn = Function("f", params, ret)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    return fn, b
+
+
+def test_valid_function_passes():
+    fn, b = fresh()
+    b.const_i(1)
+    b.ret()
+    verify_function(fn)
+
+
+def test_empty_function_rejected():
+    fn = Function("f")
+    with pytest.raises(VerifierError, match="no blocks"):
+        verify_function(fn)
+
+
+def test_missing_terminator_rejected():
+    fn, b = fresh()
+    b.const_i(1)
+    with pytest.raises(VerifierError, match="lacks a terminator"):
+        verify_function(fn)
+
+
+def test_mid_block_terminator_rejected():
+    fn, b = fresh()
+    b.ret()
+    # bypass the builder's own guard
+    fn.entry.instrs.append(Instr(Opcode.RET))
+    with pytest.raises(VerifierError, match="mid-block"):
+        verify_function(fn)
+
+
+def test_branch_to_unknown_block_rejected():
+    fn, b = fresh()
+    fn.entry.instrs.append(Instr(Opcode.BR, targets=("nowhere",)))
+    with pytest.raises(VerifierError, match="unknown block"):
+        verify_function(fn)
+
+
+def test_unbalanced_par_region_rejected():
+    fn, b = fresh()
+    b.par_begin()
+    b.ret()
+    with pytest.raises(VerifierError, match="unbalanced"):
+        verify_function(fn)
+
+
+def test_store_type_mismatch_rejected():
+    fn, b = fresh()
+    addr = b.const_i(4096)
+    val = b.const_i(7)
+    b.ret()
+    # forge a bad store: f64 slot, i64 value
+    fn.entry.instrs.insert(
+        2, Instr(Opcode.STORE, None, (addr, val), mty=MemType.F64)
+    )
+    with pytest.raises(VerifierError, match="store value type"):
+        verify_function(fn)
+
+
+def test_retval_in_void_function_rejected():
+    fn, b = fresh()
+    r = b.const_i(0)
+    fn.entry.instrs.append(Instr(Opcode.RETVAL, args=(r,)))
+    with pytest.raises(VerifierError, match="retval in a void"):
+        verify_function(fn)
+
+
+def test_gaddr_of_undefined_global_rejected():
+    fn, b = fresh()
+    b.gaddr("nope")
+    b.ret()
+    module = Module("m")
+    module.add_function(fn)
+    with pytest.raises(VerifierError, match="undefined global"):
+        verify_module(module)
+
+
+def test_call_arity_checked_at_module_level():
+    module = Module("m")
+    callee = Function("callee", [("x", I64)], ScalarType.I64)
+    cb = IRBuilder(callee)
+    cb.set_block(callee.add_block("entry"))
+    cb.retval(cb.mov(callee.param_regs[0]))
+    module.add_function(callee)
+
+    caller, b = fresh()
+    b.call("callee", [], I64)  # missing argument
+    b.ret()
+    module.add_function(caller)
+    with pytest.raises(VerifierError, match="expected 1"):
+        verify_module(module)
+
+
+def test_call_to_undefined_symbol_rejected():
+    fn, b = fresh()
+    b.call("ghost", [], ScalarType.VOID)
+    b.ret()
+    module = Module("m")
+    module.add_function(fn)
+    with pytest.raises(VerifierError, match="undefined symbol"):
+        verify_module(module)
+
+
+def test_call_to_extern_host_allowed_before_lowering():
+    fn, b = fresh()
+    b.call("printf", [b.const_i(4096)], I64)
+    b.ret()
+    module = Module("m")
+    module.declare_extern_host("printf")
+    module.add_function(fn)
+    verify_module(module)  # legal until rpc_lowering runs

@@ -1,0 +1,33 @@
+"""Declare-target marking (the user-wrapper header's effect)."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Function, Module
+from repro.ir.types import ScalarType
+from repro.passes.declare_target import declare_target_pass
+
+
+def fn(name):
+    f = Function(name, [], ScalarType.VOID)
+    b = IRBuilder(f)
+    b.set_block(f.add_block("entry"))
+    b.ret()
+    return f
+
+
+def test_all_functions_marked():
+    m = Module("m")
+    for name in ("a", "b", "c"):
+        m.add_function(fn(name))
+    declare_target_pass(m)
+    for f in m.functions.values():
+        assert f.declare_target
+        assert f.nohost
+    assert m.metadata["declare_target"] is True
+
+
+def test_idempotent():
+    m = Module("m")
+    m.add_function(fn("a"))
+    declare_target_pass(m)
+    declare_target_pass(m)
+    assert m.functions["a"].declare_target

@@ -1,0 +1,109 @@
+"""Globals-to-team-local pass: the §3.3 isolation mitigation, proven by
+running a deliberately racy application with and without it."""
+
+import pytest
+
+from repro.errors import PassError
+from repro.frontend import Program, i64, ptr_ptr
+from repro.gpu.device import GPUDevice
+from repro.host.ensemble_loader import EnsembleLoader
+from repro.ir.module import GlobalVar, Module
+from repro.ir.types import MemType
+from repro.passes.globals_to_shared import globals_to_shared_pass
+from tests.util import SMALL_DEVICE
+
+
+def make_racy_program():
+    """Each instance accumulates its id into a module global it believes it
+    owns exclusively (a classic pattern in single-process CPU code).  When
+    ensemble instances share the global, every instance after the first
+    observes the previous instances' residue and fails its own check."""
+    prog = Program("racy")
+    prog.global_scalar("accumulator", "i64", init=0)
+
+    @prog.main
+    def main(argc: i64, argv: ptr_ptr) -> i64:
+        me = atoi(argv[1])  # noqa: F821
+        accumulator = accumulator + me  # noqa: F821
+        if accumulator == me:  # noqa: F821 - true iff we started from 0
+            return 0
+        return 1
+
+    return prog
+
+
+class TestPassMechanics:
+    def test_mutable_globals_marked(self):
+        m = Module("m")
+        m.add_global(GlobalVar("state", MemType.I64, 4))
+        m.add_global(GlobalVar("lut", MemType.F64, 4, constant=True))
+        moved = globals_to_shared_pass(m)
+        assert moved == ["state"]
+        assert m.globals["state"].team_local
+        assert not m.globals["lut"].team_local
+
+    def test_runtime_globals_excluded_by_default(self):
+        m = Module("m")
+        m.add_global(GlobalVar("__heap_cursor", MemType.I64, 1))
+        m.add_global(GlobalVar("user_state", MemType.I64, 1))
+        moved = globals_to_shared_pass(m)
+        assert moved == ["user_state"]
+
+    def test_explicit_name_list(self):
+        m = Module("m")
+        m.add_global(GlobalVar("a", MemType.I64, 1))
+        m.add_global(GlobalVar("b", MemType.I64, 1))
+        moved = globals_to_shared_pass(m, names=["b"])
+        assert moved == ["b"]
+        assert not m.globals["a"].team_local
+
+    def test_unknown_name_rejected(self):
+        m = Module("m")
+        with pytest.raises(PassError, match="unknown global"):
+            globals_to_shared_pass(m, names=["ghost"])
+
+    def test_constant_global_rejected(self):
+        m = Module("m")
+        m.add_global(GlobalVar("lut", MemType.I64, 1, constant=True))
+        with pytest.raises(PassError, match="constant"):
+            globals_to_shared_pass(m, names=["lut"])
+
+    def test_shared_memory_budget_enforced(self):
+        m = Module("m")
+        m.add_global(GlobalVar("big", MemType.F64, 10_000))
+        with pytest.raises(PassError, match="budget"):
+            globals_to_shared_pass(m, shared_mem_budget=1024)
+
+
+class TestIsolationSemantics:
+    def test_shared_global_races_between_instances(self):
+        """Without the pass, instances share the global: only the first
+        starts from a clean accumulator, everyone else sees residue."""
+        loader = EnsembleLoader(
+            make_racy_program(), GPUDevice(SMALL_DEVICE),
+            heap_bytes=1 << 20, team_local_globals=False,
+        )
+        res = loader.run_ensemble(
+            [["1"], ["2"], ["3"], ["4"]], thread_limit=32, collect_timing=False
+        )
+        assert res.return_codes[0] == 0
+        assert res.return_codes[1:] == [1, 1, 1]
+
+    def test_team_local_globals_restore_isolation(self):
+        """With the pass, every team gets its own copy: all instances pass."""
+        loader = EnsembleLoader(
+            make_racy_program(), GPUDevice(SMALL_DEVICE),
+            heap_bytes=1 << 20, team_local_globals=True,
+        )
+        res = loader.run_ensemble(
+            [["1"], ["2"], ["3"], ["4"]], thread_limit=32, collect_timing=False
+        )
+        assert res.return_codes == [0, 0, 0, 0]
+
+    def test_single_instance_unaffected(self):
+        loader = EnsembleLoader(
+            make_racy_program(), GPUDevice(SMALL_DEVICE),
+            heap_bytes=1 << 20, team_local_globals=True,
+        )
+        res = loader.run_ensemble([["9"]], thread_limit=32, collect_timing=False)
+        assert res.return_codes == [0]

@@ -1,0 +1,171 @@
+"""Mandatory full inlining: correctness via execution + structure checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PassError
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, GlobalVar, Module
+from repro.ir.types import I64, MemType, ScalarType
+from repro.ir.verifier import verify_module
+from repro.passes.inliner import inline_all_pass
+from tests.util import run_kernel
+
+
+def add_fn(m, name, ret=ScalarType.I64, params=(("x", I64),), body=None):
+    fn = Function(name, params, ret)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    body(b, fn)
+    m.add_function(fn)
+    return fn
+
+
+def test_simple_inline_executes_correctly():
+    m = Module("m")
+    m.add_global(GlobalVar("out", MemType.I64, 1))
+
+    def square_body(b, fn):
+        x = fn.param_regs[0]
+        b.retval(b.binop(Opcode.MUL, x, x))
+
+    add_fn(m, "square", body=square_body)
+
+    k = Function("k", [], ScalarType.VOID, is_kernel=True)
+    b = IRBuilder(k)
+    b.set_block(k.add_block("entry"))
+    r = b.call("square", [b.const_i(9)], I64)
+    b.store(b.gaddr("out"), r, MemType.I64)
+    b.ret()
+    m.add_function(k)
+
+    inline_all_pass(m)
+    verify_module(m)
+    assert k.called_symbols() == set()
+    run_kernel(m)  # executes cleanly after inlining
+
+
+def test_inline_result_correct_end_to_end():
+    m = Module("m")
+    m.add_global(GlobalVar("out", MemType.I64, 4))
+
+    def twice_body(b, fn):
+        b.retval(b.binop(Opcode.MUL, fn.param_regs[0], b.const_i(2)))
+
+    def addsq_body(b, fn):
+        x = fn.param_regs[0]
+        t = b.call("twice", [x], I64)
+        b.retval(b.binop(Opcode.ADD, t, b.const_i(1)))
+
+    add_fn(m, "twice", body=twice_body)
+    add_fn(m, "addsq", body=addsq_body)
+
+    k = Function("k", [], ScalarType.VOID, is_kernel=True)
+    b = IRBuilder(k)
+    b.set_block(k.add_block("entry"))
+    base = b.gaddr("out")
+    for i in range(4):
+        r = b.call("addsq", [b.const_i(i * 10)], I64)
+        b.store(base, r, MemType.I64, offset=8 * i)
+    b.ret()
+    m.add_function(k)
+
+    inline_all_pass(m)
+    verify_module(m)
+    from tests.util import small_device
+
+    dev = small_device()
+    image = dev.load_image(m)
+    dev.launch(image, "k", num_teams=1, thread_limit=32)
+    out = dev.memory.read_array(image.symbol("out"), np.int64, 4)
+    np.testing.assert_array_equal(out, [1, 21, 41, 61])
+
+
+def test_transitive_inlining_removes_all_calls():
+    m = Module("m")
+
+    def leaf(b, fn):
+        b.retval(b.const_i(7))
+
+    def mid(b, fn):
+        r = b.call("leaf", [], I64)
+        b.retval(b.binop(Opcode.ADD, r, fn.param_regs[0]))
+
+    add_fn(m, "leaf", params=(), body=leaf)
+    add_fn(m, "mid", body=mid)
+    k = Function("k", [], ScalarType.VOID, is_kernel=True)
+    b = IRBuilder(k)
+    b.set_block(k.add_block("entry"))
+    b.call("mid", [b.const_i(1)], I64)
+    b.ret()
+    m.add_function(k)
+
+    inline_all_pass(m)
+    for instr in k.iter_instrs():
+        assert instr.op is not Opcode.CALL
+
+
+def test_direct_recursion_rejected():
+    m = Module("m")
+
+    def rec(b, fn):
+        r = b.call("rec", [fn.param_regs[0]], I64)
+        b.retval(r)
+
+    add_fn(m, "rec", body=rec)
+    k = Function("k", [], ScalarType.VOID, is_kernel=True)
+    b = IRBuilder(k)
+    b.set_block(k.add_block("entry"))
+    b.call("rec", [b.const_i(1)], I64)
+    b.ret()
+    m.add_function(k)
+    with pytest.raises(PassError, match="recursive"):
+        inline_all_pass(m)
+
+
+def test_mutual_recursion_rejected():
+    m = Module("m")
+
+    def a_body(b, fn):
+        b.retval(b.call("b", [fn.param_regs[0]], I64))
+
+    def b_body(b, fn):
+        b.retval(b.call("a", [fn.param_regs[0]], I64))
+
+    add_fn(m, "a", body=a_body)
+    add_fn(m, "b", body=b_body)
+    k = Function("k", [], ScalarType.VOID, is_kernel=True)
+    bb = IRBuilder(k)
+    bb.set_block(k.add_block("entry"))
+    bb.call("a", [bb.const_i(1)], I64)
+    bb.ret()
+    m.add_function(k)
+    with pytest.raises(PassError, match="recursive"):
+        inline_all_pass(m)
+
+
+def test_void_callee_inlined():
+    m = Module("m")
+    m.add_global(GlobalVar("out", MemType.I64, 1))
+
+    def bump(b, fn):
+        b.atomic_add(b.gaddr("out"), b.const_i(5), MemType.I64)
+        b.ret()
+
+    add_fn(m, "bump", ret=ScalarType.VOID, params=(), body=bump)
+    k = Function("k", [], ScalarType.VOID, is_kernel=True)
+    b = IRBuilder(k)
+    b.set_block(k.add_block("entry"))
+    b.call("bump", [], ScalarType.VOID)
+    b.call("bump", [], ScalarType.VOID)
+    b.ret()
+    m.add_function(k)
+    inline_all_pass(m)
+    verify_module(m)
+    from tests.util import small_device
+
+    dev = small_device()
+    image = dev.load_image(m)
+    dev.launch(image, "k", num_teams=1, thread_limit=32)
+    assert dev.memory.read_i64(image.symbol("out")) == 10

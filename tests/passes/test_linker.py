@@ -1,0 +1,60 @@
+"""Module linking."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Function, GlobalVar, Module
+from repro.ir.types import MemType, ScalarType
+from repro.passes.linker import link_modules
+
+
+def mod(name, funcs=(), globs=(), externs=()):
+    m = Module(name)
+    for f in funcs:
+        fn = Function(f, [], ScalarType.VOID)
+        b = IRBuilder(fn)
+        b.set_block(fn.add_block("entry"))
+        b.ret()
+        m.add_function(fn)
+    for g in globs:
+        m.add_global(GlobalVar(g, MemType.I64, 1))
+    for e in externs:
+        m.declare_extern_host(e)
+    return m
+
+
+def test_functions_and_globals_merge():
+    dst = mod("app", funcs=("main",), globs=("data",))
+    src = mod("libc", funcs=("strlen", "malloc"), globs=("__heap_cursor",))
+    out = link_modules(dst, src)
+    assert out is dst
+    assert set(dst.functions) == {"main", "strlen", "malloc"}
+    assert set(dst.globals) == {"data", "__heap_cursor"}
+
+
+def test_duplicate_function_rejected():
+    dst = mod("a", funcs=("f",))
+    src = mod("b", funcs=("f",))
+    with pytest.raises(LinkError, match="duplicate symbol"):
+        link_modules(dst, src)
+
+
+def test_duplicate_global_rejected():
+    dst = mod("a", globs=("g",))
+    src = mod("b", globs=("g",))
+    with pytest.raises(LinkError, match="duplicate global"):
+        link_modules(dst, src)
+
+
+def test_extern_sets_union():
+    dst = mod("a", externs=("printf",))
+    src = mod("b", externs=("puts", "printf"))
+    link_modules(dst, src)
+    assert dst.extern_host == {"printf", "puts"}
+
+
+def test_multiple_sources():
+    dst = mod("a", funcs=("main",))
+    out = link_modules(dst, mod("b", funcs=("f",)), mod("c", funcs=("g",)))
+    assert set(out.functions) == {"main", "f", "g"}

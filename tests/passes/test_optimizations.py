@@ -1,0 +1,234 @@
+"""Constant folding, DCE and CFG simplification: structure + semantics."""
+
+import numpy as np
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, GlobalVar, Module
+from repro.ir.types import I64, MemType, ScalarType
+from repro.ir.verifier import verify_module
+from repro.passes.cfg_simplify import cfg_simplify_pass
+from repro.passes.constfold import constfold_pass
+from repro.passes.dce import dce_pass
+
+
+def kernel_module(build):
+    m = Module("m")
+    m.add_global(GlobalVar("out", MemType.I64, 4))
+    k = Function("k", [], ScalarType.VOID, is_kernel=True)
+    b = IRBuilder(k)
+    b.set_block(k.add_block("entry"))
+    build(b, k)
+    m.add_function(k)
+    return m, k
+
+
+def ops_of(fn):
+    return [i.op for i in fn.iter_instrs()]
+
+
+def execute_out(m, count=4):
+    from tests.util import small_device
+
+    dev = small_device()
+    image = dev.load_image(m)
+    dev.launch(image, "k", num_teams=1, thread_limit=32)
+    return dev.memory.read_array(image.symbol("out"), np.int64, count)
+
+
+class TestConstFold:
+    def test_constant_chain_folds_to_movi(self):
+        def build(b, k):
+            v = b.binop(Opcode.MUL, b.const_i(6), b.const_i(7))
+            v = b.binop(Opcode.ADD, v, b.const_i(8))
+            b.store(b.gaddr("out"), v, MemType.I64)
+            b.ret()
+
+        m, k = kernel_module(build)
+        constfold_pass(m)
+        dce_pass(m)
+        verify_module(m)
+        # all arithmetic folded away
+        assert Opcode.MUL not in ops_of(k)
+        assert Opcode.ADD not in ops_of(k)
+        assert execute_out(m)[0] == 50
+
+    def test_algebraic_identities(self):
+        def build(b, k):
+            x = b.kparam(0)
+            a = b.binop(Opcode.ADD, x, b.const_i(0))
+            c = b.binop(Opcode.MUL, a, b.const_i(1))
+            b.store(b.gaddr("out"), c, MemType.I64)
+            b.ret()
+
+        m, k = kernel_module(build)
+        constfold_pass(m)
+        # identities become movs
+        assert Opcode.ADD not in ops_of(k)
+        assert Opcode.MUL not in ops_of(k)
+
+    def test_mul_by_zero(self):
+        def build(b, k):
+            x = b.kparam(0)
+            z = b.binop(Opcode.MUL, x, b.const_i(0))
+            b.store(b.gaddr("out"), z, MemType.I64)
+            b.ret()
+
+        m, k = kernel_module(build)
+        constfold_pass(m)
+        movis = [i for i in k.iter_instrs() if i.op is Opcode.MOVI and i.imm == 0]
+        assert len(movis) >= 1
+
+    def test_truncating_constant_division(self):
+        def build(b, k):
+            q = b.binop(Opcode.SDIV, b.const_i(-7), b.const_i(2))
+            b.store(b.gaddr("out"), q, MemType.I64)
+            b.ret()
+
+        m, k = kernel_module(build)
+        constfold_pass(m)
+        assert execute_out(m)[0] == -3  # C semantics preserved by folding
+
+    def test_redefinition_invalidates_binding(self):
+        """A register reassigned to a non-constant must not keep folding."""
+
+        def build(b, k):
+            r = k.new_reg(I64)
+            b.mov_to(r, b.const_i(5))
+            b.mov_to(r, b.kparam(0))  # now runtime-dependent
+            v = b.binop(Opcode.ADD, r, b.const_i(1))
+            b.store(b.gaddr("out"), v, MemType.I64)
+            b.ret()
+
+        m, k = kernel_module(build)
+        constfold_pass(m)
+        # ADD must survive: operand is not constant anymore
+        assert Opcode.ADD in ops_of(k)
+
+
+class TestDCE:
+    def test_dead_arith_removed(self):
+        def build(b, k):
+            b.binop(Opcode.MUL, b.const_i(3), b.const_i(4))  # dead
+            b.store(b.gaddr("out"), b.const_i(1), MemType.I64)
+            b.ret()
+
+        m, k = kernel_module(build)
+        dce_pass(m)
+        assert Opcode.MUL not in ops_of(k)
+
+    def test_stores_never_removed(self):
+        def build(b, k):
+            b.store(b.gaddr("out"), b.const_i(9), MemType.I64)
+            b.ret()
+
+        m, k = kernel_module(build)
+        before = len(list(k.iter_instrs()))
+        dce_pass(m)
+        assert any(i.op is Opcode.STORE for i in k.iter_instrs())
+        assert execute_out(m)[0] == 9
+
+    def test_atomics_never_removed(self):
+        def build(b, k):
+            b.atomic_add(b.gaddr("out"), b.const_i(1), MemType.I64)  # result dead
+            b.ret()
+
+        m, k = kernel_module(build)
+        dce_pass(m)
+        assert any(i.op is Opcode.ATOMIC_ADD for i in k.iter_instrs())
+
+    def test_transitively_dead_chain_removed(self):
+        def build(b, k):
+            a = b.const_i(1)
+            c = b.binop(Opcode.ADD, a, b.const_i(2))
+            b.binop(Opcode.MUL, c, c)  # dead, making c dead, making a dead
+            b.store(b.gaddr("out"), b.const_i(0), MemType.I64)
+            b.ret()
+
+        m, k = kernel_module(build)
+        dce_pass(m)
+        remaining = [i for i in k.iter_instrs() if i.op in (Opcode.ADD, Opcode.MUL)]
+        assert remaining == []
+
+
+class TestCFGSimplify:
+    def test_unreachable_blocks_removed(self):
+        def build(b, k):
+            exit_b = b.create_block("exit")
+            dead = b.create_block("dead")
+            b.br(exit_b)
+            b.set_block(dead)
+            b.trap("never")
+            b.set_block(exit_b)
+            b.ret()
+
+        m, k = kernel_module(build)
+        cfg_simplify_pass(m)
+        assert "dead.1" not in k.blocks  # label generated as dead.<n>
+        assert all("dead" not in lbl for lbl in k.block_order)
+
+    def test_jump_threading(self):
+        def build(b, k):
+            hop = b.create_block("hop")
+            final = b.create_block("final")
+            b.br(hop)
+            b.set_block(hop)
+            b.br(final)
+            b.set_block(final)
+            b.ret()
+
+        m, k = kernel_module(build)
+        cfg_simplify_pass(m)
+        entry_term = k.entry.terminator
+        # entry now branches straight to final; hop is unreachable and gone
+        assert entry_term.targets[0].startswith("final")
+        assert all(not lbl.startswith("hop") for lbl in k.block_order)
+
+    def test_constant_branch_folded(self):
+        def build(b, k):
+            then_b = b.create_block("then")
+            else_b = b.create_block("else")
+            c = b.const_i(1)
+            b.cbr(c, then_b, else_b)
+            b.set_block(then_b)
+            b.store(b.gaddr("out"), b.const_i(10), MemType.I64)
+            b.ret()
+            b.set_block(else_b)
+            b.store(b.gaddr("out"), b.const_i(20), MemType.I64)
+            b.ret()
+
+        m, k = kernel_module(build)
+        cfg_simplify_pass(m)
+        assert all(i.op is not Opcode.CBR for i in k.iter_instrs())
+        assert execute_out(m)[0] == 10
+
+    def test_semantics_preserved_through_full_sweep(self):
+        def build(b, k):
+            # loop computing sum 0..9 with junk around it
+            i = k.new_reg(I64)
+            acc = k.new_reg(I64)
+            b.mov_to(i, b.const_i(0))
+            b.mov_to(acc, b.const_i(0))
+            b.binop(Opcode.MUL, b.const_i(100), b.const_i(200))  # dead
+            cond = b.create_block("cond")
+            body = b.create_block("body")
+            done = b.create_block("done")
+            b.br(cond)
+            b.set_block(cond)
+            c = b.binop(Opcode.ICMP_SLT, i, b.const_i(10))
+            b.cbr(c, body, done)
+            b.set_block(body)
+            b.mov_to(acc, b.binop(Opcode.ADD, acc, i))
+            b.mov_to(i, b.binop(Opcode.ADD, i, b.const_i(1)))
+            b.br(cond)
+            b.set_block(done)
+            b.store(b.gaddr("out"), acc, MemType.I64)
+            b.ret()
+
+        m, k = kernel_module(build)
+        for _ in range(2):
+            constfold_pass(m)
+            dce_pass(m)
+            cfg_simplify_pass(m)
+        verify_module(m)
+        assert execute_out(m)[0] == 45

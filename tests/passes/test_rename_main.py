@@ -1,0 +1,77 @@
+"""Figure-3 contract: main canonicalization and renaming."""
+
+import pytest
+
+from repro.errors import PassError
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Function, Module
+from repro.ir.types import F64, I64, ScalarType
+from repro.passes.rename_main import USER_MAIN, rename_main_pass
+
+
+def make_main(params=None, ret=ScalarType.I64):
+    if params is None:
+        params = [("argc", I64), ("argv", I64)]
+    fn = Function("main", params, ret)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    if ret is ScalarType.I64:
+        b.retval(b.const_i(0))
+    else:
+        b.ret()
+    return fn
+
+
+def test_rename_to_user_main():
+    m = Module("m")
+    m.add_function(make_main())
+    rename_main_pass(m)
+    assert USER_MAIN in m.functions
+    assert "main" not in m.functions
+    assert m.metadata["user_main"] == USER_MAIN
+
+
+def test_call_sites_updated():
+    m = Module("m")
+    m.add_function(make_main())
+    caller = Function("kernel", [], ScalarType.VOID, is_kernel=True)
+    b = IRBuilder(caller)
+    b.set_block(caller.add_block("entry"))
+    b.call("main", [b.const_i(0), b.const_i(0)], I64)
+    b.ret()
+    m.add_function(caller)
+    rename_main_pass(m)
+    callees = m.functions["kernel"].called_symbols()
+    assert callees == {USER_MAIN}
+
+
+def test_missing_main_rejected_when_required():
+    m = Module("m")
+    with pytest.raises(PassError, match="no main"):
+        rename_main_pass(m)
+
+
+def test_missing_main_ok_when_optional():
+    m = Module("m")
+    rename_main_pass(m, require_main=False)
+
+
+def test_wrong_arity_rejected():
+    m = Module("m")
+    m.add_function(make_main(params=[("argc", I64)]))
+    with pytest.raises(PassError, match="canonical form"):
+        rename_main_pass(m)
+
+
+def test_wrong_param_type_rejected():
+    m = Module("m")
+    m.add_function(make_main(params=[("argc", I64), ("argv", F64)]))
+    with pytest.raises(PassError, match="integer-register"):
+        rename_main_pass(m)
+
+
+def test_wrong_return_type_rejected():
+    m = Module("m")
+    m.add_function(make_main(ret=ScalarType.VOID))
+    with pytest.raises(PassError, match="return int"):
+        rename_main_pass(m)

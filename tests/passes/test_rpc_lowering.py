@@ -1,0 +1,76 @@
+"""RPC lowering: host-extern calls become rpc instructions."""
+
+import pytest
+
+from repro.errors import PassError
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, Module
+from repro.ir.types import I64, ScalarType
+from repro.passes.rpc_lowering import rpc_lowering_pass
+
+
+def module_with_call(callee, declare=True, define_device=False):
+    m = Module("m")
+    if declare:
+        m.declare_extern_host(callee)
+    if define_device:
+        dev = Function(callee, [("x", I64)], ScalarType.I64)
+        b = IRBuilder(dev)
+        b.set_block(dev.add_block("entry"))
+        b.retval(b.mov(dev.param_regs[0]))
+        m.add_function(dev)
+    f = Function("f", [], ScalarType.VOID)
+    b = IRBuilder(f)
+    b.set_block(f.add_block("entry"))
+    b.call(callee, [b.const_i(1)], I64)
+    b.ret()
+    m.add_function(f)
+    return m
+
+
+def get_ops(m, fname="f"):
+    return [i.op for i in m.functions[fname].iter_instrs()]
+
+
+def test_host_call_becomes_rpc():
+    m = module_with_call("printf")
+    rpc_lowering_pass(m)
+    instrs = list(m.functions["f"].iter_instrs())
+    rpcs = [i for i in instrs if i.op is Opcode.RPC]
+    assert len(rpcs) == 1
+    assert rpcs[0].service == "printf"
+    assert rpcs[0].callee is None
+    assert Opcode.CALL not in get_ops(m)
+    assert m.metadata["rpc_lowered"] == 1
+
+
+def test_device_call_left_alone():
+    m = module_with_call("helper", declare=False, define_device=True)
+    rpc_lowering_pass(m)
+    assert Opcode.CALL in get_ops(m)
+    assert Opcode.RPC not in get_ops(m)
+
+
+def test_undefined_symbol_rejected():
+    m = module_with_call("ghost", declare=False)
+    with pytest.raises(PassError, match="not defined on the device"):
+        rpc_lowering_pass(m)
+
+
+def test_operands_preserved():
+    m = module_with_call("puts")
+    call = next(i for i in m.functions["f"].iter_instrs() if i.op is Opcode.CALL)
+    args_before = call.args
+    dest_before = call.dest
+    rpc_lowering_pass(m)
+    rpc = next(i for i in m.functions["f"].iter_instrs() if i.op is Opcode.RPC)
+    assert rpc.args == args_before
+    assert rpc.dest == dest_before
+
+
+def test_idempotent():
+    m = module_with_call("printf")
+    rpc_lowering_pass(m)
+    rpc_lowering_pass(m)
+    assert m.metadata["rpc_lowered"] == 1  # second run lowers nothing

@@ -1,0 +1,50 @@
+"""Property tests: argument-script expansion invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host.argfile import parse_argument_text
+from repro.host.argscript import expand_argument_script
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 30), st.integers(0, 30))
+def test_foreach_produces_inclusive_range(lo, hi):
+    script = f"@foreach i in {lo}..{hi}\n-s {{i}}\n@end\n"
+    out = expand_argument_script(script)
+    lines = [l for l in out.splitlines() if l]
+    if lo <= hi:
+        assert lines == [f"-s {v}" for v in range(lo, hi + 1)]
+    else:
+        assert lines == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 8), st.integers(0, 8))
+def test_nested_loops_multiply(n, m):
+    script = (
+        f"@foreach i in 1..{n}\n@foreach j in 1..{m}\n-p {{i}} {{j}}\n@end\n@end\n"
+    )
+    lines = [l for l in expand_argument_script(script).splitlines() if l]
+    assert len(lines) == n * m
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(-1000, 1000),
+    st.integers(-1000, 1000),
+    st.sampled_from(["+", "-", "*"]),
+)
+def test_arithmetic_matches_python(a, b, op):
+    out = expand_argument_script(f"-x {{{a} {op} {b}}}\n")
+    value = out.split()[-1]
+    assert int(value) == eval(f"{a} {op} {b}")  # noqa: S307 - test oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 99), min_size=1, max_size=20))
+def test_plain_lines_roundtrip_through_argfile(values):
+    text = "\n".join(f"-v {v}" for v in values) + "\n"
+    expanded = expand_argument_script(text)
+    parsed = parse_argument_text(expanded)
+    assert parsed == [["-v", str(v)] for v in values]

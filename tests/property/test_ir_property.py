@@ -1,0 +1,102 @@
+"""Property test: the optimization pipeline preserves program semantics.
+
+Hypothesis generates random straight-line integer programs; each is built
+as IR twice — one copy optimized (constfold + DCE + CFG simplify), one not
+— and both are executed on the device.  Every live value must agree.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, GlobalVar, Module
+from repro.ir.types import MemType, ScalarType
+from repro.ir.verifier import verify_module
+from repro.passes.cfg_simplify import cfg_simplify_pass
+from repro.passes.constfold import constfold_pass
+from repro.passes.dce import dce_pass
+from tests.util import small_device
+
+_BINOPS = [
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.IMIN,
+    Opcode.IMAX,
+    Opcode.ICMP_SLT,
+    Opcode.ICMP_EQ,
+]
+
+program_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(range(len(_BINOPS))),
+        st.integers(0, 30),  # operand a: index into value stack
+        st.integers(0, 30),  # operand b
+        st.booleans(),  # whether to seed a fresh constant instead
+        st.integers(-(2**30), 2**30),  # the constant
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build_module(ops, optimize: bool) -> tuple[Module, int]:
+    m = Module("prop")
+    m.add_global(GlobalVar("out", MemType.I64, 64))
+    fn = Function("k", [], ScalarType.VOID, is_kernel=True)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    values = [b.const_i(1), b.const_i(-3), b.const_i(7)]
+    for op_idx, ia, ib, fresh, const in ops:
+        if fresh:
+            values.append(b.const_i(const))
+        else:
+            a = values[ia % len(values)]
+            c = values[ib % len(values)]
+            values.append(b.binop(_BINOPS[op_idx], a, c))
+    base = b.gaddr("out")
+    n_out = min(16, len(values))
+    for i, v in enumerate(values[-n_out:]):
+        b.store(base, v, MemType.I64, offset=8 * i)
+    b.ret()
+    m.add_function(fn)
+    if optimize:
+        for _ in range(2):
+            constfold_pass(m)
+            dce_pass(m)
+            cfg_simplify_pass(m)
+    verify_module(m)
+    return m, n_out
+
+
+def execute(m: Module, n_out: int) -> np.ndarray:
+    dev = small_device()
+    image = dev.load_image(m)
+    dev.launch(image, "k", num_teams=1, thread_limit=32, collect_timing=False)
+    return dev.memory.read_array(image.symbol("out"), np.int64, n_out)
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_strategy)
+def test_optimizations_preserve_semantics(ops):
+    ref_module, n_out = build_module(ops, optimize=False)
+    opt_module, _ = build_module(ops, optimize=True)
+    ref = execute(ref_module, n_out)
+    opt = execute(opt_module, n_out)
+    np.testing.assert_array_equal(ref, opt)
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_strategy)
+def test_optimized_never_larger(ops):
+    ref_module, _ = build_module(ops, optimize=False)
+    opt_module, _ = build_module(ops, optimize=True)
+    assert (
+        opt_module.functions["k"].instruction_count()
+        <= ref_module.functions["k"].instruction_count()
+    )

@@ -1,0 +1,107 @@
+"""Property tests: device memory primitives against serial references."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.memory import NULL_GUARD, GlobalMemory
+from repro.ir.types import MemType
+
+CAP = 1 << 18
+SLOTS = 512  # f64 slots available for addressing
+
+
+@st.composite
+def lane_accesses(draw, max_lanes=64):
+    n = draw(st.integers(1, max_lanes))
+    idx = draw(
+        st.lists(st.integers(0, SLOTS - 1), min_size=n, max_size=n)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=n, max_size=n
+        )
+    )
+    return np.array(idx), np.array(vals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lane_accesses())
+def test_fetch_add_matches_serial_reference(access):
+    idx, vals = access
+    mem = GlobalMemory(CAP)
+    addrs = NULL_GUARD + idx * 8
+
+    old = mem.fetch_add(addrs, vals, MemType.F64)
+
+    # serial model: lanes apply in order
+    model = {}
+    expect_old = []
+    for i, v in zip(idx, vals):
+        cur = model.get(i, 0.0)
+        expect_old.append(cur)
+        model[i] = cur + v
+    # old values may carry O(eps * sum|v|) rounding vs a serial order
+    tol = 1e-12 * max(1.0, float(np.abs(vals).sum()))
+    np.testing.assert_allclose(old, expect_old, rtol=1e-9, atol=tol)
+    got_final = mem.gather(NULL_GUARD + np.array(sorted(model)) * 8, MemType.F64)
+    np.testing.assert_allclose(
+        got_final, [model[i] for i in sorted(model)], rtol=1e-9, atol=tol
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(lane_accesses())
+def test_fetch_max_matches_serial_reference(access):
+    idx, vals = access
+    mem = GlobalMemory(CAP)
+    addrs = NULL_GUARD + idx * 8
+    old = mem.fetch_max(addrs, vals, MemType.F64)
+    model = {}
+    expect_old = []
+    for i, v in zip(idx, vals):
+        cur = model.get(i, 0.0)
+        expect_old.append(cur)
+        model[i] = max(cur, v)
+    np.testing.assert_allclose(old, expect_old, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, SLOTS - 1), st.floats(-1e9, 1e9, allow_nan=False)),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_scatter_gather_roundtrip_last_write_wins(writes):
+    mem = GlobalMemory(CAP)
+    idx = np.array([w[0] for w in writes])
+    vals = np.array([w[1] for w in writes])
+    mem.scatter(NULL_GUARD + idx * 8, vals, MemType.F64)
+    model = {}
+    for i, v in zip(idx, vals):
+        model[i] = v
+    keys = np.array(sorted(model))
+    got = mem.gather(NULL_GUARD + keys * 8, MemType.F64)
+    np.testing.assert_array_equal(got, [model[k] for k in keys])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=1, max_size=256))
+def test_bytes_roundtrip(data):
+    mem = GlobalMemory(CAP)
+    mem.write_bytes(NULL_GUARD, data)
+    assert mem.read_bytes(NULL_GUARD, len(data)) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(-(2**62), 2**62), min_size=1, max_size=64)
+)
+def test_i64_array_roundtrip(values):
+    mem = GlobalMemory(CAP)
+    arr = np.array(values, dtype=np.int64)
+    addrs = NULL_GUARD + np.arange(arr.size) * 8
+    mem.scatter(addrs, arr, MemType.I64)
+    np.testing.assert_array_equal(mem.gather(addrs, MemType.I64), arr)

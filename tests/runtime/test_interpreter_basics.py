@@ -1,0 +1,359 @@
+"""SIMT interpreter: raw-IR kernels covering ALU, memory, control flow,
+divergence, parallel regions, barriers, reductions and traps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceTrap
+from repro.ir.instructions import Opcode
+from repro.ir.module import GlobalVar
+from repro.ir.types import MemType
+from tests.util import build_kernel_module, run_kernel
+
+OUT = "out"
+
+
+def out_global(count=64, mty=MemType.I64):
+    def setup(module):
+        module.add_global(GlobalVar(OUT, mty, count))
+
+    return setup
+
+
+def read_out(dev, module_image_addr, dtype, count):
+    return dev.memory.read_array(module_image_addr, dtype, count)
+
+
+def run_and_read(module, *, dtype=np.int64, count=64, **kw):
+    dev = kw.pop("device", None)
+    from tests.util import small_device
+
+    dev = dev or small_device()
+    image = dev.load_image(module)
+    dev.launch(image, "k", num_teams=kw.pop("num_teams", 1),
+               thread_limit=kw.pop("thread_limit", 32), **kw)
+    return dev.memory.read_array(image.symbol(OUT), dtype, count)
+
+
+class TestScalarSequential:
+    def test_arithmetic_chain(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            v = b.binop(Opcode.MUL, b.const_i(6), b.const_i(7))
+            v = b.binop(Opcode.ADD, v, b.const_i(-2))
+            b.store(base, v, MemType.I64)
+            b.ret()
+
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        assert out[0] == 40
+
+    def test_truncating_division_matches_c(self):
+        cases = [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3)]
+
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            for i, (num, den, _) in enumerate(cases):
+                q = b.binop(Opcode.SDIV, b.const_i(num), b.const_i(den))
+                b.store(base, q, MemType.I64, offset=8 * i)
+            b.ret()
+
+        # disable constfold path: raw IR executes through the interpreter
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        assert list(out[:4]) == [c[2] for c in cases]
+
+    def test_srem_sign_follows_dividend(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            r = b.binop(Opcode.SREM, b.const_i(-7), b.const_i(3))
+            b.store(base, r, MemType.I64)
+            b.ret()
+
+        assert run_and_read(build_kernel_module(build, globals_setup=out_global()))[0] == -1
+
+    def test_division_by_zero_traps(self):
+        def build(b, fn, module):
+            q = b.binop(Opcode.SDIV, b.const_i(1), b.const_i(0))
+            base = b.gaddr(OUT)
+            b.store(base, q, MemType.I64)
+            b.ret()
+
+        with pytest.raises(DeviceTrap, match="division by zero"):
+            run_and_read(build_kernel_module(build, globals_setup=out_global()))
+
+    def test_select(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            c = b.binop(Opcode.ICMP_SLT, b.const_i(1), b.const_i(2))
+            v = b.select(c, b.const_i(111), b.const_i(222))
+            b.store(base, v, MemType.I64)
+            b.ret()
+
+        assert run_and_read(build_kernel_module(build, globals_setup=out_global()))[0] == 111
+
+    def test_float_math(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            v = b.unop(Opcode.SQRT, b.const_f(16.0))
+            v = b.binop(Opcode.FADD, v, b.const_f(0.5))
+            b.store(base, v, MemType.F64)
+            b.ret()
+
+        out = run_and_read(
+            build_kernel_module(build, globals_setup=out_global(mty=MemType.F64)),
+            dtype=np.float64,
+        )
+        assert out[0] == pytest.approx(4.5)
+
+    def test_conversions_truncate_toward_zero(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            v = b.fptosi(b.const_f(-2.7))
+            b.store(base, v, MemType.I64)
+            w = b.fptosi(b.const_f(2.7))
+            b.store(base, w, MemType.I64, offset=8)
+            b.ret()
+
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        assert list(out[:2]) == [-2, 2]
+
+    def test_kernel_params(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            p0 = b.kparam(0)
+            p1 = b.kparam(1)
+            b.store(base, b.binop(Opcode.ADD, p0, p1), MemType.I64)
+            b.ret()
+
+        out = run_and_read(
+            build_kernel_module(build, globals_setup=out_global()),
+            params=(40, 2),
+        )
+        assert out[0] == 42
+
+
+class TestParallelRegions:
+    def _tid_kernel(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            b.par_begin()
+            tid = b.tid()
+            addr = b.binop(Opcode.ADD, base, b.binop(Opcode.MUL, tid, b.const_i(8)))
+            b.store(addr, b.binop(Opcode.MUL, tid, b.const_i(3)), MemType.I64)
+            b.par_end()
+            b.ret()
+
+        return build_kernel_module(self_build := build, globals_setup=out_global())
+
+    def test_all_threads_execute_parallel_region(self):
+        out = run_and_read(self._tid_kernel(), thread_limit=32)
+        np.testing.assert_array_equal(out[:32], np.arange(32) * 3)
+
+    def test_sequential_region_single_thread(self):
+        """Outside par_begin only the initial thread runs: a plain store
+        writes one slot, not one per thread."""
+
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            tid = b.tid()
+            addr = b.binop(Opcode.ADD, base, b.binop(Opcode.MUL, tid, b.const_i(8)))
+            b.store(addr, b.const_i(1), MemType.I64)
+            b.ret()
+
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        assert out[0] == 1
+        assert np.all(out[1:] == 0)
+
+    def test_broadcast_of_sequential_values(self):
+        """Values computed by the initial thread are visible to all team
+        threads inside the parallel region (register broadcast)."""
+
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            seq_val = b.binop(Opcode.MUL, b.const_i(21), b.const_i(2))
+            b.par_begin()
+            tid = b.tid()
+            addr = b.binop(Opcode.ADD, base, b.binop(Opcode.MUL, tid, b.const_i(8)))
+            b.store(addr, seq_val, MemType.I64)
+            b.par_end()
+            b.ret()
+
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        assert np.all(out[:32] == 42)
+
+    def test_par_end_returns_to_single_thread(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            b.par_begin()
+            b.par_end()
+            # back in sequential mode: exactly one increment
+            old = b.atomic_add(base, b.const_i(1), MemType.I64)
+            b.ret()
+
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        assert out[0] == 1
+
+
+class TestReductions:
+    def test_reduce_add_over_team(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            b.par_begin()
+            tid = b.tid()
+            total = b.reduce(Opcode.RED_ADD, tid)
+            b.par_end()
+            b.store(base, total, MemType.I64)
+            b.ret()
+
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        assert out[0] == sum(range(32))
+
+    def test_reduce_max_min(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            b.par_begin()
+            tid = b.tid()
+            mx = b.reduce(Opcode.RED_MAX, tid)
+            mn = b.reduce(Opcode.RED_MIN, tid)
+            b.par_end()
+            b.store(base, mx, MemType.I64)
+            b.store(base, mn, MemType.I64, offset=8)
+            b.ret()
+
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        assert list(out[:2]) == [31, 0]
+
+
+class TestDivergence:
+    def test_divergent_branches_reconverge(self):
+        """Half the warp takes each side of a branch; both sides execute and
+        lanes reconverge: out[tid] = tid odd ? tid*10 : tid+100."""
+
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            b.par_begin()
+            tid = b.tid()
+            odd = b.binop(Opcode.AND, tid, b.const_i(1))
+            then_b = b.create_block("then")
+            else_b = b.create_block("else")
+            join_b = b.create_block("join")
+            res = fn.new_reg(tid.ty)
+            b.cbr(odd, then_b, else_b)
+            b.set_block(then_b)
+            b.mov_to(res, b.binop(Opcode.MUL, tid, b.const_i(10)))
+            b.br(join_b)
+            b.set_block(else_b)
+            b.mov_to(res, b.binop(Opcode.ADD, tid, b.const_i(100)))
+            b.br(join_b)
+            b.set_block(join_b)
+            addr = b.binop(Opcode.ADD, base, b.binop(Opcode.MUL, tid, b.const_i(8)))
+            b.store(addr, res, MemType.I64)
+            b.par_end()
+            b.ret()
+
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        expect = [t * 10 if t % 2 else t + 100 for t in range(32)]
+        np.testing.assert_array_equal(out[:32], expect)
+
+    def test_data_dependent_loop_trip_counts(self):
+        """Each lane loops tid times; divergence must serialize correctly:
+        out[tid] = tid (computed by repeated increment)."""
+
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            b.par_begin()
+            tid = b.tid()
+            i = fn.new_reg(tid.ty)
+            acc = fn.new_reg(tid.ty)
+            b.mov_to(i, b.const_i(0))
+            b.mov_to(acc, b.const_i(0))
+            cond_b = b.create_block("cond")
+            body_b = b.create_block("body")
+            exit_b = b.create_block("exit")
+            b.br(cond_b)
+            b.set_block(cond_b)
+            c = b.binop(Opcode.ICMP_SLT, i, tid)
+            b.cbr(c, body_b, exit_b)
+            b.set_block(body_b)
+            b.mov_to(acc, b.binop(Opcode.ADD, acc, b.const_i(1)))
+            b.mov_to(i, b.binop(Opcode.ADD, i, b.const_i(1)))
+            b.br(cond_b)
+            b.set_block(exit_b)
+            addr = b.binop(Opcode.ADD, base, b.binop(Opcode.MUL, tid, b.const_i(8)))
+            b.store(addr, acc, MemType.I64)
+            b.par_end()
+            b.ret()
+
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        np.testing.assert_array_equal(out[:32], np.arange(32))
+
+
+class TestMultiTeam:
+    def test_teams_have_distinct_ids(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            team = b.ctaid()
+            addr = b.binop(Opcode.ADD, base, b.binop(Opcode.MUL, team, b.const_i(8)))
+            b.store(addr, b.binop(Opcode.ADD, team, b.const_i(1)), MemType.I64)
+            b.ret()
+
+        out = run_and_read(
+            build_kernel_module(build, globals_setup=out_global()), num_teams=4
+        )
+        np.testing.assert_array_equal(out[:4], [1, 2, 3, 4])
+
+    def test_nctaid(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            b.store(base, b.nctaid(), MemType.I64)
+            b.ret()
+
+        out = run_and_read(
+            build_kernel_module(build, globals_setup=out_global()), num_teams=5
+        )
+        assert out[0] == 5
+
+    def test_atomics_across_teams(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            b.atomic_add(base, b.const_i(1), MemType.I64)
+            b.ret()
+
+        out = run_and_read(
+            build_kernel_module(build, globals_setup=out_global()), num_teams=7
+        )
+        assert out[0] == 7
+
+
+class TestStackAlloc:
+    def test_salloc_returns_distinct_per_thread(self):
+        def build(b, fn, module):
+            base = b.gaddr(OUT)
+            b.par_begin()
+            p = b.salloc(16)
+            b.store(p, b.tid(), MemType.I64)
+            v = b.load(p, MemType.I64)
+            tid = b.tid()
+            addr = b.binop(Opcode.ADD, base, b.binop(Opcode.MUL, tid, b.const_i(8)))
+            b.store(addr, v, MemType.I64)
+            b.par_end()
+            b.ret()
+
+        out = run_and_read(build_kernel_module(build, globals_setup=out_global()))
+        np.testing.assert_array_equal(out[:32], np.arange(32))
+
+    def test_stack_overflow_traps(self):
+        def build(b, fn, module):
+            b.salloc(1 << 14)  # larger than the 512B test stacks
+            b.ret()
+
+        with pytest.raises(DeviceTrap, match="stack overflow"):
+            run_and_read(build_kernel_module(build, globals_setup=out_global()))
+
+
+class TestTrap:
+    def test_trap_reports_team_and_message(self):
+        def build(b, fn, module):
+            b.trap("boom")
+
+        with pytest.raises(DeviceTrap, match="boom"):
+            run_and_read(build_kernel_module(build, globals_setup=out_global()))

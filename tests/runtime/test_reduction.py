@@ -1,0 +1,44 @@
+"""Warp-tree reduction references."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.reduction import reduce_add, reduce_max, reduce_min, warp_tree_reduce
+
+
+def test_add_simple():
+    assert reduce_add(np.arange(32)) == sum(range(32))
+
+
+def test_add_non_warp_multiple():
+    vals = np.arange(45, dtype=float)
+    assert reduce_add(vals) == pytest.approx(vals.sum())
+
+
+def test_max_min():
+    vals = np.array([3.0, -7.0, 11.0, 0.5])
+    assert reduce_max(vals) == 11.0
+    assert reduce_min(vals) == -7.0
+
+
+def test_single_element():
+    assert reduce_add([42.0]) == 42.0
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        reduce_add([])
+
+
+def test_matches_numpy_for_random_sizes():
+    rng = np.random.default_rng(11)
+    for n in (1, 5, 31, 32, 33, 64, 100, 257):
+        vals = rng.normal(size=n)
+        assert warp_tree_reduce(vals, np.add) == pytest.approx(vals.sum(), rel=1e-12)
+        assert warp_tree_reduce(vals, np.maximum) == vals.max()
+        assert warp_tree_reduce(vals, np.minimum) == vals.min()
+
+
+def test_unsupported_op_rejected():
+    with pytest.raises(ValueError):
+        warp_tree_reduce(np.ones(4), np.multiply)

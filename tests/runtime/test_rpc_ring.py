@@ -1,0 +1,120 @@
+"""RPC ring-buffer transport over simulated device memory."""
+
+import threading
+
+import pytest
+
+from repro.errors import RPCError
+from repro.gpu.memory import GlobalMemory
+from repro.runtime.rpc_device import (
+    MAX_ARGS,
+    DeviceRing,
+    HostRing,
+    decode_float_arg,
+    ring_bytes,
+)
+
+BASE = 8192
+
+
+@pytest.fixture
+def rings():
+    mem = GlobalMemory(1 << 20)
+    dev = DeviceRing(mem, BASE, capacity=8)
+    dev.initialize()
+    host = HostRing(mem, BASE)
+    return mem, dev, host
+
+
+def test_enqueue_poll_respond_roundtrip(rings):
+    _, dev, host = rings
+    slot = dev.enqueue(7, [1, 2, 3])
+    rec = host.poll()
+    assert rec.service_id == 7
+    assert rec.args_raw == [1, 2, 3]
+    host.respond(rec, 99)
+    assert dev.try_take_response(slot) == 99
+
+
+def test_float_args_bitcast(rings):
+    _, dev, host = rings
+    slot = dev.enqueue(1, [2.5, 7])
+    rec = host.poll()
+    assert decode_float_arg(rec.args_raw[0]) == 2.5
+    assert rec.args_raw[1] == 7
+    host.respond(rec, 1.25)
+    assert dev.try_take_response(slot, as_float=True) == 1.25
+
+
+def test_response_not_ready_returns_none(rings):
+    _, dev, host = rings
+    slot = dev.enqueue(1, [])
+    assert dev.try_take_response(slot) is None
+
+
+def test_fifo_order(rings):
+    _, dev, host = rings
+    for i in range(5):
+        dev.enqueue(i, [i])
+    seen = []
+    host.drain(lambda rec: seen.append(rec.service_id) or 0)
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_ring_full_rejected(rings):
+    _, dev, host = rings
+    for i in range(8):
+        dev.enqueue(1, [])
+    with pytest.raises(RPCError, match="full"):
+        dev.enqueue(1, [])
+
+
+def test_drain_frees_capacity(rings):
+    _, dev, host = rings
+    for _ in range(8):
+        dev.enqueue(1, [])
+    host.drain(lambda rec: 0)
+    dev.enqueue(1, [])  # fits again
+
+
+def test_too_many_args_rejected(rings):
+    _, dev, host = rings
+    with pytest.raises(RPCError):
+        dev.enqueue(1, list(range(MAX_ARGS + 1)))
+
+
+def test_uninitialized_ring_rejected():
+    mem = GlobalMemory(1 << 20)
+    with pytest.raises(RPCError, match="not initialized"):
+        HostRing(mem, BASE)
+
+
+def test_ring_bytes_layout():
+    assert ring_bytes(4) == 24 + 4 * (24 + 64 + 8)
+
+
+def test_concurrent_service_thread(rings):
+    """A real host thread drains the ring while the 'device' enqueues."""
+    _, dev, host = rings
+    results = {}
+    stop = threading.Event()
+
+    def loop():
+        while not stop.is_set():
+            host.drain(lambda rec: rec.args_raw[0] * 2)
+        host.drain(lambda rec: rec.args_raw[0] * 2)
+
+    thread = threading.Thread(target=loop, daemon=True)
+    thread.start()
+    slots = [dev.enqueue(1, [i]) for i in range(6)]
+    try:
+        for i, slot in enumerate(slots):
+            for _ in range(100000):
+                got = dev.try_take_response(slot)
+                if got is not None:
+                    results[i] = got
+                    break
+    finally:
+        stop.set()
+        thread.join(timeout=2)
+    assert results == {i: 2 * i for i in range(6)}

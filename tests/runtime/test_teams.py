@@ -1,0 +1,100 @@
+"""Team geometry and packed-instance launches end to end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.ir.instructions import Opcode
+from repro.ir.module import GlobalVar
+from repro.ir.types import MemType
+from repro.runtime.teams import TeamGeometry, geometry_for_instances
+from tests.util import build_kernel_module, small_device
+
+
+class TestTeamGeometry:
+    def test_defaults(self):
+        g = TeamGeometry(4, 128)
+        assert g.threads_per_instance == 128
+        assert g.total_slots == 4
+        assert g.block_shape == (128, 1, 1)
+
+    def test_packed_shape(self):
+        g = TeamGeometry(2, 128, instances_per_team=4)
+        assert g.threads_per_instance == 32
+        assert g.total_slots == 8
+        assert g.block_shape == (32, 4, 1)
+
+    def test_indivisible_packing_rejected(self):
+        with pytest.raises(LaunchError):
+            TeamGeometry(1, 100, instances_per_team=3)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(LaunchError):
+            TeamGeometry(0, 32)
+        with pytest.raises(LaunchError):
+            TeamGeometry(1, 0)
+
+    def test_geometry_for_instances_paper_default(self):
+        g = geometry_for_instances(16, 32)
+        assert g.num_teams == 16  # teams == instances
+
+    def test_geometry_for_instances_packed(self):
+        g = geometry_for_instances(16, 64, instances_per_team=4)
+        assert g.num_teams == 4
+        assert g.total_slots == 16
+
+    def test_max_teams_cap(self):
+        g = geometry_for_instances(200, 32, max_teams=64)
+        assert g.num_teams == 64
+
+
+class TestPackedExecution:
+    def test_instance_ids_unique_across_packed_slots(self):
+        """With M=4 instances per team over 2 teams, INSTANCE must
+        enumerate 0..7 and each sub-instance runs its own sequential code."""
+
+        def build(b, fn, module):
+            base = b.gaddr("out")
+            inst = b.instance()
+            addr = b.binop(Opcode.ADD, base, b.binop(Opcode.MUL, inst, b.const_i(8)))
+            b.store(addr, b.binop(Opcode.ADD, inst, b.const_i(100)), MemType.I64)
+            b.ret()
+
+        module = build_kernel_module(
+            build,
+            globals_setup=lambda m: m.add_global(GlobalVar("out", MemType.I64, 8)),
+        )
+        dev = small_device()
+        image = dev.load_image(module)
+        dev.launch(
+            image, "k", num_teams=2, thread_limit=128, instances_per_team=4
+        )
+        out = dev.memory.read_array(image.symbol("out"), np.int64, 8)
+        np.testing.assert_array_equal(out, 100 + np.arange(8))
+
+    def test_packed_parallel_region_uses_slice_threads(self):
+        """Each packed instance's parallel_range sees ntid = T/M threads and
+        its own tid numbering."""
+
+        def build(b, fn, module):
+            base = b.gaddr("out")
+            inst = b.instance()
+            b.par_begin()
+            tid = b.tid()
+            ntid = b.ntid()
+            # out[inst * 16 + tid] = ntid
+            off = b.binop(Opcode.ADD, b.binop(Opcode.MUL, inst, b.const_i(16)), tid)
+            addr = b.binop(Opcode.ADD, base, b.binop(Opcode.MUL, off, b.const_i(8)))
+            b.store(addr, ntid, MemType.I64)
+            b.par_end()
+            b.ret()
+
+        module = build_kernel_module(
+            build,
+            globals_setup=lambda m: m.add_global(GlobalVar("out", MemType.I64, 32)),
+        )
+        dev = small_device()
+        image = dev.load_image(module)
+        dev.launch(image, "k", num_teams=1, thread_limit=32, instances_per_team=2)
+        out = dev.memory.read_array(image.symbol("out"), np.int64, 32)
+        np.testing.assert_array_equal(out, np.full(32, 16))

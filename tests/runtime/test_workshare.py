@@ -1,0 +1,49 @@
+"""Static worksharing schedule math."""
+
+import pytest
+
+from repro.runtime.workshare import (
+    iteration_owner,
+    iterations_per_worker,
+    static_iterations,
+)
+
+
+def test_static_iterations_strided():
+    assert static_iterations(10, 4, 0) == [0, 4, 8]
+    assert static_iterations(10, 4, 3) == [3, 7]
+
+
+def test_partition_is_exact():
+    total, workers = 37, 5
+    seen = sorted(
+        i for w in range(workers) for i in static_iterations(total, workers, w)
+    )
+    assert seen == list(range(total))
+
+
+def test_owner_matches_assignment():
+    for it in range(20):
+        w = iteration_owner(it, 6)
+        assert it in static_iterations(100, 6, w)
+
+
+def test_counts_balanced_within_one():
+    counts = iterations_per_worker(10, 4)
+    assert counts == [3, 3, 2, 2]
+    assert sum(counts) == 10
+    assert max(counts) - min(counts) <= 1
+
+
+def test_more_workers_than_items():
+    counts = iterations_per_worker(3, 8)
+    assert counts == [1, 1, 1, 0, 0, 0, 0, 0]
+
+
+def test_bad_args_rejected():
+    with pytest.raises(ValueError):
+        static_iterations(10, 0, 0)
+    with pytest.raises(ValueError):
+        static_iterations(10, 4, 4)
+    with pytest.raises(ValueError):
+        iteration_owner(-1, 4)

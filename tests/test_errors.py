@@ -1,0 +1,75 @@
+"""Error hierarchy: catchability and message content."""
+
+import pytest
+
+from repro.errors import (
+    ArgFileError,
+    DeviceError,
+    DeviceOutOfMemory,
+    DeviceTrap,
+    FrontendError,
+    LoaderError,
+    MemoryFault,
+    ReproError,
+    TypeInferenceError,
+    UnsupportedConstructError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (
+            FrontendError,
+            DeviceError,
+            DeviceTrap,
+            DeviceOutOfMemory,
+            LoaderError,
+            ArgFileError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_frontend_family(self):
+        assert issubclass(TypeInferenceError, FrontendError)
+        assert issubclass(UnsupportedConstructError, FrontendError)
+
+    def test_memory_fault_is_a_trap(self):
+        assert issubclass(MemoryFault, DeviceTrap)
+
+    def test_oom_is_a_device_error(self):
+        assert issubclass(DeviceOutOfMemory, DeviceError)
+
+
+class TestMessages:
+    def test_frontend_error_location(self):
+        err = FrontendError("bad thing", line=42, func="main")
+        assert "main()" in str(err)
+        assert "line 42" in str(err)
+
+    def test_frontend_error_without_location(self):
+        assert str(FrontendError("bad thing")) == "bad thing"
+
+    def test_trap_location(self):
+        err = DeviceTrap("boom", team=3, thread=17)
+        assert "team 3" in str(err)
+        assert "thread 17" in str(err)
+
+    def test_oom_details(self):
+        err = DeviceOutOfMemory(1024, 512, 2048)
+        assert err.requested == 1024
+        assert "1024 bytes" in str(err)
+        assert "512 free" in str(err)
+
+
+class TestCatching:
+    def test_single_except_covers_pipeline(self):
+        """A caller can wrap any repro operation in one except clause."""
+        from repro.frontend import Program, i64, ptr_ptr
+
+        prog = Program("broken", link_libc=False)
+
+        @prog.main
+        def main(argc: i64, argv: ptr_ptr) -> i64:
+            return undefined  # noqa: F821
+
+        with pytest.raises(ReproError):
+            prog.compile()
