@@ -1,14 +1,26 @@
 # Convenience targets for the reproduction.
 
 PYTHON ?= python
+# src layout: make targets work from a checkout without `make install`
+export PYTHONPATH := src
 
-.PHONY: install test test-fast bench figures validate objdump clean
+.PHONY: install test test-fast lint check bench figures validate objdump clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m repro.tools.lint --all --fail-on error
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping style check"; \
+	fi
+
+check: lint test
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x -q

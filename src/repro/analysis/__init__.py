@@ -1,0 +1,117 @@
+"""Static analysis over the device IR: a reusable dataflow framework and
+the ensemble-safety lint built on top of it.
+
+The framework layer (usable by passes and tools alike):
+
+* :class:`~repro.analysis.cfg.CFG` — explicit control-flow graph,
+* :func:`~repro.analysis.dominators.dominators` /
+  :func:`~repro.analysis.dominators.postdominators`,
+* :mod:`~repro.analysis.dataflow` — generic gen/kill solver plus liveness,
+  reaching definitions, use-before-def, parallel-region depths, and
+  register-taint propagation.
+
+The checker layer emits structured
+:class:`~repro.analysis.diagnostics.Diagnostic` records:
+
+* ``races`` — mutable globals shared (and written) across ensemble
+  instances (§3.3 of the paper),
+* ``barrier-divergence`` — team synchronization reachable under
+  thread-divergent branches (deadlock on real hardware),
+* ``rpc`` — host-only calls that escaped RPC lowering; RPCs issued in
+  parallel or divergent regions,
+* ``uninit`` — registers read before any definition on some path.
+
+Entry points: :func:`analyze_module` runs a set of checkers over a module;
+``repro.tools.lint`` is the CLI; ``passes.pipeline`` exposes an opt-in
+analyze stage; and the ensemble loader refuses multi-instance launches of
+racy modules unless overridden.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import (
+    DataflowResult,
+    ParDepthInfo,
+    UninitUse,
+    liveness,
+    par_depths,
+    propagate_regs,
+    reaching_defs,
+    uninitialized_uses,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    count_by_severity,
+    errors,
+)
+from repro.analysis.divergence import check_divergence, thread_dependent_regs
+from repro.analysis.dominators import dominators, postdominators
+from repro.analysis.races import check_races, summarize_global_accesses
+from repro.analysis.rpc_legality import check_rpc_legality
+from repro.analysis.uninit import check_uninitialized
+from repro.ir.module import Module
+
+#: Registry of all ensemble-safety checkers, by CLI name.
+CHECKERS: dict[str, Callable[[Module], list[Diagnostic]]] = {
+    "races": check_races,
+    "barrier-divergence": check_divergence,
+    "rpc": check_rpc_legality,
+    "uninit": check_uninitialized,
+}
+
+
+def analyze_module(
+    module: Module, checkers: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Run the named checkers (default: all) and return their findings,
+    most severe first, in a stable order."""
+    names = list(checkers) if checkers is not None else list(CHECKERS)
+    unknown = [n for n in names if n not in CHECKERS]
+    if unknown:
+        raise KeyError(
+            f"unknown checker(s) {unknown}; available: {sorted(CHECKERS)}"
+        )
+    diags: list[Diagnostic] = []
+    for name in names:
+        diags.extend(CHECKERS[name](module))
+    diags.sort(
+        key=lambda d: (
+            -int(d.severity),
+            d.checker,
+            d.function,
+            d.block or "",
+            -1 if d.index is None else d.index,
+        )
+    )
+    return diags
+
+
+__all__ = [
+    "CFG",
+    "CHECKERS",
+    "DataflowResult",
+    "Diagnostic",
+    "ParDepthInfo",
+    "Severity",
+    "UninitUse",
+    "analyze_module",
+    "check_divergence",
+    "check_races",
+    "check_rpc_legality",
+    "check_uninitialized",
+    "count_by_severity",
+    "dominators",
+    "errors",
+    "liveness",
+    "par_depths",
+    "postdominators",
+    "propagate_regs",
+    "reaching_defs",
+    "summarize_global_accesses",
+    "thread_dependent_regs",
+    "uninitialized_uses",
+]

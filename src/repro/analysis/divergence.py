@@ -1,0 +1,170 @@
+"""Barrier-divergence checker.
+
+A team-wide synchronization point (``barrier``, the implicit barrier of
+``par_end``, a team reduction) deadlocks on real hardware when it executes
+under *non-uniform* control flow: some threads of the team take the branch
+that reaches the barrier and wait there forever for the threads that did
+not (GPU First, arXiv:2306.11686, hit exactly this porting whole CPU
+programs to device).
+
+The check combines three analyses from the framework:
+
+1. **Thread-dependence taint** — registers whose value may differ between
+   threads of one instance: seeded by ``tid``/``laneid`` (and per-thread
+   sources: stack allocations, atomic fetch results, shuffles), propagated
+   through ALU/moves/selects/conversions and loads from thread-dependent
+   addresses.  Team-level reductions produce *uniform* results and stop
+   the taint.
+2. **Parallel-region depth** — divergence only matters where more than one
+   thread executes, i.e. inside ``par_begin``/``par_end``; the sequential
+   initial-thread mode cannot diverge.
+3. **Post-dominance** (ignoring aborting ``trap`` paths) — a sync point S
+   is safe with respect to a conditional branch B iff S post-dominates B:
+   whichever way the branch goes, every surviving thread still reaches S.
+
+A diagnostic fires for each sync instruction that is reachable from a
+thread-dependent conditional branch inside a parallel region without
+post-dominating it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import par_depths, propagate_regs
+from repro.analysis.diagnostics import Diagnostic, Severity, instr_loc
+from repro.analysis.dominators import postdominators
+from repro.ir.instructions import Instr, Opcode, SYNC_OPS
+from repro.ir.module import Function, Module
+from repro.ir.types import Reg
+
+CHECKER = "barrier-divergence"
+
+#: Opcodes whose result is inherently per-thread.
+_THREAD_SOURCES = frozenset(
+    {
+        Opcode.TID,
+        Opcode.LANEID,
+        Opcode.SALLOC,  # per-thread stack slot: the address itself differs
+        Opcode.ATOMIC_ADD,  # fetch result orders threads against each other
+        Opcode.ATOMIC_MAX,
+        Opcode.SHFL_DOWN,  # another lane's value still varies per lane
+        Opcode.SHFL_IDX,
+    }
+)
+
+#: Opcodes whose result is uniform across the team even with tainted
+#: operands (reductions broadcast one value to every thread).
+_UNIFORM_RESULTS = frozenset({Opcode.RED_ADD, Opcode.RED_MAX, Opcode.RED_MIN})
+
+#: Opcodes that never taint their destination: calls and RPCs execute in
+#: whatever mode is active (this analysis is intraprocedural; the final,
+#: fully inlined module has no calls left), launch parameters and team
+#: coordinates are uniform per team.
+_NEVER_TAINT = frozenset(
+    {Opcode.CALL, Opcode.RPC, Opcode.KPARAM, Opcode.CTAID, Opcode.NCTAID, Opcode.INSTANCE}
+) | _UNIFORM_RESULTS
+
+
+def thread_dependent_regs(fn: Function) -> set[Reg]:
+    """Registers whose value may differ across threads of one instance."""
+
+    def seed(instr: Instr):
+        if instr.op in _THREAD_SOURCES and instr.dest is not None:
+            yield instr.dest
+
+    def propagate(instr: Instr, tainted: set[Reg]):
+        if instr.dest is None or instr.op in _NEVER_TAINT:
+            return
+        if instr.op in _THREAD_SOURCES:
+            return
+        if any(r in tainted for r in instr.regs_read()):
+            yield instr.dest
+
+    return propagate_regs(fn, seed, propagate)
+
+
+def _sync_sites(fn: Function) -> list[tuple[str, int, Instr]]:
+    sites = []
+    for block in fn.iter_blocks():
+        for idx, instr in enumerate(block.instrs):
+            if instr.op in SYNC_OPS or instr.op is Opcode.BARRIER:
+                sites.append((block.label, idx, instr))
+    return sites
+
+
+def check_divergence(module: Module) -> list[Diagnostic]:
+    """Flag sync points reachable under divergent (thread-dependent) branches."""
+    diags: list[Diagnostic] = []
+    for fn in module.functions.values():
+        if not fn.block_order:
+            continue
+        sites = _sync_sites(fn)
+        if not sites:
+            continue
+        cfg = CFG(fn)
+        depths = par_depths(fn, cfg)
+        tainted = thread_dependent_regs(fn)
+        pdom = postdominators(cfg)
+
+        divergent_branches: list[tuple[str, Instr]] = []
+        for label in cfg.rpo:
+            term = fn.blocks[label].terminator
+            if (
+                term is not None
+                and term.op is Opcode.CBR
+                and depths.depth_out.get(label, 0) >= 1
+                and any(r in tainted for r in term.regs_read())
+            ):
+                divergent_branches.append((label, term))
+        if not divergent_branches:
+            continue
+
+        reach_cache: dict[str, set[str]] = {}
+        flagged: set[tuple[str, int]] = set()
+        for branch_label, branch in divergent_branches:
+            if branch_label not in reach_cache:
+                # Divergence introduced by the branch is resolved at its
+                # post-dominators (every thread funnels through them), so
+                # only blocks reachable *before* one count as divergent.
+                stop = pdom[branch_label] - {branch_label}
+                reached: set[str] = set()
+                stack = [s for s in cfg.succs[branch_label] if s not in stop]
+                while stack:
+                    b = stack.pop()
+                    if b in reached:
+                        continue
+                    reached.add(b)
+                    stack.extend(
+                        s
+                        for s in cfg.succs[b]
+                        if s not in stop and s not in reached
+                    )
+                reach_cache[branch_label] = reached
+            reached = reach_cache[branch_label]
+            for label, idx, instr in sites:
+                if (label, idx) in flagged:
+                    continue
+                if label not in reached:
+                    continue
+                flagged.add((label, idx))
+                what = instr.op.name.lower()
+                diags.append(
+                    Diagnostic(
+                        severity=Severity.ERROR,
+                        checker=CHECKER,
+                        function=fn.name,
+                        block=label,
+                        index=idx,
+                        loc=instr_loc(instr),
+                        message=(
+                            f"{what} may execute under a thread-divergent branch "
+                            f"(block {branch_label!r}): threads that skip it will "
+                            "deadlock the team on real hardware"
+                        ),
+                        hint=(
+                            "hoist the synchronization out of the divergent "
+                            "region so every thread of the team reaches it"
+                        ),
+                    )
+                )
+    return diags

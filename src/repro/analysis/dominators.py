@@ -1,0 +1,84 @@
+"""Dominator and post-dominator analysis over a :class:`~repro.analysis.cfg.CFG`.
+
+Block ``D`` *dominates* ``B`` when every path from the entry to ``B`` goes
+through ``D``; ``P`` *post-dominates* ``B`` when every path from ``B`` to a
+function exit goes through ``P``.  Both are computed with the classic
+iterative set-intersection fixpoint, which is plenty fast for the block
+counts this IR produces (the largest finalized app kernel is a few hundred
+blocks).
+
+Post-dominance is parameterized on what counts as an "exit".  For
+convergence questions (may all threads reach this barrier together?) the
+right notion ignores aborting paths: a ``trap`` kills the whole launch, so
+a path that ends in a trap never leaves some threads waiting at a barrier.
+``postdominators(cfg)`` therefore uses only ``ret``/``retval`` blocks as
+exits by default; pass ``through_traps=True`` for the strict variant.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+
+
+def dominators(cfg: CFG) -> dict[str, frozenset[str]]:
+    """Map each reachable label to the set of labels dominating it
+    (reflexive: every block dominates itself)."""
+    blocks = cfg.rpo
+    universe = frozenset(blocks)
+    dom: dict[str, frozenset[str]] = {b: universe for b in blocks}
+    dom[cfg.entry] = frozenset({cfg.entry})
+    changed = True
+    while changed:
+        changed = False
+        for b in blocks:
+            if b == cfg.entry:
+                continue
+            preds = [p for p in cfg.preds[b] if p in cfg.reachable]
+            new = universe
+            for p in preds:
+                new = new & dom[p]
+            new = new | {b}
+            if new != dom[b]:
+                dom[b] = new
+                changed = True
+    return dom
+
+
+def postdominators(
+    cfg: CFG, *, through_traps: bool = False
+) -> dict[str, frozenset[str]]:
+    """Map each reachable label to the set of labels post-dominating it.
+
+    Only blocks that can reach an exit participate; blocks that cannot
+    (infinite loops, trap-only tails when ``through_traps=False``) are
+    mapped to the full block set — post-dominance over them is vacuous,
+    and callers treating the result as "must pass through" stay
+    conservative.
+    """
+    exits = set(cfg.return_blocks)
+    if through_traps:
+        exits |= cfg.trap_blocks
+    universe = frozenset(cfg.reachable)
+    live = cfg.can_reach(exits) & cfg.reachable
+    pdom: dict[str, frozenset[str]] = {}
+    for b in cfg.reachable:
+        if b in exits:
+            pdom[b] = frozenset({b})
+        else:
+            pdom[b] = universe
+    order = [b for b in reversed(cfg.rpo) if b in live]
+    changed = True
+    while changed:
+        changed = False
+        for b in order:
+            if b in exits:
+                continue
+            succs = [s for s in cfg.succs[b] if s in live]
+            new = universe
+            for s in succs:
+                new = new & pdom[s]
+            new = new | {b}
+            if new != pdom[b]:
+                pdom[b] = new
+                changed = True
+    return pdom

@@ -1,0 +1,188 @@
+"""Cross-instance race checker (§3.3 of the paper, made enforceable).
+
+Ensemble execution runs N application instances inside one kernel launch,
+so module globals that a normal process would own privately become shared
+device memory.  Any *written* mutable global is therefore a cross-instance
+race: two instances increment the same counter, read each other's state,
+or worse.  The paper's proof-of-concept leaves spotting this to the user;
+this checker finds it statically.
+
+Classification per global:
+
+* ``constant`` or ``team_local`` (already relocated by
+  :func:`~repro.passes.globals_to_shared.globals_to_shared_pass`) — safe,
+  no diagnostic.
+* runtime-owned (``__``-prefixed: heap cursor, interned strings) — skipped;
+  the runtime shares them *by design* (the heap cursor is an atomic bump
+  allocator, which is exactly how instances get disjoint heaps).
+* mutable and stored to — **error**: recommend ``globals_to_shared``.
+* mutable, only ever updated atomically — **warning**: data-race-free, but
+  instances still observe each other's updates (per-instance totals mix).
+* mutable but never written — **note**: suggest declaring it constant.
+
+Address derivation is tracked intraprocedurally: a register holding
+``gaddr @g`` taints every register derived from it through moves, selects
+and pointer arithmetic, and any store/atomic/memcpy/memset whose address
+operand is tainted counts as a write to ``g``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import propagate_regs
+from repro.analysis.diagnostics import Diagnostic, Severity, instr_loc
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.module import Function, Module
+from repro.ir.types import Reg
+
+CHECKER = "races"
+
+#: Opcodes through which a global's address may flow into another register.
+_ADDR_FLOW = frozenset(
+    {Opcode.MOV, Opcode.SELECT, Opcode.ADD, Opcode.SUB, Opcode.IMIN, Opcode.IMAX}
+)
+
+#: (opcode, index of the *written* address operand in ``args``)
+_WRITE_ADDR = {
+    Opcode.STORE: 0,
+    Opcode.ATOMIC_ADD: 0,
+    Opcode.ATOMIC_MAX: 0,
+    Opcode.MEMCPY: 0,
+    Opcode.MEMSET: 0,
+}
+
+_ATOMICS = frozenset({Opcode.ATOMIC_ADD, Opcode.ATOMIC_MAX})
+
+
+def _derived_regs(fn: Function, sym: str) -> set[Reg]:
+    """Registers that may hold an address derived from global ``sym``."""
+
+    def seed(instr: Instr):
+        if instr.op is Opcode.GADDR and instr.sym == sym and instr.dest is not None:
+            yield instr.dest
+
+    def propagate(instr: Instr, tainted: set[Reg]):
+        if (
+            instr.op in _ADDR_FLOW
+            and instr.dest is not None
+            and any(r in tainted for r in instr.regs_read())
+        ):
+            yield instr.dest
+
+    return propagate_regs(fn, seed, propagate)
+
+
+class GlobalAccessSummary:
+    """Where one global is read and written, across all functions."""
+
+    def __init__(self, sym: str):
+        self.sym = sym
+        #: (function, block, index, instr) of stores/memcpy/memset writes
+        self.plain_writes: list[tuple[str, str, int, Instr]] = []
+        #: (function, block, index, instr) of atomic updates
+        self.atomic_writes: list[tuple[str, str, int, Instr]] = []
+        self.read_anywhere = False
+
+
+def summarize_global_accesses(module: Module) -> dict[str, GlobalAccessSummary]:
+    """Classify every access to every module global, per function."""
+    summaries: dict[str, GlobalAccessSummary] = {}
+    for sym in module.globals:
+        summary = GlobalAccessSummary(sym)
+        summaries[sym] = summary
+        for fn in module.functions.values():
+            if not any(
+                i.op is Opcode.GADDR and i.sym == sym for i in fn.iter_instrs()
+            ):
+                continue
+            derived = _derived_regs(fn, sym)
+            for block in fn.iter_blocks():
+                for idx, instr in enumerate(block.instrs):
+                    addr_pos = _WRITE_ADDR.get(instr.op)
+                    regs = [a for a in instr.args if isinstance(a, Reg)]
+                    if addr_pos is not None and regs and regs[addr_pos] in derived:
+                        kind = (
+                            summary.atomic_writes
+                            if instr.op in _ATOMICS
+                            else summary.plain_writes
+                        )
+                        kind.append((fn.name, block.label, idx, instr))
+                        # memcpy also reads through its source operand
+                        if instr.op is Opcode.MEMCPY and regs[1] in derived:
+                            summary.read_anywhere = True
+                        continue
+                    if instr.op is Opcode.LOAD and regs and regs[0] in derived:
+                        summary.read_anywhere = True
+                    elif instr.op is Opcode.MEMCPY and len(regs) > 1 and regs[1] in derived:
+                        summary.read_anywhere = True
+    return summaries
+
+
+def check_races(module: Module) -> list[Diagnostic]:
+    """Flag mutable globals shared (and raced on) across ensemble instances."""
+    diags: list[Diagnostic] = []
+    summaries = summarize_global_accesses(module)
+    for sym, g in module.globals.items():
+        if g.constant or g.team_local or sym.startswith("__"):
+            continue
+        summary = summaries[sym]
+        if summary.plain_writes:
+            fn_name, block, idx, instr = summary.plain_writes[0]
+            nsites = len(summary.plain_writes) + len(summary.atomic_writes)
+            diags.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    checker=CHECKER,
+                    function=fn_name,
+                    block=block,
+                    index=idx,
+                    sym=sym,
+                    loc=instr_loc(instr),
+                    message=(
+                        f"mutable global @{sym} is written ({nsites} site(s)); "
+                        "ensemble instances share it and will race"
+                    ),
+                    hint=(
+                        "relocate it per-team with the globals_to_shared pass "
+                        "(Loader(team_local_globals=True)), or launch a single "
+                        "instance"
+                    ),
+                )
+            )
+        elif summary.atomic_writes:
+            fn_name, block, idx, instr = summary.atomic_writes[0]
+            diags.append(
+                Diagnostic(
+                    severity=Severity.WARNING,
+                    checker=CHECKER,
+                    function=fn_name,
+                    block=block,
+                    index=idx,
+                    sym=sym,
+                    loc=instr_loc(instr),
+                    message=(
+                        f"mutable global @{sym} is updated atomically; "
+                        "instances are data-race-free but still share its value"
+                    ),
+                    hint=(
+                        "if per-instance totals must stay separate, relocate it "
+                        "with globals_to_shared"
+                    ),
+                )
+            )
+        else:
+            diags.append(
+                Diagnostic(
+                    severity=Severity.NOTE,
+                    checker=CHECKER,
+                    function="<module>",
+                    block=None,
+                    index=None,
+                    sym=sym,
+                    message=(
+                        f"mutable global @{sym} is never written"
+                        + ("" if summary.read_anywhere else " (nor read)")
+                    ),
+                    hint="declare it constant=True to document read-only sharing",
+                )
+            )
+    return diags

@@ -1,0 +1,158 @@
+"""RPC-legality checker.
+
+Host-only functions (``printf``, file I/O, ...) must never execute as
+plain device calls: the RPC lowering pass rewrites every ``call`` to a
+declared host extern into an ``rpc`` instruction serviced by the host.
+This checker enforces the contract and audits how the surviving RPC sites
+are used:
+
+* a ``call`` whose callee is a declared host extern — **error**: RPC
+  lowering has not run (or new code was linked in after it);
+* a ``call`` to a symbol defined nowhere — **error**: it can neither be
+  inlined nor serviced (the verifier also rejects this, but the lint
+  surface reports it with a fix-it instead of raising);
+* an ``rpc`` issued inside a parallel region — **warning**: every active
+  thread traps to the host individually, serializing the team on the RPC
+  channel (the portable-runtime experience report, arXiv:2106.03219,
+  measures exactly this cost);
+* an ``rpc`` issued under a thread-divergent branch inside a parallel
+  region — **warning**: legal in this runtime, but the host sees a
+  data-dependent subset of threads, which makes output nondeterministic
+  across ensemble runs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import par_depths
+from repro.analysis.diagnostics import Diagnostic, Severity, instr_loc
+from repro.analysis.divergence import thread_dependent_regs
+from repro.analysis.dominators import postdominators
+from repro.ir.instructions import Opcode
+from repro.ir.module import Module
+
+CHECKER = "rpc"
+
+
+def check_rpc_legality(module: Module) -> list[Diagnostic]:
+    """Verify host-extern calls were lowered and audit RPC call sites."""
+    diags: list[Diagnostic] = []
+    for fn in module.functions.values():
+        if not fn.block_order:
+            continue
+        has_rpc = any(i.op is Opcode.RPC for i in fn.iter_instrs())
+        cfg = CFG(fn) if has_rpc else None
+        depths = par_depths(fn, cfg) if cfg is not None else None
+        divergent_rpc_blocks: set[str] = set()
+        if cfg is not None and depths is not None:
+            tainted = thread_dependent_regs(fn)
+            pdom = postdominators(cfg)
+            for label in cfg.rpo:
+                term = fn.blocks[label].terminator
+                if (
+                    term is None
+                    or term.op is not Opcode.CBR
+                    or depths.depth_out.get(label, 0) < 1
+                    or not any(r in tainted for r in term.regs_read())
+                ):
+                    continue
+                stop = pdom[label] - {label}
+                stack = [s for s in cfg.succs[label] if s not in stop]
+                while stack:
+                    b = stack.pop()
+                    if b in divergent_rpc_blocks:
+                        continue
+                    divergent_rpc_blocks.add(b)
+                    stack.extend(
+                        s for s in cfg.succs[b] if s not in stop
+                    )
+
+        for block in fn.iter_blocks():
+            for idx, instr in enumerate(block.instrs):
+                if instr.op is Opcode.CALL:
+                    callee = instr.callee
+                    if callee in module.functions:
+                        continue
+                    if callee in module.extern_host:
+                        diags.append(
+                            Diagnostic(
+                                severity=Severity.ERROR,
+                                checker=CHECKER,
+                                function=fn.name,
+                                block=block.label,
+                                index=idx,
+                                sym=callee,
+                                loc=instr_loc(instr),
+                                message=(
+                                    f"call to host-only function @{callee} was "
+                                    "not lowered to an RPC"
+                                ),
+                                hint="run the rpc_lowering pass (compile_for_device)",
+                            )
+                        )
+                    else:
+                        diags.append(
+                            Diagnostic(
+                                severity=Severity.ERROR,
+                                checker=CHECKER,
+                                function=fn.name,
+                                block=block.label,
+                                index=idx,
+                                sym=callee,
+                                loc=instr_loc(instr),
+                                message=(
+                                    f"call to @{callee}, which is neither a "
+                                    "device function nor a declared host extern"
+                                ),
+                                hint=(
+                                    "declare it with Program.extern_host() or "
+                                    "link the module that defines it"
+                                ),
+                            )
+                        )
+                elif instr.op is Opcode.RPC and depths is not None:
+                    depth = depths.depth_before(block.label, idx, fn)
+                    if block.label in divergent_rpc_blocks:
+                        diags.append(
+                            Diagnostic(
+                                severity=Severity.WARNING,
+                                checker=CHECKER,
+                                function=fn.name,
+                                block=block.label,
+                                index=idx,
+                                sym=instr.service,
+                                loc=instr_loc(instr),
+                                message=(
+                                    f"rpc ${instr.service} issued under a "
+                                    "thread-divergent branch: a data-dependent "
+                                    "subset of threads calls the host"
+                                ),
+                                hint=(
+                                    "guard the RPC with a uniform condition "
+                                    "(e.g. thread_id() == 0) or hoist it out of "
+                                    "the divergent region"
+                                ),
+                            )
+                        )
+                    elif depth >= 1:
+                        diags.append(
+                            Diagnostic(
+                                severity=Severity.WARNING,
+                                checker=CHECKER,
+                                function=fn.name,
+                                block=block.label,
+                                index=idx,
+                                sym=instr.service,
+                                loc=instr_loc(instr),
+                                message=(
+                                    f"rpc ${instr.service} issued inside a "
+                                    "parallel region: every active thread "
+                                    "performs the host round-trip"
+                                ),
+                                hint=(
+                                    "move the RPC outside parallel_range, or "
+                                    "restrict it to one thread"
+                                ),
+                            )
+                        )
+    return diags

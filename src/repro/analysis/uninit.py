@@ -1,0 +1,53 @@
+"""Use-before-def checker (uninitialized registers).
+
+The IR is deliberately not SSA: the frontend compiles each variable to a
+mutable *home register* written by plain moves.  That makes "is this
+register always written before it is read" a real question — a miscompiled
+control-flow merge, a hand-built kernel, or an aggressive pass can leave a
+path on which a register is read while still holding garbage.
+
+The query is answered with the framework's reaching-definitions analysis:
+every non-parameter register starts with an ``UNDEF`` pseudo-definition at
+the entry; any read that pseudo-definition may reach is a use-before-def
+on some path.  Equivalently (and the property tests assert this
+equivalence): a register that is live into the entry block.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import uninitialized_uses
+from repro.analysis.diagnostics import Diagnostic, Severity, instr_loc
+from repro.ir.module import Module
+
+CHECKER = "uninit"
+
+
+def check_uninitialized(module: Module) -> list[Diagnostic]:
+    """Flag register reads that no definition dominates on some path."""
+    diags: list[Diagnostic] = []
+    for fn in module.functions.values():
+        if not fn.block_order:
+            continue
+        cfg = CFG(fn)
+        for use in uninitialized_uses(fn, cfg):
+            instr = fn.blocks[use.block].instrs[use.index]
+            diags.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    checker=CHECKER,
+                    function=fn.name,
+                    block=use.block,
+                    index=use.index,
+                    loc=instr_loc(instr),
+                    message=(
+                        f"register {use.reg!r} may be read before it is "
+                        f"written (in {instr.op.name.lower()})"
+                    ),
+                    hint=(
+                        "initialize the register on every path reaching this "
+                        "instruction"
+                    ),
+                )
+            )
+    return diags

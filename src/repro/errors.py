@@ -122,5 +122,20 @@ class ArgFileError(LoaderError):
     """The ensemble argument file could not be parsed."""
 
 
+class EnsembleSafetyError(LoaderError):
+    """A multi-instance launch was refused by the static safety gate.
+
+    Raised by the ensemble loader when ``repro.analysis`` reports
+    error-severity cross-instance race diagnostics for the linked module
+    and the caller did not pass ``allow_races=True``.  The offending
+    :class:`~repro.analysis.diagnostics.Diagnostic` records are attached
+    as ``diagnostics``.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
+
+
 class ArgScriptError(LoaderError):
     """The argument-generation script language rejected its input."""

@@ -164,6 +164,10 @@ class _FunctionCompiler(ast.NodeVisitor):
         self.loop_stack: list[_LoopCtx] = []
         self.par_depth = 0
         self.cur_line = 0
+        # AST linenos are relative to the decorated source snippet;
+        # co_firstlineno is the file line of its first line (the decorator),
+        # so snippet line L sits at file line L + _line_base.
+        self._line_base = pyfunc.__code__.co_firstlineno - 1
 
     # ------------------------------------------------------------------
     def err(self, msg: str, node: ast.AST | None = None) -> FrontendError:
@@ -203,6 +207,9 @@ class _FunctionCompiler(ast.NodeVisitor):
             if self.b.is_terminated:
                 return  # unreachable code after return/break is dropped
             self.cur_line = getattr(stmt, "lineno", self.cur_line)
+            self.b.set_loc(
+                self.cur_line + self._line_base, getattr(stmt, "col_offset", 0)
+            )
             self.compile_stmt(stmt)
 
     def compile_stmt(self, stmt: ast.stmt) -> None:
@@ -541,6 +548,8 @@ class _FunctionCompiler(ast.NodeVisitor):
         method = getattr(self, f"expr_{type(node).__name__}", None)
         if method is None:
             raise self.unsupported(f"expression {type(node).__name__}", node)
+        if hasattr(node, "lineno"):
+            self.b.set_loc(node.lineno + self._line_base, node.col_offset)
         return method(node)
 
     def expr_Constant(self, node: ast.Constant) -> Value:

@@ -66,6 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="device heap size for application malloc (MiB)",
     )
+    parser.add_argument(
+        "--allow-races",
+        action="store_true",
+        help="launch even when the static race checker reports that mutable "
+        "globals are shared across instances",
+    )
+    parser.add_argument(
+        "--team-local-globals",
+        action="store_true",
+        help="relocate mutable globals per-team (the globals_to_shared pass) "
+        "before launching",
+    )
     parser.add_argument("--list-apps", action="store_true", help="list available apps")
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-instance stdout"
@@ -109,6 +121,8 @@ def main(argv: list[str] | None = None) -> int:
             device,
             mapping=mapping,
             heap_bytes=args.heap_mb * 1024 * 1024,
+            team_local_globals=args.team_local_globals,
+            allow_races=args.allow_races,
         )
         result = loader.run_ensemble(
             arg_source,

@@ -20,7 +20,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import LoaderError
+from repro.analysis import Severity, check_races
+from repro.errors import EnsembleSafetyError, LoaderError
 from repro.frontend.dsl import Program
 from repro.gpu.device import GPUDevice, LaunchResult
 from repro.gpu.timing import KernelTiming
@@ -79,6 +80,7 @@ class EnsembleLoader(Loader):
         team_local_globals: bool = False,
         optimize: bool = True,
         rpc_transport: str = "direct",
+        allow_races: bool = False,
     ):
         super().__init__(
             program,
@@ -90,6 +92,32 @@ class EnsembleLoader(Loader):
             rpc_transport=rpc_transport,
         )
         self.mapping = mapping
+        self.allow_races = allow_races
+        #: error-severity cross-instance race findings for the linked module;
+        #: computed once here, enforced per-launch in :meth:`run_ensemble`.
+        self.race_diagnostics = [
+            d for d in check_races(self.module) if d.severity >= Severity.ERROR
+        ]
+
+    def _check_ensemble_safety(self, num_instances: int) -> None:
+        """Refuse multi-instance launches of modules with race errors.
+
+        Single-instance launches are always safe (there is nobody to race
+        with); ``allow_races=True`` overrides the gate for callers who know
+        the shared state is benign.
+        """
+        if num_instances <= 1 or self.allow_races or not self.race_diagnostics:
+            return
+        syms = sorted({d.sym for d in self.race_diagnostics if d.sym})
+        names = ", ".join(f"@{s}" for s in syms) or "shared globals"
+        raise EnsembleSafetyError(
+            f"refusing to launch {num_instances} instances: mutable "
+            f"global(s) {names} are written by the program and would be "
+            "shared across instances; rerun with team_local_globals=True "
+            "(the globals_to_shared pass) or pass allow_races=True "
+            "(--allow-races) to override",
+            self.race_diagnostics,
+        )
 
     # ------------------------------------------------------------------
     def run_ensemble(
@@ -121,6 +149,7 @@ class EnsembleLoader(Loader):
                 f"{len(instances)} lines"
             )
         instances = instances[:num_instances]
+        self._check_ensemble_safety(num_instances)
         argvs = [[self.app_name] + line for line in instances]
 
         geometry = self.mapping.geometry(num_instances, thread_limit)

@@ -36,6 +36,13 @@ class IRBuilder:
         self.fn = fn
         self.block: Block | None = None
         self._label_counter = 0
+        #: current (line, col) source location; stamped onto emitted instrs
+        self.loc: tuple[int, int] | None = None
+
+    def set_loc(self, line: int | None, col: int | None = None) -> None:
+        """Set the source location stamped onto subsequently emitted
+        instructions (``None`` stops stamping)."""
+        self.loc = None if line is None else (line, col if col is not None else 0)
 
     # ------------------------------------------------------------------
     # blocks
@@ -65,6 +72,8 @@ class IRBuilder:
             raise IRError(
                 f"emitting {instr.op.name} after terminator in block {self.block.label!r}"
             )
+        if self.loc is not None and "loc" not in instr.meta:
+            instr.meta["loc"] = self.loc
         self.block.instrs.append(instr)
         return instr
 

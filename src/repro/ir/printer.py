@@ -35,6 +35,9 @@ def format_instr(instr: Instr) -> str:
         parts.append(f"${instr.service}")
     if instr.targets:
         parts.append("-> " + ", ".join(instr.targets))
+    loc = instr.meta.get("loc")
+    if loc is not None:
+        parts.append(f"!loc({loc[0]}:{loc[1]})")
     return " ".join(parts)
 
 

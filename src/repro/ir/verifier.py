@@ -6,8 +6,11 @@ Checks, per function:
 * all branch targets exist,
 * register operand types match the opcode's contract,
 * ``retval``/``ret`` agree with the declared return type,
-* parallel-region markers are balanced on every path (conservatively: the
-  function-wide count matches and no ``par_begin`` nests),
+* parallel-region markers are balanced on **every path** (not just the
+  function-wide count): the per-path depth analysis from
+  :mod:`repro.analysis.dataflow` rejects functions where one path opens a
+  region another path never closes, where a block is entered at two
+  different depths, or where ``par_begin`` nests,
 * ``kparam`` indices are non-negative.
 
 Per module:
@@ -170,7 +173,6 @@ def verify_function(fn: Function) -> None:
     """Raise :class:`~repro.errors.VerifierError` if ``fn`` is malformed."""
     if not fn.block_order:
         _fail(fn, "no blocks")
-    par_depth_delta = 0
     for block in fn.iter_blocks():
         if not block.instrs:
             _fail(fn, f"block {block.label!r} is empty")
@@ -183,13 +185,17 @@ def verify_function(fn: Function) -> None:
             for target in instr.targets:
                 if target not in fn.blocks:
                     _fail(fn, f"branch to unknown block {target!r}")
-            if instr.op is Opcode.PAR_BEGIN:
-                par_depth_delta += 1
-            elif instr.op is Opcode.PAR_END:
-                par_depth_delta -= 1
             _check_operand_types(fn, instr)
-    if par_depth_delta != 0:
-        _fail(fn, "unbalanced par_begin/par_end")
+    # Per-path parallel-region balance via the dataflow framework: every
+    # path must close what it opens, and no block may be reachable at two
+    # different depths.  (Imported lazily: repro.analysis depends on this
+    # package's siblings.)
+    from repro.analysis.cfg import CFG
+    from repro.analysis.dataflow import par_depths
+
+    info = par_depths(fn, CFG(fn))
+    if info.problems:
+        _fail(fn, "; ".join(info.problems))
     # params must be registers 0..n-1
     for i, reg in enumerate(fn.param_regs):
         if reg.id != i:

@@ -11,10 +11,16 @@
     inlining, then the optimization sweep (constant folding, DCE, CFG
     simplification) iterated to a small fixpoint, then verification.  The
     result is a call-free module ready for the SIMT machine.
+
+Both entry points accept ``analyze=True`` to additionally run the
+:mod:`repro.analysis` safety checkers after verification; the findings are
+stored in ``module.metadata["diagnostics"]`` and error-severity findings
+abort compilation with a :class:`~repro.errors.PassError`.
 """
 
 from __future__ import annotations
 
+from repro.errors import PassError
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 from repro.passes.cfg_simplify import cfg_simplify_pass
@@ -28,8 +34,27 @@ from repro.passes.rename_main import rename_main_pass
 from repro.passes.rpc_lowering import rpc_lowering_pass
 
 
+def _run_analysis(module: Module, stage: str) -> None:
+    """Opt-in ``analyze`` step: run the safety checkers, stash the findings
+    in ``module.metadata["diagnostics"]``, and abort on errors."""
+    from repro.analysis import Severity, analyze_module
+
+    diags = analyze_module(module)
+    module.metadata["diagnostics"] = diags
+    errs = [d for d in diags if d.severity >= Severity.ERROR]
+    if errs:
+        listing = "\n".join(d.format() for d in errs)
+        raise PassError(
+            f"analysis found {len(errs)} error(s) after {stage}:\n{listing}"
+        )
+
+
 def compile_for_device(
-    module: Module, *, require_main: bool = True, verify: bool = True
+    module: Module,
+    *,
+    require_main: bool = True,
+    verify: bool = True,
+    analyze: bool = False,
 ) -> Module:
     """Apply the direct-GPU-compilation front half to a program module."""
     pm = PassManager()
@@ -39,11 +64,17 @@ def compile_for_device(
     module = pm.run(module)
     if verify:
         verify_module(module)
+    if analyze:
+        _run_analysis(module, "compile_for_device")
     return module
 
 
 def finalize_executable(
-    module: Module, *, optimize: bool = True, verify: bool = True
+    module: Module,
+    *,
+    optimize: bool = True,
+    verify: bool = True,
+    analyze: bool = False,
 ) -> Module:
     """Inline + optimize a linked module into its executable form."""
     pm = PassManager()
@@ -59,4 +90,6 @@ def finalize_executable(
     module = pm.run(module)
     if verify:
         verify_module(module)
+    if analyze:
+        _run_analysis(module, "finalize_executable")
     return module

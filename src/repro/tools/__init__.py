@@ -1,1 +1,2 @@
-"""Developer tools: IR inspection (`repro.tools.objdump`)."""
+"""Developer tools: IR inspection (`repro.tools.objdump`) and the
+ensemble-safety linter (`repro.tools.lint`)."""

@@ -1,0 +1,114 @@
+"""Ensemble-safety linter over the device IR.
+
+Runs the :mod:`repro.analysis` checkers on an application at a chosen
+pipeline stage and reports the findings as compiler-style text or JSON::
+
+    python -m repro.tools.lint xsbench
+    python -m repro.tools.lint rsbench --stage device --json
+    python -m repro.tools.lint pagerank --checker races --checker uninit
+    python -m repro.tools.lint --all --fail-on error
+
+Exit status is 1 when any diagnostic at or above the ``--fail-on``
+severity (default: ``error``) was produced, so the command slots directly
+into ``make lint`` / CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis import CHECKERS, Severity, analyze_module, count_by_severity
+from repro.analysis.diagnostics import Diagnostic
+from repro.tools.objdump import STAGES, module_at_stage
+
+#: ``--fail-on`` choices mapped to severity thresholds (``never`` disables).
+FAIL_LEVELS = {
+    "error": Severity.ERROR,
+    "warning": Severity.WARNING,
+    "note": Severity.NOTE,
+    "never": None,
+}
+
+
+def lint_app(entry, stage: str, checkers: list[str] | None) -> list[Diagnostic]:
+    """Compile one registry app to ``stage`` and run the checkers on it."""
+    module = module_at_stage(entry.build_program(), stage)
+    return analyze_module(module, checkers)
+
+
+def _render_text(app: str, diags: list[Diagnostic]) -> None:
+    counts = count_by_severity(diags)
+    tally = ", ".join(
+        f"{counts[sev.label]} {sev.label}{'s' if counts[sev.label] != 1 else ''}"
+        for sev in (Severity.ERROR, Severity.WARNING, Severity.NOTE)
+        if counts.get(sev.label)
+    )
+    print(f"== {app}: {tally or 'clean'}")
+    for d in diags:
+        print(d.format())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (see module doc for usage)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Run the ensemble-safety checkers on application IR.",
+    )
+    parser.add_argument("app", nargs="*", help="registry app name(s)")
+    parser.add_argument(
+        "--all", action="store_true", help="lint every registered app"
+    )
+    parser.add_argument("--stage", choices=STAGES, default="final")
+    parser.add_argument(
+        "--checker",
+        action="append",
+        choices=sorted(CHECKERS),
+        help="run only this checker (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=sorted(FAIL_LEVELS),
+        default="error",
+        help="exit nonzero when a diagnostic at or above this severity fires",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.apps.registry import APPS
+
+    if args.all:
+        names = sorted(APPS)
+    elif args.app:
+        names = args.app
+    else:
+        parser.error("name at least one app, or pass --all")
+
+    unknown = [n for n in names if n not in APPS]
+    if unknown:
+        print(
+            f"unknown app(s) {unknown}; choices: {sorted(APPS)}", file=sys.stderr
+        )
+        return 2
+
+    threshold = FAIL_LEVELS[args.fail_on]
+    failed = False
+    report: dict[str, list[dict]] = {}
+    for name in names:
+        diags = lint_app(APPS[name], args.stage, args.checker)
+        if args.json:
+            report[name] = [d.to_dict() for d in diags]
+        else:
+            _render_text(name, diags)
+        if threshold is not None and any(d.severity >= threshold for d in diags):
+            failed = True
+    if args.json:
+        print(json.dumps({"stage": args.stage, "apps": report}, indent=2))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

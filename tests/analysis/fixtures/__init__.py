@@ -1,0 +1,106 @@
+"""Deliberately broken programs/modules, one per checker.
+
+``racy_counter_program`` is a real DSL application (a per-instance counter
+kept in a module global — idiomatic single-process CPU code that races
+under ensemble execution); the rest are hand-built IR modules exhibiting
+exactly one defect each, so every checker has a fixture that trips it and
+the golden lint outputs stay small.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.dsl import Program
+from repro.frontend.dtypes import i64, ptr_ptr
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, GlobalVar, Module
+from repro.ir.types import I64, MemType, ScalarType
+
+
+def racy_counter_program() -> Program:
+    """Each instance accumulates into a module global it believes it owns
+    (exit 0 iff it saw a clean counter) — the §3.3 sharing hazard."""
+    prog = Program("racy_counter")
+    prog.global_scalar("counter", "i64", init=0)
+
+    @prog.main
+    def main(argc: i64, argv: ptr_ptr) -> i64:
+        me = atoi(argv[1])  # noqa: F821 - device libc
+        counter = counter + me  # noqa: F821
+        if counter == me:  # noqa: F821 - true iff we started from 0
+            return 0
+        return 1
+
+    return prog
+
+
+def divergent_barrier_module() -> Module:
+    """``if tid == 0: barrier`` inside a parallel region: threads that take
+    the else-edge never reach the barrier and the team deadlocks."""
+    m = Module("divergent_barrier")
+    fn = m.add_function(Function("k", is_kernel=True))
+    b = IRBuilder(fn)
+    entry = b.create_block("entry")
+    then = b.create_block("then")
+    join = b.create_block("join")
+    b.set_block(entry)
+    b.par_begin()
+    t = b.tid()
+    z = b.const_i(0)
+    cond = b.binop(Opcode.ICMP_EQ, t, z)
+    b.cbr(cond, then, join)
+    b.set_block(then)
+    b.barrier()
+    b.br(join)
+    b.set_block(join)
+    b.par_end()
+    b.ret()
+    return m
+
+
+def unlowered_call_module() -> Module:
+    """A ``call`` to a declared host extern that RPC lowering never saw."""
+    m = Module("unlowered_call")
+    m.declare_extern_host("printf")
+    fn = m.add_function(Function("k", is_kernel=True))
+    b = IRBuilder(fn)
+    b.set_block(b.create_block("entry"))
+    b.call("printf", (), ScalarType.VOID)
+    b.ret()
+    return m
+
+
+def use_before_def_module() -> Module:
+    """A register written on only one branch, read unconditionally after
+    the merge: garbage on the fallthrough path."""
+    m = Module("use_before_def")
+    fn = m.add_function(Function("k", is_kernel=True))
+    b = IRBuilder(fn)
+    entry = b.create_block("entry")
+    then = b.create_block("then")
+    join = b.create_block("join")
+    b.set_block(entry)
+    cond = b.const_i(1)
+    x = fn.new_reg(I64)
+    b.cbr(cond, then, join)
+    b.set_block(then)
+    b.mov_to(x, b.const_i(7))
+    b.br(join)
+    b.set_block(join)
+    b.mov(x)
+    b.ret()
+    return m
+
+
+def atomic_global_module() -> Module:
+    """A global only ever updated atomically: data-race-free, but still
+    shared across instances (warning, not error)."""
+    m = Module("atomic_global")
+    m.add_global(GlobalVar("total", MemType.I64, 1))
+    fn = m.add_function(Function("k", is_kernel=True))
+    b = IRBuilder(fn)
+    b.set_block(b.create_block("entry"))
+    addr = b.gaddr("total")
+    b.atomic_add(addr, b.const_i(1), MemType.I64)
+    b.ret()
+    return m

@@ -1,0 +1,212 @@
+"""Unit tests for the CFG / dominator / dataflow framework on small
+hand-built functions with known answers."""
+
+import pytest
+
+from repro.analysis import (
+    CFG,
+    dominators,
+    liveness,
+    par_depths,
+    postdominators,
+    reaching_defs,
+    uninitialized_uses,
+)
+from repro.analysis.dataflow import UNDEF
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function
+from repro.ir.types import I64, ScalarType
+
+
+def diamond():
+    """entry -> (left | right) -> merge, with a value defined on one arm."""
+    fn = Function("f", [("p", ScalarType.I64)], ScalarType.I64)
+    b = IRBuilder(fn)
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    merge = fn.add_block("merge")
+    b.set_block(entry)
+    x = fn.new_reg(I64)
+    b.cbr(fn.param_regs[0], left, right)
+    b.set_block(left)
+    b.mov_to(x, b.const_i(1))
+    b.br(merge)
+    b.set_block(right)
+    b.mov_to(x, b.const_i(2))
+    b.br(merge)
+    b.set_block(merge)
+    b.retval(b.mov(x))
+    return fn, x
+
+
+class TestCFG:
+    def test_succs_preds_reachable(self):
+        fn, _ = diamond()
+        cfg = CFG(fn)
+        assert cfg.entry == "entry"
+        assert set(cfg.succs["entry"]) == {"left", "right"}
+        assert set(cfg.preds["merge"]) == {"left", "right"}
+        assert cfg.reachable == {"entry", "left", "right", "merge"}
+        assert cfg.return_blocks == {"merge"}
+
+    def test_rpo_starts_at_entry_and_covers_reachable(self):
+        fn, _ = diamond()
+        cfg = CFG(fn)
+        assert cfg.rpo[0] == "entry"
+        assert set(cfg.rpo) == cfg.reachable
+        # merge comes after both arms in any valid RPO of a diamond
+        assert cfg.rpo.index("merge") > cfg.rpo.index("left")
+        assert cfg.rpo.index("merge") > cfg.rpo.index("right")
+
+    def test_unreachable_block_excluded(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        b.set_block(fn.add_block("entry"))
+        b.ret()
+        b.set_block(fn.add_block("island"))
+        b.ret()
+        cfg = CFG(fn)
+        assert cfg.reachable == {"entry"}
+        assert "island" not in cfg.rpo
+
+    def test_edges_to_unknown_labels_dropped(self):
+        from repro.ir.instructions import Instr
+
+        fn = Function("f")
+        b = IRBuilder(fn)
+        b.set_block(fn.add_block("entry"))
+        fn.entry.instrs.append(Instr(Opcode.BR, targets=("nowhere",)))
+        cfg = CFG(fn)  # must not raise
+        assert cfg.succs["entry"] == ()
+
+
+class TestDominators:
+    def test_diamond(self):
+        fn, _ = diamond()
+        cfg = CFG(fn)
+        dom = dominators(cfg)
+        assert dom["merge"] == {"entry", "merge"}
+        assert dom["left"] == {"entry", "left"}
+        pdom = postdominators(cfg)
+        assert pdom["entry"] == {"entry", "merge"}
+        assert pdom["left"] == {"left", "merge"}
+
+    def test_trap_paths_excluded_by_default(self):
+        """entry -> (body | oom-trap); body -> exit.  Ignoring the aborting
+        path, exit post-dominates entry; strictly, it does not."""
+        fn = Function("f", [("p", ScalarType.I64)])
+        b = IRBuilder(fn)
+        entry = fn.add_block("entry")
+        body = fn.add_block("body")
+        oom = fn.add_block("oom")
+        b.set_block(entry)
+        b.cbr(fn.param_regs[0], body, oom)
+        b.set_block(body)
+        b.ret()
+        b.set_block(oom)
+        b.trap("out of memory")
+        cfg = CFG(fn)
+        assert "body" in postdominators(cfg)["entry"]
+        assert "body" not in postdominators(cfg, through_traps=True)["entry"]
+
+
+class TestLiveness:
+    def test_param_live_through_diamond(self):
+        fn, x = diamond()
+        cfg = CFG(fn)
+        live = liveness(fn, cfg)
+        # x is defined on both arms before merge reads it
+        assert x in live.block_in["merge"]
+        assert x not in live.block_in["entry"]
+
+    def test_dead_value_not_live(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        b.set_block(fn.add_block("entry"))
+        dead = b.const_i(42)
+        b.ret()
+        live = liveness(fn)
+        assert dead not in live.block_in["entry"]
+
+
+class TestReachingDefs:
+    def test_both_arm_defs_reach_merge(self):
+        fn, x = diamond()
+        cfg = CFG(fn)
+        rd = reaching_defs(fn, cfg)
+        arm_defs = {
+            (label) for reg, label, _ in rd.block_in["merge"] if reg == x
+        }
+        assert arm_defs == {"left", "right"}
+
+    def test_undef_reaches_when_one_arm_skips(self):
+        fn = Function("f", [("p", ScalarType.I64)])
+        b = IRBuilder(fn)
+        entry = fn.add_block("entry")
+        then = fn.add_block("then")
+        join = fn.add_block("join")
+        b.set_block(entry)
+        x = fn.new_reg(I64)
+        b.cbr(fn.param_regs[0], then, join)
+        b.set_block(then)
+        b.mov_to(x, b.const_i(1))
+        b.br(join)
+        b.set_block(join)
+        b.mov(x)
+        b.ret()
+        rd = reaching_defs(fn, CFG(fn))
+        assert any(
+            reg == x and label == UNDEF for reg, label, _ in rd.block_in["join"]
+        )
+        uses = uninitialized_uses(fn)
+        assert [(u.reg, u.block) for u in uses] == [(x, "join")]
+
+    def test_fully_initialized_function_has_no_uninit_uses(self):
+        fn, _ = diamond()
+        assert uninitialized_uses(fn) == []
+
+
+class TestParDepths:
+    def test_balanced_region(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        b.set_block(fn.add_block("entry"))
+        b.par_begin()
+        b.par_end()
+        b.ret()
+        info = par_depths(fn, CFG(fn))
+        assert info.problems == []
+        assert info.depth_out["entry"] == 0
+
+    def test_depth_before_tracks_mid_block_position(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        b.set_block(fn.add_block("entry"))
+        b.par_begin()
+        b.const_i(0)  # index 1: inside the region
+        b.par_end()
+        b.ret()
+        info = par_depths(fn, CFG(fn))
+        assert info.depth_before("entry", 1, fn) == 1
+        assert info.depth_before("entry", 3, fn) == 0
+
+    @pytest.mark.parametrize(
+        "build, expect",
+        [
+            (lambda b: (b.par_begin(), b.ret()), "still open"),
+            (lambda b: (b.par_end(), b.ret()), "without a matching"),
+            (
+                lambda b: (b.par_begin(), b.par_begin(), b.par_end(), b.par_end(), b.ret()),
+                "nested",
+            ),
+        ],
+    )
+    def test_problems_reported(self, build, expect):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        b.set_block(fn.add_block("entry"))
+        build(b)
+        info = par_depths(fn, CFG(fn))
+        assert any(expect in p for p in info.problems)

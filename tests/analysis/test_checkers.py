@@ -1,0 +1,178 @@
+"""Each safety checker trips on its dedicated broken fixture, and all of
+the ported paper applications lint clean at the final stage."""
+
+import pytest
+
+from repro.analysis import CHECKERS, Severity, analyze_module
+from repro.passes import compile_for_device
+from tests.analysis.fixtures import (
+    atomic_global_module,
+    divergent_barrier_module,
+    racy_counter_program,
+    unlowered_call_module,
+    use_before_def_module,
+)
+
+
+def errors_of(diags):
+    return [d for d in diags if d.severity is Severity.ERROR]
+
+
+class TestRaceChecker:
+    def test_racy_program_flagged(self):
+        module = compile_for_device(racy_counter_program().compile())
+        diags = analyze_module(module, ["races"])
+        errs = errors_of(diags)
+        assert len(errs) == 1
+        assert errs[0].sym == "counter"
+        assert "race" in errs[0].message
+        assert "globals_to_shared" in errs[0].hint
+
+    def test_team_local_global_not_flagged(self):
+        from repro.passes.globals_to_shared import globals_to_shared_pass
+
+        module = compile_for_device(racy_counter_program().compile())
+        globals_to_shared_pass(module)
+        assert errors_of(analyze_module(module, ["races"])) == []
+
+    def test_atomic_only_global_is_warning(self):
+        diags = analyze_module(atomic_global_module(), ["races"])
+        assert [d.severity for d in diags] == [Severity.WARNING]
+        assert diags[0].sym == "total"
+
+    def test_runtime_globals_exempt(self):
+        """The libc heap cursor is shared by design (atomic bump allocator)."""
+        from repro.ir.module import GlobalVar, Module
+        from repro.ir.types import MemType
+
+        m = Module("m")
+        m.add_global(GlobalVar("__heap_cursor", MemType.I64, 1))
+        assert analyze_module(m, ["races"]) == []
+
+
+class TestDivergenceChecker:
+    def test_divergent_barrier_flagged(self):
+        diags = analyze_module(divergent_barrier_module(), ["barrier-divergence"])
+        errs = errors_of(diags)
+        assert len(errs) == 1
+        assert errs[0].message.startswith("barrier")
+        assert "deadlock" in errs[0].message
+
+    def test_postdominating_barrier_not_flagged(self):
+        """A barrier *after* the divergent region's join point is safe."""
+        from repro.ir.builder import IRBuilder
+        from repro.ir.instructions import Opcode
+        from repro.ir.module import Function, Module
+
+        m = Module("m")
+        fn = m.add_function(Function("k", is_kernel=True))
+        b = IRBuilder(fn)
+        entry = b.create_block("entry")
+        then = b.create_block("then")
+        join = b.create_block("join")
+        b.set_block(entry)
+        b.par_begin()
+        cond = b.binop(Opcode.ICMP_EQ, b.tid(), b.const_i(0))
+        b.cbr(cond, then, join)
+        b.set_block(then)
+        b.const_i(1)
+        b.br(join)
+        b.set_block(join)
+        b.barrier()  # every thread reconverges here first
+        b.par_end()
+        b.ret()
+        assert analyze_module(m, ["barrier-divergence"]) == []
+
+    def test_sequential_mode_branches_ignored(self):
+        """Outside parallel regions only the initial thread runs; a
+        tid-dependent branch there cannot diverge."""
+        from repro.ir.builder import IRBuilder
+        from repro.ir.instructions import Opcode
+        from repro.ir.module import Function, Module
+
+        m = Module("m")
+        fn = m.add_function(Function("k", is_kernel=True))
+        b = IRBuilder(fn)
+        entry = b.create_block("entry")
+        par = b.create_block("par")
+        done = b.create_block("done")
+        b.set_block(entry)
+        cond = b.binop(Opcode.ICMP_EQ, b.tid(), b.const_i(0))
+        b.cbr(cond, par, done)
+        b.set_block(par)
+        b.par_begin()
+        b.barrier()
+        b.par_end()
+        b.br(done)
+        b.set_block(done)
+        b.ret()
+        assert analyze_module(m, ["barrier-divergence"]) == []
+
+
+class TestRpcChecker:
+    def test_unlowered_host_call_flagged(self):
+        diags = analyze_module(unlowered_call_module(), ["rpc"])
+        errs = errors_of(diags)
+        assert len(errs) == 1
+        assert errs[0].sym == "printf"
+        assert "not lowered" in errs[0].message
+        assert "rpc_lowering" in errs[0].hint
+
+    def test_lowering_clears_the_finding(self):
+        module = unlowered_call_module()
+        from repro.passes.rpc_lowering import rpc_lowering_pass
+
+        rpc_lowering_pass(module)
+        assert errors_of(analyze_module(module, ["rpc"])) == []
+
+    def test_rpc_in_parallel_region_is_warning(self):
+        from repro.ir.builder import IRBuilder
+        from repro.ir.module import Function, Module
+        from repro.ir.types import ScalarType
+
+        m = Module("m")
+        fn = m.add_function(Function("k", is_kernel=True))
+        b = IRBuilder(fn)
+        b.set_block(b.create_block("entry"))
+        b.par_begin()
+        b.rpc("print_i64", (b.const_i(1),), ScalarType.VOID)
+        b.par_end()
+        b.ret()
+        diags = analyze_module(m, ["rpc"])
+        assert [d.severity for d in diags] == [Severity.WARNING]
+        assert "parallel region" in diags[0].message
+
+
+class TestUninitChecker:
+    def test_one_armed_def_flagged(self):
+        diags = analyze_module(use_before_def_module(), ["uninit"])
+        errs = errors_of(diags)
+        assert len(errs) == 1
+        assert errs[0].block == "join.2"
+        assert "read before it is written" in errs[0].message
+
+
+class TestUnknownChecker:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown checker"):
+            analyze_module(use_before_def_module(), ["typo"])
+
+    def test_registry_names(self):
+        assert set(CHECKERS) == {
+            "races",
+            "barrier-divergence",
+            "rpc",
+            "uninit",
+        }
+
+
+@pytest.mark.parametrize("app", ["xsbench", "rsbench", "amgmk", "pagerank"])
+def test_paper_apps_lint_clean(app):
+    """Acceptance criterion: zero ERROR diagnostics on every paper app at
+    the final (fully inlined, optimized) stage."""
+    from repro.apps.registry import APPS
+    from repro.tools.objdump import module_at_stage
+
+    module = module_at_stage(APPS[app].build_program(), "final")
+    diags = analyze_module(module)
+    assert errors_of(diags) == []

@@ -1,0 +1,75 @@
+"""The ensemble loader's launch gate: multi-instance launches of modules
+with cross-instance race errors are refused unless overridden."""
+
+import pytest
+
+from repro.errors import EnsembleSafetyError
+from repro.gpu.device import GPUDevice
+from repro.host.ensemble_loader import EnsembleLoader
+from tests.analysis.fixtures import racy_counter_program
+from tests.util import SMALL_DEVICE
+
+ARGS = [["1"], ["2"], ["3"], ["4"]]
+
+
+def make_loader(**kwargs):
+    return EnsembleLoader(
+        racy_counter_program(),
+        GPUDevice(SMALL_DEVICE),
+        heap_bytes=1 << 20,
+        **kwargs,
+    )
+
+
+class TestGate:
+    def test_racy_launch_refused_at_n4(self):
+        loader = make_loader()
+        with pytest.raises(EnsembleSafetyError) as exc_info:
+            loader.run_ensemble(ARGS, thread_limit=32, collect_timing=False)
+        msg = str(exc_info.value)
+        assert "@counter" in msg  # names the offending global
+        assert "team_local_globals" in msg  # and the fixing pass
+        assert "allow_races" in msg  # and the override
+        assert exc_info.value.diagnostics  # structured findings attached
+        assert exc_info.value.diagnostics[0].sym == "counter"
+
+    def test_single_instance_always_allowed(self):
+        loader = make_loader()
+        res = loader.run_ensemble([["5"]], thread_limit=32, collect_timing=False)
+        assert res.return_codes == [0]
+
+    def test_team_local_globals_pass_clears_the_gate(self):
+        loader = make_loader(team_local_globals=True)
+        assert loader.race_diagnostics == []
+        res = loader.run_ensemble(ARGS, thread_limit=32, collect_timing=False)
+        assert res.return_codes == [0, 0, 0, 0]
+
+    def test_allow_races_overrides(self):
+        loader = make_loader(allow_races=True)
+        assert loader.race_diagnostics  # findings still computed...
+        res = loader.run_ensemble(ARGS, thread_limit=32, collect_timing=False)
+        # ...but the launch proceeds and the race is observable: instances
+        # after the first see the shared counter's residue and fail.
+        assert res.return_codes[0] == 0
+        assert res.return_codes[1:] == [1, 1, 1]
+
+    def test_clean_app_unaffected(self, xsbench_loader):
+        assert xsbench_loader.race_diagnostics == []
+
+
+class TestCliFlag:
+    def test_allow_races_wired_through(self):
+        from repro.host.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--app", "xsbench", "-f", "x", "--allow-races", "--team-local-globals"]
+        )
+        assert args.allow_races is True
+        assert args.team_local_globals is True
+
+    def test_flags_default_off(self):
+        from repro.host.cli import build_parser
+
+        args = build_parser().parse_args(["--app", "xsbench", "-f", "x"])
+        assert args.allow_races is False
+        assert args.team_local_globals is False

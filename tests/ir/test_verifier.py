@@ -61,6 +61,37 @@ def test_unbalanced_par_region_rejected():
         verify_function(fn)
 
 
+def test_par_region_unbalanced_on_one_path_rejected():
+    """Function-wide counting is fooled by one begin + one end split across
+    branches; the per-path CFG check is not."""
+    fn, b = fresh()
+    entry = fn.entry
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    merge = fn.add_block("merge")
+    b.set_block(entry)
+    c = b.const_i(1)
+    b.cbr(c, left, right)
+    b.set_block(left)
+    b.par_begin()
+    b.br(merge)
+    b.set_block(right)
+    b.br(merge)
+    b.set_block(merge)
+    b.par_end()
+    b.ret()
+    with pytest.raises(VerifierError, match="unbalanced"):
+        verify_function(fn)
+
+
+def test_par_end_without_begin_rejected():
+    fn, b = fresh()
+    b.par_end()
+    b.ret()
+    with pytest.raises(VerifierError, match="par_end without a matching"):
+        verify_function(fn)
+
+
 def test_store_type_mismatch_rejected():
     fn, b = fresh()
     addr = b.const_i(4096)

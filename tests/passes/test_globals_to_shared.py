@@ -78,10 +78,13 @@ class TestPassMechanics:
 class TestIsolationSemantics:
     def test_shared_global_races_between_instances(self):
         """Without the pass, instances share the global: only the first
-        starts from a clean accumulator, everyone else sees residue."""
+        starts from a clean accumulator, everyone else sees residue.
+        ``allow_races=True`` overrides the static gate that would
+        otherwise refuse this launch (tests/analysis/test_ensemble_gate.py
+        covers the gate itself)."""
         loader = EnsembleLoader(
             make_racy_program(), GPUDevice(SMALL_DEVICE),
-            heap_bytes=1 << 20, team_local_globals=False,
+            heap_bytes=1 << 20, team_local_globals=False, allow_races=True,
         )
         res = loader.run_ensemble(
             [["1"], ["2"], ["3"], ["4"]], thread_limit=32, collect_timing=False
