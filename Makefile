@@ -4,7 +4,8 @@ PYTHON ?= python
 # src layout: make targets work from a checkout without `make install`
 export PYTHONPATH := src
 
-.PHONY: install test test-fast lint check bench figures validate objdump clean
+.PHONY: install test test-fast lint check bench figures validate objdump \
+	sched-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -37,6 +38,10 @@ validate:
 
 objdump:
 	$(PYTHON) -m repro.tools.objdump --app xsbench --stats
+
+# End-to-end campaign over a two-device pool (docs/scheduler.md).
+sched-demo:
+	$(PYTHON) examples/multi_device_campaign.py 2
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks .hypothesis

@@ -14,6 +14,7 @@ import pytest
 from repro.apps import xsbench
 from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE
 
 WORKLOAD = [["-g", "512", "-n", "8", "-l", "128", "-s", "1"]]
@@ -28,7 +29,7 @@ def _run():
             heap_bytes=16 * 1024 * 1024,
             optimize=optimize,
         )
-        res = loader.run_ensemble(WORKLOAD, thread_limit=32)
+        res = loader.run_ensemble(LaunchSpec(WORKLOAD, thread_limit=32))
         kernel_size = loader.module.functions["__ensemble_entry"].instruction_count()
         out["O2" if optimize else "O0"] = {
             "cycles": res.cycles,

@@ -11,7 +11,7 @@ paper's related work points toward.
 Run:  python examples/batched_campaign.py
 """
 
-from repro import EnsembleLoader, GPUDevice
+from repro import EnsembleLoader, GPUDevice, LaunchSpec
 from repro.apps import pagerank
 from repro.host.batch import BatchedEnsembleRunner
 
@@ -26,7 +26,7 @@ def run() -> None:
         pagerank.build_program(), GPUDevice(), heap_bytes=HEAP_BYTES
     )
     runner = BatchedEnsembleRunner(loader, thread_limit=32)
-    result = runner.run(CAMPAIGN)
+    result = runner.run(LaunchSpec(CAMPAIGN, thread_limit=32))
 
     print(
         f"campaign of {len(CAMPAIGN)} instances against a "

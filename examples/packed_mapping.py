@@ -16,7 +16,13 @@ and reports the ensemble time of each mapping.
 Run:  python examples/packed_mapping.py
 """
 
-from repro import EnsembleLoader, GPUDevice, OneInstancePerTeam, PackedMapping
+from repro import (
+    EnsembleLoader,
+    GPUDevice,
+    LaunchSpec,
+    OneInstancePerTeam,
+    PackedMapping,
+)
 from repro.frontend import Program, dgpu, i64, ptr_ptr
 
 prog = Program("narrow_app")
@@ -61,7 +67,7 @@ def run() -> None:
     print(f"16 instances of a narrow app (32 iterations each), thread limit {thread_limit}\n")
     for mapping in (OneInstancePerTeam(), PackedMapping(2), PackedMapping(4)):
         loader = EnsembleLoader(prog, GPUDevice(), mapping=mapping)
-        result = loader.run_ensemble(lines, thread_limit=thread_limit)
+        result = loader.run_ensemble(LaunchSpec(lines, thread_limit=thread_limit))
         geo = result.geometry
         print(
             f"{mapping.describe():24s} -> {geo.num_teams:2d} teams, block shape "

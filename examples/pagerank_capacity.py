@@ -11,7 +11,7 @@ campaign can catch to fall back to smaller batches.
 Run:  python examples/pagerank_capacity.py
 """
 
-from repro import DeviceOutOfMemory, EnsembleLoader, GPUDevice
+from repro import DeviceOutOfMemory, EnsembleLoader, GPUDevice, LaunchSpec
 from repro.apps import pagerank
 from repro.harness.experiment import build_instance_lines
 
@@ -33,7 +33,7 @@ def run() -> None:
     for n in (1, 2, 4, 8):
         lines = build_instance_lines(WORKLOAD, n)
         try:
-            result = loader.run_ensemble(lines, thread_limit=32)
+            result = loader.run_ensemble(LaunchSpec(lines, thread_limit=32))
         except DeviceOutOfMemory:
             print(f"N={n}: device out of memory (as in the paper beyond 4 instances)")
             continue

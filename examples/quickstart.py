@@ -17,7 +17,7 @@ This mirrors the paper's workflow end to end:
 Run:  python examples/quickstart.py
 """
 
-from repro import EnsembleLoader, GPUDevice
+from repro import EnsembleLoader, GPUDevice, LaunchSpec
 from repro.frontend import Program, dgpu, i64, ptr_ptr
 
 prog = Program("pi_estimator")
@@ -73,7 +73,7 @@ def run() -> None:
     -n 40000 -l 3
     -n 80000 -l 4
     """
-    result = loader.run_ensemble(argument_file, thread_limit=128)
+    result = loader.run_ensemble(LaunchSpec(argument_file, thread_limit=128))
     print("\nensemble run (-n 4 -t 128):")
     for inst in result.instances:
         print("  " + inst.stdout.strip())

@@ -12,7 +12,7 @@ Demonstrates:
 Run:  python examples/xsbench_ensemble.py
 """
 
-from repro import EnsembleLoader, GPUDevice
+from repro import EnsembleLoader, GPUDevice, LaunchSpec
 from repro.apps import xsbench
 from repro.host.argscript import expand_argument_script
 
@@ -38,11 +38,13 @@ def run() -> None:
     thread_limit = 32  # one warp per instance, as in Figure 6(a)
 
     # baseline: the first configuration alone
-    t1 = loader.run_ensemble(argument_file, num_instances=1, thread_limit=thread_limit)
+    t1 = loader.run_ensemble(
+        LaunchSpec(argument_file, num_instances=1, thread_limit=thread_limit)
+    )
     print("\nbaseline (1 instance):", t1.instances[0].stdout.strip())
 
     # the full ensemble, one team per instance
-    ens = loader.run_ensemble(argument_file, thread_limit=thread_limit)
+    ens = loader.run_ensemble(LaunchSpec(argument_file, thread_limit=thread_limit))
     print(f"\nensemble of {ens.num_instances} instances:")
     for inst in ens.instances:
         print("   ", inst.stdout.strip())

@@ -11,12 +11,17 @@ benchmarks.
 
 Quickstart
 ----------
->>> from repro import EnsembleLoader, GPUDevice
+>>> from repro import EnsembleLoader, GPUDevice, LaunchSpec
 >>> from repro.apps import xsbench
 >>> loader = EnsembleLoader(xsbench.build_program(), GPUDevice())
->>> result = loader.run_ensemble("-l 64 -g 256\\n-l 64 -g 256\\n", thread_limit=32)
+>>> result = loader.run_ensemble(LaunchSpec("-l 64 -g 256\\n-l 64 -g 256\\n", thread_limit=32))
 >>> result.all_succeeded
 True
+
+Multi-device campaigns go through :mod:`repro.sched`::
+
+    from repro.sched import DevicePool, Scheduler
+    result = Scheduler(DevicePool(4)).run_campaign(program, spec)
 
 See ``examples/quickstart.py`` and EXPERIMENTS.md for the Figure-6
 reproduction harness.
@@ -42,10 +47,11 @@ from repro.errors import (
 from repro.frontend import Program, dgpu
 from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader, EnsembleResult
+from repro.host.launch import LaunchSpec
 from repro.host.loader import Loader, RunResult
 from repro.host.mapping import OneInstancePerTeam, PackedMapping
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_DEVICE",
@@ -66,6 +72,7 @@ __all__ = [
     "GPUDevice",
     "Loader",
     "RunResult",
+    "LaunchSpec",
     "EnsembleLoader",
     "EnsembleResult",
     "OneInstancePerTeam",

@@ -139,3 +139,34 @@ class EnsembleSafetyError(LoaderError):
 
 class ArgScriptError(LoaderError):
     """The argument-generation script language rejected its input."""
+
+
+# ---------------------------------------------------------------------------
+# Scheduler errors
+# ---------------------------------------------------------------------------
+
+
+class SchedulerError(ReproError):
+    """Base class for errors raised by the multi-device scheduler."""
+
+
+class JobFailed(SchedulerError):
+    """A scheduled job terminated without completing all its instances.
+
+    ``cause`` carries the underlying terminal error (e.g. a
+    :class:`DeviceOutOfMemory` at batch size one or an
+    :class:`EnsembleSafetyError` from the launch gate).
+    """
+
+    def __init__(self, message: str, *, job_id: int | None = None, cause=None):
+        self.job_id = job_id
+        self.cause = cause
+        super().__init__(message)
+
+
+class DeadlineExceeded(JobFailed):
+    """A job exhausted its interpreter-step budget before finishing."""
+
+
+class RetriesExhausted(JobFailed):
+    """A job's instances kept faulting past the configured retry bound."""

@@ -13,6 +13,7 @@ run hundreds of launches against one device without leaking the arena.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
 
 import numpy as np
 
@@ -80,6 +81,12 @@ class LaunchResult:
         return out
 
 
+#: Process-wide ordinal source for default device labels (``cuda:K``-style
+#: identity, so multi-device stats can name devices without the caller
+#: inventing labels).
+_next_ordinal = count()
+
+
 class GPUDevice:
     """A simulated GPU with an A100-like default configuration."""
 
@@ -87,13 +94,23 @@ class GPUDevice:
         self,
         config: DeviceConfig = DEFAULT_DEVICE,
         sim: SimConfig = DEFAULT_SIM,
+        *,
+        label: str | None = None,
     ):
         config.validate()
         self.config = config
         self.sim = sim
+        self.ordinal = next(_next_ordinal)
+        self.label = label if label is not None else f"gpu{self.ordinal}"
         self.memory = GlobalMemory(config.global_mem_bytes)
         self.allocator = DeviceAllocator(self.memory.capacity)
         self.timing_model = TimingModel(config, sim)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<GPUDevice {self.label!r} ordinal={self.ordinal} "
+            f"mem={self.config.global_mem_bytes}>"
+        )
 
     # ------------------------------------------------------------------
     # memory facade

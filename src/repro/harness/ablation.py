@@ -25,6 +25,7 @@ from repro.config import DEFAULT_DEVICE, DEFAULT_SIM, DeviceConfig, SimConfig
 from repro.gpu.device import GPUDevice
 from repro.harness.experiment import build_instance_lines
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
 from repro.host.mapping import OneInstancePerTeam, PackedMapping
 
 #: name -> SimConfig overrides
@@ -63,10 +64,13 @@ def run_mechanism_ablation(
             app.build_program(), device, heap_bytes=heap_bytes or app.heap_hint_bytes
         )
         r1 = loader.run_ensemble(
-            build_instance_lines(workload_args, 1), thread_limit=thread_limit
+            LaunchSpec(build_instance_lines(workload_args, 1), thread_limit=thread_limit)
         )
         rn = loader.run_ensemble(
-            build_instance_lines(workload_args, instances), thread_limit=thread_limit
+            LaunchSpec(
+                build_instance_lines(workload_args, instances),
+                thread_limit=thread_limit,
+            )
         )
         rows.append(
             AblationRow(
@@ -106,10 +110,13 @@ def run_mapping_ablation(
             heap_bytes=heap_bytes or app.heap_hint_bytes,
         )
         r1 = loader.run_ensemble(
-            build_instance_lines(workload_args, 1), thread_limit=thread_limit
+            LaunchSpec(build_instance_lines(workload_args, 1), thread_limit=thread_limit)
         )
         rn = loader.run_ensemble(
-            build_instance_lines(workload_args, instances), thread_limit=thread_limit
+            LaunchSpec(
+                build_instance_lines(workload_args, instances),
+                thread_limit=thread_limit,
+            )
         )
         rows.append(
             AblationRow(

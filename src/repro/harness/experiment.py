@@ -21,6 +21,7 @@ from repro.config import DEFAULT_SIM, DeviceConfig, SimConfig
 from repro.errors import DeviceOutOfMemory
 from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
 from repro.host.mapping import MappingStrategy, OneInstancePerTeam
 
 
@@ -120,7 +121,7 @@ def run_scaling(
     for n in instance_counts:
         lines = build_instance_lines(workload_args, n)
         try:
-            run = loader.run_ensemble(lines, thread_limit=thread_limit)
+            run = loader.run_ensemble(LaunchSpec(lines, thread_limit=thread_limit))
         except DeviceOutOfMemory:
             result.rows.append(
                 ScalingRow(n, None, None, None, oom=True)

@@ -23,6 +23,7 @@ from repro.apps.registry import APPS
 from repro.config import DeviceConfig
 from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
 
 _NUMBER_RE = re.compile(r"(?:checksum|total rank) ([-\d.]+)")
 
@@ -85,7 +86,7 @@ def validate_apps(
                 heap_bytes=8 * 1024 * 1024,
             )
             run = loader.run_ensemble(
-                [args], thread_limit=thread_limit, collect_timing=False
+                LaunchSpec([args], thread_limit=thread_limit, collect_timing=False)
             )
             stdout = run.instances[0].stdout
             m = _NUMBER_RE.search(stdout)

@@ -16,10 +16,21 @@
 """
 
 from repro.host.loader import Loader, RunResult
+from repro.host.launch import LaunchSpec
 from repro.host.ensemble_loader import EnsembleLoader, EnsembleResult, InstanceOutcome
-from repro.host.batch import BatchedEnsembleRunner, CampaignResult
-from repro.host.argfile import parse_argument_file, parse_argument_text
+from repro.host.batch import (
+    BatchedEnsembleRunner,
+    BisectionPolicy,
+    CampaignResult,
+    launch_chunk,
+)
+from repro.host.argfile import (
+    parse_argument_file,
+    parse_argument_text,
+    resolve_arg_source,
+)
 from repro.host.argscript import expand_argument_script
+from repro.host.results import EnsembleOutcome, OutcomeMixin, summarize_outcome
 from repro.host.rpc_host import RPCHost
 from repro.host.mapping import (
     MappingStrategy,
@@ -30,14 +41,21 @@ from repro.host.mapping import (
 __all__ = [
     "Loader",
     "RunResult",
+    "LaunchSpec",
     "EnsembleLoader",
     "EnsembleResult",
     "InstanceOutcome",
     "BatchedEnsembleRunner",
+    "BisectionPolicy",
     "CampaignResult",
+    "launch_chunk",
     "parse_argument_file",
     "parse_argument_text",
+    "resolve_arg_source",
     "expand_argument_script",
+    "EnsembleOutcome",
+    "OutcomeMixin",
+    "summarize_outcome",
     "RPCHost",
     "MappingStrategy",
     "OneInstancePerTeam",

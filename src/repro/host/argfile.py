@@ -42,6 +42,34 @@ def parse_argument_file(path: str | Path) -> list[list[str]]:
     return parse_argument_text(text)
 
 
+def resolve_arg_source(arg_source) -> list[list[str]]:
+    """Normalize any supported argument source to one token list per instance.
+
+    Accepted shapes (the union of what every launch entry point takes):
+
+    * ``list``/``tuple`` of per-instance token sequences — already parsed;
+      tokens are coerced to ``str``,
+    * :class:`~pathlib.Path` — an argument file on disk,
+    * ``str`` without a newline that names an existing file — ditto,
+    * any other ``str`` — raw argument-file text.
+
+    This is the single resolution point behind
+    :class:`~repro.host.launch.LaunchSpec`; loaders, the batch runner, and
+    the scheduler all accept the same shapes because they all call this.
+    """
+    if isinstance(arg_source, (list, tuple)):
+        return [list(map(str, line)) for line in arg_source]
+    if isinstance(arg_source, Path):
+        return parse_argument_file(arg_source)
+    if isinstance(arg_source, str):
+        if "\n" not in arg_source and Path(arg_source).exists():
+            return parse_argument_file(arg_source)
+        return parse_argument_text(arg_source)
+    raise ArgFileError(
+        f"unsupported argument source {type(arg_source).__name__}"
+    )
+
+
 def write_argument_file(path: str | Path, instances: list[list[str]]) -> None:
     """Write instances back in the file format (round-trips with parse)."""
     lines = []

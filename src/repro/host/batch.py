@@ -14,16 +14,21 @@ items finished.  :class:`BatchedEnsembleRunner` closes that gap:
 * aggregate per-instance outcomes and total simulated cycles across
   batches.
 
-This is the ensemble-toolkit-style scheduling layer the paper's related
-work section gestures at ([3,4]), built on the enhanced loader.
+The building blocks — :class:`BisectionPolicy` (the halving schedule) and
+:func:`launch_chunk` (run a contiguous slice, re-tagged with global
+indices) — are shared with :class:`repro.sched.Scheduler`, which applies
+the same policy per device across a pool.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import DeviceOutOfMemory, LoaderError
-from repro.host.ensemble_loader import EnsembleLoader, InstanceOutcome
+from repro.host.ensemble_loader import EnsembleLoader, EnsembleResult, InstanceOutcome
+from repro.host.launch import LaunchSpec
+from repro.host.results import OutcomeMixin
 
 
 @dataclass
@@ -36,8 +41,74 @@ class BatchRecord:
 
 
 @dataclass
-class CampaignResult:
-    """Aggregated outcome of a batched campaign."""
+class BisectionPolicy:
+    """The OOM-halving batch-size schedule, factored out of the run loop.
+
+    Start with everything that remains (optionally capped), halve on every
+    OOM, and never grow back: a size that OOMed once will OOM again because
+    the heap is reset identically between launches.
+    """
+
+    max_batch: int | None = None
+    current: int | None = None
+
+    def next_size(self, remaining: int) -> int:
+        """Batch size to try for ``remaining`` outstanding instances."""
+        size = remaining if self.current is None else min(self.current, remaining)
+        if self.max_batch is not None:
+            size = min(size, self.max_batch)
+        return max(1, size)
+
+    def record_oom(self, failed_size: int) -> int:
+        """Shrink after ``failed_size`` OOMed; returns the new ceiling.
+
+        A failure at size one is terminal — the caller should re-raise the
+        :class:`~repro.errors.DeviceOutOfMemory` instead of recording it.
+        """
+        if failed_size <= 1:
+            raise LoaderError("cannot bisect below one instance")
+        self.current = max(1, failed_size // 2)
+        return self.current
+
+    def record_success(self, size: int) -> None:
+        self.current = size if self.current is None else min(self.current, size)
+
+
+def launch_chunk(
+    loader: EnsembleLoader,
+    spec: LaunchSpec,
+    chunk: list[list[str]],
+    first_index: int,
+) -> tuple[EnsembleResult, list[InstanceOutcome]]:
+    """Launch a contiguous slice of a campaign under ``spec``'s limits.
+
+    Returns the raw launch result plus outcomes re-tagged with campaign-
+    global instance indices (``first_index`` onward), so callers can merge
+    slices run in any order — the batch runner sequentially, the scheduler
+    across devices.
+    """
+    run = loader.run_ensemble(spec.with_instances(chunk))
+    outcomes = [
+        InstanceOutcome(
+            index=first_index + o.index,
+            args=o.args,
+            exit_code=o.exit_code,
+            slot=o.slot,
+            stdout=o.stdout,
+        )
+        for o in run.instances
+    ]
+    return run, outcomes
+
+
+@dataclass
+class CampaignResult(OutcomeMixin):
+    """Aggregated outcome of a batched campaign.
+
+    Implements the :class:`~repro.host.results.EnsembleOutcome` protocol:
+    ``instances`` aliases ``outcomes`` so report code written against the
+    protocol works on campaigns unchanged.
+    """
 
     outcomes: list[InstanceOutcome]
     batches: list[BatchRecord] = field(default_factory=list)
@@ -45,12 +116,8 @@ class CampaignResult:
     oom_retries: int = 0
 
     @property
-    def return_codes(self) -> list[int]:
-        return [o.exit_code for o in self.outcomes]
-
-    @property
-    def all_succeeded(self) -> bool:
-        return all(c == 0 for c in self.return_codes)
+    def instances(self) -> list[InstanceOutcome]:
+        return self.outcomes
 
     @property
     def max_batch_size(self) -> int:
@@ -73,43 +140,48 @@ class BatchedEnsembleRunner:
         self.max_batch = max_batch
         self.collect_timing = collect_timing
 
-    def run(self, instances: list[list[str]]) -> CampaignResult:
-        """Execute every instance, batching as memory allows."""
+    def run(self, spec) -> CampaignResult:
+        """Execute every instance of a :class:`LaunchSpec`, batching as
+        memory allows.
+
+        The legacy shape — a pre-parsed ``list[list[str]]`` governed by the
+        constructor's ``thread_limit``/``collect_timing`` — still works but
+        is deprecated; any argument source a spec accepts now does too.
+        """
+        if not isinstance(spec, LaunchSpec):
+            warnings.warn(
+                "passing raw instance lists to BatchedEnsembleRunner.run() "
+                "is deprecated; wrap the workload in repro.host.LaunchSpec",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            spec = LaunchSpec(
+                arg_source=spec,
+                thread_limit=self.thread_limit,
+                collect_timing=self.collect_timing,
+            )
+        instances = spec.resolve_instances()
         if not instances:
             raise LoaderError("campaign needs at least one instance")
         result = CampaignResult(outcomes=[])
         total_cycles = 0.0
         have_cycles = True
+        policy = BisectionPolicy(max_batch=self.max_batch)
 
         cursor = 0
-        batch = len(instances)
-        if self.max_batch is not None:
-            batch = min(batch, self.max_batch)
         while cursor < len(instances):
-            size = min(batch, len(instances) - cursor)
+            size = policy.next_size(len(instances) - cursor)
             chunk = instances[cursor : cursor + size]
             try:
-                run = self.loader.run_ensemble(
-                    chunk,
-                    thread_limit=self.thread_limit,
-                    collect_timing=self.collect_timing,
-                )
+                run, outcomes = launch_chunk(self.loader, spec, chunk, cursor)
             except DeviceOutOfMemory:
                 result.oom_retries += 1
                 if size == 1:
                     raise  # a single instance does not fit: a real error
-                batch = max(1, size // 2)
+                policy.record_oom(size)
                 continue
-            for outcome in run.instances:
-                result.outcomes.append(
-                    InstanceOutcome(
-                        index=cursor + outcome.index,
-                        args=outcome.args,
-                        exit_code=outcome.exit_code,
-                        slot=outcome.slot,
-                        stdout=outcome.stdout,
-                    )
-                )
+            policy.record_success(size)
+            result.outcomes.extend(outcomes)
             result.batches.append(
                 BatchRecord(first_instance=cursor, size=size, cycles=run.cycles)
             )

@@ -6,6 +6,12 @@
 "which binary you compiled"); ``-f``/``-n``/``-t`` are exactly the enhanced
 loader's options from §3.2.  ``--script`` treats the file as an argument
 *script* (§3.2 future work) and expands it first.
+
+Beyond the paper: ``--max-batch`` runs the campaign through the batched
+runner (OOM bisection past the memory wall), and ``--devices K`` with
+``K > 1`` shards it across a K-GPU :class:`~repro.sched.DevicePool` via
+:class:`~repro.sched.Scheduler`, with ``--retries`` bounding transient-
+fault retries and ``--max-steps`` capping interpreter steps per launch.
 """
 
 from __future__ import annotations
@@ -17,8 +23,11 @@ from repro.config import DEFAULT_DEVICE
 from repro.errors import DeviceOutOfMemory, ReproError
 from repro.gpu.device import GPUDevice
 from repro.host.argscript import expand_argument_script
+from repro.host.batch import BatchedEnsembleRunner
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import DEFAULT_MAX_STEPS, LaunchSpec
 from repro.host.mapping import OneInstancePerTeam, PackedMapping
+from repro.host.results import summarize_outcome
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +76,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="device heap size for application malloc (MiB)",
     )
     parser.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        metavar="K",
+        help="size of the simulated device pool; K > 1 shards the campaign "
+        "across K GPUs through the scheduler",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        metavar="B",
+        help="cap instances per launch and run as a batched campaign "
+        "(OOM-bisected) instead of one monolithic ensemble",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=DEFAULT_MAX_STEPS,
+        help="interpreter-step cap per launch (livelock guard)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="scheduler retries per faulting shard before the job fails",
+    )
+    parser.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="skip the timing model (faster; cycle counts become unavailable)",
+    )
+    parser.add_argument(
         "--allow-races",
         action="store_true",
         help="launch even when the static race checker reports that mutable "
@@ -83,6 +125,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-instance stdout"
     )
     return parser
+
+
+def _print_instances(result, quiet: bool) -> None:
+    for inst in result.instances:
+        if not quiet and inst.stdout:
+            sys.stdout.write(inst.stdout)
+        print(
+            f"[instance {inst.index}] args={' '.join(inst.args)} "
+            f"-> exit {inst.exit_code}"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -104,31 +156,70 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.arg_file is None:
         parser.error("-f/--arg-file is required to run an ensemble")
+    if args.devices < 1:
+        parser.error("--devices must be >= 1")
 
     try:
         if args.script:
             from pathlib import Path
 
-            text = expand_argument_script(Path(args.arg_file).read_text())
-            arg_source = text
+            arg_source = expand_argument_script(Path(args.arg_file).read_text())
         else:
             arg_source = args.arg_file
 
+        spec = LaunchSpec(
+            arg_source=arg_source,
+            num_instances=args.num_instances,
+            thread_limit=args.thread_limit,
+            max_steps=args.max_steps,
+            collect_timing=not args.no_timing,
+        )
         mapping = PackedMapping(args.pack) if args.pack > 1 else OneInstancePerTeam()
-        device = GPUDevice(DEFAULT_DEVICE)
-        loader = EnsembleLoader(
-            app.build_program(),
-            device,
+        loader_opts = dict(
             mapping=mapping,
             heap_bytes=args.heap_mb * 1024 * 1024,
             team_local_globals=args.team_local_globals,
             allow_races=args.allow_races,
         )
-        result = loader.run_ensemble(
-            arg_source,
-            num_instances=args.num_instances,
-            thread_limit=args.thread_limit,
-        )
+
+        if args.devices > 1:
+            from repro.sched import DevicePool, Scheduler
+
+            pool = DevicePool(args.devices, config=DEFAULT_DEVICE)
+            sched = Scheduler(
+                pool, max_batch=args.max_batch, default_retries=args.retries
+            )
+            result = sched.run_campaign(
+                app.build_program(), spec, loader_opts=loader_opts
+            )
+            _print_instances(result, args.quiet)
+            print(f"campaign: {summarize_outcome(result)}")
+            util = " ".join(
+                f"{label}={frac:.2f}"
+                for label, frac in sorted(sched.stats.utilization().items())
+            )
+            print(
+                f"scheduler: {args.devices} devices, "
+                f"{len(result.batches)} batches, "
+                f"{result.oom_splits} oom splits, {result.retries} retries, "
+                f"utilization {util}"
+            )
+            return 0 if result.all_succeeded else 1
+
+        loader = EnsembleLoader(app.build_program(), GPUDevice(DEFAULT_DEVICE),
+                                **loader_opts)
+        if args.max_batch is not None:
+            runner = BatchedEnsembleRunner(loader, max_batch=args.max_batch)
+            result = runner.run(spec)
+            _print_instances(result, args.quiet)
+            print(
+                f"campaign: {summarize_outcome(result)} "
+                f"({len(result.batches)} batches, "
+                f"{result.oom_retries} oom retries)"
+            )
+            return 0 if result.all_succeeded else 1
+
+        result = loader.run_ensemble(spec)
     except DeviceOutOfMemory as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -136,14 +227,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    for inst in result.instances:
-        if not args.quiet and inst.stdout:
-            sys.stdout.write(inst.stdout)
-        print(f"[instance {inst.index}] args={' '.join(inst.args)} -> exit {inst.exit_code}")
+    _print_instances(result, args.quiet)
+    cycles = (
+        f"{result.cycles:.0f} simulated cycles"
+        if result.cycles is not None
+        else "untimed"
+    )
     print(
         f"ensemble: {result.num_instances} instances, "
         f"{result.geometry.num_teams} teams x {result.thread_limit} threads, "
-        f"{result.cycles:.0f} simulated cycles"
+        f"{cycles}"
     )
     return 0 if result.all_succeeded else 1
 

@@ -15,8 +15,8 @@ instances per team using the ``(N/M, M, 1)`` geometry of §3.1.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from pathlib import Path
 
 import numpy as np
 
@@ -25,8 +25,10 @@ from repro.errors import EnsembleSafetyError, LoaderError
 from repro.frontend.dsl import Program
 from repro.gpu.device import GPUDevice, LaunchResult
 from repro.gpu.timing import KernelTiming
-from repro.host.argfile import parse_argument_file, parse_argument_text
+from repro.host.argfile import resolve_arg_source
+from repro.host.launch import DEFAULT_MAX_STEPS, LaunchSpec
 from repro.host.loader import Loader
+from repro.host.results import OutcomeMixin
 from repro.host.mapping import MappingStrategy, OneInstancePerTeam
 from repro.host.rpc_host import RPCHost
 from repro.ir.module import Module
@@ -46,24 +48,26 @@ class InstanceOutcome:
 
 
 @dataclass
-class EnsembleResult:
-    """Outcome of one ensemble launch."""
+class EnsembleResult(OutcomeMixin):
+    """Outcome of one ensemble launch.
+
+    Implements the :class:`~repro.host.results.EnsembleOutcome` protocol
+    (``return_codes`` / ``all_succeeded`` / ``stdout_of`` come from the
+    mixin; ``total_cycles`` aliases this launch's ``cycles``) so report
+    code treats it interchangeably with campaign and scheduler results.
+    """
 
     num_instances: int
     thread_limit: int
     geometry: TeamGeometry
-    return_codes: list[int]
     instances: list[InstanceOutcome]
     cycles: float | None
     timing: KernelTiming | None
     launch: LaunchResult = field(repr=False)
 
     @property
-    def all_succeeded(self) -> bool:
-        return all(c == 0 for c in self.return_codes)
-
-    def stdout_of(self, index: int) -> str:
-        return self.instances[index].stdout
+    def total_cycles(self) -> float | None:
+        return self.cycles
 
 
 class EnsembleLoader(Loader):
@@ -122,33 +126,41 @@ class EnsembleLoader(Loader):
     # ------------------------------------------------------------------
     def run_ensemble(
         self,
-        arg_source,
+        spec,
         *,
         num_instances: int | None = None,
         thread_limit: int = 1024,
         collect_timing: bool = True,
-        max_steps: int = 400_000_000,
+        max_steps: int = DEFAULT_MAX_STEPS,
     ) -> EnsembleResult:
-        """Launch an ensemble.
+        """Launch an ensemble described by a :class:`LaunchSpec`.
 
-        ``arg_source`` may be a path to an argument file, raw argument-file
-        text, or an already-parsed ``list[list[str]]`` (one token list per
-        instance).  ``num_instances`` (the ``-n`` flag) defaults to the
-        number of lines; giving a smaller N runs the first N lines, a larger
-        N is an error (the paper's loader reads exactly one line per
-        instance).
+        The legacy shape — a raw argument source (path, text, or token
+        lists) plus keyword options — still works but is deprecated; it is
+        converted into a spec on entry.
         """
-        instances = self._resolve_args(arg_source)
-        if num_instances is None:
-            num_instances = len(instances)
-        if num_instances < 1:
-            raise LoaderError("-n must request at least one instance")
-        if num_instances > len(instances):
-            raise LoaderError(
-                f"-n {num_instances} requested but the argument file has only "
-                f"{len(instances)} lines"
+        if not isinstance(spec, LaunchSpec):
+            warnings.warn(
+                "passing a raw argument source to run_ensemble() is "
+                "deprecated; wrap it in repro.host.LaunchSpec(...)",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        instances = instances[:num_instances]
+            spec = LaunchSpec(
+                arg_source=spec,
+                num_instances=num_instances,
+                thread_limit=thread_limit,
+                collect_timing=collect_timing,
+                max_steps=max_steps,
+            )
+        return self._run_spec(spec)
+
+    def _run_spec(self, spec: LaunchSpec) -> EnsembleResult:
+        instances = spec.resolve_instances()
+        num_instances = len(instances)
+        if num_instances < 1:
+            raise LoaderError("ensemble needs at least one instance")
+        thread_limit = spec.thread_limit
         self._check_ensemble_safety(num_instances)
         argvs = [[self.app_name] + line for line in instances]
 
@@ -165,8 +177,8 @@ class EnsembleLoader(Loader):
                 instances_per_team=geometry.instances_per_team,
                 total_slots=geometry.total_slots,
                 rpc_host=rpc_host,
-                collect_timing=collect_timing,
-                max_steps=max_steps,
+                collect_timing=spec.collect_timing,
+                max_steps=spec.max_steps,
             )
             codes = self.device.memory.read_array(
                 block.ret_addr, np.int64, num_instances
@@ -191,7 +203,6 @@ class EnsembleLoader(Loader):
             num_instances=num_instances,
             thread_limit=thread_limit,
             geometry=geometry,
-            return_codes=[int(c) for c in codes],
             instances=outcomes,
             cycles=launch.cycles,
             timing=launch.timing,
@@ -201,12 +212,11 @@ class EnsembleLoader(Loader):
     # ------------------------------------------------------------------
     @staticmethod
     def _resolve_args(arg_source) -> list[list[str]]:
-        if isinstance(arg_source, (list, tuple)):
-            return [list(map(str, line)) for line in arg_source]
-        if isinstance(arg_source, Path):
-            return parse_argument_file(arg_source)
-        if isinstance(arg_source, str):
-            if "\n" not in arg_source and Path(arg_source).exists():
-                return parse_argument_file(arg_source)
-            return parse_argument_text(arg_source)
-        raise LoaderError(f"unsupported argument source {type(arg_source).__name__}")
+        """Deprecated alias for :func:`repro.host.argfile.resolve_arg_source`."""
+        warnings.warn(
+            "EnsembleLoader._resolve_args is deprecated; use "
+            "repro.host.argfile.resolve_arg_source",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return resolve_arg_source(arg_source)

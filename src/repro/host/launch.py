@@ -1,0 +1,79 @@
+"""The unified launch surface: one spec for every way to run an ensemble.
+
+Historically each entry point grew its own argument shape: ``Loader.run``
+took an argv tail, ``EnsembleLoader.run_ensemble`` a path/text/token-list
+union plus four keyword options, ``BatchedEnsembleRunner.run`` only
+pre-parsed token lists, and the CLI yet another flag spelling.
+:class:`LaunchSpec` collapses all of that: it names *what* to run (the
+argument source and instance count) and *how* (thread limit, step cap,
+timing collection), and is accepted uniformly by
+
+* :meth:`repro.host.loader.Loader.run`,
+* :meth:`repro.host.ensemble_loader.EnsembleLoader.run_ensemble`,
+* :meth:`repro.host.batch.BatchedEnsembleRunner.run`,
+* :meth:`repro.sched.Scheduler.submit`.
+
+The legacy call shapes still work behind :func:`warnings.warn` shims in
+each entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.errors import LoaderError
+from repro.host.argfile import resolve_arg_source
+
+#: Anything :func:`~repro.host.argfile.resolve_arg_source` understands.
+ArgSource = Union[str, Path, Sequence[Sequence[str]]]
+
+#: Default per-launch interpreter-step cap (matches the historical
+#: ``run_ensemble`` default; generous enough for every shipped benchmark).
+DEFAULT_MAX_STEPS = 400_000_000
+
+
+@dataclass(frozen=True)
+class LaunchSpec:
+    """Everything needed to launch an ensemble, in one value.
+
+    ``arg_source`` is an argument file path, raw argument-file text, or an
+    already-parsed list of per-instance token lists (§3.2's ``-f``).
+    ``num_instances`` is the paper's ``-n``: ``None`` runs every line, a
+    smaller count runs a prefix, a larger count is an error.
+    ``thread_limit`` is ``-t``; ``max_steps`` bounds interpreter steps per
+    launch; ``collect_timing`` toggles the timing model.
+    """
+
+    arg_source: ArgSource
+    num_instances: int | None = None
+    thread_limit: int = 1024
+    max_steps: int = DEFAULT_MAX_STEPS
+    collect_timing: bool = True
+
+    def resolve_instances(self) -> list[list[str]]:
+        """Resolve ``arg_source`` and apply the ``-n`` prefix rule."""
+        instances = resolve_arg_source(self.arg_source)
+        n = self.num_instances
+        if n is None:
+            return instances
+        if n < 1:
+            raise LoaderError("-n must request at least one instance")
+        if n > len(instances):
+            raise LoaderError(
+                f"-n {n} requested but the argument file has only "
+                f"{len(instances)} lines"
+            )
+        return instances[:n]
+
+    def with_instances(self, instances: list[list[str]]) -> "LaunchSpec":
+        """A copy of this spec over an explicit, already-resolved workload.
+
+        Used by the batch runner and the scheduler to re-launch subsets
+        (batches, shards, retries) under the original limits.
+        """
+        return replace(self, arg_source=instances, num_instances=None)
+
+
+__all__ = ["ArgSource", "LaunchSpec", "DEFAULT_MAX_STEPS"]

@@ -214,7 +214,7 @@ class Loader:
     # ------------------------------------------------------------------
     def run(
         self,
-        args: list[str] | None = None,
+        args: "list[str] | LaunchSpec | None" = None,
         *,
         thread_limit: int = 1024,
         collect_timing: bool = True,
@@ -224,7 +224,25 @@ class Loader:
 
         ``args`` are the argv *tail* (``argv[0]`` is the program name, added
         automatically, exactly like the enhanced loader does in Figure 4).
+        A single-instance :class:`~repro.host.launch.LaunchSpec` is also
+        accepted, making this entry point uniform with the ensemble and
+        scheduler surfaces.
         """
+        from repro.host.launch import LaunchSpec
+
+        if isinstance(args, LaunchSpec):
+            spec = args
+            lines = spec.resolve_instances()
+            if len(lines) != 1:
+                raise LoaderError(
+                    f"Loader.run executes exactly one instance; the spec "
+                    f"resolves to {len(lines)} (use EnsembleLoader or the "
+                    "scheduler for ensembles)"
+                )
+            args = lines[0]
+            thread_limit = spec.thread_limit
+            collect_timing = spec.collect_timing
+            max_steps = spec.max_steps
         argv = [self.app_name] + list(args or [])
         self._reset_for_run()
         rpc_host = RPCHost(self.device.memory)

@@ -1,0 +1,39 @@
+"""Multi-device ensemble scheduling.
+
+The paper's §3 argues one application instance cannot saturate one GPU;
+one level up, one GPU cannot saturate a campaign.  This package is the
+scheduling layer the paper's related work gestures at ([3,4]): a
+:class:`DevicePool` of simulated GPUs, a :class:`Scheduler` that shards
+submitted jobs across the pool with work stealing, OOM bisection, bounded
+retries and step-budget deadlines, and a :class:`SchedulerStats` counter
+surface reporting per-device utilization in simulated cycles.
+
+Quick start::
+
+    from repro.host import LaunchSpec
+    from repro.sched import DevicePool, Scheduler
+
+    pool = DevicePool(4)                      # four simulated GPUs
+    sched = Scheduler(pool)
+    fut = sched.submit(app.build_program(),
+                       LaunchSpec("campaign.args", thread_limit=128))
+    result = fut.result()                     # drives the pool
+    print(sched.stats.utilization())
+"""
+
+from repro.sched.jobs import Job, JobFuture, JobResult, JobState
+from repro.sched.pool import DevicePool, PoolWorker
+from repro.sched.scheduler import Scheduler
+from repro.sched.stats import DeviceStats, SchedulerStats
+
+__all__ = [
+    "DevicePool",
+    "PoolWorker",
+    "Scheduler",
+    "SchedulerStats",
+    "DeviceStats",
+    "Job",
+    "JobFuture",
+    "JobResult",
+    "JobState",
+]

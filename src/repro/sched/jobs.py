@@ -1,0 +1,153 @@
+"""Jobs, futures, and job results for the ensemble scheduler.
+
+A *job* is one campaign: an application (DSL program or compiled module),
+a :class:`~repro.host.launch.LaunchSpec` describing the workload and its
+limits, a transient-fault retry bound, and an optional deadline expressed
+as an interpreter-step budget.  Submitting a job yields a
+:class:`JobFuture`; the scheduler shards the job across the device pool
+and resolves the future with a :class:`JobResult` (or the terminal error).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SchedulerError
+from repro.host.batch import BatchRecord
+from repro.host.ensemble_loader import InstanceOutcome
+from repro.host.launch import LaunchSpec
+from repro.host.results import OutcomeMixin
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.scheduler import Scheduler
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job: PENDING -> RUNNING -> terminal."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class JobResult(OutcomeMixin):
+    """Aggregated outcome of one scheduled job.
+
+    Implements the :class:`~repro.host.results.EnsembleOutcome` protocol;
+    ``instances`` is ordered by global instance index regardless of which
+    device ran which shard.
+    """
+
+    job_id: int
+    instances: list[InstanceOutcome]
+    batches: list[BatchRecord] = field(default_factory=list)
+    total_cycles: float | None = None
+    retries: int = 0
+    oom_splits: int = 0
+    steps_used: int = 0
+
+
+@dataclass
+class Job:
+    """Scheduler-internal bookkeeping for one submitted campaign."""
+
+    job_id: int
+    program: Any
+    spec: LaunchSpec
+    instances: list[list[str]]
+    retries: int
+    step_budget: int | None
+    loader_opts: dict[str, Any] = field(default_factory=dict)
+
+    state: JobState = JobState.PENDING
+    error: BaseException | None = None
+    outcomes: dict[int, InstanceOutcome] = field(default_factory=dict)
+    batches: list[BatchRecord] = field(default_factory=list)
+    cycles: float = 0.0
+    have_cycles: bool = True
+    steps_used: int = 0
+    retries_used: int = 0
+    oom_splits: int = 0
+
+    @property
+    def total_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def pending_instances(self) -> int:
+        return len(self.instances) - len(self.outcomes)
+
+    @property
+    def steps_remaining(self) -> int | None:
+        if self.step_budget is None:
+            return None
+        return self.step_budget - self.steps_used
+
+    def to_result(self) -> JobResult:
+        return JobResult(
+            job_id=self.job_id,
+            instances=[self.outcomes[i] for i in sorted(self.outcomes)],
+            batches=list(self.batches),
+            total_cycles=self.cycles if self.have_cycles else None,
+            retries=self.retries_used,
+            oom_splits=self.oom_splits,
+            steps_used=self.steps_used,
+        )
+
+
+class JobFuture:
+    """Handle to a submitted job.
+
+    The scheduler advances in deterministic simulated time, so
+    :meth:`result` *drives* the scheduler until this job resolves rather
+    than blocking on a thread — callers get future semantics with
+    reproducible execution order.
+    """
+
+    def __init__(self, job: Job, scheduler: "Scheduler"):
+        self._job = job
+        self._scheduler = scheduler
+
+    @property
+    def job_id(self) -> int:
+        return self._job.job_id
+
+    @property
+    def state(self) -> JobState:
+        return self._job.state
+
+    def done(self) -> bool:
+        return self._job.state.terminal
+
+    def cancel(self) -> bool:
+        """Drop the job if no shard of it has run yet."""
+        return self._scheduler._cancel(self._job)
+
+    def exception(self) -> BaseException | None:
+        """Drive the scheduler until this job resolves; return its error."""
+        self._scheduler._drive(self._job)
+        return self._job.error
+
+    def result(self) -> JobResult:
+        """Drive the scheduler until this job resolves; return or raise."""
+        self._scheduler._drive(self._job)
+        if self._job.state is JobState.COMPLETED:
+            return self._job.to_result()
+        if self._job.error is not None:
+            raise self._job.error
+        raise SchedulerError(
+            f"job {self._job.job_id} ended in state {self._job.state.value} "
+            "without a result"
+        )
+
+
+__all__ = ["Job", "JobFuture", "JobResult", "JobState"]

@@ -1,0 +1,388 @@
+"""The multi-device ensemble scheduler.
+
+One device cannot saturate a campaign any more than one instance can
+saturate a device (§3 of the paper, one level up): :class:`Scheduler`
+owns a :class:`~repro.sched.pool.DevicePool` and drives every device
+concurrently in *simulated time*.  Each worker advances its own clock by
+the simulated cycles of the launches it runs; the scheduler always
+dispatches the next shard to the device whose clock is furthest behind —
+exactly how a concurrent pool behaves, but deterministic and reproducible
+because the whole stack is a simulator.
+
+Mechanics:
+
+* **Sharding** — a submitted job's instances are cut into contiguous
+  chunks (roughly ``2×`` the pool size, so every device gets work and
+  fast devices can take more) and spread round-robin across per-worker
+  queues.
+* **Work stealing** — a worker whose queue is empty steals the oldest
+  chunk from the longest queue.
+* **Batch coalescing + OOM bisection** — chunk sizes are capped by a
+  per-worker-per-job :class:`~repro.host.batch.BisectionPolicy`: the same
+  halving schedule :class:`~repro.host.batch.BatchedEnsembleRunner` uses,
+  so a size that OOMed on a device is never tried there again.
+  :class:`~repro.errors.DeviceOutOfMemory` at batch size one is terminal.
+* **Retries** — a chunk that dies to a device fault (trap, RPC failure)
+  is requeued with exponential backoff, at most ``retries`` times per
+  chunk; exhaustion fails the job with
+  :class:`~repro.errors.RetriesExhausted`.
+  :class:`~repro.errors.EnsembleSafetyError` from the race gate is
+  terminal immediately.
+* **Deadlines** — a job may carry an interpreter-step budget; every
+  launch is clamped to the remaining budget and overrunning it fails the
+  job with :class:`~repro.errors.DeadlineExceeded`.
+* **Stats** — every decision increments
+  :class:`~repro.sched.stats.SchedulerStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from repro.errors import (
+    DeadlineExceeded,
+    DeviceError,
+    DeviceOutOfMemory,
+    DeviceTrap,
+    EnsembleSafetyError,
+    JobFailed,
+    ReproError,
+    RetriesExhausted,
+    SchedulerError,
+)
+from repro.host.batch import BatchRecord, BisectionPolicy, launch_chunk
+from repro.host.launch import LaunchSpec
+from repro.sched.jobs import Job, JobFuture, JobResult, JobState
+from repro.sched.pool import DevicePool, PoolWorker
+from repro.sched.stats import SchedulerStats
+
+
+@dataclass
+class _Chunk:
+    """A contiguous shard of one job's instances."""
+
+    job: Job
+    start: int  # global index of the first instance in this shard
+    instances: list[list[str]]
+    attempt: int = 0
+
+    def split(self) -> tuple["_Chunk", "_Chunk"]:
+        half = len(self.instances) // 2
+        left = _Chunk(self.job, self.start, self.instances[:half], self.attempt)
+        right = _Chunk(
+            self.job, self.start + half, self.instances[half:], self.attempt
+        )
+        return left, right
+
+
+class Scheduler:
+    """Shards ensemble jobs across a device pool; see module docstring."""
+
+    def __init__(
+        self,
+        pool: DevicePool,
+        *,
+        max_batch: int | None = None,
+        default_retries: int = 2,
+        backoff_base: float = 0.0,
+        chunk_size: int | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if default_retries < 0:
+            raise SchedulerError("default_retries must be >= 0")
+        self.pool = pool
+        self.max_batch = max_batch
+        self.default_retries = default_retries
+        self.backoff_base = backoff_base
+        self.chunk_size = chunk_size
+        self.stats = SchedulerStats()
+        for label in pool.labels:
+            self.stats.device(label)
+        self._sleep = sleep
+        self._queues: list[deque[_Chunk]] = [deque() for _ in pool.workers]
+        #: per-(worker, job) bisection state: a size that OOMed on a device
+        #: is never retried on that device.
+        self._policies: dict[tuple[int, int], BisectionPolicy] = {}
+        self._next_job_id = 0
+        self._rr = 0  # round-robin cursor for chunk placement
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        program: Any,
+        spec: LaunchSpec,
+        *,
+        retries: int | None = None,
+        step_budget: int | None = None,
+        loader_opts: dict[str, Any] | None = None,
+    ) -> JobFuture:
+        """Queue a campaign; returns a future resolving to a
+        :class:`~repro.sched.jobs.JobResult`.
+
+        ``program`` is a DSL :class:`~repro.frontend.dsl.Program` or
+        compiled :class:`~repro.ir.module.Module`; ``loader_opts`` are
+        forwarded to each per-device
+        :class:`~repro.host.ensemble_loader.EnsembleLoader` (heap size,
+        mapping strategy, ``allow_races``...).  ``step_budget`` caps the
+        job's *total* interpreter steps across all of its launches — the
+        deadline mechanism of a simulator whose only clock is simulated.
+        """
+        if not isinstance(spec, LaunchSpec):
+            raise SchedulerError(
+                "Scheduler.submit takes a LaunchSpec; wrap the argument "
+                "source in repro.host.LaunchSpec(...)"
+            )
+        instances = spec.resolve_instances()
+        if not instances:
+            raise SchedulerError("job needs at least one instance")
+        job = Job(
+            job_id=self._next_job_id,
+            program=program,
+            spec=spec,
+            instances=instances,
+            retries=self.default_retries if retries is None else retries,
+            step_budget=step_budget,
+            loader_opts=dict(loader_opts or {}),
+        )
+        self._next_job_id += 1
+        self.stats.jobs_submitted += 1
+        for chunk in self._shard(job):
+            self._queues[self._rr % len(self.pool)].append(chunk)
+            self._rr += 1
+        return JobFuture(job, self)
+
+    def _shard(self, job: Job) -> list[_Chunk]:
+        n = len(job.instances)
+        size = self.chunk_size
+        if size is None:
+            # ~2 chunks per device: every device gets work, faster devices
+            # (or luckier shards) pick up the surplus via stealing.
+            size = -(-n // (2 * len(self.pool)))
+        if self.max_batch is not None:
+            size = min(size, self.max_batch)
+        size = max(1, size)
+        return [
+            _Chunk(job, start, job.instances[start : start + size])
+            for start in range(0, n, size)
+        ]
+
+    def run_campaign(self, program: Any, spec: LaunchSpec, **submit_kw) -> JobResult:
+        """Submit one job and drive the pool until it resolves."""
+        return self.submit(program, spec, **submit_kw).result()
+
+    # ------------------------------------------------------------------
+    # the dispatch loop
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Run until every queued shard has been dispatched."""
+        while self._step():
+            pass
+
+    def _drive(self, job: Job) -> None:
+        """Advance the pool until ``job`` reaches a terminal state."""
+        while not job.state.terminal:
+            if not self._step():
+                raise SchedulerError(
+                    f"job {job.job_id} is {job.state.value} but the pool "
+                    "has no runnable work"
+                )
+
+    def _step(self) -> bool:
+        """Dispatch one chunk to the least-loaded device; False when idle."""
+        if not any(self._queues):
+            return False
+        # Earliest-available device in simulated time runs next: this is
+        # what "all devices execute concurrently" looks like when replayed
+        # deterministically on one host.
+        worker = min(self.pool.workers, key=lambda w: (w.busy_cycles, w.index))
+        own = self._queues[worker.index]
+        if own:
+            chunk = own.popleft()
+        else:
+            victim = max(
+                (q for q in self._queues if q),
+                key=len,
+            )
+            chunk = victim.popleft()  # steal the oldest shard
+            self.stats.steals += 1
+            self.stats.device(worker.label).steals += 1
+        self._run_chunk(worker, chunk)
+        return True
+
+    # ------------------------------------------------------------------
+    # running one chunk
+    # ------------------------------------------------------------------
+    def _run_chunk(self, worker: PoolWorker, chunk: _Chunk) -> None:
+        job = chunk.job
+        if job.state.terminal:  # stale shard of a failed/cancelled job
+            return
+        if job.state is JobState.PENDING:
+            job.state = JobState.RUNNING
+
+        remaining = job.steps_remaining
+        if remaining is not None and remaining <= 0:
+            self._fail_job(
+                job,
+                DeadlineExceeded(
+                    f"job {job.job_id} exhausted its step budget of "
+                    f"{job.step_budget} with {job.pending_instances} "
+                    "instances outstanding",
+                    job_id=job.job_id,
+                ),
+            )
+            return
+
+        try:
+            loader = worker.loader_for(job)
+            # The race gate is a property of the whole campaign: chunking
+            # must not smuggle a racy program past it one instance at a
+            # time.
+            loader._check_ensemble_safety(job.total_instances)
+        except ReproError as exc:
+            self._fail_job(job, exc)
+            return
+
+        # per-device bisection: never re-try a size this device OOMed on
+        policy = self._policies.setdefault(
+            (worker.index, job.job_id), BisectionPolicy(max_batch=self.max_batch)
+        )
+        cap = policy.next_size(len(chunk.instances))
+        if len(chunk.instances) > cap:
+            head = _Chunk(job, chunk.start, chunk.instances[:cap], chunk.attempt)
+            tail = _Chunk(
+                job, chunk.start + cap, chunk.instances[cap:], chunk.attempt
+            )
+            self._queues[worker.index].appendleft(tail)
+            chunk = head
+
+        max_steps = job.spec.max_steps
+        clamped = remaining is not None and remaining < max_steps
+        if clamped:
+            max_steps = remaining
+        spec = replace(job.spec, max_steps=max_steps)
+
+        try:
+            run, outcomes = launch_chunk(loader, spec, chunk.instances, chunk.start)
+        except DeviceOutOfMemory as exc:
+            self.stats.oom_splits += 1
+            self.stats.device(worker.label).oom_splits += 1
+            job.oom_splits += 1
+            if len(chunk.instances) == 1:
+                self._fail_job(job, exc)  # one instance does not fit: real
+                return
+            policy.record_oom(len(chunk.instances))
+            left, right = chunk.split()
+            self._queues[worker.index].appendleft(right)
+            self._queues[worker.index].appendleft(left)
+            return
+        except EnsembleSafetyError as exc:
+            self._fail_job(job, exc)
+            return
+        except DeviceError as exc:
+            if (
+                clamped
+                and isinstance(exc, DeviceTrap)
+                and "interpreter steps" in str(exc)
+            ):
+                self._fail_job(
+                    job,
+                    DeadlineExceeded(
+                        f"job {job.job_id} hit its step budget of "
+                        f"{job.step_budget} mid-launch",
+                        job_id=job.job_id,
+                        cause=exc,
+                    ),
+                )
+                return
+            self._retry(worker, chunk, exc)
+            return
+        except ReproError as exc:
+            self._fail_job(job, exc)  # loader misuse etc.: not transient
+            return
+
+        policy.record_success(len(chunk.instances))
+        for outcome in outcomes:
+            job.outcomes[outcome.index] = outcome
+        job.batches.append(
+            BatchRecord(
+                first_instance=chunk.start,
+                size=len(chunk.instances),
+                cycles=run.cycles,
+            )
+        )
+        job.steps_used += run.launch.interpreter_steps
+        if run.cycles is None:
+            job.have_cycles = False
+            elapsed = float(run.launch.interpreter_steps)
+        else:
+            job.cycles += run.cycles
+            elapsed = run.cycles
+        worker.busy_cycles += elapsed
+
+        dev = self.stats.device(worker.label)
+        dev.batches += 1
+        dev.instances += len(chunk.instances)
+        dev.busy_cycles += elapsed
+        dev.interpreter_steps += run.launch.interpreter_steps
+        self.stats.instances_completed += len(chunk.instances)
+
+        if job.pending_instances == 0:
+            job.state = JobState.COMPLETED
+            self.stats.jobs_completed += 1
+
+    def _retry(self, worker: PoolWorker, chunk: _Chunk, exc: Exception) -> None:
+        job = chunk.job
+        chunk.attempt += 1
+        job.retries_used += 1
+        self.stats.retries += 1
+        self.stats.device(worker.label).retries += 1
+        if chunk.attempt > job.retries:
+            self._fail_job(
+                job,
+                RetriesExhausted(
+                    f"job {job.job_id}: instances {chunk.start}.."
+                    f"{chunk.start + len(chunk.instances) - 1} still faulting "
+                    f"after {job.retries} retries: {exc}",
+                    job_id=job.job_id,
+                    cause=exc,
+                ),
+            )
+            return
+        if self.backoff_base > 0:
+            self._sleep(self.backoff_base * (2 ** (chunk.attempt - 1)))
+        self._queues[worker.index].append(chunk)
+
+    # ------------------------------------------------------------------
+    # job termination
+    # ------------------------------------------------------------------
+    def _purge(self, job: Job) -> None:
+        for queue in self._queues:
+            stale = [c for c in queue if c.job is job]
+            for c in stale:
+                queue.remove(c)
+
+    def _fail_job(self, job: Job, error: BaseException) -> None:
+        self._purge(job)
+        job.state = JobState.FAILED
+        job.error = error
+        self.stats.jobs_failed += 1
+
+    def _cancel(self, job: Job) -> bool:
+        if job.state is not JobState.PENDING:
+            return False
+        self._purge(job)
+        job.state = JobState.CANCELLED
+        job.error = JobFailed(
+            f"job {job.job_id} cancelled before any shard ran",
+            job_id=job.job_id,
+        )
+        self.stats.jobs_cancelled += 1
+        return True
+
+
+__all__ = ["Scheduler"]

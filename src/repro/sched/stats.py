@@ -1,0 +1,102 @@
+"""Counter surface for the multi-device scheduler.
+
+Everything the scheduler does is observable here: how many jobs and
+instances finished, how often the OOM bisection had to split, how many
+transient-fault retries were spent, how much work each device did, and —
+because devices advance independent simulated clocks — per-device
+utilization over the campaign makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DeviceStats:
+    """Work accounted to one device (one :class:`~repro.sched.pool.PoolWorker`).
+
+    ``busy_cycles`` accumulates simulated cycles from the timing model;
+    launches run with ``collect_timing=False`` fall back to interpreter
+    steps as the clock proxy (coarser, but keeps utilization meaningful).
+    """
+
+    label: str
+    batches: int = 0
+    instances: int = 0
+    retries: int = 0
+    oom_splits: int = 0
+    steals: int = 0
+    busy_cycles: float = 0.0
+    interpreter_steps: int = 0
+
+
+@dataclass
+class SchedulerStats:
+    """Scheduler-wide counters plus the per-device breakdown."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    instances_completed: int = 0
+    retries: int = 0
+    oom_splits: int = 0
+    steals: int = 0
+    per_device: dict[str, DeviceStats] = field(default_factory=dict)
+
+    def device(self, label: str) -> DeviceStats:
+        if label not in self.per_device:
+            self.per_device[label] = DeviceStats(label=label)
+        return self.per_device[label]
+
+    @property
+    def makespan_cycles(self) -> float:
+        """Campaign wall time in simulated cycles: devices run concurrently,
+        so the makespan is the busiest device's clock, not the sum."""
+        return max((d.busy_cycles for d in self.per_device.values()), default=0.0)
+
+    @property
+    def total_busy_cycles(self) -> float:
+        return sum(d.busy_cycles for d in self.per_device.values())
+
+    def utilization(self) -> dict[str, float]:
+        """Fraction of the makespan each device spent busy (1.0 = the
+        critical-path device; idle devices score 0.0)."""
+        span = self.makespan_cycles
+        if span <= 0:
+            return {label: 0.0 for label in self.per_device}
+        return {
+            label: dev.busy_cycles / span for label, dev in self.per_device.items()
+        }
+
+    def summary(self) -> dict:
+        """JSON-friendly snapshot for reports and the CLI."""
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "instances_completed": self.instances_completed,
+            "retries": self.retries,
+            "oom_splits": self.oom_splits,
+            "steals": self.steals,
+            "makespan_cycles": self.makespan_cycles,
+            "devices": {
+                label: {
+                    "batches": d.batches,
+                    "instances": d.instances,
+                    "retries": d.retries,
+                    "oom_splits": d.oom_splits,
+                    "steals": d.steals,
+                    "busy_cycles": d.busy_cycles,
+                    "utilization": u,
+                }
+                for (label, d), u in zip(
+                    self.per_device.items(), self.utilization().values()
+                )
+            },
+        }
+
+
+__all__ = ["DeviceStats", "SchedulerStats"]

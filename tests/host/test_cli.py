@@ -27,6 +27,20 @@ class TestParser:
         assert args.num_instances is None
         assert args.thread_limit == 1024
         assert args.pack == 1
+        assert args.devices == 1
+        assert args.max_batch is None
+        assert args.retries == 2
+        assert args.no_timing is False
+
+    def test_scheduler_flags_accepted(self):
+        args = build_parser().parse_args(
+            ["--app", "rsbench", "-f", "a.txt", "--devices", "4",
+             "--max-batch", "8", "--max-steps", "5000", "--retries", "0"]
+        )
+        assert args.devices == 4
+        assert args.max_batch == 8
+        assert args.max_steps == 5000
+        assert args.retries == 0
 
 
 class TestExecution:
@@ -88,3 +102,50 @@ class TestExecution:
         )
         assert code == 2
         assert "out of memory" in capsys.readouterr().err
+
+
+class TestSchedulerRouting:
+    def test_multi_device_run(self, argfile, capsys):
+        code = main(
+            ["--app", "rsbench", "-f", argfile, "-t", "32", "--devices", "2",
+             "--heap-mb", "4", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign: 2 instances (all ok)" in out
+        assert "scheduler: 2 devices" in out
+        assert "utilization" in out
+
+    def test_zero_devices_rejected(self, argfile):
+        with pytest.raises(SystemExit):
+            main(["--app", "rsbench", "-f", argfile, "--devices", "0"])
+
+    def test_max_batch_routes_through_campaign_runner(self, argfile, capsys):
+        code = main(
+            ["--app", "rsbench", "-f", argfile, "-t", "32", "--max-batch", "1",
+             "--heap-mb", "4", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign: 2 instances (all ok)" in out
+        assert "2 batches" in out
+
+    def test_no_timing_prints_untimed(self, argfile, capsys):
+        code = main(
+            ["--app", "rsbench", "-f", argfile, "-t", "32", "--no-timing",
+             "--heap-mb", "4", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "untimed" in out  # cycles=None no longer crashes the summary
+
+    def test_nonzero_exit_propagates_from_scheduler(self, tmp_path, capsys):
+        # pagerank rejects -n 0 ("bad arguments") with a nonzero exit code
+        f = tmp_path / "args.txt"
+        f.write_text("-n 0\n-n 0\n")
+        code = main(
+            ["--app", "pagerank", "-f", str(f), "-t", "32", "--devices", "2",
+             "--heap-mb", "4", "--quiet"]
+        )
+        assert code == 1
+        assert "failed" in capsys.readouterr().out
