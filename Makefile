@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: install test test-fast lint check bench figures validate objdump \
-	sched-demo clean
+	sched-demo trace-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +42,13 @@ objdump:
 # End-to-end campaign over a two-device pool (docs/scheduler.md).
 sched-demo:
 	$(PYTHON) examples/multi_device_campaign.py 2
+
+# Traced two-device campaign -> results/trace.json + results/metrics.json,
+# then validate the trace structurally (docs/observability.md).
+trace-demo:
+	mkdir -p results
+	$(PYTHON) examples/trace_ensemble.py 2 results
+	$(PYTHON) -m repro.obs.check results/trace.json
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks .hypothesis

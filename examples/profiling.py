@@ -12,15 +12,16 @@ Run:  python examples/profiling.py
 """
 
 from repro import EnsembleLoader, GPUDevice, LaunchSpec
-from repro.apps import rsbench, xsbench
 from repro.harness.profile import profile_launch
+from repro.apps import rsbench, xsbench
+from repro.obs import report
 
 
 def profile_app(name, program, args, heap_bytes):
     loader = EnsembleLoader(program, GPUDevice(), heap_bytes=heap_bytes)
     result = loader.run_ensemble(LaunchSpec([args], thread_limit=128))
     prof = profile_launch(result.launch)
-    print(prof.render())
+    print(report(prof, format="text"))
     print()
     return prof
 

@@ -24,9 +24,14 @@ from repro.gpu.launch import config_1d
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.timing import BlockTrace, KernelTiming, TimingModel
 from repro.ir.module import Module
+from repro.obs.tracer import CLOCK_CYCLES, CLOCK_STEPS, NULL_TRACER
 from repro.runtime.interpreter import BlockContext, BlockExecutor
 from repro.runtime.machine import LoweredKernel, lower_kernel
 from repro.runtime.trace import TraceCollector
+
+#: Per-team trace tracks recorded per launch; beyond this the launch span
+#: notes ``teams_truncated`` instead of flooding the trace with tracks.
+TRACE_TEAM_LIMIT = 64
 
 #: Occupancy-model register estimate per thread (post-regalloc estimate; the
 #: virtual-register count of our unallocated IR is not meaningful hardware
@@ -105,6 +110,16 @@ class GPUDevice:
         self.memory = GlobalMemory(config.global_mem_bytes)
         self.allocator = DeviceAllocator(self.memory.capacity)
         self.timing_model = TimingModel(config, sim)
+        #: Observability hooks: a tracer (null by default — zero overhead)
+        #: and an optional MetricsRegistry launches publish into.  Set by
+        #: :meth:`repro.sched.pool.DevicePool.attach_obs` or directly.
+        self.tracer = NULL_TRACER
+        self.metrics = None
+        #: Per-domain simulated clocks: cumulative cycles of timed launches
+        #: and interpreter steps of untimed ones.  Launch spans are placed
+        #: on these clocks, so a device's trace track is monotonic.
+        self.cycle_clock = 0.0
+        self.step_clock = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -180,6 +195,78 @@ class GPUDevice:
         self.free(image.base)
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _publish_launch(
+        self,
+        kernel_name: str,
+        num_teams: int,
+        cycles: float | None,
+        timing,
+        total_steps: int,
+    ) -> None:
+        """Advance the device's simulated clock and emit the launch's
+        span/counters into the attached tracer and metrics registry.
+
+        Timed launches land on the cycle clock (one span on the device
+        track, one per team from the timing model's block times); untimed
+        launches land on the interpreter-step clock on a separate track,
+        because cycles and steps are incomparable domains.
+        """
+        if self.metrics is not None:
+            self.metrics.counter("device.launches", device=self.label).inc()
+            self.metrics.counter("interp.steps", device=self.label).inc(
+                total_steps
+            )
+            if cycles is not None:
+                self.metrics.counter("device.cycles", device=self.label).inc(
+                    cycles
+                )
+
+        if cycles is None:
+            elapsed, clock = float(total_steps), CLOCK_STEPS
+            track = f"device:{self.label} (steps)"
+            start = self.step_clock
+            self.step_clock += elapsed
+        else:
+            elapsed, clock = cycles, CLOCK_CYCLES
+            track = f"device:{self.label}"
+            start = self.cycle_clock
+            self.cycle_clock += elapsed
+
+        if not self.tracer.enabled:
+            return
+        args = {
+            "kernel": kernel_name,
+            "teams": num_teams,
+            "interpreter_steps": total_steps,
+        }
+        if timing is not None and num_teams > TRACE_TEAM_LIMIT:
+            args["teams_truncated"] = num_teams - TRACE_TEAM_LIMIT
+        self.tracer.complete(
+            f"launch {kernel_name}",
+            track=track,
+            start=start,
+            end=start + elapsed,
+            clock=clock,
+            cat="launch",
+            args=args,
+        )
+        if timing is not None:
+            for team, block_time in enumerate(
+                timing.block_times[:TRACE_TEAM_LIMIT]
+            ):
+                self.tracer.complete(
+                    f"team {team}",
+                    track=f"{self.label}/team{team}",
+                    start=start,
+                    end=start + min(block_time, elapsed),
+                    clock=CLOCK_CYCLES,
+                    cat="team",
+                    args={"kernel": kernel_name},
+                )
+
+    # ------------------------------------------------------------------
     # launching
     # ------------------------------------------------------------------
     def launch(
@@ -204,7 +291,7 @@ class GPUDevice:
         kern = image.lowered.get(kernel_name)
         if kern is None:
             fn = image.module.get_function(kernel_name)
-            kern = lower_kernel(fn)
+            kern = lower_kernel(fn, tracer=self.tracer, metrics=self.metrics)
             image.lowered[kernel_name] = kern
 
         warp = self.config.warp_size
@@ -293,6 +380,7 @@ class GPUDevice:
                 shared_mem_per_block=image.team_local_size,
             )
             cycles = timing.cycles
+        self._publish_launch(kernel_name, num_teams, cycles, timing, total_steps)
         return LaunchResult(
             kernel=kernel_name,
             num_teams=num_teams,

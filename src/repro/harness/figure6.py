@@ -135,8 +135,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.harness.report import (
+        _render_figure6_table,
         render_ascii_plot,
-        render_figure6_table,
         save_results_json,
         write_csv,
     )
@@ -153,7 +153,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         panel = "a" if tl == 32 else "b"
         print(f"\nFigure 6({panel}) — thread limit {tl}")
-        print(render_figure6_table(all_results[tl], thread_limit=tl))
+        print(_render_figure6_table(all_results[tl], thread_limit=tl))
         if args.plot:
             print()
             print(render_ascii_plot(all_results[tl]))

@@ -9,18 +9,69 @@ summary a performance engineer would ask for:
   single-thread Amdahl territory — the paper's core motivation),
 * per-block balance (slowest/fastest team),
 * model diagnostics (L2 hit rate, DRAM efficiency, occupancy).
+
+Since the :mod:`repro.obs` redesign the aggregation publishes into a
+:class:`~repro.obs.metrics.MetricsRegistry` (``profile.*`` series labelled
+by kernel) and :class:`KernelProfile` is materialized *from* the registry
+via :meth:`KernelProfile.from_metrics` — the dataclass is a snapshot view,
+the registry is the source of truth.  Rendering moved behind
+:func:`repro.obs.report`; calling :meth:`KernelProfile.render` directly
+still works but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.gpu.coalescing import SECTOR_BYTES
 from repro.gpu.device import LaunchResult
+from repro.obs.metrics import MetricsRegistry
+
+#: registry series published by :func:`profile_launch`, in field order of
+#: :class:`KernelProfile` (all labelled ``kernel=<name>``).
+PROFILE_SERIES = (
+    "profile.num_teams",
+    "profile.thread_limit",
+    "profile.cycles",
+    "profile.dynamic_instructions",
+    "profile.divergent_instructions",
+    "profile.memory_transactions",
+    "profile.bytes_moved",
+    "profile.lane_accesses",
+    "profile.seq_issue_cycles",
+    "profile.par_issue_cycles",
+    "profile.seq_sectors",
+    "profile.par_sectors",
+    "profile.slowest_block",
+    "profile.fastest_block",
+    "profile.l2_hit_rate",
+    "profile.dram_efficiency",
+    "profile.occupancy",
+)
+
+#: KernelProfile fields backed by :data:`PROFILE_SERIES`, same order.
+_PROFILE_FIELDS = tuple(name.split(".", 1)[1] for name in PROFILE_SERIES)
+
+_INT_FIELDS = frozenset(
+    {
+        "num_teams",
+        "thread_limit",
+        "dynamic_instructions",
+        "divergent_instructions",
+        "memory_transactions",
+        "bytes_moved",
+        "lane_accesses",
+        "seq_sectors",
+        "par_sectors",
+    }
+)
 
 
 @dataclass(frozen=True)
 class KernelProfile:
+    """Snapshot view over one launch's ``profile.*`` metric series."""
+
     kernel: str
     num_teams: int
     thread_limit: int
@@ -39,6 +90,17 @@ class KernelProfile:
     l2_hit_rate: float
     dram_efficiency: float
     occupancy: float
+
+    @classmethod
+    def from_metrics(cls, metrics: MetricsRegistry, *, kernel: str) -> "KernelProfile":
+        """Materialize the profile for ``kernel`` from a registry that
+        :func:`profile_launch` (or anything publishing the same series)
+        has filled in."""
+        values = {}
+        for series, field_name in zip(PROFILE_SERIES, _PROFILE_FIELDS):
+            raw = metrics.value(series, 0.0, kernel=kernel)
+            values[field_name] = int(raw) if field_name in _INT_FIELDS else float(raw)
+        return cls(kernel=kernel, **values)
 
     @property
     def parallel_fraction(self) -> float:
@@ -68,7 +130,15 @@ class KernelProfile:
             return 1.0
         return self.slowest_block / self.fastest_block
 
-    def render(self) -> str:
+    def render(self, *, _from_facade: bool = False) -> str:
+        """Deprecated: use ``repro.obs.report(profile, format="text")``."""
+        if not _from_facade:
+            warnings.warn(
+                "KernelProfile.render() is deprecated; use "
+                "repro.obs.report(profile, format='text')",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         lines = [
             f"kernel {self.kernel}: {self.num_teams} teams x {self.thread_limit} threads",
             f"  simulated cycles       {self.cycles:>16,.0f}",
@@ -86,10 +156,21 @@ class KernelProfile:
         return "\n".join(lines)
 
 
-def profile_launch(result: LaunchResult) -> KernelProfile:
-    """Aggregate a launch (run with ``collect_timing=True``) into a profile."""
+def profile_launch(
+    result: LaunchResult, *, metrics: MetricsRegistry | None = None
+) -> KernelProfile:
+    """Aggregate a launch (run with ``collect_timing=True``) into a profile.
+
+    Publishes the aggregates as ``profile.*`` gauges labelled with the
+    kernel name — into ``metrics`` when given (so a campaign's registry
+    accumulates profiles next to scheduler and RPC series), or into a
+    private registry otherwise — and returns the
+    :meth:`KernelProfile.from_metrics` view over them.
+    """
     if result.timing is None or not result.traces:
         raise ValueError("profile_launch needs a launch with collect_timing=True")
+    if metrics is None:
+        metrics = MetricsRegistry()
     timing = result.timing
     seq_cycles = par_cycles = 0.0
     seq_sectors = par_sectors = 0
@@ -107,23 +188,25 @@ def profile_launch(result: LaunchResult) -> KernelProfile:
             else:
                 seq_cycles += phase.issue_cycles_total
                 seq_sectors += phase.sectors
-    return KernelProfile(
-        kernel=result.kernel,
-        num_teams=result.num_teams,
-        thread_limit=result.thread_limit,
-        cycles=timing.cycles,
-        dynamic_instructions=instructions,
-        divergent_instructions=divergent,
-        memory_transactions=timing.total_sectors,
-        bytes_moved=timing.total_sectors * SECTOR_BYTES,
-        lane_accesses=lane_accesses,
-        seq_issue_cycles=seq_cycles,
-        par_issue_cycles=par_cycles,
-        seq_sectors=seq_sectors,
-        par_sectors=par_sectors,
-        slowest_block=max(timing.block_times),
-        fastest_block=min(timing.block_times),
-        l2_hit_rate=timing.l2_hit_rate,
-        dram_efficiency=timing.dram_efficiency,
-        occupancy=timing.occupancy.occupancy,
-    )
+    aggregates = {
+        "num_teams": result.num_teams,
+        "thread_limit": result.thread_limit,
+        "cycles": timing.cycles,
+        "dynamic_instructions": instructions,
+        "divergent_instructions": divergent,
+        "memory_transactions": timing.total_sectors,
+        "bytes_moved": timing.total_sectors * SECTOR_BYTES,
+        "lane_accesses": lane_accesses,
+        "seq_issue_cycles": seq_cycles,
+        "par_issue_cycles": par_cycles,
+        "seq_sectors": seq_sectors,
+        "par_sectors": par_sectors,
+        "slowest_block": max(timing.block_times),
+        "fastest_block": min(timing.block_times),
+        "l2_hit_rate": timing.l2_hit_rate,
+        "dram_efficiency": timing.dram_efficiency,
+        "occupancy": timing.occupancy.occupancy,
+    }
+    for field_name, value in aggregates.items():
+        metrics.gauge(f"profile.{field_name}", kernel=result.kernel).set(float(value))
+    return KernelProfile.from_metrics(metrics, kernel=result.kernel)

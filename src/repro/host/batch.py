@@ -125,7 +125,12 @@ class CampaignResult(OutcomeMixin):
 
 
 class BatchedEnsembleRunner:
-    """Runs arbitrarily large ensembles by splitting into feasible batches."""
+    """Runs arbitrarily large ensembles by splitting into feasible batches.
+
+    With an :class:`~repro.obs.Observability` bundle (``obs=``), each
+    batch becomes a wall-clock span on the ``batch-runner`` track and the
+    campaign publishes ``batch.*`` counters into the registry.
+    """
 
     def __init__(
         self,
@@ -134,11 +139,17 @@ class BatchedEnsembleRunner:
         thread_limit: int = 1024,
         max_batch: int | None = None,
         collect_timing: bool = True,
+        obs=None,
     ):
         self.loader = loader
         self.thread_limit = thread_limit
         self.max_batch = max_batch
         self.collect_timing = collect_timing
+        if obs is None:
+            from repro.obs import Observability
+
+            obs = Observability()
+        self.obs = obs
 
     def run(self, spec) -> CampaignResult:
         """Execute every instance of a :class:`LaunchSpec`, batching as
@@ -168,19 +179,42 @@ class BatchedEnsembleRunner:
         have_cycles = True
         policy = BisectionPolicy(max_batch=self.max_batch)
 
+        tracer, metrics = self.obs.tracer, self.obs.metrics
         cursor = 0
         while cursor < len(instances):
             size = policy.next_size(len(instances) - cursor)
             chunk = instances[cursor : cursor + size]
             try:
-                run, outcomes = launch_chunk(self.loader, spec, chunk, cursor)
+                if tracer.enabled:
+                    with tracer.span(
+                        f"batch [{cursor}+{size}]",
+                        track="batch-runner",
+                        cat="batch",
+                        first_instance=cursor,
+                        size=size,
+                    ):
+                        run, outcomes = launch_chunk(
+                            self.loader, spec, chunk, cursor
+                        )
+                else:
+                    run, outcomes = launch_chunk(self.loader, spec, chunk, cursor)
             except DeviceOutOfMemory:
                 result.oom_retries += 1
+                metrics.counter("batch.oom_retries").inc()
+                if tracer.enabled:
+                    tracer.instant(
+                        "oom retry",
+                        track="batch-runner",
+                        cat="batch",
+                        args={"size": size},
+                    )
                 if size == 1:
                     raise  # a single instance does not fit: a real error
                 policy.record_oom(size)
                 continue
             policy.record_success(size)
+            metrics.counter("batch.launches").inc()
+            metrics.histogram("batch.size").observe(size)
             result.outcomes.extend(outcomes)
             result.batches.append(
                 BatchRecord(first_instance=cursor, size=size, cycles=run.cycles)

@@ -27,7 +27,7 @@ from repro.host.batch import BatchedEnsembleRunner
 from repro.host.ensemble_loader import EnsembleLoader
 from repro.host.launch import DEFAULT_MAX_STEPS, LaunchSpec
 from repro.host.mapping import OneInstancePerTeam, PackedMapping
-from repro.host.results import summarize_outcome
+from repro.obs import Observability, report
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="relocate mutable globals per-team (the globals_to_shared pass) "
         "before launching",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON of the run (open in "
+        "chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics registry as JSON (or line protocol with "
+        "a .lines suffix)",
+    )
     parser.add_argument("--list-apps", action="store_true", help="list available apps")
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-instance stdout"
@@ -159,6 +173,29 @@ def main(argv: list[str] | None = None) -> int:
     if args.devices < 1:
         parser.error("--devices must be >= 1")
 
+    # A recording tracer only when a trace is requested; the metrics
+    # registry is always live (it is just dictionaries).
+    obs = Observability.enabled() if args.trace_out else Observability()
+
+    try:
+        return _run(parser, args, app, obs)
+    finally:
+        _write_obs_outputs(obs, args)
+
+
+def _write_obs_outputs(obs: Observability, args) -> None:
+    """Flush --trace-out / --metrics-out files (also on failure paths)."""
+    if args.trace_out:
+        obs.write_trace(args.trace_out)
+        print(f"wrote trace {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        fmt = "lines" if str(args.metrics_out).endswith(".lines") else "json"
+        obs.write_metrics(args.metrics_out, format=fmt)
+        print(f"wrote metrics {args.metrics_out}", file=sys.stderr)
+
+
+def _run(parser, args, app, obs: Observability) -> int:
+    """Execute the ensemble described by the parsed ``args``."""
     try:
         if args.script:
             from pathlib import Path
@@ -187,13 +224,16 @@ def main(argv: list[str] | None = None) -> int:
 
             pool = DevicePool(args.devices, config=DEFAULT_DEVICE)
             sched = Scheduler(
-                pool, max_batch=args.max_batch, default_retries=args.retries
+                pool,
+                max_batch=args.max_batch,
+                default_retries=args.retries,
+                obs=obs,
             )
             result = sched.run_campaign(
                 app.build_program(), spec, loader_opts=loader_opts
             )
             _print_instances(result, args.quiet)
-            print(f"campaign: {summarize_outcome(result)}")
+            print(f"campaign: {report(result, format='summary')}")
             util = " ".join(
                 f"{label}={frac:.2f}"
                 for label, frac in sorted(sched.stats.utilization().items())
@@ -206,14 +246,16 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 0 if result.all_succeeded else 1
 
-        loader = EnsembleLoader(app.build_program(), GPUDevice(DEFAULT_DEVICE),
-                                **loader_opts)
+        device = GPUDevice(DEFAULT_DEVICE)
+        device.tracer = obs.tracer
+        device.metrics = obs.metrics
+        loader = EnsembleLoader(app.build_program(), device, **loader_opts)
         if args.max_batch is not None:
-            runner = BatchedEnsembleRunner(loader, max_batch=args.max_batch)
+            runner = BatchedEnsembleRunner(loader, max_batch=args.max_batch, obs=obs)
             result = runner.run(spec)
             _print_instances(result, args.quiet)
             print(
-                f"campaign: {summarize_outcome(result)} "
+                f"campaign: {report(result, format='summary')} "
                 f"({len(result.batches)} batches, "
                 f"{result.oom_retries} oom retries)"
             )

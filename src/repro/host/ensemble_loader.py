@@ -30,7 +30,6 @@ from repro.host.launch import DEFAULT_MAX_STEPS, LaunchSpec
 from repro.host.loader import Loader
 from repro.host.results import OutcomeMixin
 from repro.host.mapping import MappingStrategy, OneInstancePerTeam
-from repro.host.rpc_host import RPCHost
 from repro.ir.module import Module
 from repro.runtime.kernel import ENSEMBLE_KERNEL
 from repro.runtime.teams import TeamGeometry
@@ -166,7 +165,7 @@ class EnsembleLoader(Loader):
 
         geometry = self.mapping.geometry(num_instances, thread_limit)
         self._reset_for_run()
-        rpc_host = RPCHost(self.device.memory)
+        rpc_host = self._make_rpc_host()
         block = self._marshal_instances(argvs)
         try:
             launch = self._launch(

@@ -85,14 +85,15 @@ class Loader:
         self.app_name = program.name if isinstance(program, (Program, Module)) else "app"
 
         module = program.compile() if isinstance(program, Program) else program
-        module = compile_for_device(module)
+        obs_kw = dict(tracer=self.device.tracer, metrics=self.device.metrics)
+        module = compile_for_device(module, **obs_kw)
         build_single_kernel(module)
         build_ensemble_kernel(module)
         if team_local_globals:
             globals_to_shared_pass(
                 module, shared_mem_budget=self.device.config.shared_mem_per_block
             )
-        module = finalize_executable(module, optimize=optimize)
+        module = finalize_executable(module, optimize=optimize, **obs_kw)
         self.module = module
         self.image: DeviceImage = self.device.load_image(module)
         self.heap_addr = self.device.alloc(heap_bytes)
@@ -100,6 +101,14 @@ class Loader:
     # ------------------------------------------------------------------
     # plumbing shared with the ensemble loader
     # ------------------------------------------------------------------
+    def _make_rpc_host(self) -> RPCHost:
+        """An RPC endpoint wired to the device's observability sinks."""
+        return RPCHost(
+            self.device.memory,
+            tracer=self.device.tracer,
+            metrics=self.device.metrics,
+        )
+
     def _reset_for_run(self) -> None:
         """Fresh-process semantics: re-init globals and the device heap."""
         self.device.reset_image(self.image)
@@ -245,7 +254,7 @@ class Loader:
             max_steps = spec.max_steps
         argv = [self.app_name] + list(args or [])
         self._reset_for_run()
-        rpc_host = RPCHost(self.device.memory)
+        rpc_host = self._make_rpc_host()
         block = self._marshal_instances([argv])
         try:
             launch = self._launch(

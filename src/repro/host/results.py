@@ -59,19 +59,24 @@ class OutcomeMixin:
 
 
 def summarize_outcome(result: EnsembleOutcome) -> str:
-    """One-line human summary valid for any :class:`EnsembleOutcome`.
+    """Deprecated: use ``repro.obs.report(result, format="summary")``.
 
-    Used by the CLI and harness reports so single-launch, campaign, and
-    scheduler results all render identically (and ``total_cycles=None``
-    from ``collect_timing=False`` renders as ``untimed`` instead of
-    crashing a format spec).
+    Retained as a shim so the historical call shape keeps producing the
+    same one-line summary (``total_cycles=None`` still renders as
+    ``untimed``); the rendering itself now lives behind the unified
+    report facade.
     """
-    n = len(result.instances)
-    failed = sum(1 for c in result.return_codes if c != 0)
-    cycles = result.total_cycles
-    timing = f"{cycles:.0f} simulated cycles" if cycles is not None else "untimed"
-    status = "all ok" if failed == 0 else f"{failed} failed"
-    return f"{n} instances ({status}), {timing}"
+    import warnings
+
+    warnings.warn(
+        "summarize_outcome is deprecated; use "
+        "repro.obs.report(outcome, format='summary')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.obs.reporting import report
+
+    return report(result, format="summary")
 
 
 __all__ = ["EnsembleOutcome", "OutcomeMixin", "summarize_outcome"]

@@ -14,6 +14,12 @@ host-only functions by the RPC-lowering pass).  Two transports exist:
 Output capture: ``printf``/``puts`` bytes are captured **per application
 instance**, so an ensemble run can return each instance its own stdout —
 the host-side counterpart of instance isolation.
+
+Observability: per-service call totals are published into a
+:class:`~repro.obs.MetricsRegistry` (``rpc.calls{service=...}``), with
+the historical ``call_counts`` dict kept as a read view over it; an
+enabled tracer records each call and each ring drain as instant events
+on the ``rpc-host`` track (the RPC service thread of Figure 2).
 """
 
 from __future__ import annotations
@@ -25,19 +31,31 @@ from collections import defaultdict
 
 from repro.errors import DeviceTrap, RPCError
 from repro.gpu.memory import GlobalMemory
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.interpreter import RpcLane
 from repro.runtime.rpc_device import HostRing, RpcRecord, decode_float_arg
 
 _FMT_RE = re.compile(r"%[-+ #0]*\d*(?:\.\d+)?(?:hh|h|ll|l|z)?[diufeEgGxXscp%]")
 
+#: Track RPC-host events are recorded on (one track for the service thread).
+RPC_TRACK = "rpc-host"
+
 
 class RPCHost:
     """Dispatch table + output capture for device-originated calls."""
 
-    def __init__(self, memory: GlobalMemory):
+    def __init__(
+        self,
+        memory: GlobalMemory,
+        *,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.memory = memory
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.stdout: dict[int, list[str]] = defaultdict(list)
-        self.call_counts: dict[str, int] = defaultdict(int)
         self._files: dict[int, object] = {}
         self._next_handle = 3  # 0/1/2 reserved like stdio
         self._handlers = {
@@ -58,11 +76,27 @@ class RPCHost:
         """Install a custom handler: ``handler(args, lane) -> value``."""
         self._handlers[service] = handler
 
+    @property
+    def call_counts(self) -> dict[str, int]:
+        """Per-service call totals — a read view over the metrics
+        registry's ``rpc.calls`` counters (the former ad-hoc dict)."""
+        return {
+            dict(c.labels)["service"]: int(c.value)
+            for c in self.metrics.series("rpc.calls")
+        }
+
     def handle(self, service: str, args: list, lane: RpcLane):
         fn = self._handlers.get(service)
         if fn is None:
             raise RPCError(f"no host handler for RPC service {service!r}")
-        self.call_counts[service] += 1
+        self.metrics.counter("rpc.calls", service=service).inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"rpc {service}",
+                track=RPC_TRACK,
+                cat="rpc",
+                args={"instance": lane.instance, "team": lane.team},
+            )
         return fn(args, lane)
 
     def instance_stdout(self, instance: int) -> str:
@@ -205,11 +239,25 @@ class RPCHost:
             lane = RpcLane(team=-1, instance=-1, lane=-1)  # ring carries no lane
             return self.handle(name, args, lane)
 
+        def traced_drain() -> int:
+            n = ring.drain(decode)
+            if n:
+                self.metrics.counter("rpc.ring.drained").inc(n)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "ring drain",
+                        track=RPC_TRACK,
+                        cat="rpc",
+                        args={"records": n},
+                    )
+            return n
+
         def loop() -> None:
-            while not stop.is_set():
-                if ring.drain(decode) == 0:
-                    time.sleep(poll_interval)
-            ring.drain(decode)  # final sweep
+            with self.tracer.span("serve_ring", track=RPC_TRACK, cat="rpc"):
+                while not stop.is_set():
+                    if traced_drain() == 0:
+                        time.sleep(poll_interval)
+                traced_drain()  # final sweep
 
         thread = threading.Thread(target=loop, name="repro-rpc", daemon=True)
         thread.start()

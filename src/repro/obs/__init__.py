@@ -1,0 +1,108 @@
+"""repro.obs — the unified observability layer.
+
+One tracer, one metrics registry, one report facade.  The paper's whole
+argument is about *utilization*; this package is how the repo shows it:
+every layer (pass pipeline, device launches, RPC host, scheduler) records
+spans into a :class:`Tracer` and publishes counters into a
+:class:`MetricsRegistry`, and the results export as Chrome
+``chrome://tracing`` JSON (one track per device, per team, and for the
+RPC host) plus a flat metrics dump.
+
+Quick start::
+
+    from repro.obs import Observability
+
+    obs = Observability.enabled()
+    sched = Scheduler(DevicePool(4), obs=obs)
+    sched.run_campaign(program, spec)
+    obs.write_trace("trace.json")       # open in chrome://tracing
+    obs.write_metrics("metrics.json")
+
+The default everywhere is :data:`NULL_TRACER` — a no-op tracer with
+``enabled = False`` — so untraced runs pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_json,
+    metrics_lines,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.reporting import report
+from repro.obs.tracer import (
+    CLOCK_CYCLES,
+    CLOCK_STEPS,
+    CLOCK_WALL,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+
+@dataclass
+class Observability:
+    """A tracer + metrics registry bundle threaded through the stack.
+
+    The default construction is inert (null tracer, fresh registry);
+    :meth:`enabled` builds a recording bundle.  Passing one ``obs=``
+    object beats passing ``tracer=``/``metrics=`` pairs through every
+    layer, and keeps both surfaces in sync about whether observability
+    is on.
+    """
+
+    tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @classmethod
+    def enabled(cls) -> "Observability":
+        """A bundle that actually records spans."""
+        return cls(tracer=Tracer())
+
+    @property
+    def tracing(self) -> bool:
+        """Whether the tracer records anything."""
+        return self.tracer.enabled
+
+    def write_trace(self, path: str | Path) -> None:
+        """Export the trace as Chrome trace-event JSON."""
+        write_chrome_trace(path, self.tracer)
+
+    def write_metrics(self, path: str | Path, *, format: str = "json") -> None:
+        """Dump the metrics registry (``json`` or line-protocol ``lines``)."""
+        write_metrics(path, self.metrics, format=format)
+
+
+#: Shared inert bundle, used as the default ``obs=`` value.
+NULL_OBS = Observability()
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "CLOCK_CYCLES",
+    "CLOCK_STEPS",
+    "CLOCK_WALL",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "metrics_json",
+    "metrics_lines",
+    "write_metrics",
+    "report",
+]

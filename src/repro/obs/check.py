@@ -1,0 +1,48 @@
+"""Trace-file checker: ``python -m repro.obs.check trace.json [...]``.
+
+Runs :func:`repro.obs.export.validate_chrome_trace` over each file and
+exits non-zero if any problem is found — the CI gate behind
+``make trace-demo``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.export import validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate Chrome trace JSON files; 0 iff all are structurally sound."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.check",
+        description="Validate Chrome trace-event JSON emitted by repro.obs",
+    )
+    parser.add_argument("files", nargs="+", help="trace JSON files to check")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for name in args.files:
+        path = Path(name)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{name}: unreadable: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_chrome_trace(data)
+        if problems:
+            status = 1
+            for p in problems:
+                print(f"{name}: {p}", file=sys.stderr)
+        else:
+            n = len(data.get("traceEvents", []))
+            print(f"{name}: ok ({n} events)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,223 @@
+"""Exporters: Chrome trace-event JSON and metrics dumps.
+
+``chrome_trace`` turns a :class:`~repro.obs.tracer.Tracer` into the JSON
+object ``chrome://tracing`` / Perfetto load directly: one *process* per
+clock domain (simulated cycles, interpreter steps, host wall time — two
+incomparable clocks must never share an axis) and one *thread* (track)
+per device, per team, and for the RPC host.  Simulated timestamps map one
+cycle (or step) to one microsecond; wall timestamps are rebased to the
+first wall event so the numbers stay readable.
+
+``validate_chrome_trace`` is the structural checker the golden tests and
+the CI trace gate both run: required keys, per-track monotonic ``ts``,
+and balanced span nesting (two spans on one track either nest or are
+disjoint).
+
+``metrics_json`` / ``metrics_lines`` dump a
+:class:`~repro.obs.metrics.MetricsRegistry` as a flat JSON document or
+an InfluxDB-style line protocol.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import CLOCK_CYCLES, CLOCK_STEPS, CLOCK_WALL, Tracer
+
+#: Stable process ids per clock domain in the exported trace.
+CLOCK_PIDS = {CLOCK_CYCLES: 1, CLOCK_STEPS: 2, CLOCK_WALL: 3}
+CLOCK_PROCESS_NAMES = {
+    CLOCK_CYCLES: "simulated time (device cycles)",
+    CLOCK_STEPS: "simulated time (interpreter steps)",
+    CLOCK_WALL: "host (wall clock)",
+}
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Render every recorded span as Chrome trace-event JSON."""
+    events: list[dict] = []
+    tids: dict[str, int] = {}
+    wall_zero = min(
+        (e.start for e in tracer.events if e.clock == CLOCK_WALL),
+        default=0.0,
+    )
+
+    def to_us(value: float, clock: str) -> float:
+        if clock == CLOCK_WALL:
+            return (value - wall_zero) * 1e6
+        return value  # one cycle/step per microsecond
+
+    seen_pids: set[int] = set()
+    for track in tracer.tracks:
+        clock = tracer.track_clock(track)
+        pid = CLOCK_PIDS[clock]
+        tid = tids.setdefault(track, len(tids) + 1)
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": CLOCK_PROCESS_NAMES[clock]},
+                }
+            )
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+
+    body: list[dict] = []
+    for span in tracer.events:
+        pid = CLOCK_PIDS[span.clock]
+        tid = tids[span.track]
+        rec = {
+            "name": span.name,
+            "cat": span.cat or span.clock,
+            "pid": pid,
+            "tid": tid,
+            "ts": to_us(span.start, span.clock),
+            "args": dict(span.args),
+        }
+        if span.is_instant:
+            rec["ph"] = "i"
+            rec["s"] = "t"
+        else:
+            rec["ph"] = "X"
+            rec["dur"] = to_us(span.end, span.clock) - rec["ts"]
+        body.append(rec)
+    # Chrome tolerates any order; our validator (and humans reading the
+    # JSON) want each track monotonic, with parents before their children.
+    body.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], -e.get("dur", 0.0)))
+    return {
+        "traceEvents": events + body,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "cycle_to_us": 1.0},
+    }
+
+
+def write_chrome_trace(path: str | Path, tracer: Tracer) -> None:
+    """Serialize :func:`chrome_trace` output to ``path``."""
+    Path(path).write_text(json.dumps(chrome_trace(tracer), indent=1))
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def validate_chrome_trace(data: object) -> list[str]:
+    """Structural lint of a Chrome trace object; returns found problems.
+
+    Checks the shape the golden tests pin down: ``traceEvents`` present,
+    every event carries its required keys, ``ts`` is monotonic
+    non-decreasing per track, and spans on one track nest properly
+    (any two either disjoint or one inside the other).
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return ["top level must be an object with a traceEvents array"]
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+
+    per_track: dict[tuple, list[tuple[float, float, str]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "I", "M", "B", "E", "C"):
+            problems.append(f"event {i} has unsupported phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i} ({ph}) is missing {key!r}")
+        if ph == "M":
+            continue
+        if "ts" not in ev:
+            problems.append(f"event {i} ({ev.get('name')!r}) is missing ts")
+            continue
+        track = (ev.get("pid"), ev.get("tid"))
+        dur = ev.get("dur", 0.0)
+        if ph == "X" and dur < 0:
+            problems.append(f"event {i} ({ev.get('name')!r}) has negative dur")
+        per_track.setdefault(track, []).append(
+            (float(ev["ts"]), float(dur) if ph == "X" else 0.0, str(ev.get("name")))
+        )
+
+    for track, recs in per_track.items():
+        last_ts = None
+        open_stack: list[tuple[float, float, str]] = []  # (start, end, name)
+        for ts, dur, name in recs:
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"track {track}: ts goes backwards at {name!r} "
+                    f"({ts} after {last_ts})"
+                )
+            last_ts = ts
+            end = ts + dur
+            while open_stack and ts >= open_stack[-1][1]:
+                open_stack.pop()
+            if open_stack and end > open_stack[-1][1]:
+                problems.append(
+                    f"track {track}: span {name!r} [{ts}, {end}] overlaps "
+                    f"{open_stack[-1][2]!r} [{open_stack[-1][0]}, "
+                    f"{open_stack[-1][1]}] without nesting"
+                )
+            if dur > 0:
+                open_stack.append((ts, end, name))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# metrics dumps
+# ----------------------------------------------------------------------
+def metrics_json(registry: MetricsRegistry) -> dict:
+    """Flat JSON document for a metrics registry."""
+    return {"metrics": registry.snapshot()}
+
+
+def metrics_lines(registry: MetricsRegistry) -> str:
+    """InfluxDB-style line protocol: ``name,labels field=value ...``."""
+    lines = []
+    for inst in registry:
+        tags = "".join(f",{k}={v}" for k, v in inst.labels)
+        if isinstance(inst, Histogram):
+            fields = (
+                f"count={inst.count},sum={inst.total}"
+                + (f",min={inst.min},max={inst.max}" if inst.count else "")
+            )
+        else:
+            fields = f"value={inst.value}"
+        lines.append(f"{inst.name}{tags} {fields}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(
+    path: str | Path, registry: MetricsRegistry, *, format: str = "json"
+) -> None:
+    """Dump a registry to ``path`` as ``json`` or line-protocol ``lines``."""
+    path = Path(path)
+    if format == "json":
+        path.write_text(json.dumps(metrics_json(registry), indent=1))
+    elif format == "lines":
+        path.write_text(metrics_lines(registry))
+    else:
+        raise ValueError(f"unknown metrics format {format!r}")
+
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "metrics_json",
+    "metrics_lines",
+    "write_metrics",
+]

@@ -1,0 +1,179 @@
+"""The one reporting entry point: ``repro.obs.report(thing, format=...)``.
+
+Before this module the repo had three disconnected report surfaces —
+:meth:`~repro.harness.profile.KernelProfile.render` for launches,
+the table/CSV renderers in :mod:`repro.harness.report` for scaling
+sweeps, and :meth:`~repro.sched.stats.SchedulerStats.summary` for
+scheduler campaigns — each with its own call shape.  :func:`report`
+dispatches on the value it is handed and renders it in the requested
+format:
+
+========================  =========================================
+value                     formats
+========================  =========================================
+``EnsembleOutcome``       ``summary`` (one line), ``text``, ``json``
+``LaunchResult``          ``summary``, ``text`` (profile), ``json``
+``KernelProfile``         ``summary``, ``text``, ``json``
+``SchedulerStats``        ``summary``, ``text`` (table), ``json``
+``ScalingResult``         ``text`` (detail table), ``json``
+``dict[str, Scaling...]`` ``text`` (Figure-6 table), ``json``
+========================  =========================================
+
+``json`` always returns a plain dict (callers serialize); the other
+formats return strings.  The legacy entry points still work as shims
+that emit :class:`DeprecationWarning` and delegate here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+#: Formats accepted by :func:`report`.
+FORMATS = ("summary", "text", "json")
+
+
+def _summarize(result) -> str:
+    """One-line human summary for any EnsembleOutcome."""
+    n = len(result.instances)
+    failed = sum(1 for c in result.return_codes if c != 0)
+    cycles = result.total_cycles
+    timing = f"{cycles:.0f} simulated cycles" if cycles is not None else "untimed"
+    status = "all ok" if failed == 0 else f"{failed} failed"
+    return f"{n} instances ({status}), {timing}"
+
+
+def _outcome_json(result) -> dict:
+    return {
+        "instances": len(result.instances),
+        "return_codes": result.return_codes,
+        "all_succeeded": result.all_succeeded,
+        "total_cycles": result.total_cycles,
+    }
+
+
+def _outcome_text(result) -> str:
+    lines = [_summarize(result)]
+    for inst in result.instances:
+        lines.append(
+            f"  [{inst.index}] args={' '.join(inst.args)} -> exit {inst.exit_code}"
+        )
+    return "\n".join(lines)
+
+
+def _stats_text(stats) -> str:
+    s = stats.summary()
+    lines = [
+        f"jobs {s['jobs_completed']}/{s['jobs_submitted']} completed "
+        f"({s['jobs_failed']} failed, {s['jobs_cancelled']} cancelled), "
+        f"{s['instances_completed']} instances, {s['retries']} retries, "
+        f"{s['oom_splits']} oom splits, {s['steals']} steals",
+    ]
+    if stats.mixed_clocks:
+        lines.append(
+            "clock domains are mixed across devices; utilization is "
+            "per-unit within each domain"
+        )
+    for label, dev in s["devices"].items():
+        busy = (
+            f"{dev['busy_cycles']:,.0f} cycles"
+            if dev["clock"] != "steps"
+            else f"{dev['busy_steps']:,.0f} steps"
+        )
+        lines.append(
+            f"  {label:10s} {dev['instances']:4d} instances in "
+            f"{dev['batches']} batches, {busy}, "
+            f"utilization {dev['utilization']:.2f} [{dev['clock']}]"
+        )
+    return "\n".join(lines)
+
+
+def _stats_summary(stats) -> str:
+    s = stats.summary()
+    util = " ".join(
+        f"{label}={dev['utilization']:.2f}" for label, dev in s["devices"].items()
+    )
+    return (
+        f"{s['jobs_completed']}/{s['jobs_submitted']} jobs, "
+        f"{s['instances_completed']} instances, utilization {util}"
+    )
+
+
+def report(value: Any, *, format: str = "summary") -> str | dict:
+    """Render any result/stats object the stack produces; see module doc."""
+    if format not in FORMATS:
+        raise ValueError(f"format must be one of {FORMATS}, got {format!r}")
+
+    from repro.gpu.device import LaunchResult
+    from repro.harness.experiment import ScalingResult
+    from repro.harness.profile import KernelProfile, profile_launch
+    from repro.host.results import EnsembleOutcome
+    from repro.sched.stats import SchedulerStats
+
+    if isinstance(value, LaunchResult):
+        if value.timing is None:
+            if format == "json":
+                return dict(value.summary)
+            return (
+                f"kernel {value.kernel}: {value.num_teams} teams x "
+                f"{value.thread_limit} threads, "
+                f"{value.interpreter_steps} interpreter steps (untimed)"
+            )
+        value = profile_launch(value)
+
+    if isinstance(value, KernelProfile):
+        if format == "json":
+            return dataclasses.asdict(value)
+        if format == "summary":
+            return (
+                f"kernel {value.kernel}: {value.cycles:,.0f} cycles, "
+                f"{value.dynamic_instructions:,} instructions, "
+                f"parallel fraction {value.parallel_fraction:.1%}"
+            )
+        return value.render(_from_facade=True)
+
+    if isinstance(value, SchedulerStats):
+        if format == "json":
+            return stats_json(value)
+        if format == "summary":
+            return _stats_summary(value)
+        return _stats_text(value)
+
+    if isinstance(value, ScalingResult):
+        from repro.harness.report import _render_scaling_detail
+
+        if format == "json":
+            return {
+                "app": value.app,
+                "thread_limit": value.thread_limit,
+                "rows": [dataclasses.asdict(r) for r in value.rows],
+            }
+        return _render_scaling_detail(value)
+
+    if isinstance(value, dict) and value and all(
+        isinstance(v, ScalingResult) for v in value.values()
+    ):
+        from repro.harness.report import _render_figure6_table
+
+        if format == "json":
+            return {name: report(res, format="json") for name, res in value.items()}
+        return _render_figure6_table(value)
+
+    if isinstance(value, EnsembleOutcome):
+        if format == "json":
+            return _outcome_json(value)
+        if format == "summary":
+            return _summarize(value)
+        return _outcome_text(value)
+
+    raise TypeError(
+        f"repro.obs.report does not know how to render {type(value).__name__}"
+    )
+
+
+def stats_json(stats) -> dict:
+    """JSON-friendly scheduler-stats snapshot (the ``summary()`` dict)."""
+    return stats.summary()
+
+
+__all__ = ["report", "stats_json", "FORMATS"]

@@ -1,0 +1,249 @@
+"""Hierarchical tracing over two clock domains.
+
+The simulator's layers keep time differently: devices advance a
+*simulated* clock (cycles from the timing model, or interpreter steps when
+timing is off), while host-side work — the pass pipeline, the scheduler's
+dispatch loop, the RPC service thread — only has wall time.  A
+:class:`Span` therefore carries its primary ``(start, end)`` interval in
+an explicit ``clock`` domain plus the wall-clock instant it was recorded
+at, and the Chrome exporter (:mod:`repro.obs.export`) groups tracks by
+domain so cycle timelines and wall timelines never share an axis.
+
+The default tracer everywhere is :data:`NULL_TRACER`, whose methods are
+no-ops and whose ``enabled`` flag is ``False`` so hot paths can skip even
+building span arguments.  Instrumented code follows one pattern::
+
+    with tracer.span("finalize", track="compiler"):
+        ...                                   # wall-clock span
+    tracer.complete("launch k", track="device:gpu0",
+                    start=t0, end=t0 + cycles)  # simulated-clock span
+    tracer.instant("steal", track="scheduler")  # point event
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Clock domains a span interval can be expressed in.
+CLOCK_CYCLES = "cycles"
+CLOCK_STEPS = "steps"
+CLOCK_WALL = "wall"
+
+
+@dataclass
+class Span:
+    """One recorded event: a closed interval or an instant on a track.
+
+    ``start``/``end`` are in ``clock`` units (``end == start`` for an
+    instant event).  ``wall`` is the :func:`time.perf_counter` reading when
+    the event was recorded, so simulated-clock spans remain orderable
+    against host activity.  ``depth`` is the nesting level within the
+    track at record time (0 = top level).
+    """
+
+    name: str
+    track: str
+    start: float
+    end: float
+    clock: str = CLOCK_WALL
+    cat: str = ""
+    args: dict = field(default_factory=dict)
+    wall: float = 0.0
+    depth: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_instant(self) -> bool:
+        return self.end == self.start
+
+
+class Tracer:
+    """Collects :class:`Span` records grouped by named tracks.
+
+    Tracks are created implicitly by first use; each track's events share
+    one clock domain (the domain of the first event recorded on it —
+    mixing domains on one track raises, because a timeline with two
+    incomparable clocks is exactly the reporting bug this subsystem
+    exists to prevent).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[Span] = []
+        self._track_clocks: dict[str, str] = {}
+        self._open: dict[str, list[Span]] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _claim_track(self, track: str, clock: str) -> None:
+        known = self._track_clocks.get(track)
+        if known is None:
+            self._track_clocks[track] = clock
+        elif known != clock:
+            raise ValueError(
+                f"track {track!r} already records {known} time; refusing to "
+                f"mix in a {clock} event"
+            )
+
+    @contextmanager
+    def span(self, name: str, *, track: str = "host", cat: str = "", **args):
+        """Wall-clock span context manager; nests per track."""
+        self._claim_track(track, CLOCK_WALL)
+        stack = self._open.setdefault(track, [])
+        rec = Span(
+            name=name,
+            track=track,
+            start=time.perf_counter(),
+            end=0.0,
+            clock=CLOCK_WALL,
+            cat=cat,
+            args=dict(args),
+            depth=len(stack),
+        )
+        stack.append(rec)
+        try:
+            yield rec
+        finally:
+            stack.pop()
+            rec.end = time.perf_counter()
+            rec.wall = rec.end
+            self.events.append(rec)
+
+    def complete(
+        self,
+        name: str,
+        *,
+        track: str,
+        start: float,
+        end: float,
+        clock: str = CLOCK_CYCLES,
+        cat: str = "",
+        args: dict | None = None,
+        depth: int = 0,
+    ) -> Span:
+        """Record an already-finished span with explicit timestamps.
+
+        This is how simulated-clock spans enter the trace: the launch is
+        over, the timing model has produced a cycle count, and the caller
+        knows the device clock before and after.
+        """
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts")
+        self._claim_track(track, clock)
+        rec = Span(
+            name=name,
+            track=track,
+            start=float(start),
+            end=float(end),
+            clock=clock,
+            cat=cat,
+            args=dict(args or {}),
+            wall=time.perf_counter(),
+            depth=depth,
+        )
+        self.events.append(rec)
+        return rec
+
+    def instant(
+        self,
+        name: str,
+        *,
+        track: str,
+        ts: float | None = None,
+        clock: str | None = None,
+        cat: str = "",
+        args: dict | None = None,
+    ) -> Span:
+        """Record a point event; defaults to the wall clock *now*."""
+        wall = time.perf_counter()
+        if ts is None:
+            ts = wall
+            clock = CLOCK_WALL
+        elif clock is None:
+            clock = self._track_clocks.get(track, CLOCK_CYCLES)
+        self._claim_track(track, clock)
+        rec = Span(
+            name=name,
+            track=track,
+            start=float(ts),
+            end=float(ts),
+            clock=clock,
+            cat=cat,
+            args=dict(args or {}),
+            wall=wall,
+            depth=len(self._open.get(track, ())),
+        )
+        self.events.append(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def tracks(self) -> list[str]:
+        """Track names in order of first use."""
+        return list(self._track_clocks)
+
+    def track_clock(self, track: str) -> str:
+        """Clock domain a track records in."""
+        return self._track_clocks[track]
+
+    def events_on(self, track: str) -> list[Span]:
+        """All events of one track, in record order."""
+        return [e for e in self.events if e.track == track]
+
+    def clear(self) -> None:
+        """Drop every recorded event and track registration."""
+        self.events.clear()
+        self._track_clocks.clear()
+        self._open.clear()
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager returned by the null tracer."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CTX = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """The zero-overhead default: records nothing, allocates nothing."""
+
+    enabled = False
+
+    def span(self, name, *, track="host", cat="", **args):  # noqa: D102
+        return _NULL_CTX
+
+    def complete(self, name, **kw):  # noqa: D102
+        return None
+
+    def instant(self, name, **kw):  # noqa: D102
+        return None
+
+
+#: Shared null tracer instance; the default value of every ``tracer``
+#: attribute and parameter in the instrumented layers.
+NULL_TRACER = NullTracer()
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CLOCK_CYCLES",
+    "CLOCK_STEPS",
+    "CLOCK_WALL",
+]

@@ -28,10 +28,17 @@ class PassManager:
         self.passes.append((name or getattr(p, "__name__", "pass"), p))
         return self
 
-    def run(self, module: Module) -> Module:
+    def run(self, module: Module, *, tracer=None) -> Module:
+        """Run every pass in order; with an enabled tracer each pass is
+        recorded as a wall-clock span on the ``compiler`` track."""
+        tracing = tracer is not None and tracer.enabled
         for name, p in self.passes:
             try:
-                result = p(module)
+                if tracing:
+                    with tracer.span(name, track="compiler", cat="pass"):
+                        result = p(module)
+                else:
+                    result = p(module)
             except PassError:
                 raise
             except Exception as exc:  # wrap for attribution

@@ -49,19 +49,37 @@ def _run_analysis(module: Module, stage: str) -> None:
         )
 
 
+def _run_pipeline(pm: PassManager, module: Module, stage: str, tracer, metrics) -> Module:
+    """Run a built pipeline with per-pass spans and pipeline counters."""
+    if metrics is not None:
+        metrics.counter("pipeline.runs", stage=stage).inc()
+        metrics.counter("pipeline.passes", stage=stage).inc(len(pm.passes))
+    if tracer is not None and tracer.enabled:
+        with tracer.span(stage, track="compiler", cat="pipeline"):
+            return pm.run(module, tracer=tracer)
+    return pm.run(module)
+
+
 def compile_for_device(
     module: Module,
     *,
     require_main: bool = True,
     verify: bool = True,
     analyze: bool = False,
+    tracer=None,
+    metrics=None,
 ) -> Module:
-    """Apply the direct-GPU-compilation front half to a program module."""
+    """Apply the direct-GPU-compilation front half to a program module.
+
+    ``tracer``/``metrics`` are optional :mod:`repro.obs` sinks: with an
+    enabled tracer every pass becomes a span on the ``compiler`` track,
+    and pipeline run/pass counts land in the registry.
+    """
     pm = PassManager()
     pm.add(declare_target_pass, "declare-target")
     pm.add(lambda m: rename_main_pass(m, require_main=require_main), "rename-main")
     pm.add(rpc_lowering_pass, "rpc-lowering")
-    module = pm.run(module)
+    module = _run_pipeline(pm, module, "compile_for_device", tracer, metrics)
     if verify:
         verify_module(module)
     if analyze:
@@ -75,8 +93,13 @@ def finalize_executable(
     optimize: bool = True,
     verify: bool = True,
     analyze: bool = False,
+    tracer=None,
+    metrics=None,
 ) -> Module:
-    """Inline + optimize a linked module into its executable form."""
+    """Inline + optimize a linked module into its executable form.
+
+    ``tracer``/``metrics`` behave as in :func:`compile_for_device`.
+    """
     pm = PassManager()
     pm.add(rpc_lowering_pass, "rpc-lowering")  # idempotent; covers loader code
     pm.add(inline_all_pass, "inline-all")
@@ -87,7 +110,7 @@ def finalize_executable(
             if round_ == 0:
                 pm.add(licm_pass, "licm")
             pm.add(cfg_simplify_pass, f"cfg-simplify.{round_}")
-    module = pm.run(module)
+    module = _run_pipeline(pm, module, "finalize_executable", tracer, metrics)
     if verify:
         verify_module(module)
     if analyze:

@@ -82,8 +82,29 @@ def _rpo_order(fn: Function) -> list[str]:
     return order
 
 
-def lower_kernel(fn: Function) -> LoweredKernel:
-    """Lower a call-free function into executable form."""
+def lower_kernel(
+    fn: Function, *, tracer=None, metrics=None
+) -> LoweredKernel:
+    """Lower a call-free function into executable form.
+
+    With an enabled :class:`~repro.obs.Tracer` the lowering is recorded
+    as a wall-clock span on the ``compiler`` track; with a
+    :class:`~repro.obs.MetricsRegistry` it publishes kernel/instruction
+    counts (lowering happens lazily at first launch, so it belongs on the
+    same timeline as the launches it delays).
+    """
+    if tracer is not None and tracer.enabled:
+        with tracer.span(f"lower {fn.name}", track="compiler", cat="lowering"):
+            kern = _lower_kernel(fn)
+    else:
+        kern = _lower_kernel(fn)
+    if metrics is not None:
+        metrics.counter("lower.kernels").inc()
+        metrics.counter("lower.instructions").inc(len(kern.code))
+    return kern
+
+
+def _lower_kernel(fn: Function) -> LoweredKernel:
     # --- register banks ----------------------------------------------------
     imap: dict[int, int] = {}
     fmap: dict[int, int] = {}

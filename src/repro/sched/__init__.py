@@ -5,8 +5,11 @@ one level up, one GPU cannot saturate a campaign.  This package is the
 scheduling layer the paper's related work gestures at ([3,4]): a
 :class:`DevicePool` of simulated GPUs, a :class:`Scheduler` that shards
 submitted jobs across the pool with work stealing, OOM bisection, bounded
-retries and step-budget deadlines, and a :class:`SchedulerStats` counter
-surface reporting per-device utilization in simulated cycles.
+retries and step-budget deadlines, and a :class:`SchedulerStats` surface
+— a read view over the :mod:`repro.obs` metrics registry — reporting
+per-device utilization in simulated time.  Pass
+``obs=repro.obs.Observability.enabled()`` to record the campaign as a
+Chrome-traceable timeline.
 
 Quick start::
 

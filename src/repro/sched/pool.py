@@ -90,6 +90,14 @@ class DevicePool:
             PoolWorker(i, dev, loader_factory) for i, dev in enumerate(devices)
         ]
 
+    def attach_obs(self, obs) -> None:
+        """Point every device at an :class:`~repro.obs.Observability`
+        bundle so launches emit spans/counters into the shared tracer and
+        registry.  Called by the scheduler; idempotent."""
+        for w in self.workers:
+            w.device.tracer = obs.tracer
+            w.device.metrics = obs.metrics
+
     def __len__(self) -> int:
         return len(self.workers)
 

@@ -31,8 +31,14 @@ Mechanics:
 * **Deadlines** — a job may carry an interpreter-step budget; every
   launch is clamped to the remaining budget and overrunning it fails the
   job with :class:`~repro.errors.DeadlineExceeded`.
-* **Stats** — every decision increments
-  :class:`~repro.sched.stats.SchedulerStats`.
+* **Observability** — every decision publishes into the
+  :class:`~repro.obs.metrics.MetricsRegistry` of the scheduler's
+  :class:`~repro.obs.Observability` bundle;
+  :class:`~repro.sched.stats.SchedulerStats` is a read view over it.
+  With a recording tracer (``obs=Observability.enabled()``) the job
+  lifecycle (submitted → running → retry → done), steal and OOM-split
+  events land on a ``scheduler`` track, and the pool's devices emit
+  launch/team spans in simulated time.
 """
 
 from __future__ import annotations
@@ -55,9 +61,13 @@ from repro.errors import (
 )
 from repro.host.batch import BatchRecord, BisectionPolicy, launch_chunk
 from repro.host.launch import LaunchSpec
+from repro.obs import Observability
 from repro.sched.jobs import Job, JobFuture, JobResult, JobState
 from repro.sched.pool import DevicePool, PoolWorker
 from repro.sched.stats import SchedulerStats
+
+#: Track name the scheduler's own (wall-clock) events are recorded on.
+SCHED_TRACK = "scheduler"
 
 
 @dataclass
@@ -90,6 +100,7 @@ class Scheduler:
         backoff_base: float = 0.0,
         chunk_size: int | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        obs: Observability | None = None,
     ):
         if default_retries < 0:
             raise SchedulerError("default_retries must be >= 0")
@@ -98,7 +109,11 @@ class Scheduler:
         self.default_retries = default_retries
         self.backoff_base = backoff_base
         self.chunk_size = chunk_size
-        self.stats = SchedulerStats()
+        self.obs = obs if obs is not None else Observability()
+        self.tracer = self.obs.tracer
+        self.metrics = self.obs.metrics
+        pool.attach_obs(self.obs)
+        self.stats = SchedulerStats(self.metrics)
         for label in pool.labels:
             self.stats.device(label)
         self._sleep = sleep
@@ -108,6 +123,19 @@ class Scheduler:
         self._policies: dict[tuple[int, int], BisectionPolicy] = {}
         self._next_job_id = 0
         self._rr = 0  # round-robin cursor for chunk placement
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.counter(f"sched.{name}").inc(amount)
+
+    def _dev_count(self, label: str, name: str, amount: float = 1.0) -> None:
+        self.metrics.counter(f"sched.device.{name}", device=label).inc(amount)
+
+    def _event(self, name: str, **args) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(name, track=SCHED_TRACK, cat="sched", args=args)
 
     # ------------------------------------------------------------------
     # submission
@@ -150,7 +178,12 @@ class Scheduler:
             loader_opts=dict(loader_opts or {}),
         )
         self._next_job_id += 1
-        self.stats.jobs_submitted += 1
+        self._count("jobs.submitted")
+        self._event(
+            f"job {job.job_id} submitted",
+            job=job.job_id,
+            instances=len(instances),
+        )
         for chunk in self._shard(job):
             self._queues[self._rr % len(self.pool)].append(chunk)
             self._rr += 1
@@ -209,8 +242,14 @@ class Scheduler:
                 key=len,
             )
             chunk = victim.popleft()  # steal the oldest shard
-            self.stats.steals += 1
-            self.stats.device(worker.label).steals += 1
+            self._count("steals")
+            self._dev_count(worker.label, "steals")
+            self._event(
+                f"steal by {worker.label}",
+                job=chunk.job.job_id,
+                first_instance=chunk.start,
+                size=len(chunk.instances),
+            )
         self._run_chunk(worker, chunk)
         return True
 
@@ -223,6 +262,7 @@ class Scheduler:
             return
         if job.state is JobState.PENDING:
             job.state = JobState.RUNNING
+            self._event(f"job {job.job_id} running", job=job.job_id)
 
         remaining = job.steps_remaining
         if remaining is not None and remaining <= 0:
@@ -267,10 +307,29 @@ class Scheduler:
         spec = replace(job.spec, max_steps=max_steps)
 
         try:
-            run, outcomes = launch_chunk(loader, spec, chunk.instances, chunk.start)
+            if self.tracer.enabled:
+                with self.tracer.span(
+                    f"dispatch j{job.job_id}[{chunk.start}+{len(chunk.instances)}]",
+                    track=SCHED_TRACK,
+                    cat="dispatch",
+                    job=job.job_id,
+                    device=worker.label,
+                ):
+                    run, outcomes = launch_chunk(
+                        loader, spec, chunk.instances, chunk.start
+                    )
+            else:
+                run, outcomes = launch_chunk(
+                    loader, spec, chunk.instances, chunk.start
+                )
         except DeviceOutOfMemory as exc:
-            self.stats.oom_splits += 1
-            self.stats.device(worker.label).oom_splits += 1
+            self._count("oom_splits")
+            self._dev_count(worker.label, "oom_splits")
+            self._event(
+                f"oom split on {worker.label}",
+                job=job.job_id,
+                size=len(chunk.instances),
+            )
             job.oom_splits += 1
             if len(chunk.instances) == 1:
                 self._fail_job(job, exc)  # one instance does not fit: real
@@ -319,28 +378,39 @@ class Scheduler:
         if run.cycles is None:
             job.have_cycles = False
             elapsed = float(run.launch.interpreter_steps)
+            self._dev_count(worker.label, "busy_steps", elapsed)
         else:
             job.cycles += run.cycles
             elapsed = run.cycles
+            self._dev_count(worker.label, "busy_cycles", elapsed)
+        # The dispatch heuristic stays clock-agnostic: whichever domain a
+        # launch was timed in, the device that did it is "ahead".
         worker.busy_cycles += elapsed
 
-        dev = self.stats.device(worker.label)
-        dev.batches += 1
-        dev.instances += len(chunk.instances)
-        dev.busy_cycles += elapsed
-        dev.interpreter_steps += run.launch.interpreter_steps
-        self.stats.instances_completed += len(chunk.instances)
+        self._dev_count(worker.label, "batches")
+        self._dev_count(worker.label, "instances", len(chunk.instances))
+        self._dev_count(
+            worker.label, "interpreter_steps", run.launch.interpreter_steps
+        )
+        self._count("instances.completed", len(chunk.instances))
 
         if job.pending_instances == 0:
             job.state = JobState.COMPLETED
-            self.stats.jobs_completed += 1
+            self._count("jobs.completed")
+            self._event(f"job {job.job_id} completed", job=job.job_id)
 
     def _retry(self, worker: PoolWorker, chunk: _Chunk, exc: Exception) -> None:
         job = chunk.job
         chunk.attempt += 1
         job.retries_used += 1
-        self.stats.retries += 1
-        self.stats.device(worker.label).retries += 1
+        self._count("retries")
+        self._dev_count(worker.label, "retries")
+        self._event(
+            f"retry on {worker.label}",
+            job=job.job_id,
+            attempt=chunk.attempt,
+            error=type(exc).__name__,
+        )
         if chunk.attempt > job.retries:
             self._fail_job(
                 job,
@@ -370,7 +440,12 @@ class Scheduler:
         self._purge(job)
         job.state = JobState.FAILED
         job.error = error
-        self.stats.jobs_failed += 1
+        self._count("jobs.failed")
+        self._event(
+            f"job {job.job_id} failed",
+            job=job.job_id,
+            error=type(error).__name__,
+        )
 
     def _cancel(self, job: Job) -> bool:
         if job.state is not JobState.PENDING:
@@ -381,7 +456,8 @@ class Scheduler:
             f"job {job.job_id} cancelled before any shard ran",
             job_id=job.job_id,
         )
-        self.stats.jobs_cancelled += 1
+        self._count("jobs.cancelled")
+        self._event(f"job {job.job_id} cancelled", job=job.job_id)
         return True
 
 

@@ -1,55 +1,170 @@
-"""Counter surface for the multi-device scheduler.
+"""Scheduler stats as a *view* over the observability metrics registry.
 
-Everything the scheduler does is observable here: how many jobs and
-instances finished, how often the OOM bisection had to split, how many
-transient-fault retries were spent, how much work each device did, and —
-because devices advance independent simulated clocks — per-device
-utilization over the campaign makespan.
+Everything the scheduler does is published into a
+:class:`~repro.obs.metrics.MetricsRegistry` (``sched.jobs.*`` counters,
+``sched.device.*`` per-device counters).  :class:`SchedulerStats` and
+:class:`DeviceStats` are read surfaces over that registry: the attribute
+API of the original counter structs keeps working, but there is exactly
+one place each number lives, so the CLI, the report facade, and a
+``--metrics-out`` dump can never disagree.
+
+Mutating the attributes directly (``stats.retries += 1``) still works for
+backward compatibility but emits :class:`DeprecationWarning` — publishers
+should increment registry counters instead.
+
+Clock domains: a device that ran timed launches accumulates
+``busy_cycles`` (simulated cycles); launches with ``collect_timing=False``
+accumulate ``busy_steps`` (interpreter steps).  The two clocks are not
+commensurable, so when a campaign mixes them — across devices, or on one
+device — :meth:`SchedulerStats.utilization` reports per-unit utilization
+within each clock domain instead of blending incomparable numbers into
+one makespan (the historical behavior silently summed steps into the
+cycle clock).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Clock-domain labels a device's busy time can be expressed in.
+CLOCK_IDLE = "idle"
+CLOCK_CYCLES = "cycles"
+CLOCK_STEPS = "steps"
+CLOCK_MIXED = "mixed"
 
 
-@dataclass
+def _deprecated_set(name: str) -> None:
+    warnings.warn(
+        f"assigning {name} directly is deprecated; scheduler stats are a "
+        "view over the MetricsRegistry — increment the registry counter "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class _CounterProperty:
+    """An attribute backed by a registry counter (warns on direct set)."""
+
+    def __init__(self, metric: str):
+        self.metric = metric
+
+    def __set_name__(self, owner, name):
+        self.name = f"{owner.__name__}.{name}"
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj._cast(obj._counter(self.metric).value)
+
+    def __set__(self, obj, value):
+        _deprecated_set(self.name)
+        obj._counter(self.metric).value = float(value)
+
+
 class DeviceStats:
-    """Work accounted to one device (one :class:`~repro.sched.pool.PoolWorker`).
+    """Work accounted to one device: a per-label view over the registry.
 
     ``busy_cycles`` accumulates simulated cycles from the timing model;
-    launches run with ``collect_timing=False`` fall back to interpreter
-    steps as the clock proxy (coarser, but keeps utilization meaningful).
+    launches run with ``collect_timing=False`` accumulate interpreter
+    steps into ``busy_steps`` instead (a separate clock domain — see
+    module docstring).  ``interpreter_steps`` counts steps of *every*
+    launch, timed or not.
     """
 
-    label: str
-    batches: int = 0
-    instances: int = 0
-    retries: int = 0
-    oom_splits: int = 0
-    steals: int = 0
-    busy_cycles: float = 0.0
-    interpreter_steps: int = 0
+    _cast = staticmethod(int)
+
+    batches = _CounterProperty("batches")
+    instances = _CounterProperty("instances")
+    retries = _CounterProperty("retries")
+    oom_splits = _CounterProperty("oom_splits")
+    steals = _CounterProperty("steals")
+    interpreter_steps = _CounterProperty("interpreter_steps")
+
+    def __init__(self, label: str, registry: MetricsRegistry | None = None):
+        self.label = label
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def _counter(self, name: str):
+        return self.registry.counter(f"sched.device.{name}", device=self.label)
+
+    @property
+    def busy_cycles(self) -> float:
+        """Simulated cycles of timed work this device ran."""
+        return self._counter("busy_cycles").value
+
+    @busy_cycles.setter
+    def busy_cycles(self, value: float) -> None:
+        _deprecated_set("DeviceStats.busy_cycles")
+        self._counter("busy_cycles").value = float(value)
+
+    @property
+    def busy_steps(self) -> float:
+        """Interpreter steps of untimed work (``collect_timing=False``)."""
+        return self._counter("busy_steps").value
+
+    @busy_steps.setter
+    def busy_steps(self, value: float) -> None:
+        _deprecated_set("DeviceStats.busy_steps")
+        self._counter("busy_steps").value = float(value)
+
+    @property
+    def clock(self) -> str:
+        """Which clock domain(s) this device's busy time lives in."""
+        cycles, steps = self.busy_cycles > 0, self.busy_steps > 0
+        if cycles and steps:
+            return CLOCK_MIXED
+        if cycles:
+            return CLOCK_CYCLES
+        if steps:
+            return CLOCK_STEPS
+        return CLOCK_IDLE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DeviceStats {self.label!r} batches={self.batches} "
+            f"instances={self.instances} clock={self.clock}>"
+        )
 
 
-@dataclass
 class SchedulerStats:
-    """Scheduler-wide counters plus the per-device breakdown."""
+    """Scheduler-wide counters plus the per-device breakdown.
 
-    jobs_submitted: int = 0
-    jobs_completed: int = 0
-    jobs_failed: int = 0
-    jobs_cancelled: int = 0
-    instances_completed: int = 0
-    retries: int = 0
-    oom_splits: int = 0
-    steals: int = 0
-    per_device: dict[str, DeviceStats] = field(default_factory=dict)
+    A view over a :class:`~repro.obs.metrics.MetricsRegistry`; pass the
+    registry of an :class:`~repro.obs.Observability` bundle to share one
+    substrate with the rest of the stack, or construct bare for a
+    private one.
+    """
+
+    _cast = staticmethod(int)
+
+    jobs_submitted = _CounterProperty("jobs.submitted")
+    jobs_completed = _CounterProperty("jobs.completed")
+    jobs_failed = _CounterProperty("jobs.failed")
+    jobs_cancelled = _CounterProperty("jobs.cancelled")
+    instances_completed = _CounterProperty("instances.completed")
+    retries = _CounterProperty("retries")
+    oom_splits = _CounterProperty("oom_splits")
+    steals = _CounterProperty("steals")
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.per_device: dict[str, DeviceStats] = {}
+
+    def _counter(self, name: str):
+        return self.registry.counter(f"sched.{name}")
 
     def device(self, label: str) -> DeviceStats:
+        """Get-or-create the per-device view for ``label``."""
         if label not in self.per_device:
-            self.per_device[label] = DeviceStats(label=label)
+            self.per_device[label] = DeviceStats(label, self.registry)
         return self.per_device[label]
 
+    # ------------------------------------------------------------------
+    # derived time/utilization views
+    # ------------------------------------------------------------------
     @property
     def makespan_cycles(self) -> float:
         """Campaign wall time in simulated cycles: devices run concurrently,
@@ -57,21 +172,42 @@ class SchedulerStats:
         return max((d.busy_cycles for d in self.per_device.values()), default=0.0)
 
     @property
+    def makespan_steps(self) -> float:
+        """Makespan of the step-clocked (untimed) work, in interpreter steps."""
+        return max((d.busy_steps for d in self.per_device.values()), default=0.0)
+
+    @property
     def total_busy_cycles(self) -> float:
         return sum(d.busy_cycles for d in self.per_device.values())
 
+    @property
+    def mixed_clocks(self) -> bool:
+        """True when busy time exists in both clock domains — across
+        devices or within one — making a single blended makespan
+        meaningless."""
+        return self.makespan_cycles > 0 and self.makespan_steps > 0
+
     def utilization(self) -> dict[str, float]:
         """Fraction of the makespan each device spent busy (1.0 = the
-        critical-path device; idle devices score 0.0)."""
-        span = self.makespan_cycles
-        if span <= 0:
-            return {label: 0.0 for label in self.per_device}
-        return {
-            label: dev.busy_cycles / span for label, dev in self.per_device.items()
-        }
+        critical-path device; idle devices score 0.0).
+
+        With mixed clock domains each device is scored *within its own
+        domain* (per-unit utilization): its busy time over that domain's
+        makespan, taking the larger fraction for a device active in both.
+        Cycle and step times are never added together.
+        """
+        span_cycles = self.makespan_cycles
+        span_steps = self.makespan_steps
+        out: dict[str, float] = {}
+        for label, dev in self.per_device.items():
+            frac_c = dev.busy_cycles / span_cycles if span_cycles > 0 else 0.0
+            frac_s = dev.busy_steps / span_steps if span_steps > 0 else 0.0
+            out[label] = max(frac_c, frac_s)
+        return out
 
     def summary(self) -> dict:
         """JSON-friendly snapshot for reports and the CLI."""
+        util = self.utilization()
         return {
             "jobs_submitted": self.jobs_submitted,
             "jobs_completed": self.jobs_completed,
@@ -82,6 +218,8 @@ class SchedulerStats:
             "oom_splits": self.oom_splits,
             "steals": self.steals,
             "makespan_cycles": self.makespan_cycles,
+            "makespan_steps": self.makespan_steps,
+            "mixed_clocks": self.mixed_clocks,
             "devices": {
                 label: {
                     "batches": d.batches,
@@ -90,11 +228,11 @@ class SchedulerStats:
                     "oom_splits": d.oom_splits,
                     "steals": d.steals,
                     "busy_cycles": d.busy_cycles,
-                    "utilization": u,
+                    "busy_steps": d.busy_steps,
+                    "clock": d.clock,
+                    "utilization": util[label],
                 }
-                for (label, d), u in zip(
-                    self.per_device.items(), self.utilization().values()
-                )
+                for label, d in self.per_device.items()
             },
         }
 

@@ -149,3 +149,45 @@ class TestSchedulerRouting:
         )
         assert code == 1
         assert "failed" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_out(self, argfile, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["--app", "rsbench", "-f", argfile, "-t", "32", "--devices", "2",
+             "--heap-mb", "4", "--quiet",
+             "--trace-out", str(trace), "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+        names = {m["name"] for m in json.loads(metrics.read_text())["metrics"]}
+        assert "sched.jobs.completed" in names
+        assert "rpc.calls" in names
+        err = capsys.readouterr().err
+        assert "wrote trace" in err and "wrote metrics" in err
+
+    def test_metrics_lines_suffix_selects_line_protocol(self, argfile, tmp_path):
+        metrics = tmp_path / "metrics.lines"
+        code = main(
+            ["--app", "rsbench", "-f", argfile, "-t", "32", "--heap-mb", "4",
+             "--quiet", "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        assert "device.launches,device=" in metrics.read_text()
+
+    def test_outputs_written_on_failure_paths(self, tmp_path):
+        f = tmp_path / "args.txt"
+        f.write_text("-n 0\n")
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["--app", "pagerank", "-f", str(f), "-t", "32", "--heap-mb", "4",
+             "--quiet", "--metrics-out", str(metrics)]
+        )
+        assert code == 1  # the instance exits nonzero...
+        assert metrics.exists()  # ...but the dump is still flushed

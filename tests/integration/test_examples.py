@@ -43,3 +43,17 @@ def test_pagerank_capacity(capsys):
 def test_profiling_example_listed():
     # the slow profiling example is exercised manually; assert it exists
     assert (EXAMPLES / "profiling.py").exists()
+
+
+def test_trace_ensemble_example(tmp_path, capsys):
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        import trace_ensemble
+    finally:
+        sys.path.pop(0)
+    trace_ensemble.CAMPAIGN = trace_ensemble.CAMPAIGN[:4]  # keep it quick
+    trace_ensemble.run(2, str(tmp_path))
+    out = capsys.readouterr().out
+    assert "all ok" in out
+    assert (tmp_path / "trace.json").exists()
+    assert (tmp_path / "metrics.json").exists()
