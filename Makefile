@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: install test test-fast lint check bench figures validate objdump \
-	sched-demo trace-demo clean
+	sched-demo trace-demo chaos clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,14 @@ validate:
 
 objdump:
 	$(PYTHON) -m repro.tools.objdump --app xsbench --stats
+
+# Chaos suite under three fixed fault-sequence seeds (docs/faults.md):
+# every leg asserts the same contract — degrade, never crash.
+chaos:
+	@for seed in 0 1 2; do \
+		echo "=== chaos seed $$seed ==="; \
+		CHAOS_SEED=$$seed $(PYTHON) -m pytest tests/faults/ -q -x || exit 1; \
+	done
 
 # End-to-end campaign over a two-device pool (docs/scheduler.md).
 sched-demo:

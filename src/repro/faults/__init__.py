@@ -1,0 +1,61 @@
+"""Deterministic fault injection for the ensemble stack (``repro.faults``).
+
+The package has three layers:
+
+* :mod:`repro.faults.plan` — the spec language (``oom:device=pool1``,
+  ``rpc_drop:rate=0.05:seed=42``, ...) with parse/format/JSON round-trips
+  and a kind registry (:data:`KINDS`) that names each injection point.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the armed plan
+  consulted at injection points throughout the stack, plus the zero-cost
+  :data:`NO_FAULTS` default and the injected-error hierarchy.
+* :mod:`repro.faults.report` — :class:`FaultReport` / :data:`FAULT_EXIT`,
+  the structured degradation records attached to instance outcomes and
+  job results instead of crashing a campaign.
+
+``python -m repro.faults.check <plan>`` validates plans offline.
+"""
+
+from repro.faults.injector import (
+    FAULT_TRACK,
+    FaultEvent,
+    FaultInjector,
+    InjectedDeviceLoss,
+    InjectedFault,
+    InjectedOOM,
+    InjectedRPCFailure,
+    InstanceFault,
+    NO_FAULTS,
+    NullFaultInjector,
+)
+from repro.faults.plan import (
+    CONTROL_KEYS,
+    KINDS,
+    SELECTOR_KEYS,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
+from repro.faults.report import FAULT_EXIT, FaultReport
+
+__all__ = [
+    "CONTROL_KEYS",
+    "FAULT_EXIT",
+    "FAULT_TRACK",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultReport",
+    "FaultSpec",
+    "InjectedDeviceLoss",
+    "InjectedFault",
+    "InjectedOOM",
+    "InjectedRPCFailure",
+    "InstanceFault",
+    "KINDS",
+    "NO_FAULTS",
+    "NullFaultInjector",
+    "SELECTOR_KEYS",
+]

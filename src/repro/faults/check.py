@@ -1,0 +1,79 @@
+"""Fault-plan validator: ``python -m repro.faults.check <plan> [...]``.
+
+Parses each argument as a fault-plan spec string (or, with a leading
+``@``, a file holding either a spec string or the JSON plan shape) and
+prints the normalized plan — without running anything.  Exits non-zero on
+the first malformed plan, so harness configs can be linted in CI before a
+multi-hour chaos campaign discovers the typo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.faults.plan import KINDS, FaultPlan, FaultPlanError
+
+
+def _load(arg: str) -> FaultPlan:
+    if not arg.startswith("@"):
+        return FaultPlan.parse(arg)
+    path = Path(arg[1:])
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise FaultPlanError(f"cannot read plan file {path}: {exc}") from None
+    stripped = text.strip()
+    if stripped.startswith(("{", "[")):
+        try:
+            return FaultPlan.from_json(json.loads(stripped))
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"{path}: invalid JSON: {exc}") from None
+    return FaultPlan.parse(stripped)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate fault plans; 0 iff every plan parses cleanly."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.check",
+        description="Validate repro.faults plan strings without running them",
+    )
+    parser.add_argument(
+        "plans",
+        nargs="*",
+        help="plan spec strings, or @file for a file (spec string or JSON)",
+    )
+    parser.add_argument(
+        "--kinds",
+        action="store_true",
+        help="list every known fault kind and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.kinds:
+        for name, info in sorted(KINDS.items()):
+            params = ", ".join(sorted(info.params))
+            print(f"{name:18} @{info.point:14} {info.doc}")
+            print(f"{'':18} params: {params}")
+        return 0
+    if not args.plans:
+        parser.error("no plans given (or use --kinds)")
+
+    status = 0
+    for arg in args.plans:
+        try:
+            plan = _load(arg)
+        except FaultPlanError as exc:
+            print(f"{arg}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{arg}: ok ({len(plan.specs)} fault(s), seed {plan.seed})")
+        for spec in plan.specs:
+            print(f"  {spec.format()}  @{spec.point}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Structured records of injected faults and their blast radius.
+
+A :class:`FaultReport` is the degradation contract of the fault layer: when
+an injected fault cannot be recovered transparently (retry, bisection,
+redistribution), the affected instances are *isolated* — they get a
+synthetic exit code of :data:`FAULT_EXIT` and a report attached to their
+:class:`~repro.host.ensemble_loader.InstanceOutcome` — and the campaign
+carries on.  A job, batch campaign, or single ensemble launch therefore
+never crashes wholesale because of an injected fault; it completes with
+per-instance reports instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Exit code assigned to instances that were fault-isolated.  Real
+#: application exit codes are small positive numbers; 254 is outside every
+#: shipped benchmark's range and mirrors the shell's "died abnormally"
+#: convention without colliding with 255 (argument errors).
+FAULT_EXIT = 254
+
+
+@dataclass
+class FaultReport:
+    """One fault's consequence, attached to the result that absorbed it."""
+
+    kind: str
+    point: str
+    message: str = ""
+    job_id: int | None = None
+    device: str | None = None
+    team: int | None = None
+    instances: list[int] = field(default_factory=list)
+    attempts: int = 0
+    error: str = ""
+    recovered: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view for reports and ``--metrics-out`` dumps."""
+        out = {
+            "kind": self.kind,
+            "point": self.point,
+            "message": self.message,
+            "attempts": self.attempts,
+            "error": self.error,
+            "recovered": self.recovered,
+            "instances": list(self.instances),
+        }
+        if self.job_id is not None:
+            out["job_id"] = self.job_id
+        if self.device is not None:
+            out["device"] = self.device
+        if self.team is not None:
+            out["team"] = self.team
+        return out
+
+
+__all__ = ["FaultReport", "FAULT_EXIT"]

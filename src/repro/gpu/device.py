@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.config import DEFAULT_DEVICE, DEFAULT_SIM, DeviceConfig, SimConfig
 from repro.errors import DeviceError, DeviceTrap, LaunchError
+from repro.faults.injector import NO_FAULTS, InjectedOOM, InstanceFault
 from repro.gpu.allocator import DeviceAllocator
 from repro.gpu.launch import config_1d
 from repro.gpu.memory import GlobalMemory
@@ -72,6 +73,11 @@ class LaunchResult:
     timing: KernelTiming | None
     interpreter_steps: int
     traces: list[BlockTrace] = field(default_factory=list)
+    #: teams whose instances were fault-isolated mid-launch (injected
+    #: per-instance faults, e.g. an RPC timeout): team id -> the fault.
+    #: Every other team's results are valid; the ensemble loader maps the
+    #: faulted teams back to instance slots.
+    team_faults: dict[int, Exception] = field(default_factory=dict)
 
     @property
     def summary(self) -> dict:
@@ -115,6 +121,11 @@ class GPUDevice:
         #: :meth:`repro.sched.pool.DevicePool.attach_obs` or directly.
         self.tracer = NULL_TRACER
         self.metrics = None
+        #: Fault injection hook, same null-object pattern as the tracer:
+        #: :data:`~repro.faults.NO_FAULTS` unless a chaos plan is attached
+        #: (by :meth:`repro.sched.pool.DevicePool.attach_faults`, a
+        #: ``LaunchSpec.fault_plan``, or directly).
+        self.faults = NO_FAULTS
         #: Per-domain simulated clocks: cumulative cycles of timed launches
         #: and interpreter steps of untimed ones.  Launch spans are placed
         #: on these clocks, so a device's trace track is monotonic.
@@ -288,6 +299,14 @@ class GPUDevice:
         if num_teams > self.config.num_sms * self.config.max_blocks_per_sm:
             raise LaunchError(f"{num_teams} teams exceed device block capacity")
 
+        if self.faults.enabled:
+            # The ``device.alloc`` point models the launch-scoped allocation
+            # (stacks, team-locals) failing; fired before anything is
+            # allocated so a rejected launch leaks nothing.
+            fault = self.faults.fire("device.alloc", device=self.label)
+            if fault is not None:
+                raise InjectedOOM(fault, device=self.label)
+
         kern = image.lowered.get(kernel_name)
         if kern is None:
             fn = image.module.get_function(kernel_name)
@@ -328,6 +347,7 @@ class GPUDevice:
             return resolve
 
         traces: list[BlockTrace] = []
+        team_faults: dict[int, Exception] = {}
         total_steps = 0
         try:
             for team in range(num_teams):
@@ -360,7 +380,14 @@ class GPUDevice:
                     shared_range=shared_range,
                 )
                 executor = BlockExecutor(kern, ctx)
-                executor.run()
+                try:
+                    executor.run()
+                except InstanceFault as fault:
+                    # Per-instance degradation: only this team's instances
+                    # are lost; every other team keeps running.
+                    if fault.team is None:
+                        fault.team = team
+                    team_faults[team] = fault
                 total_steps += executor.steps
                 if collector is not None:
                     traces.append(collector.finalize())
@@ -380,6 +407,8 @@ class GPUDevice:
                 shared_mem_per_block=image.team_local_size,
             )
             cycles = timing.cycles
+            if self.faults.enabled and self.faults.watches("device.launch"):
+                cycles = self._inject_team_stalls(timing, num_teams)
         self._publish_launch(kernel_name, num_teams, cycles, timing, total_steps)
         return LaunchResult(
             kernel=kernel_name,
@@ -390,4 +419,23 @@ class GPUDevice:
             timing=timing,
             interpreter_steps=total_steps,
             traces=traces,
+            team_faults=team_faults,
         )
+
+    def _inject_team_stalls(self, timing: KernelTiming, num_teams: int) -> float:
+        """Apply ``slow_team`` faults: inflate the matching teams' block
+        times by the spec's factor and stretch the kernel makespan by the
+        added critical-path time."""
+        for team in range(num_teams):
+            fault = self.faults.fire(
+                "device.launch", device=self.label, team=team
+            )
+            if fault is None or team >= len(timing.block_times):
+                continue
+            delta = timing.block_times[team] * (fault.factor - 1.0)
+            timing.block_times[team] += delta
+            if timing.block_times[team] > timing.makespan:
+                grow = timing.block_times[team] - timing.makespan
+                timing.makespan += grow
+                timing.cycles += grow
+        return timing.cycles

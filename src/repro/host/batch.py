@@ -26,9 +26,14 @@ import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import DeviceOutOfMemory, LoaderError
+from repro.faults.report import FAULT_EXIT, FaultReport
 from repro.host.ensemble_loader import EnsembleLoader, EnsembleResult, InstanceOutcome
 from repro.host.launch import LaunchSpec
 from repro.host.results import OutcomeMixin
+
+#: Consecutive injected device losses at one batch cursor the runner will
+#: retry before isolating that batch's instances and moving on.
+FAULT_RETRY_LIMIT = 3
 
 
 @dataclass
@@ -95,6 +100,7 @@ def launch_chunk(
             exit_code=o.exit_code,
             slot=o.slot,
             stdout=o.stdout,
+            fault=o.fault,
         )
         for o in run.instances
     ]
@@ -114,10 +120,18 @@ class CampaignResult(OutcomeMixin):
     batches: list[BatchRecord] = field(default_factory=list)
     total_cycles: float | None = None
     oom_retries: int = 0
+    #: Injected device losses the runner retried through (recovered or,
+    #: past :data:`FAULT_RETRY_LIMIT`, isolated).
+    fault_retries: int = 0
 
     @property
     def instances(self) -> list[InstanceOutcome]:
         return self.outcomes
+
+    @property
+    def fault_reports(self) -> list[FaultReport]:
+        """Reports of every fault-isolated instance in the campaign."""
+        return [o.fault for o in self.outcomes if o.fault is not None]
 
     @property
     def max_batch_size(self) -> int:
@@ -175,15 +189,82 @@ class BatchedEnsembleRunner:
         if not instances:
             raise LoaderError("campaign needs at least one instance")
         result = CampaignResult(outcomes=[])
-        total_cycles = 0.0
-        have_cycles = True
         policy = BisectionPolicy(max_batch=self.max_batch)
 
+        self.loader._adopt_fault_plan(spec)
+        # A spec-carried plan is armed once per *campaign* here, not once
+        # per batch: every batch below forwards this same spec, and letting
+        # each launch re-arm would restart schedule counters (``times=``)
+        # on every batch.  Demote the adoption mark for the duration of the
+        # run so the per-batch launches keep the campaign injector, then
+        # restore it so the next ``run()`` can re-arm a fresh plan.
+        spec_injector = self.loader._spec_adopted_faults
+        self.loader._spec_adopted_faults = None
+        try:
+            return self._run_batches(spec, instances, result, policy)
+        finally:
+            self.loader._spec_adopted_faults = spec_injector
+
+    def _run_batches(self, spec, instances, result, policy) -> CampaignResult:
+        total_cycles = 0.0
+        have_cycles = True
+        faults = self.loader.device.faults
         tracer, metrics = self.obs.tracer, self.obs.metrics
         cursor = 0
+        loss_streak = 0
+        pending_injected: list[str] = []
         while cursor < len(instances):
             size = policy.next_size(len(instances) - cursor)
             chunk = instances[cursor : cursor + size]
+            if faults.enabled:
+                fault = faults.fire(
+                    "batch.launch",
+                    device=self.loader.device.label,
+                    first_instance=cursor,
+                )
+                if fault is not None:
+                    # Mid-batch device loss: retry the batch (the device
+                    # heap is reset per launch, so a retry is clean); past
+                    # the limit, isolate this batch and carry on — the
+                    # campaign never dies wholesale to an injected fault.
+                    result.fault_retries += 1
+                    loss_streak += 1
+                    if tracer.enabled:
+                        tracer.instant(
+                            "device loss",
+                            track="batch-runner",
+                            cat="fault",
+                            args={"first_instance": cursor, "size": size},
+                        )
+                    if loss_streak >= FAULT_RETRY_LIMIT:
+                        for k, line in enumerate(chunk):
+                            report = FaultReport(
+                                kind=fault.kind,
+                                point="batch.launch",
+                                message=(
+                                    f"device lost {loss_streak} times at "
+                                    f"batch [{cursor}+{size}]"
+                                ),
+                                device=self.loader.device.label,
+                                instances=[cursor + k],
+                                attempts=loss_streak,
+                            )
+                            result.outcomes.append(
+                                InstanceOutcome(
+                                    index=cursor + k,
+                                    args=line,
+                                    exit_code=FAULT_EXIT,
+                                    slot=-1,
+                                    stdout="",
+                                    fault=report,
+                                )
+                            )
+                        metrics.counter(
+                            "faults.isolated", kind=fault.kind
+                        ).inc(size)
+                        cursor += size
+                        loss_streak = 0
+                    continue
             try:
                 if tracer.enabled:
                     with tracer.span(
@@ -198,9 +279,12 @@ class BatchedEnsembleRunner:
                         )
                 else:
                     run, outcomes = launch_chunk(self.loader, spec, chunk, cursor)
-            except DeviceOutOfMemory:
+            except DeviceOutOfMemory as exc:
                 result.oom_retries += 1
                 metrics.counter("batch.oom_retries").inc()
+                kind = getattr(exc, "fault_kind", None)
+                if kind is not None:
+                    pending_injected.append(kind)
                 if tracer.enabled:
                     tracer.instant(
                         "oom retry",
@@ -212,6 +296,12 @@ class BatchedEnsembleRunner:
                     raise  # a single instance does not fit: a real error
                 policy.record_oom(size)
                 continue
+            if loss_streak:
+                metrics.counter("faults.recovered", kind="device_loss").inc()
+                loss_streak = 0
+            for kind in pending_injected:
+                metrics.counter("faults.recovered", kind=kind).inc()
+            pending_injected = []
             policy.record_success(size)
             metrics.counter("batch.launches").inc()
             metrics.histogram("batch.size").observe(size)

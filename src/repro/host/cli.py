@@ -21,6 +21,7 @@ import sys
 
 from repro.config import DEFAULT_DEVICE
 from repro.errors import DeviceOutOfMemory, ReproError
+from repro.faults import FaultPlan, FaultPlanError
 from repro.gpu.device import GPUDevice
 from repro.host.argscript import expand_argument_script
 from repro.host.batch import BatchedEnsembleRunner
@@ -121,6 +122,21 @@ def build_parser() -> argparse.ArgumentParser:
         "before launching",
     )
     parser.add_argument(
+        "--inject",
+        metavar="PLAN",
+        default=None,
+        help="deterministic fault plan to inject (e.g. "
+        "'oom:device=pool1;rpc_drop:rate=0.05'); see docs/faults.md and "
+        "'python -m repro.faults.check --kinds'",
+    )
+    parser.add_argument(
+        "--inject-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="base seed for the fault plan's random streams",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="FILE",
         default=None,
@@ -139,6 +155,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-instance stdout"
     )
     return parser
+
+
+def _print_fault_lines(result, faults, metrics) -> None:
+    """Summarize what the injector did and how the stack degraded."""
+    fired = faults.summary() if faults.enabled else {}
+    fired_txt = (
+        ", ".join(f"{k}={n}" for k, n in sorted(fired.items())) or "none fired"
+    )
+    recovered = int(sum(c.value for c in metrics.series("faults.recovered")))
+    reports = getattr(result, "fault_reports", [])
+    print(
+        f"faults: injected {fired_txt}; {recovered} recovered, "
+        f"{len(reports)} report(s)"
+    )
+    for rep in reports:
+        where = f" on {rep.device}" if rep.device else ""
+        print(
+            f"  [fault] {rep.kind}@{rep.point}{where} "
+            f"instances={rep.instances}: {rep.message}"
+        )
 
 
 def _print_instances(result, quiet: bool) -> None:
@@ -204,12 +240,20 @@ def _run(parser, args, app, obs: Observability) -> int:
         else:
             arg_source = args.arg_file
 
+        fault_plan = None
+        if args.inject:
+            try:
+                fault_plan = FaultPlan.parse(args.inject, seed=args.inject_seed)
+            except FaultPlanError as exc:
+                parser.error(f"--inject: {exc}")
+
         spec = LaunchSpec(
             arg_source=arg_source,
             num_instances=args.num_instances,
             thread_limit=args.thread_limit,
             max_steps=args.max_steps,
             collect_timing=not args.no_timing,
+            fault_plan=fault_plan,
         )
         mapping = PackedMapping(args.pack) if args.pack > 1 else OneInstancePerTeam()
         loader_opts = dict(
@@ -244,6 +288,8 @@ def _run(parser, args, app, obs: Observability) -> int:
                 f"{result.oom_splits} oom splits, {result.retries} retries, "
                 f"utilization {util}"
             )
+            if args.inject:
+                _print_fault_lines(result, sched.faults, obs.metrics)
             return 0 if result.all_succeeded else 1
 
         device = GPUDevice(DEFAULT_DEVICE)
@@ -259,6 +305,8 @@ def _run(parser, args, app, obs: Observability) -> int:
                 f"({len(result.batches)} batches, "
                 f"{result.oom_retries} oom retries)"
             )
+            if args.inject:
+                _print_fault_lines(result, device.faults, obs.metrics)
             return 0 if result.all_succeeded else 1
 
         result = loader.run_ensemble(spec)
@@ -280,6 +328,8 @@ def _run(parser, args, app, obs: Observability) -> int:
         f"{result.geometry.num_teams} teams x {result.thread_limit} threads, "
         f"{cycles}"
     )
+    if args.inject:
+        _print_fault_lines(result, device.faults, obs.metrics)
     return 0 if result.all_succeeded else 1
 
 

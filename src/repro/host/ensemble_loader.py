@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.analysis import Severity, check_races
 from repro.errors import EnsembleSafetyError, LoaderError
+from repro.faults.injector import FaultInjector
+from repro.faults.report import FAULT_EXIT, FaultReport
 from repro.frontend.dsl import Program
 from repro.gpu.device import GPUDevice, LaunchResult
 from repro.gpu.timing import KernelTiming
@@ -44,6 +46,9 @@ class InstanceOutcome:
     exit_code: int
     slot: int
     stdout: str
+    #: Set when this instance was isolated by an injected fault instead of
+    #: running to completion; ``exit_code`` is then :data:`FAULT_EXIT`.
+    fault: FaultReport | None = None
 
 
 @dataclass
@@ -67,6 +72,11 @@ class EnsembleResult(OutcomeMixin):
     @property
     def total_cycles(self) -> float | None:
         return self.cycles
+
+    @property
+    def fault_reports(self) -> list[FaultReport]:
+        """Reports of every fault-isolated instance in this launch."""
+        return [o.fault for o in self.instances if o.fault is not None]
 
 
 class EnsembleLoader(Loader):
@@ -96,6 +106,10 @@ class EnsembleLoader(Loader):
         )
         self.mapping = mapping
         self.allow_races = allow_races
+        #: the injector this loader armed from a spec's fault plan, if any;
+        #: lets later spec-carried plans re-arm without clobbering an
+        #: injector a scheduler or batch runner attached for the campaign.
+        self._spec_adopted_faults = None
         #: error-severity cross-instance race findings for the linked module;
         #: computed once here, enforced per-launch in :meth:`run_ensemble`.
         self.race_diagnostics = [
@@ -154,7 +168,27 @@ class EnsembleLoader(Loader):
             )
         return self._run_spec(spec)
 
+    def _adopt_fault_plan(self, spec: LaunchSpec) -> None:
+        """Arm a spec-carried chaos plan on this loader's device.
+
+        A scheduler or batch runner that already armed an injector for the
+        campaign wins over the spec.  A plan the *spec* carries is part of
+        that launch's description, so each such launch re-arms a fresh
+        injector (schedule counters like ``times=`` start over per run).
+        """
+        plan = spec.resolve_fault_plan()
+        if plan is None:
+            return
+        current = self.device.faults
+        if current.enabled and current is not self._spec_adopted_faults:
+            return
+        injector = FaultInjector(plan)
+        injector.attach_sinks(self.device.tracer, self.device.metrics)
+        self.device.faults = injector
+        self._spec_adopted_faults = injector
+
     def _run_spec(self, spec: LaunchSpec) -> EnsembleResult:
+        self._adopt_fault_plan(spec)
         instances = spec.resolve_instances()
         num_instances = len(instances)
         if num_instances < 1:
@@ -187,15 +221,32 @@ class EnsembleLoader(Loader):
             rpc_host.close()
 
         outcomes = []
+        ipt = geometry.instances_per_team
         for i, line in enumerate(instances):
             slot = i % geometry.total_slots
+            fault_err = launch.team_faults.get(slot // ipt)
+            report = None
+            exit_code = int(codes[i])
+            if fault_err is not None:
+                # The team never wrote Ret[] — a zero there would read as
+                # success, so the isolated instance gets a synthetic exit
+                # code plus the structured report.
+                exit_code = FAULT_EXIT
+                report = fault_err.to_report(
+                    team=slot // ipt, instances=[i]
+                )
+                if self.device.metrics is not None:
+                    self.device.metrics.counter(
+                        "faults.isolated", kind=report.kind
+                    ).inc()
             outcomes.append(
                 InstanceOutcome(
                     index=i,
                     args=line,
-                    exit_code=int(codes[i]),
+                    exit_code=exit_code,
                     slot=slot,
                     stdout=rpc_host.instance_stdout(slot),
+                    fault=report,
                 )
             )
         return EnsembleResult(

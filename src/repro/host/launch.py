@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Sequence, Union
 
 from repro.errors import LoaderError
+from repro.faults.plan import FaultPlan
 from repro.host.argfile import resolve_arg_source
 
 #: Anything :func:`~repro.host.argfile.resolve_arg_source` understands.
@@ -51,6 +52,11 @@ class LaunchSpec:
     thread_limit: int = 1024
     max_steps: int = DEFAULT_MAX_STEPS
     collect_timing: bool = True
+    #: Optional chaos plan (a :class:`~repro.faults.plan.FaultPlan` or its
+    #: spec-string form) carried with the workload; the entry surface that
+    #: executes the spec arms it — the scheduler across its pool, the
+    #: ensemble loader on its device.  ``None`` means ``NO_FAULTS``.
+    fault_plan: FaultPlan | str | None = None
 
     def resolve_instances(self) -> list[list[str]]:
         """Resolve ``arg_source`` and apply the ``-n`` prefix rule."""
@@ -66,6 +72,14 @@ class LaunchSpec:
                 f"{len(instances)} lines"
             )
         return instances[:n]
+
+    def resolve_fault_plan(self) -> FaultPlan | None:
+        """The spec's chaos plan as a parsed :class:`FaultPlan` (or None)."""
+        if self.fault_plan is None:
+            return None
+        if isinstance(self.fault_plan, str):
+            return FaultPlan.parse(self.fault_plan)
+        return self.fault_plan
 
     def with_instances(self, instances: list[list[str]]) -> "LaunchSpec":
         """A copy of this spec over an explicit, already-resolved workload.

@@ -102,11 +102,19 @@ class Loader:
     # plumbing shared with the ensemble loader
     # ------------------------------------------------------------------
     def _make_rpc_host(self) -> RPCHost:
-        """An RPC endpoint wired to the device's observability sinks."""
+        """An RPC endpoint wired to the device's observability sinks.
+
+        The fault hook is only handed over for the direct transport; in
+        ring mode the :class:`~repro.host.transport.RingTransport` consults
+        the injector at its device-side endpoint, so wiring the host too
+        would fire each RPC's faults twice.
+        """
+        faults = self.device.faults if self.rpc_transport == "direct" else None
         return RPCHost(
             self.device.memory,
             tracer=self.device.tracer,
             metrics=self.device.metrics,
+            faults=faults,
         )
 
     def _reset_for_run(self) -> None:

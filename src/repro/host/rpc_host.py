@@ -30,6 +30,7 @@ import time
 from collections import defaultdict
 
 from repro.errors import DeviceTrap, RPCError
+from repro.faults.injector import NO_FAULTS, InjectedRPCFailure, InstanceFault
 from repro.gpu.memory import GlobalMemory
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
@@ -51,10 +52,16 @@ class RPCHost:
         *,
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        faults=None,
     ):
         self.memory = memory
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Fault hook for the ``rpc.reply`` injection point.  Only the
+        #: direct transport wires this up — the ring transport consults the
+        #: injector at its device-side endpoint instead, so one RPC is
+        #: never double-fired (see :class:`repro.host.transport.RingTransport`).
+        self.faults = faults if faults is not None else NO_FAULTS
         self.stdout: dict[int, list[str]] = defaultdict(list)
         self._files: dict[int, object] = {}
         self._next_handle = 3  # 0/1/2 reserved like stdio
@@ -97,7 +104,37 @@ class RPCHost:
                 cat="rpc",
                 args={"instance": lane.instance, "team": lane.team},
             )
-        return fn(args, lane)
+        result = fn(args, lane)
+        if self.faults.enabled:
+            fault = self.faults.fire(
+                "rpc.reply",
+                service=service,
+                instance=lane.instance,
+                team=lane.team,
+            )
+            if fault is not None:
+                result = self._injected_reply(
+                    fault, service, fn, args, lane, result
+                )
+        return result
+
+    def _injected_reply(self, fault, service: str, fn, args, lane: RpcLane, result):
+        """Apply one fired ``rpc.reply`` fault to a completed call."""
+        ctx = dict(service=service, instance=lane.instance, team=lane.team)
+        if fault.kind == "rpc_drop":
+            # The reply is lost; the whole launch fails transiently (the
+            # scheduler's retry machinery recovers it).
+            raise InjectedRPCFailure(fault, **ctx)
+        if fault.kind == "rpc_timeout":
+            # The reply never arrives for this caller only: surfaces as a
+            # per-instance fault, not a launch failure.
+            raise InstanceFault(fault, **ctx)
+        if fault.kind == "rpc_dup":
+            # The request is delivered twice; side effects repeat.
+            return fn(args, lane)
+        if fault.kind == "transport_corrupt" and isinstance(result, int):
+            return result ^ (0xFF << (8 * fault.byte))
+        return result
 
     def instance_stdout(self, instance: int) -> str:
         return "".join(self.stdout.get(instance, []))

@@ -19,6 +19,7 @@ import threading
 import time
 
 from repro.errors import RPCError
+from repro.faults.injector import InjectedRPCFailure, InstanceFault
 from repro.frontend.intrinsics import HOST_FUNCS
 from repro.gpu.device import GPUDevice
 from repro.host.rpc_host import RPCHost
@@ -104,12 +105,38 @@ class RingTransport:
 
     # -- device-side callback -------------------------------------------------
     def endpoint(self):
-        """The rpc callback handed to the interpreter."""
+        """The rpc callback handed to the interpreter.
+
+        Fault injection happens *here*, on the device side of the ring: an
+        injected error raised inside the host drain thread would kill the
+        thread and wedge every spinning caller, which is a hang, not a
+        fault model.  Consulting at the endpoint keeps the blast radius the
+        same as the direct transport (the calling team), and the host-side
+        :class:`~repro.host.rpc_host.RPCHost` is left without a fault hook
+        in ring mode so a call is never double-fired.  ``rpc_dup`` is a
+        no-op over the ring: slots are request/response pairs, so delivery
+        is exactly-once by construction.
+        """
+        faults = self.device.faults
 
         def call(service: str, args: list, lane: RpcLane):
             service_id = SERVICE_IDS.get(service)
             if service_id is None:
                 raise RPCError(f"service {service!r} has no ring id")
+            fault = None
+            if faults.enabled:
+                fault = faults.fire(
+                    "rpc.reply",
+                    service=service,
+                    instance=lane.instance,
+                    team=lane.team,
+                )
+            if fault is not None:
+                ctx = dict(service=service, instance=lane.instance, team=lane.team)
+                if fault.kind == "rpc_drop":
+                    raise InjectedRPCFailure(fault, **ctx)
+                if fault.kind == "rpc_timeout":
+                    raise InstanceFault(fault, **ctx)
             slot = self.device_ring.enqueue(service_id, args)
             with self._meta_lock:
                 self._lane_meta[slot] = lane
@@ -118,6 +145,12 @@ class RingTransport:
             while True:
                 got = self.device_ring.try_take_response(slot, as_float=want_float)
                 if got is not None:
+                    if (
+                        fault is not None
+                        and fault.kind == "transport_corrupt"
+                        and isinstance(got, int)
+                    ):
+                        got ^= 0xFF << (8 * fault.byte)
                     return got
                 if time.monotonic() > deadline:
                     raise RPCError(

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import SchedulerError
+from repro.faults.report import FaultReport
 from repro.host.batch import BatchRecord
 from repro.host.ensemble_loader import InstanceOutcome
 from repro.host.launch import LaunchSpec
@@ -54,6 +55,15 @@ class JobResult(OutcomeMixin):
     retries: int = 0
     oom_splits: int = 0
     steps_used: int = 0
+    #: One report per injected fault that could not be recovered and was
+    #: isolated into this job's instances (``exit_code == FAULT_EXIT``);
+    #: a degraded-but-completed job carries them instead of an error.
+    fault_reports: list[FaultReport] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any instance was fault-isolated."""
+        return bool(self.fault_reports)
 
 
 @dataclass
@@ -77,6 +87,7 @@ class Job:
     steps_used: int = 0
     retries_used: int = 0
     oom_splits: int = 0
+    fault_reports: list[FaultReport] = field(default_factory=list)
 
     @property
     def total_instances(self) -> int:
@@ -101,6 +112,7 @@ class Job:
             retries=self.retries_used,
             oom_splits=self.oom_splits,
             steps_used=self.steps_used,
+            fault_reports=list(self.fault_reports),
         )
 
 

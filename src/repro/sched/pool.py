@@ -36,6 +36,11 @@ class PoolWorker:
         self.device = device
         self.factory = factory
         self.busy_cycles = 0.0
+        #: Consecutive injected faults on this device; reset by any
+        #: successful launch.  At the scheduler's quarantine threshold the
+        #: worker is taken out of rotation and its queue redistributed.
+        self.fault_streak = 0
+        self.quarantined = False
         self._loaders: dict[tuple, EnsembleLoader] = {}
 
     @property
@@ -98,6 +103,14 @@ class DevicePool:
             w.device.tracer = obs.tracer
             w.device.metrics = obs.metrics
 
+    def attach_faults(self, faults) -> None:
+        """Point every device at one shared
+        :class:`~repro.faults.FaultInjector` so a campaign's injection
+        points draw from a single deterministic plan.  Called by the
+        scheduler; idempotent."""
+        for w in self.workers:
+            w.device.faults = faults
+
     def __len__(self) -> int:
         return len(self.workers)
 
@@ -107,6 +120,11 @@ class DevicePool:
     @property
     def labels(self) -> list[str]:
         return [w.label for w in self.workers]
+
+    @property
+    def healthy(self) -> list[PoolWorker]:
+        """Workers still in rotation (not quarantined)."""
+        return [w for w in self.workers if not w.quarantined]
 
     def close(self) -> None:
         """Release every cached loader's device resources."""

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from repro.errors import (
@@ -59,7 +59,16 @@ from repro.errors import (
     RetriesExhausted,
     SchedulerError,
 )
+from repro.faults.injector import (
+    NO_FAULTS,
+    FaultInjector,
+    InjectedDeviceLoss,
+    InjectedFault,
+    NullFaultInjector,
+)
+from repro.faults.report import FAULT_EXIT, FaultReport
 from repro.host.batch import BatchRecord, BisectionPolicy, launch_chunk
+from repro.host.ensemble_loader import InstanceOutcome
 from repro.host.launch import LaunchSpec
 from repro.obs import Observability
 from repro.sched.jobs import Job, JobFuture, JobResult, JobState
@@ -78,12 +87,29 @@ class _Chunk:
     start: int  # global index of the first instance in this shard
     instances: list[list[str]]
     attempt: int = 0
+    #: The attempt counter came from a split parent, not from this chunk
+    #: faulting itself.  Reset to zero once any chunk of the job launches
+    #: successfully: after an OOM-bisection success, a later unrelated
+    #: fault must retry from attempt 0, not from the parent's attempt N.
+    attempt_inherited: bool = False
+    #: Kinds of the injected faults this chunk is being retried for (a
+    #: chunk can stack several — e.g. a worker death then injected OOM);
+    #: a subsequent successful launch publishes each as
+    #: ``faults.recovered``.
+    pending_faults: list = field(default_factory=list)
 
     def split(self) -> tuple["_Chunk", "_Chunk"]:
         half = len(self.instances) // 2
-        left = _Chunk(self.job, self.start, self.instances[:half], self.attempt)
+        inherited = self.attempt_inherited or self.attempt > 0
+        left = _Chunk(
+            self.job, self.start, self.instances[:half], self.attempt, inherited
+        )
         right = _Chunk(
-            self.job, self.start + half, self.instances[half:], self.attempt
+            self.job,
+            self.start + half,
+            self.instances[half:],
+            self.attempt,
+            inherited,
         )
         return left, right
 
@@ -101,18 +127,34 @@ class Scheduler:
         chunk_size: int | None = None,
         sleep: Callable[[float], None] = time.sleep,
         obs: Observability | None = None,
+        faults=None,
+        quarantine_threshold: int = 3,
     ):
         if default_retries < 0:
             raise SchedulerError("default_retries must be >= 0")
+        if quarantine_threshold < 1:
+            raise SchedulerError("quarantine_threshold must be >= 1")
         self.pool = pool
         self.max_batch = max_batch
         self.default_retries = default_retries
         self.backoff_base = backoff_base
         self.chunk_size = chunk_size
+        self.quarantine_threshold = quarantine_threshold
         self.obs = obs if obs is not None else Observability()
         self.tracer = self.obs.tracer
         self.metrics = self.obs.metrics
         pool.attach_obs(self.obs)
+        #: Chaos hook: a FaultInjector (or a FaultPlan / spec string to arm
+        #: one) shared by every injection point in the campaign — the
+        #: scheduler's own dispatch loop and, via the pool, every device
+        #: and RPC host.  ``None`` keeps the zero-cost NO_FAULTS default.
+        self.faults = NO_FAULTS
+        if faults is not None:
+            self._arm_faults(
+                faults
+                if isinstance(faults, (FaultInjector, NullFaultInjector))
+                else FaultInjector(faults)
+            )
         self.stats = SchedulerStats(self.metrics)
         for label in pool.labels:
             self.stats.device(label)
@@ -127,6 +169,11 @@ class Scheduler:
     # ------------------------------------------------------------------
     # observability plumbing
     # ------------------------------------------------------------------
+    def _arm_faults(self, injector) -> None:
+        injector.attach_obs(self.obs)
+        self.faults = injector
+        self.pool.attach_faults(injector)
+
     def _count(self, name: str, amount: float = 1.0) -> None:
         self.metrics.counter(f"sched.{name}").inc(amount)
 
@@ -168,6 +215,11 @@ class Scheduler:
         instances = spec.resolve_instances()
         if not instances:
             raise SchedulerError("job needs at least one instance")
+        plan = spec.resolve_fault_plan()
+        if plan is not None and not self.faults.enabled:
+            # Spec-carried chaos plan: armed lazily for the whole campaign
+            # (an injector handed to the constructor wins over the spec).
+            self._arm_faults(FaultInjector(plan))
         job = Job(
             job_id=self._next_job_id,
             program=program,
@@ -231,8 +283,9 @@ class Scheduler:
             return False
         # Earliest-available device in simulated time runs next: this is
         # what "all devices execute concurrently" looks like when replayed
-        # deterministically on one host.
-        worker = min(self.pool.workers, key=lambda w: (w.busy_cycles, w.index))
+        # deterministically on one host.  Quarantined devices are out of
+        # rotation (their queues were redistributed at quarantine time).
+        worker = min(self.pool.healthy, key=lambda w: (w.busy_cycles, w.index))
         own = self._queues[worker.index]
         if own:
             chunk = own.popleft()
@@ -293,9 +346,20 @@ class Scheduler:
         )
         cap = policy.next_size(len(chunk.instances))
         if len(chunk.instances) > cap:
-            head = _Chunk(job, chunk.start, chunk.instances[:cap], chunk.attempt)
+            head = _Chunk(
+                job,
+                chunk.start,
+                chunk.instances[:cap],
+                chunk.attempt,
+                chunk.attempt_inherited,
+                chunk.pending_faults,
+            )
             tail = _Chunk(
-                job, chunk.start + cap, chunk.instances[cap:], chunk.attempt
+                job,
+                chunk.start + cap,
+                chunk.instances[cap:],
+                chunk.attempt,
+                chunk.attempt_inherited,
             )
             self._queues[worker.index].appendleft(tail)
             chunk = head
@@ -306,67 +370,117 @@ class Scheduler:
             max_steps = remaining
         spec = replace(job.spec, max_steps=max_steps)
 
-        try:
-            if self.tracer.enabled:
-                with self.tracer.span(
-                    f"dispatch j{job.job_id}[{chunk.start}+{len(chunk.instances)}]",
-                    track=SCHED_TRACK,
-                    cat="dispatch",
-                    job=job.job_id,
-                    device=worker.label,
+        # Ambient fault context: device-level injection points (allocation,
+        # RPC replies) fired during this launch can match job=/device=
+        # selectors without threading the ids through every layer.
+        with self.faults.scoped(job=job.job_id, device=worker.label):
+            if self.faults.enabled:
+                fault = self.faults.fire(
+                    "sched.dispatch",
+                    instance_range=range(
+                        chunk.start, chunk.start + len(chunk.instances)
+                    ),
+                )
+                if fault is not None and self._dispatch_fault(
+                    worker, chunk, fault
                 ):
+                    return
+            try:
+                if self.tracer.enabled:
+                    with self.tracer.span(
+                        f"dispatch j{job.job_id}"
+                        f"[{chunk.start}+{len(chunk.instances)}]",
+                        track=SCHED_TRACK,
+                        cat="dispatch",
+                        job=job.job_id,
+                        device=worker.label,
+                    ):
+                        run, outcomes = launch_chunk(
+                            loader, spec, chunk.instances, chunk.start
+                        )
+                else:
                     run, outcomes = launch_chunk(
                         loader, spec, chunk.instances, chunk.start
                     )
-            else:
-                run, outcomes = launch_chunk(
-                    loader, spec, chunk.instances, chunk.start
+            except DeviceOutOfMemory as exc:
+                self._count("oom_splits")
+                self._dev_count(worker.label, "oom_splits")
+                self._event(
+                    f"oom split on {worker.label}",
+                    job=job.job_id,
+                    size=len(chunk.instances),
                 )
-        except DeviceOutOfMemory as exc:
-            self._count("oom_splits")
-            self._dev_count(worker.label, "oom_splits")
-            self._event(
-                f"oom split on {worker.label}",
-                job=job.job_id,
-                size=len(chunk.instances),
-            )
-            job.oom_splits += 1
-            if len(chunk.instances) == 1:
-                self._fail_job(job, exc)  # one instance does not fit: real
+                job.oom_splits += 1
+                if len(chunk.instances) == 1:
+                    if isinstance(exc, InjectedFault):
+                        # Injected pressure never fails the campaign: the
+                        # unsplittable instance is isolated instead.
+                        self._isolate_chunk(worker, chunk, exc)
+                        self._maybe_complete(job)
+                        return
+                    self._fail_job(job, exc)  # one instance does not fit
+                    return
+                policy.record_oom(len(chunk.instances))
+                left, right = chunk.split()
+                if isinstance(exc, InjectedFault):
+                    left.pending_faults = chunk.pending_faults + [
+                        exc.fault_kind
+                    ]
+                self._queues[worker.index].appendleft(right)
+                self._queues[worker.index].appendleft(left)
                 return
-            policy.record_oom(len(chunk.instances))
-            left, right = chunk.split()
-            self._queues[worker.index].appendleft(right)
-            self._queues[worker.index].appendleft(left)
-            return
-        except EnsembleSafetyError as exc:
-            self._fail_job(job, exc)
-            return
-        except DeviceError as exc:
-            if (
-                clamped
-                and isinstance(exc, DeviceTrap)
-                and "interpreter steps" in str(exc)
-            ):
-                self._fail_job(
-                    job,
-                    DeadlineExceeded(
-                        f"job {job.job_id} hit its step budget of "
-                        f"{job.step_budget} mid-launch",
-                        job_id=job.job_id,
-                        cause=exc,
-                    ),
-                )
+            except EnsembleSafetyError as exc:
+                self._fail_job(job, exc)
                 return
-            self._retry(worker, chunk, exc)
-            return
-        except ReproError as exc:
-            self._fail_job(job, exc)  # loader misuse etc.: not transient
-            return
+            except DeviceError as exc:
+                if (
+                    clamped
+                    and isinstance(exc, DeviceTrap)
+                    and "interpreter steps" in str(exc)
+                ):
+                    self._fail_job(
+                        job,
+                        DeadlineExceeded(
+                            f"job {job.job_id} hit its step budget of "
+                            f"{job.step_budget} mid-launch",
+                            job_id=job.job_id,
+                            cause=exc,
+                        ),
+                    )
+                    return
+                self._retry(worker, chunk, exc)
+                return
+            except ReproError as exc:
+                self._fail_job(job, exc)  # loader misuse etc.: not transient
+                return
 
         policy.record_success(len(chunk.instances))
+        worker.fault_streak = 0
+        for kind in chunk.pending_faults:
+            self.metrics.counter("faults.recovered", kind=kind).inc()
+            self._event(
+                f"recovered {kind}",
+                job=job.job_id,
+                device=worker.label,
+            )
+        chunk.pending_faults = []
+        if job.retries_used or job.oom_splits:
+            # Backoff reset on success: queued siblings that inherited this
+            # job's attempt counter from a split start over from attempt 0
+            # — a later unrelated fault must not start half-exhausted.
+            for queue in self._queues:
+                for c in queue:
+                    if c.job is job and c.attempt_inherited:
+                        c.attempt = 0
+                        c.attempt_inherited = False
         for outcome in outcomes:
             job.outcomes[outcome.index] = outcome
+            if outcome.fault is not None:
+                # Per-instance faults surfaced inside the launch (e.g. an
+                # injected RPC timeout isolating one team).
+                outcome.fault.job_id = job.job_id
+                outcome.fault.device = worker.label
+                job.fault_reports.append(outcome.fault)
         job.batches.append(
             BatchRecord(
                 first_instance=chunk.start,
@@ -393,16 +507,17 @@ class Scheduler:
             worker.label, "interpreter_steps", run.launch.interpreter_steps
         )
         self._count("instances.completed", len(chunk.instances))
-
-        if job.pending_instances == 0:
-            job.state = JobState.COMPLETED
-            self._count("jobs.completed")
-            self._event(f"job {job.job_id} completed", job=job.job_id)
+        self._maybe_complete(job)
 
     def _retry(self, worker: PoolWorker, chunk: _Chunk, exc: Exception) -> None:
         job = chunk.job
         chunk.attempt += 1
         job.retries_used += 1
+        injected = isinstance(exc, InjectedFault)
+        if injected:
+            chunk.pending_faults.append(exc.fault_kind)
+            worker.fault_streak += 1
+            self._maybe_quarantine(worker)
         self._count("retries")
         self._dev_count(worker.label, "retries")
         self._event(
@@ -412,6 +527,13 @@ class Scheduler:
             error=type(exc).__name__,
         )
         if chunk.attempt > job.retries:
+            if injected:
+                # Graceful degradation: an injected fault that survives
+                # every retry is isolated into FaultReports, never a
+                # campaign-level crash.
+                self._isolate_chunk(worker, chunk, exc)
+                self._maybe_complete(job)
+                return
             self._fail_job(
                 job,
                 RetriesExhausted(
@@ -425,7 +547,187 @@ class Scheduler:
             return
         if self.backoff_base > 0:
             self._sleep(self.backoff_base * (2 ** (chunk.attempt - 1)))
-        self._queues[worker.index].append(chunk)
+        target = worker.index
+        if injected or worker.quarantined:
+            # An injected fault marks the device as suspect: requeue to the
+            # least-loaded *other* healthy device when the pool has one.
+            # Real faults keep the historical same-device requeue.
+            others = [w for w in self.pool.healthy if w is not worker]
+            if others:
+                target = min(
+                    others, key=lambda w: (len(self._queues[w.index]), w.index)
+                ).index
+        self._queues[target].append(chunk)
+
+    # ------------------------------------------------------------------
+    # fault handling: dispatch-point kinds, quarantine, isolation
+    # ------------------------------------------------------------------
+    def _dispatch_fault(self, worker: PoolWorker, chunk: _Chunk, fault) -> bool:
+        """React to a fired ``sched.dispatch`` fault; True = chunk consumed."""
+        job = chunk.job
+        if fault.kind == "worker_death":
+            self._retry(
+                worker,
+                chunk,
+                InjectedDeviceLoss(fault, device=worker.label, job=job.job_id),
+            )
+            return True
+        if fault.kind == "deadline":
+            # The job's deadline fires: everything still pending — queued
+            # shards included — is isolated and the job completes degraded.
+            self._purge(job)
+            pending = [
+                i for i in range(job.total_instances) if i not in job.outcomes
+            ]
+            self._isolate_indices(
+                job,
+                pending,
+                kind=fault.kind,
+                point=fault.point,
+                message=f"injected deadline fired for job {job.job_id}",
+                device=worker.label,
+            )
+            self._maybe_complete(job)
+            return True
+        if fault.kind == "poison":
+            sel = fault.selector("instance")
+            if sel is None or sel == "*":
+                idxs = list(
+                    range(chunk.start, chunk.start + len(chunk.instances))
+                )
+                rest: list[_Chunk] = []
+            else:
+                # Isolate exactly the poisoned instance; the rest of the
+                # shard goes back to the queue untouched.
+                target = int(sel)
+                idxs = [target]
+                rel = target - chunk.start
+                rest = []
+                if chunk.instances[rel + 1 :]:
+                    rest.append(
+                        _Chunk(
+                            job,
+                            target + 1,
+                            chunk.instances[rel + 1 :],
+                            chunk.attempt,
+                            chunk.attempt_inherited,
+                        )
+                    )
+                if chunk.instances[:rel]:
+                    rest.append(
+                        _Chunk(
+                            job,
+                            chunk.start,
+                            chunk.instances[:rel],
+                            chunk.attempt,
+                            chunk.attempt_inherited,
+                        )
+                    )
+            for leftover in rest:
+                self._queues[worker.index].appendleft(leftover)
+            self._isolate_indices(
+                job,
+                idxs,
+                kind=fault.kind,
+                point=fault.point,
+                message=f"instances {idxs} poisoned",
+                device=worker.label,
+            )
+            self._maybe_complete(job)
+            return True
+        return False
+
+    def _maybe_quarantine(self, worker: PoolWorker) -> None:
+        """Quarantine a device whose injected-fault streak hit the
+        threshold, redistributing its queue — unless it is the last
+        healthy device, which must keep limping along."""
+        if worker.quarantined or worker.fault_streak < self.quarantine_threshold:
+            return
+        others = [w for w in self.pool.healthy if w is not worker]
+        if not others:
+            return
+        worker.quarantined = True
+        self._count("quarantines")
+        self._dev_count(worker.label, "quarantines")
+        self._event(
+            f"quarantine {worker.label}",
+            device=worker.label,
+            streak=worker.fault_streak,
+        )
+        queue = self._queues[worker.index]
+        while queue:
+            chunk = queue.popleft()
+            target = min(
+                others, key=lambda w: (len(self._queues[w.index]), w.index)
+            )
+            self._queues[target.index].append(chunk)
+
+    def _isolate_chunk(self, worker: PoolWorker, chunk: _Chunk, exc) -> None:
+        job = chunk.job
+        idxs = list(range(chunk.start, chunk.start + len(chunk.instances)))
+        report = exc.to_report(
+            job_id=job.job_id,
+            device=worker.label,
+            instances=idxs,
+            attempts=chunk.attempt,
+        )
+        self._apply_isolation(job, idxs, report)
+
+    def _isolate_indices(
+        self,
+        job: Job,
+        idxs: list[int],
+        *,
+        kind: str,
+        point: str,
+        message: str,
+        device: str | None = None,
+    ) -> None:
+        report = FaultReport(
+            kind=kind,
+            point=point,
+            message=message,
+            job_id=job.job_id,
+            device=device,
+            instances=list(idxs),
+        )
+        self._apply_isolation(job, idxs, report)
+
+    def _apply_isolation(
+        self, job: Job, idxs: list[int], report: FaultReport
+    ) -> None:
+        """The degradation contract: the affected instances get synthetic
+        ``FAULT_EXIT`` outcomes plus the report; the job carries on."""
+        if not idxs:
+            return
+        job.fault_reports.append(report)
+        for idx in idxs:
+            job.outcomes[idx] = InstanceOutcome(
+                index=idx,
+                args=job.instances[idx],
+                exit_code=FAULT_EXIT,
+                slot=-1,
+                stdout="",
+                fault=report,
+            )
+        self.metrics.counter("faults.isolated", kind=report.kind).inc(len(idxs))
+        self._event(
+            f"isolate {report.kind}",
+            job=job.job_id,
+            kind=report.kind,
+            instances=len(idxs),
+        )
+
+    def _maybe_complete(self, job: Job) -> None:
+        if job.state.terminal or job.pending_instances:
+            return
+        job.state = JobState.COMPLETED
+        self._count("jobs.completed")
+        self._event(
+            f"job {job.job_id} completed",
+            job=job.job_id,
+            degraded=bool(job.fault_reports),
+        )
 
     # ------------------------------------------------------------------
     # job termination

@@ -81,6 +81,7 @@ class DeviceStats:
     retries = _CounterProperty("retries")
     oom_splits = _CounterProperty("oom_splits")
     steals = _CounterProperty("steals")
+    quarantines = _CounterProperty("quarantines")
     interpreter_steps = _CounterProperty("interpreter_steps")
 
     def __init__(self, label: str, registry: MetricsRegistry | None = None):
@@ -148,6 +149,7 @@ class SchedulerStats:
     retries = _CounterProperty("retries")
     oom_splits = _CounterProperty("oom_splits")
     steals = _CounterProperty("steals")
+    quarantines = _CounterProperty("quarantines")
 
     def __init__(self, registry: MetricsRegistry | None = None):
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -161,6 +163,28 @@ class SchedulerStats:
         if label not in self.per_device:
             self.per_device[label] = DeviceStats(label, self.registry)
         return self.per_device[label]
+
+    # ------------------------------------------------------------------
+    # fault-injection views (registry-wide faults.* series, which carry
+    # kind/point labels and are published by repro.faults, not sched.*)
+    # ------------------------------------------------------------------
+    def _faults_total(self, name: str) -> int:
+        return int(sum(c.value for c in self.registry.series(name)))
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults fired by the campaign's injector, all kinds."""
+        return self._faults_total("faults.injected")
+
+    @property
+    def faults_recovered(self) -> int:
+        """Injected faults that retry/redistribution recovered from."""
+        return self._faults_total("faults.recovered")
+
+    @property
+    def faults_isolated(self) -> int:
+        """Instances fault-isolated (``FAULT_EXIT``) instead of recovered."""
+        return self._faults_total("faults.isolated")
 
     # ------------------------------------------------------------------
     # derived time/utilization views
@@ -217,6 +241,10 @@ class SchedulerStats:
             "retries": self.retries,
             "oom_splits": self.oom_splits,
             "steals": self.steals,
+            "quarantines": self.quarantines,
+            "faults_injected": self.faults_injected,
+            "faults_recovered": self.faults_recovered,
+            "faults_isolated": self.faults_isolated,
             "makespan_cycles": self.makespan_cycles,
             "makespan_steps": self.makespan_steps,
             "mixed_clocks": self.mixed_clocks,
@@ -227,6 +255,7 @@ class SchedulerStats:
                     "retries": d.retries,
                     "oom_splits": d.oom_splits,
                     "steals": d.steals,
+                    "quarantines": d.quarantines,
                     "busy_cycles": d.busy_cycles,
                     "busy_steps": d.busy_steps,
                     "clock": d.clock,

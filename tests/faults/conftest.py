@@ -1,0 +1,63 @@
+"""Chaos-suite fixtures.
+
+``make chaos`` runs this directory once per seed (``CHAOS_SEED=0 1 2``);
+the ``chaos_seed`` fixture feeds that seed into every plan so each CI leg
+exercises a different deterministic fault sequence against the same
+assertions: *degrade, never crash*.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.frontend import Program, i64, ptr_ptr
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    return int(os.environ.get("CHAOS_SEED", "0"))
+
+
+def echo_program() -> Program:
+    """Guest returning its argument; exercises atoi + printf RPC."""
+    prog = Program("chaos_echo")
+
+    @prog.main
+    def main(argc: i64, argv: ptr_ptr) -> i64:
+        me = atoi(argv[1])  # noqa: F821
+        printf("instance %ld reporting\n", me)  # noqa: F821
+        return me
+
+    return prog
+
+
+def reply_program() -> Program:
+    """Guest returning printf's reply (the written byte count), so a
+    corrupted RPC reply becomes visible in the exit code."""
+    prog = Program("chaos_reply")
+
+    @prog.main
+    def main(argc: i64, argv: ptr_ptr) -> i64:
+        n = printf("ok\n")  # noqa: F821
+        return n
+
+    return prog
+
+
+@pytest.fixture(scope="session")
+def echo_prog() -> Program:
+    return echo_program()
+
+
+@pytest.fixture(scope="session")
+def reply_prog() -> Program:
+    return reply_program()
+
+
+@pytest.fixture(scope="module")
+def pagerank_prog():
+    from repro.apps import pagerank
+
+    return pagerank.build_program()

@@ -1,0 +1,110 @@
+"""Chaos: batch-runner injection point (``batch.launch``).
+
+Contract under test: a mid-batch device loss retries the batch cleanly
+(the device heap resets per launch); a persistent loss isolates that
+batch's instances after :data:`~repro.host.batch.FAULT_RETRY_LIMIT`
+attempts and the campaign keeps going — it never dies wholesale.
+"""
+
+from repro.faults import FAULT_EXIT
+from repro.gpu.device import GPUDevice
+from repro.host.batch import FAULT_RETRY_LIMIT, BatchedEnsembleRunner
+from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
+from repro.obs import Observability
+from tests.util import SMALL_DEVICE
+
+LINES = [[str(i)] for i in range(6)]
+
+
+def make_runner(prog, **kw):
+    loader = EnsembleLoader(prog, GPUDevice(SMALL_DEVICE), heap_bytes=1 << 20)
+    return BatchedEnsembleRunner(loader, **kw), loader
+
+
+def spec(plan=None):
+    return LaunchSpec(
+        LINES, thread_limit=32, collect_timing=False, fault_plan=plan
+    )
+
+
+class TestRecoveredLoss:
+    def test_single_loss_retries_and_recovers(self, echo_prog):
+        obs = Observability()
+        runner, loader = make_runner(echo_prog, obs=obs)
+        result = runner.run(spec("device_loss:times=1"))
+        assert [o.exit_code for o in result.outcomes] == list(range(6))
+        assert result.fault_retries == 1
+        assert not result.fault_reports
+        recovered = obs.metrics.series("faults.recovered")
+        assert sum(c.value for c in recovered) == 1
+        loader.close()
+
+    def test_outputs_match_unfaulted_run(self, echo_prog):
+        runner, loader = make_runner(echo_prog)
+        base = runner.run(spec())
+        hit = runner.run(spec("device_loss:times=2"))
+        assert [o.exit_code for o in hit.outcomes] == [
+            o.exit_code for o in base.outcomes
+        ]
+        assert [o.stdout for o in hit.outcomes] == [
+            o.stdout for o in base.outcomes
+        ]
+        loader.close()
+
+
+class TestInjectedOOM:
+    def test_spec_carried_oom_bisects_and_recovers(self, echo_prog):
+        # Regression: the per-batch launches forward the campaign spec, and
+        # re-arming its plan each batch restarted the ``times=1`` schedule —
+        # the OOM refired on every bisected size down to 1, which is fatal.
+        # One campaign-scoped injector must serve every batch.
+        obs = Observability()
+        runner, loader = make_runner(echo_prog, max_batch=2, obs=obs)
+        result = runner.run(spec("oom:times=1"))
+        codes = [o.exit_code for o in sorted(result.outcomes, key=lambda o: o.index)]
+        assert codes == list(range(6))
+        assert result.oom_retries == 1
+        assert len(loader.device.faults.events) == 1
+        recovered = obs.metrics.series("faults.recovered")
+        assert sum(c.value for c in recovered) == 1
+        assert any(("kind", "oom") in c.labels for c in recovered)
+        loader.close()
+
+    def test_next_run_rearms_a_fresh_plan(self, echo_prog):
+        # ...while a *new* run() of the same runner re-arms the spec plan,
+        # so its schedule counters start over per campaign.
+        runner, loader = make_runner(echo_prog, max_batch=2)
+        first = runner.run(spec("oom:times=1"))
+        second = runner.run(spec("oom:times=1"))
+        assert first.oom_retries == 1
+        assert second.oom_retries == 1
+        assert [o.exit_code for o in second.outcomes] == list(range(6))
+        loader.close()
+
+
+class TestPersistentLoss:
+    def test_stuck_batch_is_isolated_not_fatal(self, echo_prog):
+        obs = Observability()
+        runner, loader = make_runner(echo_prog, max_batch=2, obs=obs)
+        # The device dies FAULT_RETRY_LIMIT times at the first batch
+        # cursor: those two instances are isolated, the rest run normally.
+        result = runner.run(spec(f"device_loss:times={FAULT_RETRY_LIMIT}"))
+        codes = [o.exit_code for o in sorted(result.outcomes, key=lambda o: o.index)]
+        assert codes == [FAULT_EXIT, FAULT_EXIT, 2, 3, 4, 5]
+        assert result.fault_retries == FAULT_RETRY_LIMIT
+        assert len(result.fault_reports) == 2
+        for report in result.fault_reports:
+            assert report.kind == "device_loss"
+            assert report.attempts == FAULT_RETRY_LIMIT
+        isolated = obs.metrics.series("faults.isolated")
+        assert sum(c.value for c in isolated) == 2
+        loader.close()
+
+    def test_degraded_campaign_is_not_all_succeeded(self, echo_prog):
+        runner, loader = make_runner(echo_prog, max_batch=3)
+        result = runner.run(spec(f"device_loss:times={FAULT_RETRY_LIMIT}"))
+        assert not result.all_succeeded
+        survivors = [o for o in result.outcomes if o.fault is None]
+        assert len(survivors) == 3
+        loader.close()

@@ -1,0 +1,59 @@
+"""The ``python -m repro.faults.check`` plan validator."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def check(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.faults.check", *args],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_valid_plan_passes():
+    proc = check("oom:device=pool1;rpc_drop:rate=0.05:seed=42")
+    assert proc.returncode == 0, proc.stderr
+    assert "ok (2 fault(s)" in proc.stdout
+    assert "@device.alloc" in proc.stdout
+    assert "@rpc.reply" in proc.stdout
+
+
+def test_invalid_kind_fails():
+    proc = check("warp_drive:rate=1.0")
+    assert proc.returncode == 1
+    assert "warp_drive" in proc.stderr
+
+
+def test_invalid_rate_fails():
+    proc = check("rpc_drop:rate=1.5")
+    assert proc.returncode == 1
+    assert "rate" in proc.stderr
+
+
+def test_plan_file_and_json(tmp_path):
+    plan = {
+        "seed": 7,
+        "faults": [
+            {"kind": "slow_team", "team": "2", "factor": "10"},
+            {"kind": "deadline", "job": "*"},
+        ],
+    }
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan))
+    proc = check(f"@{path}")
+    assert proc.returncode == 0, proc.stderr
+    assert "seed 7" in proc.stdout
+
+
+def test_kinds_listing():
+    proc = check("--kinds")
+    assert proc.returncode == 0
+    for kind in ("oom", "rpc_drop", "slow_team", "worker_death", "poison"):
+        assert kind in proc.stdout

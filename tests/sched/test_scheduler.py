@@ -68,6 +68,34 @@ def flaky_factory(failures: dict):
     return factory
 
 
+class ScriptedLoader:
+    """Wraps a real loader; each launch consumes one scripted behavior:
+    ``"trap"`` raises DeviceTrap, ``"oom"`` raises DeviceOutOfMemory,
+    ``"ok"`` runs for real.  Exhausted scripts run for real."""
+
+    def __init__(self, inner: EnsembleLoader, script: list):
+        self._inner = inner
+        self._script = script
+
+    def run_ensemble(self, spec):
+        step = self._script.pop(0) if self._script else "ok"
+        if step == "trap":
+            raise DeviceTrap("scripted transient fault")
+        if step == "oom":
+            raise DeviceOutOfMemory(requested=1, free=0, capacity=1)
+        return self._inner.run_ensemble(spec)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def scripted_factory(script: list):
+    def factory(program, device, opts):
+        return ScriptedLoader(EnsembleLoader(program, device, **opts), script)
+
+    return factory
+
+
 class TestHappyPath:
     def test_multi_job_completion_and_stats(self, program):
         sched = make_scheduler(2)
@@ -170,6 +198,37 @@ class TestRetries:
         with pytest.raises(RetriesExhausted):
             fut.result()
         assert naps == [0.5, 1.0, 2.0]  # exhaustion attempt does not sleep
+
+    def test_backoff_resets_after_successful_split_sibling(self, program):
+        # Regression: chunks produced by an OOM split inherited the parent's
+        # attempt counter forever.  After a *successful* launch of the job,
+        # a queued sibling that merely inherited attempts must start over —
+        # a later unrelated transient fault gets the full retry budget and
+        # base backoff, not a half-exhausted counter.
+        # 4 instances shard into two chunks [0,1] and [2,3].  Both trap
+        # once (each earns attempt 1 == the retry cap), then [0,1] OOMs and
+        # splits into singles inheriting attempt 1.  Instance 0 succeeds —
+        # which must reset its queued sibling — then instance 1 traps.
+        script = ["trap", "trap", "oom", "ok", "trap", "ok"]
+        naps = []
+        sched = make_scheduler(
+            1,
+            factory=scripted_factory(script),
+            backoff_base=0.5,
+            sleep=naps.append,
+        )
+        fut = sched.submit(
+            program, spec(lines(4)), loader_opts={"heap_bytes": HEAP}, retries=1
+        )
+        result = fut.result()
+        # Without the reset, instance 1's trap lands on inherited attempt 2
+        # > retries=1 and the job dies with RetriesExhausted.
+        assert result.all_succeeded
+        assert result.retries == 3
+        assert result.oom_splits == 1
+        # Every trap backs off from the base: the post-split trap starts
+        # over at 0.5, not at the inherited schedule position.
+        assert naps == [0.5, 0.5, 0.5]
 
 
 class TestDeadline:
