@@ -4,8 +4,8 @@ PYTHON ?= python
 # src layout: make targets work from a checkout without `make install`
 export PYTHONPATH := src
 
-.PHONY: install test test-fast lint check bench figures validate objdump \
-	sched-demo trace-demo chaos clean
+.PHONY: install test test-fast lint typecheck check bench figures validate \
+	objdump sched-demo trace-demo chaos clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -21,7 +21,18 @@ lint:
 		echo "ruff not installed; skipping style check"; \
 	fi
 
-check: lint test
+# Static type checking: prefer mypy, fall back to pyright, skip (like the
+# ruff gate above) when neither is installed.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	elif command -v pyright >/dev/null 2>&1; then \
+		pyright src/repro; \
+	else \
+		echo "mypy/pyright not installed; skipping type check"; \
+	fi
+
+check: lint typecheck test
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x -q

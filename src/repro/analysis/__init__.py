@@ -10,6 +10,21 @@ The framework layer (usable by passes and tools alike):
   reaching definitions, use-before-def, parallel-region depths, and
   register-taint propagation.
 
+The interprocedural layer (``-O2`` and static packing are built on it):
+
+* :mod:`~repro.analysis.callgraph` — direct/indirect call graph with SCC
+  condensation,
+* :mod:`~repro.analysis.pointsto` — flow-insensitive Andersen-style
+  points-to/alias analysis over IR memory ops,
+* :mod:`~repro.analysis.loops` + :mod:`~repro.analysis.ranges` — natural
+  loops, counted-loop matching, and interval abstract interpretation
+  propagated across calls,
+* :mod:`~repro.analysis.footprint` — static per-instance heap bounds for
+  ensemble packing,
+* :mod:`~repro.analysis.manager` — the cached
+  :class:`~repro.analysis.manager.AnalysisManager` with pass-driven
+  invalidation.
+
 The checker layer emits structured
 :class:`~repro.analysis.diagnostics.Diagnostic` records:
 
@@ -31,11 +46,13 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from repro.analysis.callgraph import CallGraph, CallSite, build_callgraph
 from repro.analysis.cfg import CFG
 from repro.analysis.dataflow import (
     DataflowResult,
     ParDepthInfo,
     UninitUse,
+    env_fixpoint,
     liveness,
     par_depths,
     propagate_regs,
@@ -50,7 +67,17 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.divergence import check_divergence, thread_dependent_regs
 from repro.analysis.dominators import dominators, postdominators
+from repro.analysis.footprint import AllocSite, StaticFootprint, compute_footprint
+from repro.analysis.loops import (
+    CountedLoop,
+    Loop,
+    match_counted_loop,
+    natural_loops,
+)
+from repro.analysis.manager import AnalysisManager
+from repro.analysis.pointsto import MemObject, MemSpace, PointsTo
 from repro.analysis.races import check_races, summarize_global_accesses
+from repro.analysis.ranges import Interval, ValueRanges, trip_bound
 from repro.analysis.rpc_legality import check_rpc_legality
 from repro.analysis.uninit import check_uninitialized
 from repro.ir.module import Module
@@ -91,27 +118,45 @@ def analyze_module(
 
 
 __all__ = [
+    "AllocSite",
+    "AnalysisManager",
     "CFG",
     "CHECKERS",
+    "CallGraph",
+    "CallSite",
+    "CountedLoop",
     "DataflowResult",
     "Diagnostic",
+    "Interval",
+    "Loop",
+    "MemObject",
+    "MemSpace",
     "ParDepthInfo",
+    "PointsTo",
     "Severity",
+    "StaticFootprint",
     "UninitUse",
+    "ValueRanges",
     "analyze_module",
+    "build_callgraph",
+    "compute_footprint",
     "check_divergence",
     "check_races",
     "check_rpc_legality",
     "check_uninitialized",
     "count_by_severity",
     "dominators",
+    "env_fixpoint",
     "errors",
     "liveness",
+    "match_counted_loop",
+    "natural_loops",
     "par_depths",
     "postdominators",
     "propagate_regs",
     "reaching_defs",
     "summarize_global_accesses",
     "thread_dependent_regs",
+    "trip_bound",
     "uninitialized_uses",
 ]

@@ -1,0 +1,190 @@
+"""Cached analysis results with pass-driven invalidation.
+
+Optimization passes want interprocedural facts (points-to sets, value
+ranges, the call graph), but those facts are expensive enough that
+recomputing them before every pass would dominate compile time — and
+*not* recomputing them after a pass mutates the IR is a miscompile
+waiting to happen.  :class:`AnalysisManager` resolves the tension the
+way production compilers do:
+
+* analyses are looked up by name through :meth:`get` and cached —
+  module-scoped (``callgraph``, ``pointsto``, ``ranges``) or
+  function-scoped (``cfg``, ``loops``);
+* every cache entry remembers a structural **fingerprint** of the IR it
+  was computed from (opcode/operand identity, not object identity, and
+  deliberately excluding ``meta`` so provenance stamping never
+  invalidates anything);
+* :meth:`refresh` compares fingerprints and drops exactly the entries
+  whose IR changed: function-scoped entries for mutated functions, and
+  every module-scoped entry as soon as *any* function or the global/
+  symbol tables changed.
+
+The :class:`~repro.passes.pass_manager.PassManager` calls
+:meth:`snapshot`/:meth:`refresh` around every pass, and additionally
+treats the fingerprint diff as a lie detector: a pass that *declared*
+itself non-mutating (``preserves_ir``) but changed a function raises
+:class:`~repro.errors.PassError` instead of silently serving stale
+analyses to the next pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.cfg import CFG
+from repro.analysis.loops import natural_loops
+from repro.analysis.pointsto import PointsTo
+from repro.analysis.ranges import ValueRanges
+from repro.errors import AnalysisError
+from repro.ir.module import Function, Module
+
+#: Scope of each registered analysis: "module" results depend on the whole
+#: module; "function" results depend on one function's body only.
+ANALYSIS_SCOPES: dict[str, str] = {
+    "callgraph": "module",
+    "pointsto": "module",
+    "ranges": "module",
+    "cfg": "function",
+    "loops": "function",
+}
+
+_MODULE_FACTORIES: dict[str, Callable[["AnalysisManager"], Any]] = {
+    "callgraph": lambda am: build_callgraph(am.module),
+    "pointsto": lambda am: PointsTo(am.module, am.get("callgraph")),
+    "ranges": lambda am: ValueRanges(am.module, am.get("callgraph")),
+}
+
+_FUNCTION_FACTORIES: dict[str, Callable[[Function], Any]] = {
+    "cfg": lambda fn: CFG(fn),
+    "loops": lambda fn: natural_loops(fn),
+}
+
+
+def fingerprint_function(fn: Function) -> int:
+    """Structural hash of a function body (ignores ``meta``/provenance)."""
+    acc: list = [fn.name, tuple(fn.block_order), tuple(fn.param_regs), fn.ret_ty]
+    for block in fn.iter_blocks():
+        acc.append(block.label)
+        for i in block.instrs:
+            acc.append(
+                (
+                    i.op,
+                    i.dest,
+                    i.args,
+                    i.mty,
+                    i.offset,
+                    repr(i.imm),
+                    i.sym,
+                    i.targets,
+                    i.callee,
+                    i.service,
+                )
+            )
+    return hash(tuple(acc))
+
+
+def fingerprint_module_shape(module: Module) -> int:
+    """Hash of everything module-scoped analyses depend on *besides* the
+    function bodies: the symbol tables and global flags."""
+    return hash(
+        (
+            tuple(sorted(module.functions)),
+            tuple(sorted(module.extern_host)),
+            tuple(
+                (g.name, g.mty, g.count, g.team_local, g.constant, g.scalar)
+                for g in module.globals.values()
+            ),
+        )
+    )
+
+
+class AnalysisManager:
+    """Per-module analysis cache (see module docstring)."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        #: (analysis, fn name or None) -> result
+        self._cache: dict[tuple[str, str | None], Any] = {}
+        #: fingerprints the cached entries were computed from
+        self._prints: dict[str, int] = {}
+        self._shape_print: int | None = None
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str, fn: str | Function | None = None) -> Any:
+        """Return the (cached) result of analysis ``name``.
+
+        Module-scoped analyses take no ``fn``; function-scoped ones
+        require it (a name or the :class:`Function` itself).
+        """
+        scope = ANALYSIS_SCOPES.get(name)
+        if scope is None:
+            raise AnalysisError(f"unknown analysis {name!r}")
+        fname = fn.name if isinstance(fn, Function) else fn
+        if (scope == "module") != (fname is None):
+            raise AnalysisError(
+                f"analysis {name!r} is {scope}-scoped; "
+                + ("it takes no function" if scope == "module" else "pass a function")
+            )
+        key = (name, fname)
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        if scope == "module":
+            result = _MODULE_FACTORIES[name](self)
+        else:
+            function = self.module.get_function(fname)
+            result = _FUNCTION_FACTORIES[name](function)
+        self._cache[key] = result
+        return result
+
+    def cached(self, name: str, fn: str | None = None) -> bool:
+        return (name, fn) in self._cache
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, int]:
+        """Fingerprint every function (plus the module shape under the
+        reserved key ``""``), for :meth:`refresh` to diff against."""
+        snap = {name: fingerprint_function(f) for name, f in self.module.functions.items()}
+        snap[""] = fingerprint_module_shape(self.module)
+        return snap
+
+    def changed_since(self, snap: dict[str, int]) -> set[str]:
+        """Function names whose body changed since ``snap`` (``""`` marks a
+        module-shape change; added and removed functions count as changed)."""
+        now = self.snapshot()
+        return {name for name in snap.keys() | now.keys() if snap.get(name) != now.get(name)}
+
+    def refresh(self, changed: set[str]) -> None:
+        """Drop cache entries invalidated by the ``changed`` functions."""
+        if not changed:
+            return
+        self._cache = {
+            (name, fname): result
+            for (name, fname), result in self._cache.items()
+            if ANALYSIS_SCOPES[name] == "function" and fname not in changed
+        }
+
+    def invalidate_all(self) -> None:
+        self._cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AnalysisManager {len(self._cache)} cached, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )
+
+
+__all__ = [
+    "ANALYSIS_SCOPES",
+    "AnalysisManager",
+    "fingerprint_function",
+    "fingerprint_module_shape",
+]

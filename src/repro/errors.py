@@ -52,6 +52,10 @@ class PassError(ReproError):
     """A transformation pass failed."""
 
 
+class AnalysisError(ReproError):
+    """A static-analysis query was malformed or an analysis failed."""
+
+
 class LinkError(ReproError):
     """Symbol resolution at link time failed (undefined/duplicate symbol)."""
 

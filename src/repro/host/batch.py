@@ -153,12 +153,17 @@ class BatchedEnsembleRunner:
         thread_limit: int = 1024,
         max_batch: int | None = None,
         collect_timing: bool = True,
+        static_packing: bool = False,
         obs=None,
     ):
         self.loader = loader
         self.thread_limit = thread_limit
         self.max_batch = max_batch
         self.collect_timing = collect_timing
+        #: Opt-in: cap batches at the compiler's StaticFootprint bound so
+        #: feasible sizes are found without the first OOM round trip.  Off
+        #: by default — the runner's contract is pure runtime discovery.
+        self.static_packing = static_packing
         if obs is None:
             from repro.obs import Observability
 
@@ -190,6 +195,8 @@ class BatchedEnsembleRunner:
             raise LoaderError("campaign needs at least one instance")
         result = CampaignResult(outcomes=[])
         policy = BisectionPolicy(max_batch=self.max_batch)
+        if self.static_packing:
+            self._seed_static_cap(policy)
 
         self.loader._adopt_fault_plan(spec)
         # A spec-carried plan is armed once per *campaign* here, not once
@@ -204,6 +211,27 @@ class BatchedEnsembleRunner:
             return self._run_batches(spec, instances, result, policy)
         finally:
             self.loader._spec_adopted_faults = spec_injector
+
+    def _seed_static_cap(self, policy: BisectionPolicy) -> None:
+        """Tighten the bisection ceiling with the static footprint bound."""
+        fp = self.loader.static_footprint
+        cap = fp.max_instances(self.loader.heap_bytes)
+        metrics = self.obs.metrics
+        if cap is None:
+            metrics.counter("analysis.packing.static_misses").inc()
+            return
+        metrics.counter("analysis.packing.static_seeds").inc()
+        if cap == 0:
+            # Even a single instance exceeds the heap: the campaign is
+            # doomed, and statically so — fail before launching anything.
+            raise DeviceOutOfMemory(
+                requested=fp.heap_hi or 0,
+                free=self.loader.heap_bytes,
+                capacity=self.loader.heap_bytes,
+            )
+        policy.max_batch = (
+            cap if policy.max_batch is None else min(policy.max_batch, cap)
+        )
 
     def _run_batches(self, spec, instances, result, policy) -> CampaignResult:
         total_cycles = 0.0

@@ -122,6 +122,21 @@ def build_parser() -> argparse.ArgumentParser:
         "before launching",
     )
     parser.add_argument(
+        "--opt-level",
+        type=int,
+        choices=(0, 1, 2),
+        default=None,
+        help="optimization stage: 0 inline-only, 1 classic sweep (default), "
+        "2 adds the interprocedural stage (points-to-driven barrier "
+        "elimination, alias DCE, read-only load hoisting)",
+    )
+    parser.add_argument(
+        "--no-static-packing",
+        action="store_true",
+        help="disable seeding batch sizes from the static footprint "
+        "(multi-device runs fall back to pure OOM bisection)",
+    )
+    parser.add_argument(
         "--inject",
         metavar="PLAN",
         default=None,
@@ -261,6 +276,7 @@ def _run(parser, args, app, obs: Observability) -> int:
             heap_bytes=args.heap_mb * 1024 * 1024,
             team_local_globals=args.team_local_globals,
             allow_races=args.allow_races,
+            opt_level=args.opt_level,
         )
 
         if args.devices > 1:
@@ -272,6 +288,7 @@ def _run(parser, args, app, obs: Observability) -> int:
                 max_batch=args.max_batch,
                 default_retries=args.retries,
                 obs=obs,
+                static_packing=not args.no_static_packing,
             )
             result = sched.run_campaign(
                 app.build_program(), spec, loader_opts=loader_opts
@@ -297,7 +314,12 @@ def _run(parser, args, app, obs: Observability) -> int:
         device.metrics = obs.metrics
         loader = EnsembleLoader(app.build_program(), device, **loader_opts)
         if args.max_batch is not None:
-            runner = BatchedEnsembleRunner(loader, max_batch=args.max_batch, obs=obs)
+            runner = BatchedEnsembleRunner(
+                loader,
+                max_batch=args.max_batch,
+                static_packing=not args.no_static_packing,
+                obs=obs,
+            )
             result = runner.run(spec)
             _print_instances(result, args.quiet)
             print(

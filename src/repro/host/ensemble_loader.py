@@ -92,6 +92,7 @@ class EnsembleLoader(Loader):
         stack_bytes: int = 2048,
         team_local_globals: bool = False,
         optimize: bool = True,
+        opt_level: int | None = None,
         rpc_transport: str = "direct",
         allow_races: bool = False,
     ):
@@ -102,6 +103,7 @@ class EnsembleLoader(Loader):
             stack_bytes=stack_bytes,
             team_local_globals=team_local_globals,
             optimize=optimize,
+            opt_level=opt_level,
             rpc_transport=rpc_transport,
         )
         self.mapping = mapping

@@ -74,6 +74,7 @@ class Loader:
         stack_bytes: int = 2048,
         team_local_globals: bool = False,
         optimize: bool = True,
+        opt_level: int | None = None,
         rpc_transport: str = "direct",
     ):
         if rpc_transport not in ("direct", "ring"):
@@ -93,10 +94,24 @@ class Loader:
             globals_to_shared_pass(
                 module, shared_mem_budget=self.device.config.shared_mem_per_block
             )
-        module = finalize_executable(module, optimize=optimize, **obs_kw)
+        module = finalize_executable(
+            module, optimize=optimize, opt_level=opt_level, **obs_kw
+        )
         self.module = module
         self.image: DeviceImage = self.device.load_image(module)
         self.heap_addr = self.device.alloc(heap_bytes)
+        self._static_footprint = None
+
+    @property
+    def static_footprint(self):
+        """Lazily computed :class:`~repro.analysis.footprint.StaticFootprint`
+        of the linked module's ``__user_main`` — the per-instance heap
+        bound the scheduler's static packing consumes."""
+        if self._static_footprint is None:
+            from repro.analysis.footprint import compute_footprint
+
+            self._static_footprint = compute_footprint(self.module)
+        return self._static_footprint
 
     # ------------------------------------------------------------------
     # plumbing shared with the ensemble loader

@@ -16,14 +16,19 @@ implement the same contracts over our IR:
   :func:`~repro.passes.cfg_simplify.cfg_simplify_pass`
 * :func:`~repro.passes.globals_to_shared.globals_to_shared_pass`
   (the §3.3 isolation mitigation)
+* :func:`~repro.passes.barrier_elim.redundant_barrier_elim_pass`,
+  :func:`~repro.passes.alias_opt.alias_dce_pass` (the points-to-driven
+  ``-O2`` stage; see ``finalize_executable(opt_level=2)``)
 
 Use :func:`~repro.passes.pipeline.compile_for_device` on a freshly compiled
 program module and :func:`~repro.passes.pipeline.finalize_executable` after
 the loader has linked in its kernel.
 """
 
-from repro.passes.pass_manager import PassManager
+from repro.passes.pass_manager import PassManager, mutates_only, preserves_ir
 from repro.passes.linker import link_modules
+from repro.passes.alias_opt import alias_dce_pass
+from repro.passes.barrier_elim import redundant_barrier_elim_pass
 from repro.passes.declare_target import declare_target_pass
 from repro.passes.rename_main import rename_main_pass, USER_MAIN
 from repro.passes.rpc_lowering import rpc_lowering_pass
@@ -37,7 +42,11 @@ from repro.passes.pipeline import compile_for_device, finalize_executable
 
 __all__ = [
     "PassManager",
+    "alias_dce_pass",
     "link_modules",
+    "mutates_only",
+    "preserves_ir",
+    "redundant_barrier_elim_pass",
     "declare_target_pass",
     "rename_main_pass",
     "USER_MAIN",

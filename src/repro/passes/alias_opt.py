@@ -1,0 +1,73 @@
+"""Alias-sharpened dead-store elimination.
+
+The baseline :mod:`~repro.passes.dce` can only drop pure value
+computations — a ``store`` writes memory, and without alias information
+*every* store must be assumed observable (another thread, a later load,
+the host via RPC).  Points-to analysis removes the assumption: a store
+is dead when every object its address may reference is
+
+* a per-thread ``salloc`` object (``MemSpace.STACK`` — invisible to
+  other threads and instances by construction),
+* never read anywhere in the module (no load/atomic/memcpy-source may
+  alias it),
+* not RPC-visible (never handed to the host), and
+* not address-taken (its address is never stored into other memory, so
+  no load through another pointer can reach it).
+
+Dead scratch buffers are exactly what inlining CPU-style helper
+functions leaves behind; deleting the stores lets the ordinary DCE then
+delete the address arithmetic and the ``salloc`` itself.  The pass runs
+inside the ``-O2`` stage of :func:`repro.passes.pipeline.finalize_executable`,
+after inlining, sharing one :class:`~repro.analysis.pointsto.PointsTo`
+with the other interprocedural passes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pointsto import (
+    READ_ADDR_POS,
+    MemSpace,
+    PointsTo,
+)
+from repro.ir.instructions import Opcode
+from repro.ir.module import Module
+
+#: Opcodes whose only memory effect is a write (atomics also *read*, and
+#: their fetched value may be used, so they are never deleted here).
+_PURE_WRITES = frozenset({Opcode.STORE, Opcode.MEMSET})
+
+
+def alias_dce_pass(module: Module, pointsto: PointsTo | None = None, metrics=None) -> None:
+    """Delete stores to provably private, never-read stack objects."""
+    pt = pointsto or PointsTo(module)
+
+    read_objs: set = set()
+    for fn in module.functions.values():
+        for instr in fn.iter_instrs():
+            if instr.op in READ_ADDR_POS:
+                read_objs |= pt.addr_objects(fn.name, instr, written=False)
+    escaped = pt.address_taken() | pt.rpc_visible
+
+    def deletable(objs) -> bool:
+        return bool(objs) and all(
+            pt.space(o) is MemSpace.STACK and o not in read_objs and o not in escaped
+            for o in objs
+        )
+
+    removed = 0
+    for fn in module.functions.values():
+        for block in fn.iter_blocks():
+            kept = []
+            for instr in block.instrs:
+                if instr.op in _PURE_WRITES and deletable(
+                    pt.addr_objects(fn.name, instr, written=True)
+                ):
+                    removed += 1
+                    continue
+                kept.append(instr)
+            block.instrs = kept
+    if metrics is not None and removed:
+        metrics.counter("passes.alias_dce.removed").inc(removed)
+
+
+__all__ = ["alias_dce_pass"]

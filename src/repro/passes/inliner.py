@@ -116,11 +116,25 @@ def _expand(
 
     label_map = {lbl: f"{prefix}.{lbl}" for lbl in callee.block_order}
 
+    # Synthesized instructions carry the *call site's* source location:
+    # an argument-binding mov belongs to the call line, not to nothing —
+    # diagnostics must keep pointing at user source after inlining.
+    site_loc = call.meta.get("loc")
+
+    def stamped(instr: Instr, loc=None) -> Instr:
+        if loc is not None:
+            instr.meta["loc"] = loc
+        elif site_loc is not None:
+            instr.meta["loc"] = site_loc
+        return instr
+
     # Bind arguments: fresh registers standing for the callee's parameters.
     for param_reg, arg in zip(callee.param_regs, call.args):
         dst = map_reg(param_reg)
-        head.instrs.append(Instr(Opcode.MOV, dst, (arg,)))
-    head.instrs.append(Instr(Opcode.BR, targets=(label_map[callee.block_order[0]],)))
+        head.instrs.append(stamped(Instr(Opcode.MOV, dst, (arg,))))
+    head.instrs.append(
+        stamped(Instr(Opcode.BR, targets=(label_map[callee.block_order[0]],)))
+    )
 
     new_labels: list[str] = []
     for lbl in callee.block_order:
@@ -134,15 +148,21 @@ def _expand(
             if ni.targets:
                 ni.targets = tuple(label_map[t] for t in ni.targets)
             if ni.op is Opcode.RET:
-                ni = Instr(Opcode.BR, targets=(cont.label,))
+                # The replacement branch inherits the return's location so
+                # the inlined body stays attributed to callee source lines.
+                ni = stamped(Instr(Opcode.BR, targets=(cont.label,)), ni.meta.get("loc"))
             elif ni.op is Opcode.RETVAL:
                 value = ni.args[0]
+                ret_loc = ni.meta.get("loc")
                 nb.instrs.extend(
                     [
-                        Instr(Opcode.MOV, call.dest, (value,))
-                        if call.dest is not None
-                        else Instr(Opcode.MOV, caller.new_reg(value.ty), (value,)),
-                        Instr(Opcode.BR, targets=(cont.label,)),
+                        stamped(
+                            Instr(Opcode.MOV, call.dest, (value,))
+                            if call.dest is not None
+                            else Instr(Opcode.MOV, caller.new_reg(value.ty), (value,)),
+                            ret_loc,
+                        ),
+                        stamped(Instr(Opcode.BR, targets=(cont.label,)), ret_loc),
                     ]
                 )
                 continue

@@ -88,10 +88,65 @@ _HOISTABLE = frozenset(
 )
 
 
-def licm_pass(module: Module) -> None:
-    """Hoist loop-invariant single-definition values into loop preheaders."""
+def licm_pass(module: Module, pointsto=None) -> None:
+    """Hoist loop-invariant single-definition values into loop preheaders.
+
+    With a :class:`~repro.analysis.pointsto.PointsTo` solution (the
+    ``-O2`` stage passes one), loads from provably read-only globals
+    become hoistable too — see :func:`_readonly_load_candidates`.
+    """
     for fn in module.functions.values():
-        _licm_function(fn)
+        loads = (
+            _readonly_load_candidates(module, fn, pointsto)
+            if pointsto is not None
+            else frozenset()
+        )
+        _licm_function(fn, loads)
+
+
+def _readonly_load_candidates(module: Module, fn, pt) -> frozenset[int]:
+    """``id()``s of LOAD instructions that are safe to speculate out of a
+    loop: the address is a single-def ``gaddr`` of a global that is never
+    written through *any* may-aliasing pointer anywhere in the module, is
+    never handed to the host (RPC could write it), and the access is
+    statically in bounds — so executing the load early (even when the
+    loop would have run zero times) can neither trap nor observe a
+    different value."""
+    from repro.analysis.pointsto import WRITE_ADDR_POS, MemObject
+
+    written: list = []
+    for f in module.functions.values():
+        for instr in f.iter_instrs():
+            if instr.op in WRITE_ADDR_POS:
+                written.append(pt.addr_objects(f.name, instr, written=True))
+
+    def read_only(sym: str) -> bool:
+        obj = MemObject("global", sym)
+        if obj in pt.rpc_visible:
+            return False
+        return not any(pt.may_alias({obj}, objs) for objs in written)
+
+    gaddr_defs: dict[int, list[Instr]] = {}
+    for instr in fn.iter_instrs():
+        if instr.dest is not None:
+            gaddr_defs.setdefault(instr.dest.id, []).append(instr)
+
+    out: set[int] = set()
+    for instr in fn.iter_instrs():
+        if instr.op is not Opcode.LOAD or not instr.args:
+            continue
+        addr = instr.args[0]
+        if not isinstance(addr, Reg):
+            continue
+        defs = gaddr_defs.get(addr.id, [])
+        if len(defs) != 1 or defs[0].op is not Opcode.GADDR:
+            continue
+        g = module.globals.get(defs[0].sym)
+        if g is None or not (0 <= instr.offset and instr.offset + instr.mty.size <= g.nbytes):
+            continue
+        if read_only(defs[0].sym):
+            out.add(id(instr))
+    return frozenset(out)
 
 
 # ---------------------------------------------------------------------------
@@ -157,7 +212,7 @@ def _natural_loops(
 # ---------------------------------------------------------------------------
 
 
-def _licm_function(fn: Function) -> None:
+def _licm_function(fn: Function, hoistable_loads: frozenset[int] = frozenset()) -> None:
     if len(fn.blocks) < 2:
         return
     preds = _predecessors(fn)
@@ -177,7 +232,7 @@ def _licm_function(fn: Function) -> None:
     # process larger (outer) loops last so inner-hoisted code can keep
     # moving outward across runs of the pass
     for header in sorted(loops, key=lambda h: len(loops[h])):
-        _hoist_loop(fn, header, loops[header], preds, def_count)
+        _hoist_loop(fn, header, loops[header], preds, def_count, hoistable_loads)
         preds = _predecessors(fn)  # preheader insertion changed the CFG
 
 
@@ -187,6 +242,7 @@ def _hoist_loop(
     body: set[str],
     preds: dict[str, list[str]],
     def_count: dict[int, int],
+    hoistable_loads: frozenset[int] = frozenset(),
 ) -> None:
     # registers defined anywhere in the loop
     defined_in_loop: set[int] = set()
@@ -214,7 +270,7 @@ def _hoist_loop(
             kept: list[Instr] = []
             for instr in block.instrs:
                 if instr.op not in banned and _can_hoist(
-                    instr, defined_in_loop, hoisted_ids, def_count
+                    instr, defined_in_loop, hoisted_ids, def_count, hoistable_loads
                 ):
                     hoisted.append(instr)
                     hoisted_ids.add(instr.dest.id)
@@ -226,8 +282,17 @@ def _hoist_loop(
     if not hoisted:
         return
 
-    # build the preheader and retarget the loop's outside entries
-    pre = Block(f"licm.{header}")
+    # Build the preheader and retarget the loop's outside entries.  A later
+    # (alias-sharpened) run can hoist again out of a loop that already has a
+    # preheader, so the label must be uniquified — assigning a duplicate
+    # would silently overwrite the blocks entry while block_order gains a
+    # second occurrence.
+    label = f"licm.{header}"
+    serial = 1
+    while label in fn.blocks:
+        serial += 1
+        label = f"licm.{header}.{serial}"
+    pre = Block(label)
     pre.instrs = hoisted + [Instr(Opcode.BR, targets=(header,))]
     fn.blocks[pre.label] = pre
     pos = fn.block_order.index(header)
@@ -247,8 +312,11 @@ def _can_hoist(
     defined_in_loop: set[int],
     hoisted_ids: set[int],
     def_count: dict[int, int],
+    hoistable_loads: frozenset[int] = frozenset(),
 ) -> bool:
-    if instr.op not in _HOISTABLE or instr.dest is None:
+    if instr.dest is None:
+        return False
+    if instr.op not in _HOISTABLE and id(instr) not in hoistable_loads:
         return False
     if def_count[instr.dest.id] != 1:
         return False

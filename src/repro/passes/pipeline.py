@@ -23,6 +23,8 @@ from __future__ import annotations
 from repro.errors import PassError
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
+from repro.passes.alias_opt import alias_dce_pass
+from repro.passes.barrier_elim import redundant_barrier_elim_pass
 from repro.passes.cfg_simplify import cfg_simplify_pass
 from repro.passes.constfold import constfold_pass
 from repro.passes.dce import dce_pass
@@ -95,22 +97,60 @@ def finalize_executable(
     analyze: bool = False,
     tracer=None,
     metrics=None,
+    opt_level: int | None = None,
 ) -> Module:
     """Inline + optimize a linked module into its executable form.
 
+    ``opt_level`` selects the optimization stage:
+
+    * ``0`` — inline only (same as ``optimize=False``);
+    * ``1`` — the classic intraprocedural sweep (constfold/DCE/LICM/CFG
+      simplification iterated twice) — the default with ``optimize=True``;
+    * ``2`` — everything in ``1`` plus the interprocedural stage: an
+      :class:`~repro.analysis.manager.AnalysisManager` (kept honest by the
+      pass manager's fingerprint invalidation) feeds points-to facts into
+      :mod:`~repro.passes.barrier_elim`, alias-sharpened dead-store
+      elimination, and read-only-global load hoisting, followed by one
+      more cleanup round.
+
     ``tracer``/``metrics`` behave as in :func:`compile_for_device`.
     """
-    pm = PassManager()
+    if opt_level is None:
+        opt_level = 1 if optimize else 0
+    if opt_level not in (0, 1, 2):
+        raise PassError(f"unsupported opt_level {opt_level!r} (expected 0, 1 or 2)")
+    am = None
+    if opt_level >= 2:
+        from repro.analysis.manager import AnalysisManager
+
+        am = AnalysisManager(module)
+    pm = PassManager(am=am)
     pm.add(rpc_lowering_pass, "rpc-lowering")  # idempotent; covers loader code
     pm.add(inline_all_pass, "inline-all")
-    if optimize:
+    if opt_level >= 1:
         for round_ in range(2):
             pm.add(constfold_pass, f"constfold.{round_}")
             pm.add(dce_pass, f"dce.{round_}")
             if round_ == 0:
                 pm.add(licm_pass, "licm")
             pm.add(cfg_simplify_pass, f"cfg-simplify.{round_}")
+    if opt_level >= 2:
+        # The analysis manager caches one points-to solution across the
+        # stage; the pass manager re-fingerprints after every pass and
+        # recomputes it only when a pass actually mutated a function.
+        pm.add(
+            lambda m: redundant_barrier_elim_pass(m, am.get("pointsto"), metrics),
+            "barrier-elim",
+        )
+        pm.add(lambda m: alias_dce_pass(m, am.get("pointsto"), metrics), "alias-dce")
+        pm.add(lambda m: licm_pass(m, am.get("pointsto")), "licm.ro-loads")
+        pm.add(dce_pass, "dce.2")
+        pm.add(cfg_simplify_pass, "cfg-simplify.2")
     module = _run_pipeline(pm, module, "finalize_executable", tracer, metrics)
+    module.metadata["opt_level"] = opt_level
+    if am is not None and metrics is not None:
+        metrics.counter("analysis.cache.hits").inc(am.hits)
+        metrics.counter("analysis.cache.misses").inc(am.misses)
     if verify:
         verify_module(module)
     if analyze:

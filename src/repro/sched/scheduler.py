@@ -129,6 +129,7 @@ class Scheduler:
         obs: Observability | None = None,
         faults=None,
         quarantine_threshold: int = 3,
+        static_packing: bool = True,
     ):
         if default_retries < 0:
             raise SchedulerError("default_retries must be >= 0")
@@ -140,6 +141,9 @@ class Scheduler:
         self.backoff_base = backoff_base
         self.chunk_size = chunk_size
         self.quarantine_threshold = quarantine_threshold
+        #: Seed per-device batch caps from the compiler's StaticFootprint
+        #: instead of discovering them through runtime OOM bisection.
+        self.static_packing = static_packing
         self.obs = obs if obs is not None else Observability()
         self.tracer = self.obs.tracer
         self.metrics = self.obs.metrics
@@ -163,6 +167,8 @@ class Scheduler:
         #: per-(worker, job) bisection state: a size that OOMed on a device
         #: is never retried on that device.
         self._policies: dict[tuple[int, int], BisectionPolicy] = {}
+        #: per-(worker, job) statically derived batch cap (None = dynamic).
+        self._static_caps: dict[tuple[int, int], int | None] = {}
         self._next_job_id = 0
         self._rr = 0  # round-robin cursor for chunk placement
 
@@ -341,10 +347,36 @@ class Scheduler:
             return
 
         # per-device bisection: never re-try a size this device OOMed on
-        policy = self._policies.setdefault(
-            (worker.index, job.job_id), BisectionPolicy(max_batch=self.max_batch)
-        )
+        key = (worker.index, job.job_id)
+        policy = self._policies.get(key)
+        if policy is None:
+            policy = BisectionPolicy(max_batch=self.max_batch)
+            static_cap = self._seed_static_cap(worker, job, loader, policy)
+            self._policies[key] = policy
+            self._static_caps[key] = static_cap
+        static_cap = self._static_caps.get(key)
+        if static_cap == 0:
+            # Not even one instance fits the device heap: fail before the
+            # first launch instead of discovering it through bisection.
+            fp = loader.static_footprint
+            self._fail_job(
+                job,
+                DeviceOutOfMemory(
+                    requested=fp.heap_hi or 0,
+                    free=loader.heap_bytes,
+                    capacity=loader.heap_bytes,
+                ),
+            )
+            return
         cap = policy.next_size(len(chunk.instances))
+        if (
+            static_cap is not None
+            and policy.current is None
+            and cap < len(chunk.instances)
+        ):
+            # The static bound (not OOM history — none yet) truncated the
+            # chunk: one doomed launch + bisection round skipped.
+            self.metrics.counter("analysis.packing.static_hits").inc()
         if len(chunk.instances) > cap:
             head = _Chunk(
                 job,
@@ -508,6 +540,44 @@ class Scheduler:
         )
         self._count("instances.completed", len(chunk.instances))
         self._maybe_complete(job)
+
+    def _seed_static_cap(
+        self, worker: PoolWorker, job: Job, loader, policy: BisectionPolicy
+    ) -> int | None:
+        """Seed a fresh bisection policy from the compiled module's
+        :class:`~repro.analysis.footprint.StaticFootprint`.
+
+        Returns the static per-device instance cap (``0`` = even one
+        instance cannot fit), or ``None`` when packing is disabled or the
+        footprint is unbounded — the classic dynamic-bisection path.
+        """
+        if not self.static_packing:
+            return None
+        try:
+            fp = loader.static_footprint
+        except ReproError:
+            return None
+        cap = fp.max_instances(loader.heap_bytes)
+        if cap is None:
+            self.metrics.counter("analysis.packing.static_misses").inc()
+            self._event(
+                f"static packing miss on {worker.label}",
+                job=job.job_id,
+                bounded=fp.bounded,
+            )
+            return None
+        self.metrics.counter("analysis.packing.static_seeds").inc()
+        self._event(
+            f"static packing cap {cap} on {worker.label}",
+            job=job.job_id,
+            heap_hi=fp.heap_hi,
+            cap=cap,
+        )
+        if cap > 0:
+            policy.max_batch = (
+                cap if policy.max_batch is None else min(policy.max_batch, cap)
+            )
+        return cap
 
     def _retry(self, worker: PoolWorker, chunk: _Chunk, exc: Exception) -> None:
         job = chunk.job

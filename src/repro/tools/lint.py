@@ -4,20 +4,37 @@ Runs the :mod:`repro.analysis` checkers on an application at a chosen
 pipeline stage and reports the findings as compiler-style text or JSON::
 
     python -m repro.tools.lint xsbench
-    python -m repro.tools.lint rsbench --stage device --json
+    python -m repro.tools.lint rsbench --stage device --format json
     python -m repro.tools.lint pagerank --checker races --checker uninit
     python -m repro.tools.lint --all --fail-on error
+    python -m repro.tools.lint pagerank --interproc
 
-Exit status is 1 when any diagnostic at or above the ``--fail-on``
-severity (default: ``error``) was produced, so the command slots directly
-into ``make lint`` / CI.
+``--interproc`` additionally reports the interprocedural facts (call
+cycles, allocation bounds, the static per-instance footprint) from
+:mod:`repro.analysis.interproc`.
+
+Exit status (stable contract for CI):
+
+* ``0`` — clean (no diagnostic at or above ``--fail-on``),
+* ``1`` — findings at or above the ``--fail-on`` severity (default
+  ``error``),
+* ``2`` — usage error (unknown app name),
+* ``3`` — internal error (a checker or the compiler crashed).
+
+The JSON format (``--format json``) is a stable schema: one object with
+``stage`` and ``apps``; each app maps to a list of diagnostics carrying
+``file``/``line``/``col`` (source provenance when the frontend recorded
+it), ``severity``, ``checker``, ``function``/``block``/``index``,
+``sym``, ``message`` and ``hint``.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
+import traceback
 
 from repro.analysis import CHECKERS, Severity, analyze_module, count_by_severity
 from repro.analysis.diagnostics import Diagnostic
@@ -31,11 +48,33 @@ FAIL_LEVELS = {
     "never": None,
 }
 
+#: Stable exit codes (see module docstring).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
 
-def lint_app(entry, stage: str, checkers: list[str] | None) -> list[Diagnostic]:
+
+def lint_app(
+    entry, stage: str, checkers: list[str] | None, *, interproc: bool = False
+) -> list[Diagnostic]:
     """Compile one registry app to ``stage`` and run the checkers on it."""
     module = module_at_stage(entry.build_program(), stage)
-    return analyze_module(module, checkers)
+    diags = analyze_module(module, checkers)
+    if interproc:
+        from repro.analysis.interproc import interproc_facts
+
+        diags.extend(interproc_facts(module))
+    return diags
+
+
+def _app_source_file(entry) -> str | None:
+    """The Python source file an app is defined in — the closest thing the
+    DSL has to a translation unit, and what ``line``/``col`` refer to."""
+    try:
+        return inspect.getsourcefile(entry.build_program)
+    except (TypeError, OSError):
+        return None
 
 
 def _render_text(app: str, diags: list[Diagnostic]) -> None:
@@ -68,15 +107,30 @@ def main(argv: list[str] | None = None) -> int:
         help="run only this checker (repeatable; default: all)",
     )
     parser.add_argument(
+        "--interproc",
+        action="store_true",
+        help="also report interprocedural facts (call cycles, allocation "
+        "bounds, the static packing footprint)",
+    )
+    parser.add_argument(
         "--fail-on",
         choices=sorted(FAIL_LEVELS),
         default="error",
         help="exit nonzero when a diagnostic at or above this severity fires",
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit diagnostics as JSON"
+        "--format",
+        choices=("text", "json"),
+        default=None,
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="deprecated alias for --format json",
     )
     args = parser.parse_args(argv)
+    fmt = args.format or ("json" if args.json else "text")
 
     from repro.apps.registry import APPS
 
@@ -92,22 +146,31 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"unknown app(s) {unknown}; choices: {sorted(APPS)}", file=sys.stderr
         )
-        return 2
+        return EXIT_USAGE
 
     threshold = FAIL_LEVELS[args.fail_on]
     failed = False
     report: dict[str, list[dict]] = {}
     for name in names:
-        diags = lint_app(APPS[name], args.stage, args.checker)
-        if args.json:
-            report[name] = [d.to_dict() for d in diags]
+        entry = APPS[name]
+        try:
+            diags = lint_app(
+                entry, args.stage, args.checker, interproc=args.interproc
+            )
+        except Exception:
+            print(f"internal error linting {name!r}:", file=sys.stderr)
+            traceback.print_exc()
+            return EXIT_INTERNAL
+        if fmt == "json":
+            src = _app_source_file(entry)
+            report[name] = [dict(d.to_dict(), file=src) for d in diags]
         else:
             _render_text(name, diags)
         if threshold is not None and any(d.severity >= threshold for d in diags):
             failed = True
-    if args.json:
+    if fmt == "json":
         print(json.dumps({"stage": args.stage, "apps": report}, indent=2))
-    return 1 if failed else 0
+    return EXIT_FINDINGS if failed else EXIT_CLEAN
 
 
 if __name__ == "__main__":  # pragma: no cover

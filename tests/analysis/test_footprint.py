@@ -1,0 +1,174 @@
+"""Static heap footprint: alloc sites, loop multipliers, instance caps."""
+
+from repro.analysis.footprint import StaticFootprint, compute_footprint
+from repro.analysis.ranges import Interval
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, GlobalVar, Module
+from repro.ir.types import I64, MemType, ScalarType
+from repro.passes.linker import link_modules
+from repro.runtime.libc import libc_module
+
+
+def _module():
+    m = Module("m")
+    return m
+
+
+def _entry(m, body):
+    fn = Function("__user_main", [], ScalarType.I64, is_kernel=False)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    body(b, fn)
+    m.add_function(fn)
+    link_modules(m, libc_module())
+    return fn
+
+
+def test_straightline_malloc_bounded():
+    m = _module()
+
+    def body(b, fn):
+        b.call("malloc", [b.const_i(100)], ScalarType.I64)
+        b.retval(b.const_i(0))
+
+    _entry(m, body)
+    fp = compute_footprint(m)
+    assert fp.bounded
+    # 100 bytes rounds up to one 256-byte heap line
+    assert fp.heap_hi == 256
+    assert len(fp.sites) == 1
+    assert fp.sites[0].callee == "malloc"
+
+
+def test_element_allocators_scale_by_width():
+    m = _module()
+
+    def body(b, fn):
+        b.call("malloc_f64", [b.const_i(64)], ScalarType.I64)  # 64 * 8 = 512 B
+        b.retval(b.const_i(0))
+
+    _entry(m, body)
+    fp = compute_footprint(m)
+    assert fp.bounded and fp.heap_hi == 512
+    # the wrapper's internal call to malloc must not be double counted
+    assert len(fp.sites) == 1
+
+
+def test_loop_multiplies_allocation():
+    m = _module()
+
+    def body(b, fn):
+        i = fn.new_reg(I64)
+        b.mov_to(i, b.const_i(0))
+        stop = b.const_i(4)
+        cond = b.create_block("cond")
+        loop = b.create_block("loop")
+        done = b.create_block("done")
+        b.br(cond)
+        b.set_block(cond)
+        c = b.binop(Opcode.ICMP_SLT, i, stop)
+        b.cbr(c, loop, done)
+        b.set_block(loop)
+        b.call("malloc", [b.const_i(32)], ScalarType.I64)
+        b.mov_to(i, b.binop(Opcode.ADD, i, b.const_i(1)))
+        b.br(cond)
+        b.set_block(done)
+        b.retval(b.const_i(0))
+
+    _entry(m, body)
+    fp = compute_footprint(m)
+    assert fp.bounded
+    assert fp.heap_hi == 4 * 256  # 4 trips x one aligned line each
+    assert fp.sites[0].count.hi == 4
+
+
+def test_runtime_size_is_unbounded():
+    m = _module()
+
+    def body(b, fn):
+        n = b.kparam(0)
+        b.call("malloc", [n], ScalarType.I64)
+        b.retval(b.const_i(0))
+
+    _entry(m, body)
+    fp = compute_footprint(m)
+    assert not fp.bounded
+    assert fp.heap_hi is None
+    assert fp.max_instances(1 << 20) is None
+
+
+def test_recursion_degrades_to_unbounded():
+    m = _module()
+
+    rec = Function("rec", [("n", I64)], ScalarType.VOID)
+    rb = IRBuilder(rec)
+    rb.set_block(rec.add_block("entry"))
+    rb.call("malloc", [rb.const_i(8)], ScalarType.I64)
+    rb.call("rec", [rec.param_regs[0]], ScalarType.VOID)
+    rb.ret()
+    m.add_function(rec)
+
+    def body(b, fn):
+        b.call("rec", [b.const_i(1)], ScalarType.VOID)
+        b.retval(b.const_i(0))
+
+    _entry(m, body)
+    fp = compute_footprint(m)
+    assert not fp.bounded and fp.heap_hi is None
+
+
+def test_globals_counted():
+    m = _module()
+    m.add_global(GlobalVar("table", MemType.I64, 16))  # 128 B
+
+    def body(b, fn):
+        b.retval(b.const_i(0))
+
+    _entry(m, body)
+    fp = compute_footprint(m)
+    assert fp.globals_bytes >= 128
+    assert fp.bounded and fp.heap_hi == 0
+
+
+def test_max_instances_packing():
+    fp = StaticFootprint(
+        entry="__user_main",
+        heap_lo=256,
+        heap_hi=1024,
+        globals_bytes=0,
+        sites=(),
+    )
+    assert fp.max_instances(10 * 1024) == 10
+    assert fp.max_instances(512) == 0  # doomed: not even one instance fits
+    zero = StaticFootprint("__user_main", 0, 0, 0, ())
+    # no allocations -> packing is not heap-limited; report "no cap"
+    assert zero.max_instances(1024) is None
+
+
+def test_describe_is_readable():
+    m = _module()
+
+    def body(b, fn):
+        b.call("malloc", [b.const_i(100)], ScalarType.I64)
+        b.retval(b.const_i(0))
+
+    _entry(m, body)
+    fp = compute_footprint(m)
+    text = fp.describe()
+    assert "256" in text and "__user_main" in text
+    assert fp.sites[0].describe()
+
+
+def test_interval_helpers_on_sites():
+    m = _module()
+
+    def body(b, fn):
+        b.call("malloc", [b.const_i(300)], ScalarType.I64)
+        b.retval(b.const_i(0))
+
+    _entry(m, body)
+    fp = compute_footprint(m)
+    site = fp.sites[0]
+    assert site.size == Interval.const(300)
+    assert site.total_hi == 512  # align256(300)

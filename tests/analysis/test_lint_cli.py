@@ -84,3 +84,85 @@ class TestFindingsRendering:
         assert finding["checker"] == "races"
         assert finding["sym"] == "counter"
         assert finding["line"] is not None  # frontend recorded a source loc
+
+
+class TestFormatFlag:
+    def test_format_json_matches_legacy_alias(self, capsys):
+        assert main(["stream", "--format", "json"]) == 0
+        new = capsys.readouterr().out
+        assert main(["stream", "--json"]) == 0
+        legacy = capsys.readouterr().out
+        assert json.loads(new) == json.loads(legacy)
+
+    def test_json_rows_carry_file_line_col(self, capsys):
+        import inspect
+
+        from repro.apps import registry
+
+        main(["pagerank", "--format", "json", "--interproc"])
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["apps"]["pagerank"]
+        assert rows, "--interproc must report facts for pagerank"
+        src = inspect.getsourcefile(registry.APPS["pagerank"].build_program)
+        for row in rows:
+            assert row["file"] == src
+            assert {"line", "col", "severity", "checker", "message"} <= row.keys()
+
+    def test_interproc_reports_unbounded_allocs(self, capsys):
+        # pagerank mallocs runtime-dependent sizes: the facts must say so,
+        # with source provenance intact
+        assert main(["pagerank", "--interproc", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        unbounded = [
+            d
+            for d in payload["apps"]["pagerank"]
+            if d["checker"] == "interproc" and "unbounded allocation" in d["message"]
+        ]
+        assert unbounded
+        assert all(d["line"] is not None for d in unbounded)
+
+    def test_interproc_reports_footprint_summary(self, capsys):
+        assert main(["stream", "--interproc"]) == 0
+        out = capsys.readouterr().out
+        assert "static footprint" in out
+
+
+class TestExitCodeContract:
+    """The documented 0/1/2/3 contract CI relies on."""
+
+    def test_findings_exit_one(self, monkeypatch, capsys):
+        from repro.apps import registry
+        from tests.analysis.fixtures import racy_counter_program
+
+        entry = registry.AppEntry(
+            name="racy_counter",
+            description="racy fixture",
+            build_program=racy_counter_program,
+            default_args=lambda: ["1"],
+            reference_fn=lambda: 0.0,
+            bound="memory",
+        )
+        monkeypatch.setitem(registry.APPS, "racy_counter", entry)
+        assert main(["racy_counter", "--stage", "device"]) == 1
+
+    def test_usage_exit_two(self, capsys):
+        assert main(["not_an_app"]) == 2
+
+    def test_internal_error_exit_three(self, monkeypatch, capsys):
+        from repro.apps import registry
+
+        def explode():
+            raise RuntimeError("compiler bug")
+
+        entry = registry.AppEntry(
+            name="broken",
+            description="always crashes",
+            build_program=explode,
+            default_args=lambda: [],
+            reference_fn=lambda: 0.0,
+            bound="memory",
+        )
+        monkeypatch.setitem(registry.APPS, "broken", entry)
+        assert main(["broken"]) == 3
+        err = capsys.readouterr().err
+        assert "internal error" in err and "compiler bug" in err

@@ -1,0 +1,164 @@
+"""AnalysisManager caching/invalidation and the pass-manager lie detector."""
+
+import pytest
+
+from repro.analysis.manager import AnalysisManager, fingerprint_function
+from repro.errors import AnalysisError, PassError
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Function, Module
+from repro.ir.types import ScalarType
+from repro.passes.pass_manager import PassManager, mutates_only, preserves_ir
+
+
+def two_fn_module():
+    m = Module("m")
+    for name in ("alpha", "beta"):
+        fn = Function(name, [], ScalarType.VOID, is_kernel=(name == "alpha"))
+        b = IRBuilder(fn)
+        b.set_block(fn.add_block("entry"))
+        b.const_i(1)
+        b.ret()
+        m.add_function(fn)
+    return m
+
+
+def append_const(fn):
+    """Structurally mutate ``fn`` (adds a movi before the terminator)."""
+    block = next(iter(fn.blocks.values()))
+    b = IRBuilder(fn)
+    b.set_block(block)
+    term = block.instrs.pop()
+    b.const_i(99)
+    block.instrs.append(term)
+
+
+class TestCaching:
+    def test_get_caches_module_scoped(self):
+        am = AnalysisManager(two_fn_module())
+        first = am.get("pointsto")
+        second = am.get("pointsto")
+        assert first is second
+        assert am.hits >= 1
+
+    def test_get_caches_function_scoped(self):
+        am = AnalysisManager(two_fn_module())
+        assert am.get("cfg", "alpha") is am.get("cfg", "alpha")
+        assert am.get("cfg", "alpha") is not am.get("cfg", "beta")
+
+    def test_scope_misuse_raises(self):
+        am = AnalysisManager(two_fn_module())
+        with pytest.raises(AnalysisError):
+            am.get("pointsto", "alpha")
+        with pytest.raises(AnalysisError):
+            am.get("cfg")
+        with pytest.raises(AnalysisError):
+            am.get("nonsense")
+
+
+class TestInvalidation:
+    def test_fingerprint_ignores_meta(self):
+        m = two_fn_module()
+        fn = m.functions["alpha"]
+        before = fingerprint_function(fn)
+        for instr in fn.iter_instrs():
+            instr.meta["loc"] = (1, 2)
+        assert fingerprint_function(fn) == before
+
+    def test_refresh_drops_only_mutated_function_entries(self):
+        m = two_fn_module()
+        am = AnalysisManager(m)
+        am.get("cfg", "alpha")
+        am.get("cfg", "beta")
+        am.get("pointsto")
+        snap = am.snapshot()
+        append_const(m.functions["alpha"])
+        changed = am.changed_since(snap)
+        assert changed == {"alpha"}
+        am.refresh(changed)
+        assert not am.cached("cfg", "alpha")
+        assert am.cached("cfg", "beta")
+        # any body change invalidates every module-scoped analysis
+        assert not am.cached("pointsto")
+
+    def test_no_change_keeps_everything(self):
+        am = AnalysisManager(two_fn_module())
+        am.get("pointsto")
+        snap = am.snapshot()
+        assert am.changed_since(snap) == set()
+        am.refresh(set())
+        assert am.cached("pointsto")
+
+
+class TestLieDetector:
+    def test_preserves_ir_liar_raises(self):
+        m = two_fn_module()
+
+        @preserves_ir
+        def liar(module):
+            append_const(module.functions["alpha"])
+
+        pm = PassManager(am=AnalysisManager(m))
+        pm.add(liar, "liar")
+        with pytest.raises(PassError, match="preserves_ir but mutated"):
+            pm.run(m)
+
+    def test_mutates_only_liar_raises(self):
+        m = two_fn_module()
+
+        @mutates_only("beta")
+        def liar(module):
+            append_const(module.functions["alpha"])
+
+        pm = PassManager(am=AnalysisManager(m))
+        pm.add(liar, "liar")
+        with pytest.raises(PassError, match="did not declare"):
+            pm.run(m)
+
+    def test_honest_declarations_pass(self):
+        m = two_fn_module()
+
+        @mutates_only("alpha")
+        def honest(module):
+            append_const(module.functions["alpha"])
+
+        @preserves_ir
+        def reader(module):
+            pass
+
+        pm = PassManager(am=AnalysisManager(m))
+        pm.add(honest, "honest").add(reader, "reader")
+        pm.run(m)  # no PassError
+
+    def test_stale_cache_bug_is_caught_loudly(self):
+        """The regression this machinery exists for: a pass that mutates a
+        function it did not declare must not silently leave a stale
+        points-to cache behind — it must fail the compile."""
+        m = two_fn_module()
+        am = AnalysisManager(m)
+        am.get("pointsto")  # warm the module-scoped cache
+
+        @mutates_only("beta")
+        def sneaky(module):
+            append_const(module.functions["beta"])
+            append_const(module.functions["alpha"])  # undeclared!
+
+        pm = PassManager(am=am)
+        pm.add(sneaky, "sneaky")
+        with pytest.raises(PassError, match="alpha"):
+            pm.run(m)
+
+    def test_undeclared_mutation_still_refreshes(self):
+        """A pass with no declaration at all may mutate anything — but the
+        caches must be refreshed, not served stale."""
+        m = two_fn_module()
+        am = AnalysisManager(m)
+        stale = am.get("pointsto")
+
+        def anon(module):
+            append_const(module.functions["alpha"])
+
+        pm = PassManager(am=am)
+        pm.add(anon, "anon")
+        pm.run(m)
+        assert not am.cached("pointsto")
+        assert am.get("pointsto") is not stale

@@ -1,0 +1,162 @@
+"""Andersen-style points-to analysis: object spaces, aliasing, escape."""
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.pointsto import (
+    UNKNOWN_OBJ,
+    MemObject,
+    MemSpace,
+    PointsTo,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, GlobalVar, Module
+from repro.ir.types import I64, MemType, ScalarType
+
+
+def build_fn(module, name, body, *, params=(), ret=ScalarType.VOID, kernel=False):
+    fn = Function(name, list(params), ret, is_kernel=kernel)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    body(b, fn, module)
+    module.add_function(fn)
+    return fn
+
+
+def test_gaddr_points_to_its_global():
+    m = Module("m")
+    m.add_global(GlobalVar("g", MemType.I64, 4))
+
+    def body(b, fn, mod):
+        a = b.gaddr("g")
+        b.store(a, b.const_i(1), MemType.I64)
+        b.ret()
+
+    fn = build_fn(m, "k", body, kernel=True)
+    pt = PointsTo(m)
+    store = next(i for i in fn.iter_instrs() if i.op is Opcode.STORE)
+    objs = pt.addr_objects("k", store, written=True)
+    assert objs == {MemObject("global", "g")}
+    assert pt.space(MemObject("global", "g")) is MemSpace.GLOBAL
+
+
+def test_distinct_sallocs_do_not_alias():
+    m = Module("m")
+    regs = {}
+
+    def body(b, fn, mod):
+        regs["a"] = b.salloc(16)
+        regs["b"] = b.salloc(16)
+        b.ret()
+
+    build_fn(m, "k", body, kernel=True)
+    pt = PointsTo(m)
+    pa, pb = pt.pts("k", regs["a"]), pt.pts("k", regs["b"])
+    assert pa and pb and not pt.may_alias(pa, pb)
+    assert all(pt.space(o) is MemSpace.STACK for o in pa | pb)
+
+
+def test_copies_and_arithmetic_preserve_pointees():
+    m = Module("m")
+    m.add_global(GlobalVar("g", MemType.I64, 8))
+    regs = {}
+
+    def body(b, fn, mod):
+        base = b.gaddr("g")
+        off = b.binop(Opcode.ADD, base, b.const_i(8))
+        cp = b.mov(off)
+        regs["cp"] = cp
+        b.ret()
+
+    build_fn(m, "k", body, kernel=True)
+    pt = PointsTo(m)
+    assert MemObject("global", "g") in pt.pts("k", regs["cp"])
+
+
+def test_store_then_load_flows_through_memory():
+    m = Module("m")
+    m.add_global(GlobalVar("slot", MemType.I64, 1))
+    regs = {}
+
+    def body(b, fn, mod):
+        buf = b.salloc(8)
+        cell = b.gaddr("slot")
+        b.store(cell, buf, MemType.I64)  # *slot = buf
+        out = b.load(cell, MemType.I64)  # out = *slot
+        regs["buf"], regs["out"] = buf, out
+        b.ret()
+
+    build_fn(m, "k", body, kernel=True)
+    pt = PointsTo(m)
+    assert pt.pts("k", regs["buf"]) <= pt.pts("k", regs["out"])
+    # the stack object's address was stored into memory: address-taken
+    assert pt.pts("k", regs["buf"]) <= pt.address_taken()
+
+
+def test_unknown_address_degrades_to_top():
+    m = Module("m")
+
+    def body(b, fn, mod):
+        p = b.kparam(0)
+        b.store(p, b.const_i(0), MemType.I64)
+        b.ret()
+
+    fn = build_fn(m, "k", body, kernel=True)
+    pt = PointsTo(m)
+    store = next(i for i in fn.iter_instrs() if i.op is Opcode.STORE)
+    objs = pt.addr_objects("k", store, written=True)
+    assert pt.may_alias(objs, {UNKNOWN_OBJ})
+    assert pt.thread_shared(objs)
+
+
+def test_interprocedural_param_and_return_flow():
+    m = Module("m")
+    m.add_global(GlobalVar("g", MemType.I64, 2))
+    regs = {}
+
+    def callee(b, fn, mod):
+        p = fn.param_regs[0]
+        b.retval(b.mov(p))
+
+    fn_id = Function("ident", [("p", I64)], ScalarType.I64)
+    bid = IRBuilder(fn_id)
+    bid.set_block(fn_id.add_block("entry"))
+    callee(bid, fn_id, m)
+    m.add_function(fn_id)
+
+    def caller(b, fn, mod):
+        a = b.gaddr("g")
+        r = b.call("ident", [a], ScalarType.I64)
+        regs["r"] = r
+        b.ret()
+
+    build_fn(m, "main", caller, kernel=True)
+    pt = PointsTo(m, build_callgraph(m))
+    assert MemObject("global", "g") in pt.pts("main", regs["r"])
+
+
+def test_rpc_arguments_become_rpc_visible():
+    m = Module("m")
+    m.add_global(GlobalVar("buf", MemType.I64, 8))
+
+    def body(b, fn, mod):
+        a = b.gaddr("buf")
+        b.rpc("write", [a], ScalarType.VOID)
+        b.ret()
+
+    build_fn(m, "k", body, kernel=True)
+    pt = PointsTo(m)
+    assert MemObject("global", "buf") in pt.rpc_visible
+
+
+def test_runtime_globals_classified():
+    m = Module("m")
+    m.add_global(GlobalVar("__heap_cursor", MemType.I64, 1))
+    m.add_global(GlobalVar("tls", MemType.I64, 1, team_local=True))
+
+    def body(b, fn, mod):
+        b.ret()
+
+    build_fn(m, "k", body, kernel=True)
+    pt = PointsTo(m)
+    assert pt.space(MemObject("global", "__heap_cursor")) is MemSpace.RUNTIME
+    assert pt.space(MemObject("global", "tls")) is MemSpace.TEAM_SHARED

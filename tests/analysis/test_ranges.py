@@ -1,0 +1,151 @@
+"""Interval domain, loop matching, value ranges, and trip bounds."""
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.loops import match_counted_loop, natural_loops
+from repro.analysis.ranges import TOP, Interval, ValueRanges, trip_bound
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, Module
+from repro.ir.types import I64, ScalarType
+
+
+class TestInterval:
+    def test_join_and_const(self):
+        assert Interval.const(3).join(Interval.const(7)) == Interval(3, 7)
+        assert Interval.const(5).as_const == 5
+        assert Interval(1, None).join(Interval(0, 4)) == Interval(0, None)
+
+    def test_widen_drops_moving_bounds(self):
+        old, new = Interval(0, 10), Interval(0, 20)
+        assert old.widen(new) == Interval(0, None)
+        assert old.widen(Interval(-1, 10)) == Interval(None, 10)
+        assert old.widen(Interval(0, 10)) == Interval(0, 10)
+
+    def test_arithmetic(self):
+        a, b = Interval(1, 4), Interval(-2, 3)
+        assert a.add(b) == Interval(-1, 7)
+        assert a.sub(b) == Interval(-2, 6)
+        assert a.mul(Interval.const(8)) == Interval(8, 32)
+        assert a.neg() == Interval(-4, -1)
+        top = TOP
+        assert a.add(top).is_top or a.add(top) == Interval(None, None)
+
+
+def counting_module(stop=10, step=1):
+    """k() { for (i = 0; i < stop; i += step) ; }"""
+    m = Module("m")
+    fn = Function("k", [], ScalarType.VOID, is_kernel=True)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    i = fn.new_reg(I64)
+    b.mov_to(i, b.const_i(0))
+    stop_r = b.const_i(stop)
+    cond = b.create_block("cond")
+    body = b.create_block("body")
+    done = b.create_block("done")
+    b.br(cond)
+    b.set_block(cond)
+    c = b.binop(Opcode.ICMP_SLT, i, stop_r)
+    b.cbr(c, body, done)
+    b.set_block(body)
+    t = b.binop(Opcode.ADD, i, b.const_i(step))
+    b.mov_to(i, t)
+    b.br(cond)
+    b.set_block(done)
+    b.ret()
+    m.add_function(fn)
+    labels = {"cond": cond.label, "body": body.label, "done": done.label}
+    return m, fn, i, labels
+
+
+class TestLoops:
+    def test_natural_loop_found(self):
+        _, fn, _, labels = counting_module()
+        loops = natural_loops(fn)
+        assert len(loops) == 1 and loops[0].header == labels["cond"]
+        assert {labels["cond"], labels["body"]} <= set(loops[0].body)
+
+    def test_counted_loop_matched(self):
+        _, fn, i, _ = counting_module(step=2)
+        counted = match_counted_loop(fn, natural_loops(fn)[0])
+        assert counted is not None
+        assert counted.ivar.id == i.id
+        assert counted.step == 2 and counted.strict
+        assert counted.init is not None  # symbolic: the reg holding 0
+
+
+class TestValueRanges:
+    def test_induction_variable_bounded_below(self):
+        m, fn, i, labels = counting_module(stop=10)
+        vr = ValueRanges(m)
+        iv = vr._block_in["k"][labels["body"]].get(i.id, TOP)
+        assert iv.lo == 0  # init 0, only ever incremented
+
+    def test_trip_bound_exact(self):
+        m, fn, _, _ = counting_module(stop=10)
+        vr = ValueRanges(m)
+        counted = match_counted_loop(fn, natural_loops(fn)[0])
+        assert trip_bound(vr, "k", counted) == 10
+
+    def test_trip_bound_with_stride(self):
+        m, fn, _, _ = counting_module(stop=10, step=3)
+        vr = ValueRanges(m)
+        counted = match_counted_loop(fn, natural_loops(fn)[0])
+        assert trip_bound(vr, "k", counted) == 4  # ceil(10/3)
+
+    def test_unbounded_when_bound_unknown(self):
+        m = Module("m")
+        fn = Function("k", [], ScalarType.VOID, is_kernel=True)
+        b = IRBuilder(fn)
+        b.set_block(fn.add_block("entry"))
+        i = fn.new_reg(I64)
+        b.mov_to(i, b.const_i(0))
+        stop = b.kparam(0)  # runtime-dependent
+        cond = b.create_block("cond")
+        body = b.create_block("body")
+        done = b.create_block("done")
+        b.br(cond)
+        b.set_block(cond)
+        c = b.binop(Opcode.ICMP_SLT, i, stop)
+        b.cbr(c, body, done)
+        b.set_block(body)
+        b.mov_to(i, b.binop(Opcode.ADD, i, b.const_i(1)))
+        b.br(cond)
+        b.set_block(done)
+        b.ret()
+        m.add_function(fn)
+        vr = ValueRanges(m)
+        loops = natural_loops(fn)
+        assert loops
+        counted = match_counted_loop(fn, loops[0])
+        assert counted is None or trip_bound(vr, "k", counted) is None
+
+    def test_interprocedural_argument_range(self):
+        m = Module("m")
+        callee = Function("f", [("n", I64)], ScalarType.I64)
+        cb = IRBuilder(callee)
+        cb.set_block(callee.add_block("entry"))
+        doubled = cb.binop(Opcode.ADD, callee.param_regs[0], callee.param_regs[0])
+        cb.retval(doubled)
+        m.add_function(callee)
+
+        caller = Function("main", [], ScalarType.VOID, is_kernel=True)
+        b = IRBuilder(caller)
+        b.set_block(caller.add_block("entry"))
+        r = b.call("f", [b.const_i(21)], ScalarType.I64)
+        b.ret()
+        m.add_function(caller)
+
+        vr = ValueRanges(m, build_callgraph(m))
+        # parameter summary: n == 21 at f's entry
+        assert vr._params["f"][callee.param_regs[0].id] == Interval.const(21)
+        # return summary: f returns exactly 42
+        assert vr.return_interval("f") == Interval.const(42)
+        # and the caller sees it
+        lbl = caller.block_order[0]
+        idx = next(
+            i
+            for i, ins in enumerate(caller.blocks[lbl].instrs)
+            if ins.op is Opcode.CALL
+        )
+        assert vr.interval_at("main", lbl, idx + 1, r) == Interval.const(42)

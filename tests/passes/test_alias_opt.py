@@ -1,0 +1,134 @@
+"""Alias-sharpened dead-store elimination: private never-read stores only."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.module import Function, GlobalVar, Module
+from repro.ir.types import MemType, ScalarType
+from repro.passes.alias_opt import alias_dce_pass
+
+
+def kernel_module(body):
+    m = Module("m")
+    fn = Function("k", [], ScalarType.VOID, is_kernel=True)
+    b = IRBuilder(fn)
+    b.set_block(fn.add_block("entry"))
+    body(b, fn, m)
+    m.add_function(fn)
+    return m
+
+
+def count_op(module, op):
+    return sum(1 for fn in module.functions.values() for i in fn.iter_instrs() if i.op is op)
+
+
+class TestDeletes:
+    def test_dead_private_store_deleted(self):
+        def body(b, fn, m):
+            buf = b.salloc(8)
+            b.store(buf, b.const_i(42), MemType.I64)  # never read
+            b.ret()
+
+        m = kernel_module(body)
+        alias_dce_pass(m)
+        assert count_op(m, Opcode.STORE) == 0
+
+    def test_dead_private_memset_deleted(self):
+        def body(b, fn, m):
+            buf = b.salloc(64)
+            b.memset(buf, b.const_i(0), b.const_i(64))
+            b.ret()
+
+        m = kernel_module(body)
+        alias_dce_pass(m)
+        assert count_op(m, Opcode.MEMSET) == 0
+
+
+class TestKeeps:
+    def test_read_private_store_kept(self):
+        def body(b, fn, m):
+            buf = b.salloc(8)
+            b.store(buf, b.const_i(42), MemType.I64)
+            b.load(buf, MemType.I64)  # observed
+            b.ret()
+
+        m = kernel_module(body)
+        alias_dce_pass(m)
+        assert count_op(m, Opcode.STORE) == 1
+
+    def test_global_store_kept(self):
+        def body(b, fn, m):
+            m.add_global(GlobalVar("g", MemType.I64, 1))
+            b.store(b.gaddr("g"), b.const_i(1), MemType.I64)  # thread-shared
+            b.ret()
+
+        m = kernel_module(body)
+        alias_dce_pass(m)
+        assert count_op(m, Opcode.STORE) == 1
+
+    def test_unknown_pointer_store_kept(self):
+        def body(b, fn, m):
+            b.store(b.kparam(0), b.const_i(1), MemType.I64)  # ⊤ address
+            b.ret()
+
+        m = kernel_module(body)
+        alias_dce_pass(m)
+        assert count_op(m, Opcode.STORE) == 1
+
+    def test_address_taken_store_kept(self):
+        def body(b, fn, m):
+            m.add_global(GlobalVar("slot", MemType.I64, 1))
+            buf = b.salloc(8)
+            b.store(b.gaddr("slot"), buf, MemType.I64)  # buf escapes
+            b.store(buf, b.const_i(9), MemType.I64)  # reachable via *slot
+            b.ret()
+
+        m = kernel_module(body)
+        alias_dce_pass(m)
+        # the escaping store and the store through the escaped object both stay
+        assert count_op(m, Opcode.STORE) == 2
+
+    def test_rpc_visible_store_kept(self):
+        def body(b, fn, m):
+            buf = b.salloc(8)
+            b.store(buf, b.const_i(3), MemType.I64)
+            b.rpc("write", [buf], ScalarType.VOID)  # host can observe buf
+            b.ret()
+
+        m = kernel_module(body)
+        alias_dce_pass(m)
+        assert count_op(m, Opcode.STORE) == 1
+
+    def test_atomic_never_deleted(self):
+        def body(b, fn, m):
+            buf = b.salloc(8)
+            b.atomic_add(buf, b.const_i(1), MemType.I64)
+            b.ret()
+
+        m = kernel_module(body)
+        alias_dce_pass(m)
+        assert count_op(m, Opcode.ATOMIC_ADD) == 1
+
+    def test_read_in_other_function_kept(self):
+        """A store whose object is read in a *different* function must stay."""
+        m = Module("m")
+        m.add_global(GlobalVar("slot", MemType.I64, 1))
+
+        writer = Function("writer", [], ScalarType.VOID, is_kernel=True)
+        wb = IRBuilder(writer)
+        wb.set_block(writer.add_block("entry"))
+        buf = wb.salloc(8)
+        wb.store(wb.gaddr("slot"), buf, MemType.I64)
+        wb.store(buf, wb.const_i(5), MemType.I64)
+        wb.ret()
+        m.add_function(writer)
+
+        reader = Function("reader", [], ScalarType.VOID, is_kernel=True)
+        rb = IRBuilder(reader)
+        rb.set_block(reader.add_block("entry"))
+        p = rb.load(rb.gaddr("slot"), MemType.I64)
+        rb.load(p, MemType.I64)
+        rb.ret()
+        m.add_function(reader)
+
+        alias_dce_pass(m)
+        assert count_op(m, Opcode.STORE) == 2

@@ -190,3 +190,52 @@ def execute_out_single(m):
     image = dev.load_image(m)
     dev.launch(image, "k", num_teams=1, thread_limit=32, collect_timing=False)
     return int(dev.memory.read_i64(image.symbol("out")))
+
+
+class TestRepeatedHoisting:
+    """A later pass run (the alias-sharpened -O2 LICM) can hoist *new* code
+    out of a loop that already received a preheader.  The second preheader
+    must get a fresh label — a duplicate would overwrite the blocks entry
+    while block_order gained a second occurrence, desyncing the CFG."""
+
+    def test_second_run_with_new_invariants_gets_unique_preheader(self):
+        m, fn = loop_module()
+        licm_pass(m)
+        first_pre = [lbl for lbl in fn.block_order if lbl.startswith("licm.")]
+        assert len(first_pre) == 1
+
+        # Plant a fresh invariant single-def value in the body, as if a
+        # sharper analysis had just made it hoistable.
+        from repro.ir.instructions import Instr
+
+        body_lbl = next(lbl for lbl in fn.block_order if lbl.startswith("body"))
+        body = fn.blocks[body_lbl]
+        nine = fn.new_reg(I64)
+        inv = Instr(Opcode.MUL, dest=fn.new_reg(I64), args=(nine, nine))
+        body.instrs[-1:-1] = [Instr(Opcode.MOVI, dest=nine, imm=9), inv]
+
+        licm_pass(m)
+        pres = [lbl for lbl in fn.block_order if lbl.startswith("licm.")]
+        assert len(pres) == 2
+        assert len(fn.block_order) == len(set(fn.block_order))
+        assert set(fn.block_order) == set(fn.blocks)
+        verify_module(m)
+        assert execute_out(m)[0] == 35 * 10
+
+    def test_stream_app_finalizes_at_o2(self):
+        """End-to-end regression: stream's while-loops hit exactly the
+        double-hoist shape (O1 LICM then -O2 read-only-load LICM on the
+        same headers); cfg-simplify used to KeyError on the duplicate
+        preheader label."""
+        from repro.apps import stream
+        from repro.passes import compile_for_device, finalize_executable
+        from repro.runtime.kernel import build_ensemble_kernel, build_single_kernel
+
+        module = compile_for_device(stream.build_program().compile())
+        build_single_kernel(module)
+        build_ensemble_kernel(module)
+        module = finalize_executable(module, opt_level=2)
+        verify_module(module)
+        for f in module.functions.values():
+            assert len(f.block_order) == len(set(f.block_order))
+            assert set(f.block_order) == set(f.blocks)
