@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: install test test-fast lint typecheck check bench figures validate \
-	objdump sched-demo trace-demo chaos clean
+	objdump sched-demo trace-demo autoensemble-demo chaos clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -61,6 +61,12 @@ chaos:
 # End-to-end campaign over a two-device pool (docs/scheduler.md).
 sched-demo:
 	$(PYTHON) examples/multi_device_campaign.py 2
+
+# Natural driver loop -> analyzed, traced, launched as one ensemble,
+# replayed, and differenced against sequential (docs/autoensemble.md).
+autoensemble-demo:
+	$(PYTHON) -m repro.tools.lint --driver examples/auto_ensemble_loop.py
+	$(PYTHON) examples/auto_ensemble_loop.py
 
 # Traced two-device campaign -> results/trace.json + results/metrics.json,
 # then validate the trace structurally (docs/observability.md).

@@ -51,7 +51,7 @@ from repro.host.launch import LaunchSpec
 from repro.host.loader import Loader, RunResult
 from repro.host.mapping import OneInstancePerTeam, PackedMapping
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "DEFAULT_DEVICE",

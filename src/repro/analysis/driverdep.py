@@ -1,0 +1,1193 @@
+"""Static loop-carried dependence analysis over Python *driver* loops.
+
+Everything else in :mod:`repro.analysis` analyzes the device IR.  This
+module applies the same discipline one level up, to the *host* script
+that launches instances::
+
+    def campaign(run):
+        total = 0.0
+        for cfg in CONFIGS:           # the driver loop
+            total += run(cfg).exit_code
+        return total
+
+The paper's claim is that N independent app instances should execute as
+one ensemble kernel; the gap is proving the "independent" part for an
+ordinary Python loop instead of trusting an expert-written argument
+file.  The recipe (SNIPPETS.md, XCS/ember snippets 1-2) is the JAX one:
+lift the loop into a small SSA/def-use form, classify every name and
+attribute the body touches, and only parallelize when each iteration is
+provably independent of every other.
+
+The lift (:func:`lift_driver` / :func:`lift_source`) parses the driver
+function with :mod:`ast` and versions every name flow-sensitively
+through the loop body (branch merges keep the *definitely-defined*
+intersection, so a use that may see version 0 — the value left by the
+previous iteration — is never misclassified as loop-local).
+
+The classification (:func:`classify_loop`) buckets each name as
+
+* ``induction`` — the loop target(s); fresh each iteration by construction,
+* ``loop-local`` — definitely defined in the same iteration before
+  every use,
+* ``read-only`` — outer state that is only ever read,
+* ``reduction`` — a provable accumulator (``acc += e``, ``acc = acc op e``,
+  ``acc = min/max(acc, e)``, ``seq.append(e)``) that is never otherwise
+  observed inside the loop; these commute with instance execution and are
+  replayed in iteration order by the auto-ensemble engine,
+* ``loop-carried`` — a flow / anti / output dependence on outer state,
+* ``io-order`` — order-dependent I/O (``print``, ``open``, file writes),
+* ``aliased-write`` — a store through a name that may alias outer state
+  (subscript/attribute stores, mutating container methods), decided by a
+  small Andersen-style inclusion solver over the body reusing
+  :class:`~repro.analysis.pointsto.MemObject` as the abstract-object
+  representation.
+
+Dependent loops yield error-severity
+:class:`~repro.analysis.diagnostics.Diagnostic` records naming the
+variable, the dependence kind, and the source line — the same structured
+finding the IR-level ensemble-safety checkers emit, surfaced by
+``repro.tools.lint --driver`` and by
+:func:`repro.frontend.autoensemble.auto_launch`.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.pointsto import MemObject, UNKNOWN_OBJ
+from repro.errors import AnalysisError
+
+#: Default name of the injected launcher when a driver has no parameters.
+DEFAULT_RUN_NAME = "run"
+
+#: Binary/aug ops accepted in scalar reductions (commutative-ish; the
+#: engine replays them in iteration order so even float ``+`` is exact).
+REDUCTION_OPS = (ast.Add, ast.Mult, ast.BitOr, ast.BitAnd, ast.BitXor)
+
+#: ``acc = f(acc, e)`` callees accepted as reductions.
+REDUCTION_CALLS = frozenset({"min", "max"})
+
+#: Container method treated as an *ordered-append* reduction.
+APPEND_METHODS = frozenset({"append", "extend"})
+
+#: Mutating container/object methods → aliased write when the receiver
+#: may be outer state.
+MUTATOR_METHODS = frozenset(
+    {
+        "insert",
+        "pop",
+        "remove",
+        "clear",
+        "sort",
+        "reverse",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "popitem",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+#: Calls that perform order-dependent I/O.
+IO_CALLS = frozenset({"print", "input", "open", "breakpoint"})
+
+#: Methods that perform order-dependent I/O on any receiver.
+IO_METHODS = frozenset({"write", "writelines", "flush", "readline", "read"})
+
+#: Constructors whose result is a *fresh* object (safe to mutate).
+FRESH_CALLS = frozenset(
+    {"list", "dict", "set", "tuple", "sorted", "reversed", "enumerate",
+     "zip", "range", "str", "int", "float", "bool", "repr", "len", "abs",
+     "sum", "format"}
+)
+
+
+class NameKind(enum.Enum):
+    """Classification of one name touched by the loop body."""
+
+    INDUCTION = "induction"
+    LOOP_LOCAL = "loop-local"
+    READ_ONLY = "read-only"
+    REDUCTION = "reduction"
+    LOOP_CARRIED = "loop-carried"
+    IO_ORDER = "io-order"
+    ALIASED_WRITE = "aliased-write"
+
+
+class DepKind(enum.Enum):
+    """Kind of loop-carried dependence blocking parallel execution."""
+
+    FLOW = "flow"  #: iteration i+1 reads what iteration i wrote
+    ANTI = "anti"  #: iteration i reads what iteration i+1 overwrites
+    OUTPUT = "output"  #: two iterations write the same location
+    IO = "io"  #: externally ordered side effect
+    ALIAS = "alias"  #: write through a may-alias of outer state
+    CONTROL = "control"  #: control flow / run args depend on a run result
+
+
+@dataclass(frozen=True)
+class SSAVersion:
+    """One SSA version of a name inside the loop body.
+
+    Version 0 is the value live on loop entry — i.e. whatever the
+    *previous* iteration (or the prologue) left there; versions >= 1 are
+    same-iteration definitions.
+    """
+
+    name: str
+    version: int
+    line: int | None = None
+
+
+@dataclass
+class Access:
+    """One read/write/mutation of a name, in body order."""
+
+    name: str
+    kind: str  # "read" | "write" | "mutate"
+    line: int
+    col: int
+    version: int  # version read, or version created by the write
+    definite: bool = True  # write reaches the end of the body on all paths
+
+
+@dataclass
+class NameInfo:
+    """Final classification of one name."""
+
+    name: str
+    kind: NameKind
+    dep: DepKind | None = None
+    line: int | None = None
+    detail: str = ""
+
+
+@dataclass
+class RunCall:
+    """One call to the launcher inside the body."""
+
+    line: int
+    col: int
+    nargs: int
+
+
+@dataclass
+class Reduction:
+    """One provable accumulator rewritten by the replay engine."""
+
+    name: str
+    op: str  # "+", "*", "|", "&", "^", "min", "max", "append", "extend"
+    line: int
+    #: True when the accumulator is defined in the driver function itself
+    #: (prologue); module-level accumulators would be polluted by the
+    #: trace pass and are rejected.
+    local_to_fn: bool = True
+
+
+@dataclass
+class DriverLoop:
+    """One lifted driver loop: the AST plus its surrounding function."""
+
+    fn_name: str
+    filename: str
+    run_name: str
+    node: ast.For
+    targets: frozenset[str]
+    prologue_defs: frozenset[str]
+    fn_params: frozenset[str]
+    #: first line of the driver function in ``filename`` (for reports).
+    fn_line: int = 0
+
+
+@dataclass
+class LoopClassification:
+    """The analyzer's verdict over one driver loop."""
+
+    loop: DriverLoop
+    names: dict[str, NameInfo] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    run_calls: list[RunCall] = field(default_factory=list)
+    reductions: list[Reduction] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        """True when no error-severity dependence was found."""
+        return not any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    def summary(self) -> dict[str, int]:
+        """``{kind: count}`` over the classified names."""
+        out: dict[str, int] = {}
+        for info in self.names.values():
+            out[info.kind.value] = out.get(info.kind.value, 0) + 1
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Lifting: source -> DriverLoop
+# ---------------------------------------------------------------------------
+
+
+def _assigned_names(stmts: list[ast.stmt]) -> set[str]:
+    """Every plain name bound anywhere in ``stmts`` (no nested functions)."""
+    out: set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                out.add(node.id)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                tgt = node.target if isinstance(node, ast.For) else node.target
+                for n in ast.walk(tgt):
+                    if isinstance(n, ast.Name):
+                        out.add(n.id)
+    return out
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    return {
+        n.id for n in ast.walk(target) if isinstance(n, ast.Name)
+    }
+
+
+def lift_function(
+    fn_node: ast.FunctionDef, filename: str
+) -> list[DriverLoop]:
+    """Lift every top-level ``for`` loop of one function definition."""
+    params = [a.arg for a in fn_node.args.args]
+    run_name = params[0] if params else DEFAULT_RUN_NAME
+    loops: list[DriverLoop] = []
+    prologue: list[ast.stmt] = []
+    for stmt in fn_node.body:
+        if isinstance(stmt, ast.For):
+            loops.append(
+                DriverLoop(
+                    fn_name=fn_node.name,
+                    filename=filename,
+                    run_name=run_name,
+                    node=stmt,
+                    targets=frozenset(_target_names(stmt.target)),
+                    prologue_defs=frozenset(_assigned_names(prologue)),
+                    fn_params=frozenset(params),
+                    fn_line=fn_node.lineno,
+                )
+            )
+        else:
+            prologue.append(stmt)
+    return loops
+
+
+def lift_source(
+    source: str,
+    filename: str = "<driver>",
+    func_name: str | None = None,
+    *,
+    line_offset: int = 0,
+) -> list[DriverLoop]:
+    """Lift driver loops from script/function source text.
+
+    With ``func_name`` only that function is lifted; otherwise every
+    top-level function containing a ``for`` loop contributes its loops.
+    ``line_offset`` shifts reported line numbers (used by
+    :func:`lift_driver` so an extracted function snippet reports real
+    file lines).
+    """
+    try:
+        tree = ast.parse(textwrap.dedent(source), filename=filename)
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse driver source: {exc}") from exc
+    if line_offset:
+        ast.increment_lineno(tree, line_offset)
+    loops: list[DriverLoop] = []
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if func_name is not None and node.name != func_name:
+            continue
+        loops.extend(lift_function(node, filename))
+    if func_name is not None and not loops:
+        raise AnalysisError(
+            f"function {func_name!r} in {filename} contains no for loop"
+        )
+    return loops
+
+
+def lift_driver(fn) -> list[DriverLoop]:
+    """Lift the driver loops of a live Python function object."""
+    fn = inspect.unwrap(fn)
+    try:
+        lines, first_line = inspect.getsourcelines(fn)
+    except (OSError, TypeError) as exc:
+        raise AnalysisError(
+            f"cannot retrieve source of driver {fn!r}: {exc}"
+        ) from exc
+    filename = inspect.getsourcefile(fn) or "<driver>"
+    return lift_source(
+        "".join(lines),
+        filename=filename,
+        func_name=fn.__name__,
+        line_offset=first_line - 1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+
+class _BodyWalker:
+    """Flow-sensitive walk of the loop body building def-use + points-to.
+
+    Single pass in program order; ``defined`` carries the set of names
+    *definitely* defined so far this iteration (branch join =
+    intersection), ``versions`` the SSA version counters, ``tainted`` the
+    names whose value derives from a run result this iteration, and
+    ``pts`` a small Andersen-style points-to map from names to abstract
+    :class:`MemObject` sets.
+    """
+
+    def __init__(self, loop: DriverLoop):
+        self.loop = loop
+        self.accesses: list[Access] = []
+        self.run_calls: list[RunCall] = []
+        self.reduction_stmts: dict[int, Reduction] = {}  # id(stmt) -> info
+        self.diagnostics: list[Diagnostic] = []
+        self.versions: dict[str, int] = {}
+        self.defined: set[str] = set(loop.targets)
+        self.tainted: set[str] = set()
+        self.pts: dict[str, set[MemObject]] = {}
+        #: names whose only outer accesses are reduction updates
+        self.reduction_names: dict[str, Reduction] = {}
+        #: per-name lines of non-reduction reads of version 0
+        self.outer_reads: dict[str, int] = {}
+        #: per-name lines of non-reduction writes
+        self.outer_writes: dict[str, int] = {}
+        for t in loop.targets:
+            self.pts[t] = {MemObject("induction", t)}
+
+    # -- helpers ----------------------------------------------------------
+
+    def _diag(
+        self,
+        severity: Severity,
+        message: str,
+        node: ast.AST,
+        *,
+        sym: str | None = None,
+        hint: str | None = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                severity=severity,
+                checker="driverdep",
+                function=self.loop.fn_name,
+                block=None,
+                index=None,
+                message=message,
+                hint=hint,
+                sym=sym,
+                loc=(getattr(node, "lineno", 0), getattr(node, "col_offset", 0)),
+            )
+        )
+
+    def _is_outer(self, name: str) -> bool:
+        """Could ``name`` denote state that outlives one iteration?"""
+        return name not in self.defined
+
+    def _obj_of(self, name: str) -> set[MemObject]:
+        if name in self.pts:
+            return self.pts[name]
+        if name in self.loop.targets:
+            return {MemObject("induction", name)}
+        if self._is_outer(name):
+            return {MemObject("outer", name)}
+        return {UNKNOWN_OBJ}
+
+    def _expr_objects(self, node: ast.expr) -> set[MemObject]:
+        """Abstract objects an expression's value may denote."""
+        if isinstance(node, ast.Name):
+            return self._obj_of(node.id)
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.Tuple,
+                             ast.ListComp, ast.DictComp, ast.SetComp,
+                             ast.GeneratorExp)):
+            return {MemObject("fresh", f"{node.lineno}:{node.col_offset}")}
+        if isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id in FRESH_CALLS:
+                return {MemObject("fresh", f"{node.lineno}:{node.col_offset}")}
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in ("copy", "deepcopy", "keys", "values", "items")
+            ):
+                return {MemObject("fresh", f"{node.lineno}:{node.col_offset}")}
+            return {UNKNOWN_OBJ}
+        if isinstance(node, (ast.Subscript, ast.Attribute)):
+            # An element/attribute of X aliases X's contents: mutating it
+            # mutates state reachable from X.
+            base = self._expr_objects(node.value)
+            out: set[MemObject] = set()
+            for obj in base:
+                if obj.kind in ("outer", "unknown"):
+                    out.add(obj)
+                elif obj.kind == "induction":
+                    out.add(obj)
+                else:
+                    out.add(MemObject(obj.kind, obj.key + ".elem"))
+            return out or {UNKNOWN_OBJ}
+        if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.Compare, ast.BoolOp,
+                             ast.IfExp, ast.JoinedStr, ast.FormattedValue)):
+            return set()  # arithmetic/comparison results are fresh scalars
+        return {UNKNOWN_OBJ}
+
+    def _is_tainted(self, node: ast.expr) -> bool:
+        """Does this expression (transitively) consume a run result?"""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in self.tainted:
+                return True
+            if self._is_run_call(sub):
+                return True
+        return False
+
+    def _is_run_call(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == self.loop.run_name
+        )
+
+    # -- reads ------------------------------------------------------------
+
+    def _record_reads(self, node: ast.expr, *, skip: set[str] = frozenset()) -> None:
+        """Record every Name read inside an expression (body order).
+
+        Receivers of ``X.append(...)`` / ``X.extend(...)`` calls are not
+        reads: they are accumulator *updates*, accounted separately so a
+        pure append reduction is not misclassified as "also read".
+        """
+        skip_receivers: set[int] = set()
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            if (
+                isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in APPEND_METHODS
+                and isinstance(sub.func.value, ast.Name)
+            ):
+                skip_receivers.add(id(sub.func.value))
+            elif isinstance(sub.func, ast.Name):
+                # function-position names are calls, not value reads;
+                # _scan_calls owns their classification
+                skip_receivers.add(id(sub.func))
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                name = sub.id
+                if (
+                    name in skip
+                    or name == self.loop.run_name
+                    or id(sub) in skip_receivers
+                ):
+                    continue
+                version = self.versions.get(name, 0) if name in self.defined else 0
+                self.accesses.append(
+                    Access(name, "read", sub.lineno, sub.col_offset, version)
+                )
+                if name not in self.defined and name not in self.loop.targets:
+                    self.outer_reads.setdefault(name, sub.lineno)
+
+    # -- run / IO calls ---------------------------------------------------
+
+    def _scan_calls(self, node: ast.expr) -> None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            callee = sub.func
+            if self._is_run_call(sub):
+                self.run_calls.append(
+                    RunCall(sub.lineno, sub.col_offset, len(sub.args))
+                )
+                for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                    if self._has_nested_run(arg) or self._is_tainted(arg):
+                        self._diag(
+                            Severity.ERROR,
+                            "instance arguments depend on a run result: the "
+                            "batch of instances cannot be derived before "
+                            "launching",
+                            sub,
+                            sym=self.loop.run_name,
+                            hint="derive every instance's arguments from the "
+                            "loop iterable only",
+                        )
+                continue
+            if isinstance(callee, ast.Name) and callee.id in IO_CALLS:
+                self._diag(
+                    Severity.ERROR,
+                    f"order-dependent I/O: call to {callee.id}() inside the "
+                    "driver loop makes iteration order observable",
+                    sub,
+                    sym=callee.id,
+                    hint="move I/O after the loop; per-instance stdout is "
+                    "captured on the run result",
+                )
+            elif isinstance(callee, ast.Attribute):
+                self._scan_method_call(sub, callee)
+
+    def _has_nested_run(self, node: ast.expr) -> bool:
+        return any(self._is_run_call(s) for s in ast.walk(node))
+
+    def _scan_method_call(self, call: ast.Call, callee: ast.Attribute) -> None:
+        method = callee.attr
+        recv_objs = self._expr_objects(callee.value)
+        outer_recv = sorted(
+            o.key for o in recv_objs if o.kind == "outer"
+        ) + (["<unknown>"] if UNKNOWN_OBJ in recv_objs else [])
+        if method in IO_METHODS:
+            self._diag(
+                Severity.ERROR,
+                f"order-dependent I/O: .{method}() inside the driver loop "
+                "makes iteration order observable",
+                call,
+                sym=method,
+                hint="move I/O after the loop",
+            )
+            return
+        if method in APPEND_METHODS:
+            recv = callee.value
+            if isinstance(recv, ast.Name) and self._is_outer(recv.id):
+                name = recv.id
+                red = Reduction(
+                    name=name,
+                    op=method,
+                    line=call.lineno,
+                    local_to_fn=name in self.loop.prologue_defs,
+                )
+                self.reduction_names.setdefault(name, red)
+                self.accesses.append(
+                    Access(name, "mutate", call.lineno, call.col_offset, 0)
+                )
+                if not red.local_to_fn:
+                    self._diag(
+                        Severity.ERROR,
+                        f"reduction target '{name}' is not defined in the "
+                        f"driver function: appending to module-level state "
+                        "is an aliased write",
+                        call,
+                        sym=name,
+                        hint="initialize the accumulator inside the driver "
+                        "function, before the loop",
+                    )
+                return
+            # append through a non-name receiver: fall through to alias logic
+        if method in MUTATOR_METHODS or method in APPEND_METHODS:
+            if outer_recv:
+                tgt = outer_recv[0]
+                self._diag(
+                    Severity.ERROR,
+                    f"aliased container write: .{method}() mutates "
+                    f"'{tgt}', state shared across iterations",
+                    call,
+                    sym=tgt if tgt != "<unknown>" else None,
+                    hint="build per-iteration containers inside the loop, or "
+                    "collect results with list.append",
+                )
+            elif any(o.kind == "induction" for o in recv_objs):
+                self._diag(
+                    Severity.ERROR,
+                    f"aliased container write: .{method}() mutates the loop "
+                    "element itself; iterations are only independent if the "
+                    "iterable has no repeated elements, which is not provable "
+                    "statically",
+                    call,
+                    sym=next(iter(self.loop.targets), None),
+                )
+
+    # -- statements -------------------------------------------------------
+
+    def walk_body(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:  # noqa: C901
+        if isinstance(stmt, ast.Assign):
+            self._walk_assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._walk_augassign(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._walk_assign_like(stmt.target, stmt.value, stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._record_reads(stmt.value)
+            self._scan_calls(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._walk_if(stmt)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            self._walk_nested_loop(stmt)
+        elif isinstance(stmt, (ast.Break, ast.Continue, ast.Pass)):
+            pass
+        elif isinstance(stmt, ast.Return):
+            self._diag(
+                Severity.ERROR,
+                "return inside the driver loop: only the final iteration's "
+                "value is meaningful, so iteration order is observable",
+                stmt,
+                hint="collect results and return after the loop",
+            )
+        elif isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            for name in stmt.names:
+                self._diag(
+                    Severity.ERROR,
+                    f"'{stmt.__class__.__name__.lower()} {name}' inside the "
+                    "driver loop writes state shared across iterations",
+                    stmt,
+                    sym=name,
+                )
+        elif isinstance(stmt, (ast.With, ast.Try, ast.Raise, ast.Assert,
+                               ast.Delete)):
+            self._diag(
+                Severity.ERROR,
+                f"unsupported statement in driver loop: "
+                f"{stmt.__class__.__name__.lower()} is not analyzable for "
+                "iteration independence",
+                stmt,
+                hint="keep the loop body to argument derivation, run() calls "
+                "and reductions",
+            )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            self._diag(
+                Severity.ERROR,
+                "definitions inside the driver loop are not supported",
+                stmt,
+            )
+        else:
+            self._diag(
+                Severity.ERROR,
+                f"unsupported statement in driver loop: "
+                f"{stmt.__class__.__name__}",
+                stmt,
+            )
+
+    def _walk_assign(self, stmt: ast.Assign) -> None:
+        # Detect `x = x op e` / `x = min(x, e)` scalar reductions first.
+        if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+            name = stmt.targets[0].id
+            red = self._match_scalar_reduction(name, stmt.value, stmt)
+            if red is not None and self._is_outer(name):
+                self._note_reduction(red, stmt)
+                self._record_reads(stmt.value, skip={name})
+                self._scan_calls(stmt.value)
+                return
+        self._record_reads(stmt.value)
+        self._scan_calls(stmt.value)
+        value_objs = self._expr_objects(stmt.value)
+        tainted = self._is_tainted(stmt.value)
+        for target in stmt.targets:
+            self._assign_target(target, value_objs, tainted, stmt)
+
+    def _walk_assign_like(
+        self, target: ast.expr, value: ast.expr, stmt: ast.stmt
+    ) -> None:
+        self._record_reads(value)
+        self._scan_calls(value)
+        self._assign_target(
+            target, self._expr_objects(value), self._is_tainted(value), stmt
+        )
+
+    def _assign_target(
+        self,
+        target: ast.expr,
+        value_objs: set[MemObject],
+        tainted: bool,
+        stmt: ast.stmt,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._define(target.id, stmt, value_objs, tainted)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # elements of the unpacked value may alias its contents
+            elem_objs = {
+                o for o in value_objs if o.kind in ("outer", "unknown")
+            } or {UNKNOWN_OBJ}
+            for elt in target.elts:
+                self._assign_target(elt, elem_objs, tainted, stmt)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            self._store_through(target, stmt)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, value_objs, tainted, stmt)
+
+    def _store_through(self, target: ast.expr, stmt: ast.stmt) -> None:
+        """Subscript/attribute store: aliased write unless provably fresh."""
+        assert isinstance(target, (ast.Subscript, ast.Attribute))
+        base = target.value
+        # The base name itself is an address computation, not a value read;
+        # recording it as a read would shadow the alias finding with a
+        # spurious flow dependence.
+        if not isinstance(base, ast.Name):
+            self._record_reads(base)
+        if isinstance(target, ast.Subscript):
+            self._record_reads(target.slice)
+        objs = self._expr_objects(base)
+        what = (
+            f"[{ast.unparse(target.slice)}]"
+            if isinstance(target, ast.Subscript)
+            else f".{target.attr}"
+        )
+        outer = sorted(o.key for o in objs if o.kind == "outer")
+        if outer or UNKNOWN_OBJ in objs:
+            tgt = outer[0] if outer else None
+            shown = tgt or ast.unparse(base)
+            self._diag(
+                Severity.ERROR,
+                f"aliased container write: '{shown}{what} = ...' stores "
+                "through state shared across iterations (anti/output "
+                "dependence between iterations)",
+                stmt,
+                sym=tgt,
+                hint="write to a per-iteration container, or collect results "
+                "with list.append and combine after the loop",
+            )
+        elif any(o.kind == "induction" for o in objs):
+            self._diag(
+                Severity.ERROR,
+                f"aliased container write: storing through loop element "
+                f"'{ast.unparse(base)}{what}' is only independent if the "
+                "iterable never repeats an element, which is not provable "
+                "statically",
+                stmt,
+                sym=next(iter(self.loop.targets), None),
+            )
+        # stores into fresh per-iteration objects are safe
+
+    def _walk_augassign(self, stmt: ast.AugAssign) -> None:
+        if isinstance(stmt.target, ast.Name):
+            name = stmt.target.id
+            if self._is_outer(name):
+                if isinstance(stmt.op, REDUCTION_OPS) and not self._reads_name(
+                    stmt.value, name
+                ):
+                    op = {
+                        ast.Add: "+", ast.Mult: "*", ast.BitOr: "|",
+                        ast.BitAnd: "&", ast.BitXor: "^",
+                    }[type(stmt.op)]
+                    self._note_reduction(
+                        Reduction(
+                            name=name,
+                            op=op,
+                            line=stmt.lineno,
+                            local_to_fn=name in self.loop.prologue_defs
+                            or name in self.loop.fn_params,
+                        ),
+                        stmt,
+                    )
+                    self._record_reads(stmt.value, skip={name})
+                    self._scan_calls(stmt.value)
+                    return
+                # non-reducible update of outer state
+                self.accesses.append(
+                    Access(name, "read", stmt.lineno, stmt.col_offset, 0)
+                )
+                self.outer_reads.setdefault(name, stmt.lineno)
+                self._record_reads(stmt.value)
+                self._scan_calls(stmt.value)
+                self._define(
+                    name, stmt, self._expr_objects(stmt.value),
+                    self._is_tainted(stmt.value),
+                )
+                self.outer_writes.setdefault(name, stmt.lineno)
+                return
+            # loop-local augassign: read + write of the local version
+            self.accesses.append(
+                Access(
+                    name, "read", stmt.lineno, stmt.col_offset,
+                    self.versions.get(name, 0),
+                )
+            )
+            self._record_reads(stmt.value)
+            self._scan_calls(stmt.value)
+            self._define(
+                name, stmt, self._expr_objects(stmt.value),
+                self._is_tainted(stmt.value) or name in self.tainted,
+            )
+        else:
+            self._record_reads(stmt.value)
+            self._scan_calls(stmt.value)
+            if isinstance(stmt.target, (ast.Subscript, ast.Attribute)):
+                self._store_through(stmt.target, stmt)
+
+    def _reads_name(self, node: ast.expr, name: str) -> bool:
+        return any(
+            isinstance(s, ast.Name) and s.id == name and isinstance(s.ctx, ast.Load)
+            for s in ast.walk(node)
+        )
+
+    def _match_scalar_reduction(
+        self, name: str, value: ast.expr, stmt: ast.stmt
+    ) -> Reduction | None:
+        """Match ``x = x op e`` / ``x = e op x`` / ``x = min|max(x, e)``."""
+        local = (
+            name in self.loop.prologue_defs or name in self.loop.fn_params
+        )
+        if isinstance(value, ast.BinOp) and isinstance(value.op, REDUCTION_OPS):
+            op = {
+                ast.Add: "+", ast.Mult: "*", ast.BitOr: "|",
+                ast.BitAnd: "&", ast.BitXor: "^",
+            }[type(value.op)]
+            for side, other in ((value.left, value.right),
+                                (value.right, value.left)):
+                if (
+                    isinstance(side, ast.Name)
+                    and side.id == name
+                    and not self._reads_name(other, name)
+                ):
+                    return Reduction(name, op, stmt.lineno, local)
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in REDUCTION_CALLS
+            and len(value.args) == 2
+        ):
+            for side, other in ((value.args[0], value.args[1]),
+                                (value.args[1], value.args[0])):
+                if (
+                    isinstance(side, ast.Name)
+                    and side.id == name
+                    and not self._reads_name(other, name)
+                ):
+                    return Reduction(name, value.func.id, stmt.lineno, local)
+        return None
+
+    def _note_reduction(self, red: Reduction, stmt: ast.stmt) -> None:
+        self.reduction_names.setdefault(red.name, red)
+        self.reduction_stmts[id(stmt)] = red
+        self.accesses.append(
+            Access(red.name, "mutate", stmt.lineno, stmt.col_offset, 0)
+        )
+        if not red.local_to_fn:
+            self._diag(
+                Severity.ERROR,
+                f"reduction target '{red.name}' is not defined in the driver "
+                "function: accumulating into module-level state is a "
+                "loop-carried output dependence the engine cannot isolate",
+                stmt,
+                sym=red.name,
+                hint="initialize the accumulator inside the driver function, "
+                "before the loop",
+            )
+
+    def _define(
+        self,
+        name: str,
+        stmt: ast.stmt,
+        objs: set[MemObject],
+        tainted: bool,
+    ) -> None:
+        self.versions[name] = self.versions.get(name, 0) + 1
+        self.accesses.append(
+            Access(
+                name, "write", stmt.lineno, stmt.col_offset,
+                self.versions[name],
+            )
+        )
+        was_outer = name not in self.defined
+        self.defined.add(name)
+        self.pts[name] = set(objs) or {UNKNOWN_OBJ}
+        if tainted:
+            self.tainted.add(name)
+        elif name in self.tainted:
+            self.tainted.discard(name)
+        if (
+            was_outer
+            and name not in self.loop.targets
+            and (
+                name in self.loop.prologue_defs
+                or name in self.loop.fn_params
+            )
+            and name not in self.reduction_names
+        ):
+            # overwrites state that outlives the loop
+            self.outer_writes.setdefault(name, stmt.lineno)
+
+    def _walk_if(self, stmt: ast.If) -> None:
+        self._record_reads(stmt.test)
+        self._scan_calls(stmt.test)
+        if self._is_tainted(stmt.test):
+            self._diag(
+                Severity.ERROR,
+                "result-dependent control flow: this branch condition "
+                "depends on a run result, so instances cannot be derived "
+                "before launching",
+                stmt,
+                hint="branch on the loop iterable only; inspect run results "
+                "after the loop",
+            )
+        saved_defined = set(self.defined)
+        saved_versions = dict(self.versions)
+        saved_pts = {k: set(v) for k, v in self.pts.items()}
+        self.walk_body(stmt.body)
+        then_defined = set(self.defined)
+        then_pts = {k: set(v) for k, v in self.pts.items()}
+        self.defined = set(saved_defined)
+        self.pts = {k: set(v) for k, v in saved_pts.items()}
+        self.walk_body(stmt.orelse)
+        # join: definitely-defined = intersection; points-to = union
+        self.defined &= then_defined
+        self.defined |= saved_defined
+        for k, v in then_pts.items():
+            self.pts.setdefault(k, set()).update(v)
+        # versions monotonically increase already (shared counter)
+        del saved_versions
+
+    def _walk_nested_loop(self, stmt: ast.For | ast.While) -> None:
+        if isinstance(stmt, ast.For):
+            self._record_reads(stmt.iter)
+            self._scan_calls(stmt.iter)
+            if self._is_tainted(stmt.iter):
+                self._diag(
+                    Severity.ERROR,
+                    "result-dependent control flow: this nested loop "
+                    "iterates over a run result",
+                    stmt,
+                )
+            for n in _target_names(stmt.target):
+                self._define(n, stmt, {MemObject("induction", n)}, False)
+        else:
+            self._record_reads(stmt.test)
+            self._scan_calls(stmt.test)
+            if self._is_tainted(stmt.test):
+                self._diag(
+                    Severity.ERROR,
+                    "result-dependent control flow: this while condition "
+                    "depends on a run result",
+                    stmt,
+                )
+        # Names first assigned inside a nested loop may be read before the
+        # assignment on iteration one of the nested loop: treat them as
+        # *maybe* defined (drop from `defined` up front so reads classify
+        # as outer when the name also exists outside).
+        inner_assigned = _assigned_names(stmt.body)
+        outer_like = {
+            n
+            for n in inner_assigned
+            if n not in self.defined
+            and (
+                n in self.loop.prologue_defs or n in self.loop.fn_params
+            )
+        }
+        self.walk_body(stmt.body)
+        self.walk_body(stmt.orelse)
+        for n in outer_like:
+            # assigned inside the nested loop but live across it: flag as
+            # loop-carried via the normal outer read/write bookkeeping
+            self.outer_writes.setdefault(n, stmt.lineno)
+
+
+def classify_loop(loop: DriverLoop) -> LoopClassification:
+    """Classify every name the loop body touches; see the module doc."""
+    walker = _BodyWalker(loop)
+    walker.walk_body(loop.node.body)
+    if loop.node.orelse:
+        walker.walk_body(loop.node.orelse)
+
+    result = LoopClassification(loop=loop)
+    result.diagnostics.extend(walker.diagnostics)
+    result.run_calls = walker.run_calls
+
+    # Iterable expression: reads only (already outer); tainted impossible
+    # (evaluated once, before iteration one).
+
+    names: dict[str, NameInfo] = {}
+    for t in sorted(loop.targets):
+        names[t] = NameInfo(t, NameKind.INDUCTION, line=loop.node.lineno)
+
+    read0: dict[str, int] = dict(walker.outer_reads)
+    written: dict[str, int] = dict(walker.outer_writes)
+    written.pop("<io>", None)
+
+    for name, red in sorted(walker.reduction_names.items()):
+        # A reduction accumulator observed by any *other* access is a
+        # loop-carried flow dependence, not a reduction.
+        other_reads = [
+            a
+            for a in walker.accesses
+            if a.name == name and a.kind == "read"
+        ]
+        if other_reads:
+            line = other_reads[0].line
+            names[name] = NameInfo(
+                name, NameKind.LOOP_CARRIED, DepKind.FLOW, line,
+                detail="accumulator is also read in the loop body",
+            )
+            result.diagnostics.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    checker="driverdep",
+                    function=loop.fn_name,
+                    block=None,
+                    index=None,
+                    message=(
+                        f"loop-carried flow dependence on '{name}': the "
+                        f"accumulator updated at line {red.line} is also "
+                        f"read at line {line}, so iteration order is "
+                        "observable"
+                    ),
+                    hint="only fold into the accumulator inside the loop; "
+                    "read it after the loop",
+                    sym=name,
+                    loc=(line, 0),
+                )
+            )
+            read0.pop(name, None)
+            written.pop(name, None)
+            continue
+        if red.local_to_fn:
+            names[name] = NameInfo(
+                name, NameKind.REDUCTION, line=red.line, detail=red.op
+            )
+            result.reductions.append(red)
+        else:
+            names[name] = NameInfo(
+                name, NameKind.ALIASED_WRITE, DepKind.ALIAS, red.line,
+                detail="module-level accumulator",
+            )
+        read0.pop(name, None)
+        written.pop(name, None)
+
+    # Loop-carried scalars: combine outer reads/writes of the same name.
+    for name in sorted(set(read0) | set(written)):
+        if name in names:
+            continue
+        r, w = read0.get(name), written.get(name)
+        if r is not None and w is not None:
+            dep, line = DepKind.FLOW, r
+            msg = (
+                f"loop-carried flow dependence on '{name}': iteration i+1 "
+                f"reads (line {r}) the value iteration i wrote (line {w})"
+            )
+        elif w is not None:
+            dep, line = DepKind.OUTPUT, w
+            msg = (
+                f"loop-carried output dependence on '{name}': every "
+                f"iteration overwrites it (line {w}), so only the final "
+                "iteration's value survives"
+            )
+        else:
+            # pure outer read; may still be anti-dependent via aliases
+            aliased = [
+                d for d in walker.diagnostics if d.sym == name
+            ]
+            if not aliased:
+                names[name] = NameInfo(
+                    name, NameKind.READ_ONLY, line=r
+                )
+                continue
+            dep, line = DepKind.ANTI, r
+            msg = (
+                f"loop-carried anti dependence on '{name}': read at line "
+                f"{r} while an aliased write mutates it"
+            )
+        names[name] = NameInfo(name, NameKind.LOOP_CARRIED, dep, line)
+        result.diagnostics.append(
+            Diagnostic(
+                severity=Severity.ERROR,
+                checker="driverdep",
+                function=loop.fn_name,
+                block=None,
+                index=None,
+                message=msg,
+                hint=(
+                    "make it a loop-local (define before use inside the "
+                    "loop), a reduction (acc += ...), or hoist it out of "
+                    "the loop"
+                ),
+                sym=name,
+                loc=(line, 0),
+            )
+        )
+
+    # Aliased writes / IO already produced diagnostics; classify the names.
+    for diag in walker.diagnostics:
+        if diag.sym and diag.sym not in names:
+            kind = (
+                NameKind.IO_ORDER
+                if "I/O" in diag.message
+                else NameKind.ALIASED_WRITE
+            )
+            dep = DepKind.IO if kind is NameKind.IO_ORDER else DepKind.ALIAS
+            names[diag.sym] = NameInfo(
+                diag.sym, kind, dep,
+                None if diag.loc is None else diag.loc[0],
+            )
+
+    # The iterable expression is evaluated once, before iteration one:
+    # names it reads are read-only outer state (function-position names
+    # like `range` are calls, not value reads).
+    callees = {
+        id(n.func)
+        for n in ast.walk(loop.node.iter)
+        if isinstance(n, ast.Call) and isinstance(n.func, ast.Name)
+    }
+    for n in ast.walk(loop.node.iter):
+        if (
+            isinstance(n, ast.Name)
+            and isinstance(n.ctx, ast.Load)
+            and id(n) not in callees
+            and n.id not in names
+            and n.id != loop.run_name
+        ):
+            names[n.id] = NameInfo(n.id, NameKind.READ_ONLY, line=n.lineno)
+
+    # Everything else written in the body is loop-local; reads of
+    # untouched outer names are read-only.
+    for access in walker.accesses:
+        if access.name in names or access.name == loop.run_name:
+            continue
+        if access.kind == "write":
+            names[access.name] = NameInfo(
+                access.name, NameKind.LOOP_LOCAL, line=access.line
+            )
+        else:
+            names[access.name] = NameInfo(
+                access.name, NameKind.READ_ONLY, line=access.line
+            )
+
+    result.names = names
+    result.diagnostics.sort(
+        key=lambda d: (
+            (0, 0) if d.loc is None else d.loc,
+            d.message,
+        )
+    )
+    return result
+
+
+def analyze_driver(fn_or_source, func_name: str | None = None) -> list[LoopClassification]:
+    """Analyze every driver loop of a function object or source text."""
+    if isinstance(fn_or_source, str):
+        loops = lift_source(fn_or_source, func_name=func_name)
+    else:
+        loops = lift_driver(fn_or_source)
+    return [classify_loop(loop) for loop in loops]
+
+
+__all__ = [
+    "Access",
+    "DepKind",
+    "DriverLoop",
+    "LoopClassification",
+    "NameInfo",
+    "NameKind",
+    "Reduction",
+    "RunCall",
+    "analyze_driver",
+    "classify_loop",
+    "lift_driver",
+    "lift_function",
+    "lift_source",
+]

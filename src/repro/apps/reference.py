@@ -146,6 +146,27 @@ def stream_checksum(elements: int = 8192, reps: int = 1, seed: int = 1) -> float
 
 
 # ---------------------------------------------------------------------------
+# 1-D stencil (auto-ensemble acceptance driver)
+# ---------------------------------------------------------------------------
+
+
+def stencil_checksum(points: int = 8192, iters: int = 2, seed: int = 1) -> float:
+    """Exact CPU replay of the 1-D five-point stencil device checksum."""
+    k = np.arange(5, dtype=np.int64)
+    w = _lcg_f64_vec(_lcg_init_vec(seed * 401 + k)) * 0.4
+    j = np.arange(points, dtype=np.int64)
+    field = _lcg_f64_vec(_lcg_init_vec(seed * 271 + j))
+    cols = np.clip(j[:, None] + (np.arange(5) - 2)[None, :], 0, points - 1)
+    for _ in range(iters):
+        acc = np.zeros(points)
+        # sequential k-order matches the device's inner while loop
+        for kk in range(5):
+            acc = acc + w[kk] * field[cols[:, kk]]
+        field = acc
+    return float(field.sum())
+
+
+# ---------------------------------------------------------------------------
 # Page-Rank
 # ---------------------------------------------------------------------------
 

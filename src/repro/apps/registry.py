@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.apps import amgmk, pagerank, reference, rsbench, stream, xsbench
+from repro.apps import amgmk, pagerank, reference, rsbench, stencil, stream, xsbench
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,17 @@ APPS: dict[str, AppEntry] = {
         bound="memory",
         heap_hint_bytes=32 * 1024 * 1024,
         notes="perfectly coalesced streaming; pins the bandwidth model",
+    ),
+    "stencil": AppEntry(
+        name="stencil",
+        description="1-D five-point stencil sweep (HeCBench-style; not in the paper)",
+        build_program=stencil.build_program,
+        default_args=stencil.default_args,
+        reference_fn=reference.stencil_checksum,
+        bound="memory",
+        heap_hint_bytes=32 * 1024 * 1024,
+        notes="acceptance driver for the auto-ensemble frontend; neighbour "
+        "loads sit between STREAM's pure streaming and AMGmk's banded gather",
     ),
     "pagerank": AppEntry(
         name="pagerank",

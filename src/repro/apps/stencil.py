@@ -1,0 +1,110 @@
+"""1-D five-point stencil sweep (HeCBench-style; not in the paper).
+
+The fifth ported workload, added with the auto-ensemble frontend as its
+acceptance driver: a radius-2 one-dimensional stencil (the 1-D slice of
+HeCBench's ``stencil1d``-class kernels) run for ``-i`` sweeps with an
+explicit copy-back, exactly the memory-access shape between STREAM's
+pure streaming and AMGmk's banded gather — neighbouring loads hit the
+same DRAM rows, so an ensemble of instances stresses row locality more
+than either.
+
+Per sweep every point becomes a weighted sum of its clamped 5-point
+neighbourhood; weights and the initial field derive from the
+command-line seed via the shared LCG so every instance's data — and the
+CPU reference replay in :mod:`repro.apps.reference` — is reproducible
+bit-for-bit.
+
+Command line: ``-n <points> -i <iterations> -s <seed>``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import register_lcg
+from repro.frontend.dsl import Program, dgpu
+from repro.frontend.dtypes import i64, ptr_ptr
+
+DEFAULT_POINTS = 8192
+DEFAULT_ITERS = 2
+DEFAULT_SEED = 1
+
+#: Stencil radius (5-point neighbourhood).
+RADIUS = 2
+
+
+def build_program() -> Program:
+    """Build the 1-D stencil program (see module doc for the CLI)."""
+    prog = Program("stencil")
+    register_lcg(prog)
+
+    @prog.main
+    def main(argc: i64, argv: ptr_ptr) -> i64:
+        n = 8192
+        iters = 2
+        seed = 1
+        i = 1
+        while i < argc:
+            if strcmp(argv[i], "-n") == 0:  # noqa: F821 - device libc
+                i += 1
+                n = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-i") == 0:  # noqa: F821
+                i += 1
+                iters = atoi(argv[i])  # noqa: F821
+            elif strcmp(argv[i], "-s") == 0:  # noqa: F821
+                i += 1
+                seed = atoi(argv[i])  # noqa: F821
+            i += 1
+        if n < 8 or iters < 1:
+            printf("Stencil1D: bad arguments\n")  # noqa: F821
+            return 2
+
+        field = malloc_f64(n)  # noqa: F821
+        swap = malloc_f64(n)  # noqa: F821
+        weights = malloc_f64(5)  # noqa: F821
+        checksum = malloc_f64(1)  # noqa: F821
+        checksum[0] = 0.0
+
+        # --- data generation (seed-reproducible) ------------------------
+        for k in dgpu.parallel_range(5):
+            r = lcg_init(seed * 401 + k)  # noqa: F821
+            weights[k] = lcg_f64(r) * 0.4  # noqa: F821
+        for j in dgpu.parallel_range(n):
+            r = lcg_init(seed * 271 + j)  # noqa: F821
+            field[j] = lcg_f64(r)  # noqa: F821
+
+        # --- stencil sweeps with explicit copy-back ---------------------
+        it = 0
+        while it < iters:
+            for j in dgpu.parallel_range(n):
+                acc = 0.0
+                k = 0
+                while k < 5:
+                    col = j + k - 2
+                    if col < 0:
+                        col = 0
+                    if col > n - 1:
+                        col = n - 1
+                    acc = acc + weights[k] * field[col]
+                    k += 1
+                swap[j] = acc
+            for j in dgpu.parallel_range(n):
+                field[j] = swap[j]
+            it += 1
+
+        for j in dgpu.parallel_range(n):
+            dgpu.atomic_add(checksum, field[j])
+
+        v = checksum[0]
+        printf("Stencil1D checksum %.10f (n=%ld i=%ld s=%ld)\n",  # noqa: F821
+               v, n, iters, seed)
+        if v >= 0.0:
+            return 0
+        return 1
+
+    return prog
+
+
+def default_args(
+    *, points: int = DEFAULT_POINTS, iters: int = DEFAULT_ITERS, seed: int = DEFAULT_SEED
+) -> list[str]:
+    """Default stencil command line (keyword overrides per flag)."""
+    return ["-n", str(points), "-i", str(iters), "-s", str(seed)]

@@ -145,6 +145,23 @@ class ArgScriptError(LoaderError):
     """The argument-generation script language rejected its input."""
 
 
+class AutoEnsembleError(LoaderError):
+    """A driver loop could not be auto-ensembled.
+
+    Raised by :func:`repro.frontend.autoensemble.auto_launch` when the
+    static loop-dependence analyzer proves (or cannot disprove) that the
+    loop's iterations are order-dependent, or when the trace/replay
+    engine detects a nondeterministic driver.  The structured
+    :class:`~repro.analysis.diagnostics.Diagnostic` findings — naming the
+    offending variable, the dependence kind, and the source line — are
+    attached as ``diagnostics``.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
+
+
 # ---------------------------------------------------------------------------
 # Scheduler errors
 # ---------------------------------------------------------------------------

@@ -59,6 +59,13 @@ FIGURE6_WORKLOADS: dict[str, Figure6Workload] = {
         heap_bytes=96 * 1024 * 1024,
         note="bandwidth-bound banded Jacobi sweeps; ~0.3 MiB per instance",
     ),
+    "stencil": Figure6Workload(
+        "stencil",
+        ["-n", "4096", "-i", "2"],
+        heap_bytes=32 * 1024 * 1024,
+        note="row-local 5-point neighbour loads; auto-ensemble acceptance "
+        "workload (not in the paper)",
+    ),
     "pagerank": Figure6Workload(
         "pagerank",
         ["-n", "16384", "-d", "8", "-i", "1"],

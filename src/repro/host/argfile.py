@@ -49,22 +49,42 @@ def resolve_arg_source(arg_source) -> list[list[str]]:
 
     * ``list``/``tuple`` of per-instance token sequences — already parsed;
       tokens are coerced to ``str``,
+    * any other iterable of per-instance configs (generators, map objects,
+      the derived-config stream of the auto-ensemble frontend) — each
+      element is a token sequence, or a ``str`` parsed as one
+      argument-file line (shell quoting rules),
     * :class:`~pathlib.Path` — an argument file on disk,
     * ``str`` without a newline that names an existing file — ditto,
     * any other ``str`` — raw argument-file text.
 
     This is the single resolution point behind
-    :class:`~repro.host.launch.LaunchSpec`; loaders, the batch runner, and
-    the scheduler all accept the same shapes because they all call this.
+    :class:`~repro.host.launch.LaunchSpec`; loaders, the batch runner,
+    the scheduler, and the auto-ensemble frontend all accept the same
+    shapes because they all call this.
     """
-    if isinstance(arg_source, (list, tuple)):
-        return [list(map(str, line)) for line in arg_source]
     if isinstance(arg_source, Path):
         return parse_argument_file(arg_source)
     if isinstance(arg_source, str):
         if "\n" not in arg_source and Path(arg_source).exists():
             return parse_argument_file(arg_source)
         return parse_argument_text(arg_source)
+    if hasattr(arg_source, "__iter__"):
+        instances = []
+        for lineno, line in enumerate(arg_source, start=1):
+            if isinstance(line, str):
+                try:
+                    tokens = shlex.split(line, posix=True)
+                except ValueError as exc:
+                    raise ArgFileError(f"instance {lineno}: {exc}") from exc
+            elif hasattr(line, "__iter__"):
+                tokens = [str(t) for t in line]
+            else:
+                raise ArgFileError(
+                    f"instance {lineno}: expected a token sequence or an "
+                    f"argument-line string, got {type(line).__name__}"
+                )
+            instances.append(tokens)
+        return instances
     raise ArgFileError(
         f"unsupported argument source {type(arg_source).__name__}"
     )

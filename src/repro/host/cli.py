@@ -12,6 +12,12 @@ runner (OOM bisection past the memory wall), and ``--devices K`` with
 ``K > 1`` shards it across a K-GPU :class:`~repro.sched.DevicePool` via
 :class:`~repro.sched.Scheduler`, with ``--retries`` bounding transient-
 fault retries and ``--max-steps`` capping interpreter steps per launch.
+
+``--auto SCRIPT[:FUNC]`` replaces the argument file with a natural
+Python driver loop: the script's driver function is proven
+iteration-independent by :mod:`repro.analysis.driverdep` and executed as
+one ensemble through :func:`repro.frontend.autoensemble.auto_launch`.
+Dependent loops are rejected with the analyzer's structured findings.
 """
 
 from __future__ import annotations
@@ -44,6 +50,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark application to run (see --list-apps)",
     )
     parser.add_argument("-f", "--arg-file", help="command-line arguments file")
+    parser.add_argument(
+        "--auto",
+        metavar="SCRIPT[:FUNC]",
+        default=None,
+        help="auto-ensemble a natural Python driver loop instead of an "
+        "argument file: prove the loop iteration-independent, trace it, "
+        "and launch the recorded instances as one ensemble (FUNC defaults "
+        "to 'driver', or the script's only function)",
+    )
     parser.add_argument(
         "-n",
         "--num-instances",
@@ -219,8 +234,10 @@ def main(argv: list[str] | None = None) -> int:
     except KeyError:
         parser.error(f"unknown app {args.app!r}; try --list-apps")
 
-    if args.arg_file is None:
-        parser.error("-f/--arg-file is required to run an ensemble")
+    if args.arg_file is None and args.auto is None:
+        parser.error("-f/--arg-file (or --auto) is required to run an ensemble")
+    if args.arg_file is not None and args.auto is not None:
+        parser.error("-f/--arg-file and --auto are mutually exclusive")
     if args.devices < 1:
         parser.error("--devices must be >= 1")
 
@@ -245,8 +262,111 @@ def _write_obs_outputs(obs: Observability, args) -> None:
         print(f"wrote metrics {args.metrics_out}", file=sys.stderr)
 
 
+def _parse_fault_plan(parser, args):
+    if not args.inject:
+        return None
+    try:
+        return FaultPlan.parse(args.inject, seed=args.inject_seed)
+    except FaultPlanError as exc:
+        parser.error(f"--inject: {exc}")
+
+
+def _loader_opts(args) -> dict:
+    mapping = PackedMapping(args.pack) if args.pack > 1 else OneInstancePerTeam()
+    return dict(
+        mapping=mapping,
+        heap_bytes=args.heap_mb * 1024 * 1024,
+        team_local_globals=args.team_local_globals,
+        allow_races=args.allow_races,
+        opt_level=args.opt_level,
+    )
+
+
+def _load_driver(parser, spec_str: str):
+    """Resolve --auto's ``SCRIPT[:FUNC]`` to a live driver function."""
+    import importlib.util
+    import inspect
+    from pathlib import Path
+
+    path, _, func = spec_str.partition(":")
+    p = Path(path)
+    if not p.exists():
+        parser.error(f"--auto: no such script {path!r}")
+    spec = importlib.util.spec_from_file_location(f"_auto_driver_{p.stem}", p)
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        parser.error(f"--auto: importing {path} failed: {exc}")
+    if func:
+        fn = getattr(module, func, None)
+        if not callable(fn):
+            parser.error(f"--auto: {path} defines no function {func!r}")
+        return fn
+    fn = getattr(module, "driver", None)
+    if callable(fn):
+        return fn
+    own = [
+        v
+        for v in vars(module).values()
+        if inspect.isfunction(v) and v.__module__ == module.__name__
+    ]
+    if len(own) == 1:
+        return own[0]
+    parser.error(
+        f"--auto: {path} defines {len(own)} functions and none named "
+        f"'driver'; pick one with {path}:FUNC"
+    )
+
+
+def _run_auto(parser, args, app, obs: Observability) -> int:
+    """--auto: prove, trace, launch, and replay a natural driver loop."""
+    from repro.errors import AutoEnsembleError
+    from repro.frontend.autoensemble import EnsembleBackend, auto_launch
+
+    fn = _load_driver(parser, args.auto)
+    backend = EnsembleBackend(
+        app,
+        devices=args.devices,
+        thread_limit=args.thread_limit,
+        max_steps=args.max_steps,
+        collect_timing=not args.no_timing,
+        fault_plan=_parse_fault_plan(parser, args),
+        obs=obs,
+        loader_opts=_loader_opts(args),
+        max_batch=args.max_batch,
+        retries=args.retries,
+    )
+    try:
+        outcome = auto_launch(fn, app, backend=backend)
+    except AutoEnsembleError as exc:
+        print(f"auto-ensemble rejected: {exc}", file=sys.stderr)
+        return 1
+    except DeviceOutOfMemory as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    _print_instances(outcome, args.quiet)
+    reductions = sum(len(c.reductions) for c in outcome.classifications)
+    print(
+        f"auto-ensemble: driver {fn.__name__}() -> "
+        f"{outcome.num_instances} instances, {reductions} reduction(s) "
+        f"replayed in loop order"
+    )
+    if outcome.campaign is not None:
+        print(f"campaign: {report(outcome.campaign, format='summary')}")
+    if outcome.value is not None:
+        print(f"driver value: {outcome.value!r}")
+    return 0 if outcome.all_succeeded else 1
+
+
 def _run(parser, args, app, obs: Observability) -> int:
     """Execute the ensemble described by the parsed ``args``."""
+    if args.auto is not None:
+        return _run_auto(parser, args, app, obs)
     try:
         if args.script:
             from pathlib import Path
@@ -255,29 +375,15 @@ def _run(parser, args, app, obs: Observability) -> int:
         else:
             arg_source = args.arg_file
 
-        fault_plan = None
-        if args.inject:
-            try:
-                fault_plan = FaultPlan.parse(args.inject, seed=args.inject_seed)
-            except FaultPlanError as exc:
-                parser.error(f"--inject: {exc}")
-
         spec = LaunchSpec(
             arg_source=arg_source,
             num_instances=args.num_instances,
             thread_limit=args.thread_limit,
             max_steps=args.max_steps,
             collect_timing=not args.no_timing,
-            fault_plan=fault_plan,
+            fault_plan=_parse_fault_plan(parser, args),
         )
-        mapping = PackedMapping(args.pack) if args.pack > 1 else OneInstancePerTeam()
-        loader_opts = dict(
-            mapping=mapping,
-            heap_bytes=args.heap_mb * 1024 * 1024,
-            team_local_globals=args.team_local_globals,
-            allow_races=args.allow_races,
-            opt_level=args.opt_level,
-        )
+        loader_opts = _loader_opts(args)
 
         if args.devices > 1:
             from repro.sched import DevicePool, Scheduler

@@ -8,21 +8,32 @@ pipeline stage and reports the findings as compiler-style text or JSON::
     python -m repro.tools.lint pagerank --checker races --checker uninit
     python -m repro.tools.lint --all --fail-on error
     python -m repro.tools.lint pagerank --interproc
+    python -m repro.tools.lint --driver examples/auto_ensemble_loop.py
 
 ``--interproc`` additionally reports the interprocedural facts (call
 cycles, allocation bounds, the static per-instance footprint) from
 :mod:`repro.analysis.interproc`.
+
+``--driver`` lints *host* driver scripts instead of device IR: every
+top-level function's ``for`` loops go through the loop-carried
+dependence analyzer (:mod:`repro.analysis.driverdep`), reporting which
+loops the auto-ensemble frontend would accept and, for the rest, the
+variable, dependence kind, and line blocking parallel execution.
+``--driver-fn`` restricts the analysis to one function.  Driver and app
+linting compose in one invocation; both feed the same exit code.
 
 Exit status (stable contract for CI):
 
 * ``0`` — clean (no diagnostic at or above ``--fail-on``),
 * ``1`` — findings at or above the ``--fail-on`` severity (default
   ``error``),
-* ``2`` — usage error (unknown app name),
+* ``2`` — usage error (unknown app name, unreadable/unparsable driver
+  script),
 * ``3`` — internal error (a checker or the compiler crashed).
 
 The JSON format (``--format json``) is a stable schema: one object with
-``stage`` and ``apps``; each app maps to a list of diagnostics carrying
+``stage``, ``apps`` and (when ``--driver`` is used) ``drivers``; each
+app or driver script maps to a list of diagnostics carrying
 ``file``/``line``/``col`` (source provenance when the frontend recorded
 it), ``severity``, ``checker``, ``function``/``block``/``index``,
 ``sym``, ``message`` and ``hint``.
@@ -65,6 +76,28 @@ def lint_app(
         from repro.analysis.interproc import interproc_facts
 
         diags.extend(interproc_facts(module))
+    return diags
+
+
+def lint_driver(
+    path: str, func_name: str | None = None
+) -> list[Diagnostic]:
+    """Run the loop-dependence analyzer over one driver script.
+
+    Raises :class:`~repro.errors.AnalysisError` (a usage error for the
+    CLI) when the file cannot be read or parsed, or when ``func_name``
+    names a function without a ``for`` loop.
+    """
+    from repro.analysis.driverdep import classify_loop, lift_source
+    from repro.errors import AnalysisError
+
+    try:
+        source = open(path).read()
+    except OSError as exc:
+        raise AnalysisError(f"cannot read driver script {path}: {exc}") from exc
+    diags: list[Diagnostic] = []
+    for loop in lift_source(source, filename=path, func_name=func_name):
+        diags.extend(classify_loop(loop).diagnostics)
     return diags
 
 
@@ -113,6 +146,19 @@ def main(argv: list[str] | None = None) -> int:
         "bounds, the static packing footprint)",
     )
     parser.add_argument(
+        "--driver",
+        action="append",
+        metavar="SCRIPT",
+        help="lint a host driver script with the loop-carried dependence "
+        "analyzer instead of (or in addition to) app IR (repeatable)",
+    )
+    parser.add_argument(
+        "--driver-fn",
+        metavar="NAME",
+        default=None,
+        help="restrict --driver analysis to one function",
+    )
+    parser.add_argument(
         "--fail-on",
         choices=sorted(FAIL_LEVELS),
         default="error",
@@ -138,8 +184,12 @@ def main(argv: list[str] | None = None) -> int:
         names = sorted(APPS)
     elif args.app:
         names = args.app
+    elif args.driver:
+        names = []
     else:
-        parser.error("name at least one app, or pass --all")
+        parser.error("name at least one app, pass --all, or pass --driver")
+    if args.driver_fn and not args.driver:
+        parser.error("--driver-fn requires --driver")
 
     unknown = [n for n in names if n not in APPS]
     if unknown:
@@ -168,8 +218,34 @@ def main(argv: list[str] | None = None) -> int:
             _render_text(name, diags)
         if threshold is not None and any(d.severity >= threshold for d in diags):
             failed = True
+
+    driver_report: dict[str, list[dict]] = {}
+    for path in args.driver or []:
+        from repro.errors import AnalysisError
+
+        try:
+            diags = lint_driver(path, args.driver_fn)
+        except AnalysisError as exc:
+            print(f"driver {path}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        except Exception:
+            print(f"internal error linting driver {path!r}:", file=sys.stderr)
+            traceback.print_exc()
+            return EXIT_INTERNAL
+        if fmt == "json":
+            driver_report[path] = [
+                dict(d.to_dict(), file=path) for d in diags
+            ]
+        else:
+            _render_text(path, diags)
+        if threshold is not None and any(d.severity >= threshold for d in diags):
+            failed = True
+
     if fmt == "json":
-        print(json.dumps({"stage": args.stage, "apps": report}, indent=2))
+        out = {"stage": args.stage, "apps": report}
+        if args.driver:
+            out["drivers"] = driver_report
+        print(json.dumps(out, indent=2))
     return EXIT_FINDINGS if failed else EXIT_CLEAN
 
 

@@ -1,0 +1,14 @@
+"""Unsafe: ALIASED container write.
+
+Storing into ``results`` — outer state reachable from every iteration —
+is an anti/output dependence between iterations (points-to cannot prove
+the keys distinct).
+"""
+
+
+def driver(run):
+    results = {}
+    for seed in range(1, 5):
+        r = run(["-s", str(seed)])
+        results[seed] = r.exit_code
+    return results

@@ -1,0 +1,14 @@
+"""Unsafe: loop-carried ANTI dependence.
+
+Each iteration reads the head of ``queue`` while also popping it, so an
+iteration reads state a later iteration's write would clobber — the
+read order is the iteration order.
+"""
+
+
+def driver(run):
+    queue = [["-s", "1"], ["-s", "2"], ["-s", "3"]]
+    for _ in range(3):
+        cfg = queue[0]
+        run(cfg)
+        queue.pop(0)

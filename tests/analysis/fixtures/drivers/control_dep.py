@@ -1,0 +1,12 @@
+"""Unsafe: result-dependent CONTROL flow.
+
+Branching on a run result means the set of launched instances depends on
+execution results, so the batch cannot be derived before launching.
+"""
+
+
+def driver(run):
+    for seed in range(1, 9):
+        r = run(["-s", str(seed)])
+        if r.exit_code != 0:
+            break

@@ -1,0 +1,13 @@
+"""Unsafe: loop-carried FLOW dependence.
+
+``prev`` is folded like a reduction but also *read* to build the next
+iteration's arguments, so iteration i+1 observes iteration i's state.
+"""
+
+
+def driver(run):
+    prev = 0
+    for seed in range(1, 5):
+        r = run(["-n", str(1024 + prev), "-s", str(seed)])
+        prev = prev + r.exit_code
+    return prev

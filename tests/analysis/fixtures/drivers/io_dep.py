@@ -1,0 +1,7 @@
+"""Unsafe: order-dependent I/O inside the driver loop."""
+
+
+def driver(run):
+    for seed in range(1, 5):
+        r = run(["-s", str(seed)])
+        print("instance", seed, "->", r.exit_code)

@@ -1,0 +1,13 @@
+"""Unsafe: loop-carried OUTPUT dependence.
+
+Every iteration overwrites ``last``; only the final iteration's value
+survives, so the loop's result encodes iteration order.
+"""
+
+
+def driver(run):
+    last = None
+    for seed in range(1, 5):
+        run(["-s", str(seed)])
+        last = seed
+    return last

@@ -1,0 +1,20 @@
+"""Safe: an auto-ensemblable sweep — the shape the frontend accepts.
+
+Loop-locals, read-only outer config, an append reduction and two scalar
+reductions; nothing crosses iterations.
+"""
+
+BASE = ["-n", "1024"]
+
+
+def driver(run):
+    checksums = []
+    failures = 0
+    best = 1 << 60
+    for seed in range(1, 9):
+        cfg = BASE + ["-s", str(seed)]
+        r = run(cfg)
+        checksums.append(r.stdout)
+        failures += r.exit_code
+        best = min(best, r.exit_code)
+    return checksums, failures, best

@@ -1,0 +1,108 @@
+"""CLI tests: ``repro.tools.lint --driver`` and its exit-code contract."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    lint_driver,
+    main,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "drivers"
+UNSAFE = sorted(
+    p for p in FIXTURES.glob("*_dep.py")
+)
+EXAMPLE = Path(__file__).parents[2] / "examples" / "auto_ensemble_loop.py"
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("path", UNSAFE, ids=lambda p: p.stem)
+    def test_unsafe_fixture_exits_findings(self, path, capsys):
+        assert main(["--driver", str(path)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "error[driverdep]" in out
+
+    def test_safe_fixture_exits_clean(self, capsys):
+        assert main(["--driver", str(FIXTURES / "safe_sweep.py")]) == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
+
+    def test_example_driver_is_clean(self, capsys):
+        assert main(["--driver", str(EXAMPLE)]) == EXIT_CLEAN
+
+    def test_missing_script_is_usage_error(self, capsys):
+        assert main(["--driver", "/nonexistent/driver.py"]) == EXIT_USAGE
+
+    def test_unparsable_script_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def d(:\n")
+        assert main(["--driver", str(bad)]) == EXIT_USAGE
+
+    def test_driver_fn_without_loop_is_usage_error(self, capsys):
+        assert (
+            main([
+                "--driver", str(FIXTURES / "safe_sweep.py"),
+                "--driver-fn", "nonexistent",
+            ])
+            == EXIT_USAGE
+        )
+
+    def test_fail_on_never_reports_but_passes(self, capsys):
+        assert (
+            main([
+                "--driver", str(FIXTURES / "io_dep.py"), "--fail-on", "never",
+            ])
+            == EXIT_CLEAN
+        )
+        assert "error[driverdep]" in capsys.readouterr().out
+
+
+class TestJsonSchema:
+    def test_drivers_key_and_fields(self, capsys):
+        path = str(FIXTURES / "output_dep.py")
+        assert main(["--driver", path, "--format", "json"]) == EXIT_FINDINGS
+        doc = json.loads(capsys.readouterr().out)
+        assert path in doc["drivers"]
+        (diag,) = [
+            d for d in doc["drivers"][path] if d["severity"] == "error"
+        ]
+        assert diag["checker"] == "driverdep"
+        assert diag["sym"] == "last"
+        assert diag["file"] == path
+        assert diag["line"] > 0
+        assert "output dependence" in diag["message"]
+
+    def test_apps_and_drivers_compose(self, capsys):
+        path = str(FIXTURES / "safe_sweep.py")
+        code = main(["stream", "--driver", path, "--format", "json"])
+        assert code == EXIT_CLEAN
+        doc = json.loads(capsys.readouterr().out)
+        assert "stream" in doc["apps"]
+        assert path in doc["drivers"]
+
+    def test_multiple_drivers(self, capsys):
+        a = str(FIXTURES / "safe_sweep.py")
+        b = str(FIXTURES / "flow_dep.py")
+        assert main(["--driver", a, "--driver", b, "--format", "json"]) == (
+            EXIT_FINDINGS
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["drivers"]) == {a, b}
+        assert doc["drivers"][a] == []
+        assert doc["drivers"][b]
+
+
+class TestLintDriverApi:
+    def test_function_filter(self):
+        diags = lint_driver(str(EXAMPLE), "driver")
+        assert [d for d in diags if d.severity.label == "error"] == []
+
+    def test_unreadable_raises_analysis_error(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="cannot read"):
+            lint_driver("/nonexistent/driver.py")

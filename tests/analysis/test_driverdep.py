@@ -1,0 +1,356 @@
+"""Unit tests for the driver-loop dependence analyzer."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity
+from repro.analysis.driverdep import (
+    DepKind,
+    NameKind,
+    analyze_driver,
+    classify_loop,
+    lift_driver,
+    lift_source,
+)
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "drivers"
+
+
+def classify_source(source: str, func_name: str | None = None):
+    loops = lift_source(source, func_name=func_name)
+    assert loops, "expected at least one driver loop"
+    return classify_loop(loops[0])
+
+
+def errors_of(cls):
+    return [d for d in cls.diagnostics if d.severity >= Severity.ERROR]
+
+
+class TestLifting:
+    def test_lift_source_all_functions(self):
+        src = """
+        def a(run):
+            for x in range(3):
+                run(x)
+        def helper():
+            return 1
+        def b(run):
+            for y in range(2):
+                run(y)
+        """
+        loops = lift_source(src)
+        assert [l.fn_name for l in loops] == ["a", "b"]
+        assert loops[0].targets == frozenset({"x"})
+        assert loops[0].run_name == "run"
+
+    def test_run_name_is_first_param(self):
+        src = """
+        def d(launch, scale):
+            for x in range(3):
+                launch(x, scale)
+        """
+        (loop,) = lift_source(src)
+        assert loop.run_name == "launch"
+        cls = classify_loop(loop)
+        assert len(cls.run_calls) == 1
+        assert cls.names["scale"].kind is NameKind.READ_ONLY
+
+    def test_prologue_defs_recorded(self):
+        src = """
+        def d(run):
+            acc = 0
+            table = {}
+            for x in range(3):
+                run(x)
+        """
+        (loop,) = lift_source(src)
+        assert loop.prologue_defs == frozenset({"acc", "table"})
+
+    def test_func_name_without_loop_raises(self):
+        with pytest.raises(AnalysisError, match="no for loop"):
+            lift_source("def d(run):\n    return 1\n", func_name="d")
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(AnalysisError, match="cannot parse"):
+            lift_source("def d(:\n")
+
+    def test_lift_driver_reports_file_lines(self):
+        from tests.analysis.fixtures.drivers import flow_dep
+
+        loops = lift_driver(flow_dep.driver)
+        assert loops[0].filename.endswith("flow_dep.py")
+        # the for statement is on line 10 of the fixture *file*
+        assert loops[0].node.lineno == 10
+
+
+class TestSafeShapes:
+    def test_pure_sweep(self):
+        cls = classify_source(
+            """
+            def d(run):
+                for seed in range(8):
+                    r = run(["-s", str(seed)])
+            """
+        )
+        assert cls.safe
+        assert cls.names["seed"].kind is NameKind.INDUCTION
+        assert cls.names["r"].kind is NameKind.LOOP_LOCAL
+
+    def test_reductions(self):
+        cls = classify_source(
+            """
+            def d(run):
+                out = []
+                total = 0.0
+                hi = 0
+                lo = 10**9
+                for cfg in CONFIGS:
+                    r = run(cfg)
+                    out.append(r.stdout)
+                    total += r.exit_code
+                    hi = max(hi, r.exit_code)
+                    lo = min(r.exit_code, lo)
+            """
+        )
+        assert cls.safe
+        kinds = {n: i.kind for n, i in cls.names.items()}
+        assert kinds["out"] is NameKind.REDUCTION
+        assert kinds["total"] is NameKind.REDUCTION
+        assert kinds["hi"] is NameKind.REDUCTION
+        assert kinds["lo"] is NameKind.REDUCTION
+        assert kinds["CONFIGS"] is NameKind.READ_ONLY
+        assert sorted(r.op for r in cls.reductions) == [
+            "+", "append", "max", "min",
+        ]
+
+    def test_fresh_container_mutation_is_safe(self):
+        cls = classify_source(
+            """
+            def d(run):
+                for seed in range(4):
+                    args = []
+                    args.append("-s")
+                    args.append(str(seed))
+                    run(args)
+            """
+        )
+        assert cls.safe, [d.format() for d in cls.diagnostics]
+
+    def test_summary_counts(self):
+        cls = classify_source(
+            """
+            def d(run):
+                acc = 0
+                for s in range(4):
+                    x = s * 2
+                    acc += run(["-s", str(x)]).exit_code
+            """
+        )
+        assert cls.safe
+        assert cls.summary() == {
+            "induction": 1, "loop-local": 1, "reduction": 1,
+        }
+
+
+class TestDependenceKinds:
+    def test_flow(self):
+        cls = classify_source(
+            """
+            def d(run):
+                prev = 0
+                for s in range(4):
+                    r = run(["-n", str(1024 + prev)])
+                    prev = prev + r.exit_code
+            """
+        )
+        assert not cls.safe
+        assert cls.names["prev"].dep is DepKind.FLOW
+        assert any("flow dependence on 'prev'" in d.message for d in errors_of(cls))
+
+    def test_output(self):
+        cls = classify_source(
+            """
+            def d(run):
+                last = None
+                for s in range(4):
+                    run(["-s", str(s)])
+                    last = s
+            """
+        )
+        assert not cls.safe
+        assert cls.names["last"].dep is DepKind.OUTPUT
+
+    def test_anti_via_alias(self):
+        cls = classify_source(
+            """
+            def d(run):
+                queue = [1, 2, 3]
+                for s in range(3):
+                    run(["-s", str(queue[0])])
+                    queue.pop(0)
+            """
+        )
+        assert not cls.safe
+        assert cls.names["queue"].dep is DepKind.ANTI
+
+    def test_io(self):
+        cls = classify_source(
+            """
+            def d(run):
+                for s in range(4):
+                    print("running", s)
+                    run(["-s", str(s)])
+            """
+        )
+        assert not cls.safe
+        (err,) = errors_of(cls)
+        assert "order-dependent I/O" in err.message
+        assert err.sym == "print"
+
+    def test_alias_store(self):
+        cls = classify_source(
+            """
+            def d(run):
+                results = {}
+                for s in range(4):
+                    results[s] = run(["-s", str(s)]).exit_code
+            """
+        )
+        assert not cls.safe
+        assert cls.names["results"].kind is NameKind.ALIASED_WRITE
+        assert any(d.sym == "results" for d in errors_of(cls))
+
+    def test_control(self):
+        cls = classify_source(
+            """
+            def d(run):
+                for s in range(4):
+                    r = run(["-s", str(s)])
+                    if r.exit_code:
+                        break
+            """
+        )
+        assert not cls.safe
+        assert any(
+            "result-dependent control flow" in d.message for d in errors_of(cls)
+        )
+
+    def test_tainted_run_args(self):
+        cls = classify_source(
+            """
+            def d(run):
+                for s in range(4):
+                    r = run(["-s", str(s)])
+                    run(["-n", str(r.exit_code)])
+            """
+        )
+        assert not cls.safe
+        assert any(
+            "depend on a run result" in d.message for d in errors_of(cls)
+        )
+
+    def test_module_level_accumulator_rejected(self):
+        cls = classify_source(
+            """
+            def d(run):
+                for s in range(4):
+                    TOTALS.append(run(["-s", str(s)]).stdout)
+            """
+        )
+        assert not cls.safe
+        assert any(d.sym == "TOTALS" for d in errors_of(cls))
+
+    def test_return_in_loop_rejected(self):
+        cls = classify_source(
+            """
+            def d(run):
+                for s in range(4):
+                    return run(["-s", str(s)])
+            """
+        )
+        assert not cls.safe
+
+    def test_conditional_partial_definition_is_flow(self):
+        # `x` defined only on one branch: a use may see the previous
+        # iteration's value (version 0) -> not loop-local.
+        cls = classify_source(
+            """
+            def d(run):
+                x = 0
+                for s in range(4):
+                    if s % 2:
+                        x = s
+                    run(["-n", str(x)])
+            """
+        )
+        assert not cls.safe
+        assert cls.names["x"].dep is DepKind.FLOW
+
+
+class TestDiagnosticsShape:
+    def test_structured_fields(self):
+        cls = classify_source(
+            """
+            def d(run):
+                last = 0
+                for s in range(4):
+                    run(["-s", str(s)])
+                    last = s
+            """
+        )
+        (err,) = errors_of(cls)
+        assert err.checker == "driverdep"
+        assert err.function == "d"
+        assert err.sym == "last"
+        assert err.loc is not None and err.loc[0] > 0
+        assert err.hint
+        d = err.to_dict()
+        assert d["checker"] == "driverdep"
+        assert d["sym"] == "last"
+
+    def test_every_unsafe_fixture_names_variable_and_line(self):
+        expected = {
+            "flow_dep.py": ("prev", DepKind.FLOW),
+            "output_dep.py": ("last", DepKind.OUTPUT),
+            "anti_dep.py": ("queue", DepKind.ANTI),
+            "io_dep.py": ("print", DepKind.IO),
+            "alias_dep.py": ("results", DepKind.ALIAS),
+            "control_dep.py": (None, DepKind.CONTROL),
+        }
+        for fname, (sym, _kind) in expected.items():
+            source = (FIXTURES / fname).read_text()
+            (cls,) = analyze_driver(source, func_name="driver")
+            errs = errors_of(cls)
+            assert errs, f"{fname} should be unsafe"
+            assert all(d.loc and d.loc[0] > 0 for d in errs), fname
+            if sym is not None:
+                assert any(d.sym == sym for d in errs), fname
+
+    def test_safe_fixture_is_clean(self):
+        source = (FIXTURES / "safe_sweep.py").read_text()
+        (cls,) = analyze_driver(source, func_name="driver")
+        assert cls.safe
+        assert len(cls.reductions) == 3
+
+
+class TestAnalyzeDriver:
+    def test_accepts_source_and_function(self):
+        from tests.analysis.fixtures.drivers import safe_sweep
+
+        by_fn = analyze_driver(safe_sweep.driver)
+        by_src = analyze_driver(
+            (FIXTURES / "safe_sweep.py").read_text(), func_name="driver"
+        )
+        assert len(by_fn) == len(by_src) == 1
+        assert by_fn[0].safe and by_src[0].safe
+        assert by_fn[0].summary() == by_src[0].summary()
+
+    def test_stable_across_repeated_analysis(self):
+        source = (FIXTURES / "flow_dep.py").read_text()
+        first = analyze_driver(source, func_name="driver")
+        second = analyze_driver(source, func_name="driver")
+        assert [d.format() for c in first for d in c.diagnostics] == [
+            d.format() for c in second for d in c.diagnostics
+        ]

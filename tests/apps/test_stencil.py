@@ -1,0 +1,77 @@
+"""1-D stencil port: correctness against the exact CPU replay."""
+
+import re
+
+import pytest
+
+from repro.apps import reference, stencil
+from repro.gpu.device import GPUDevice
+from repro.host.ensemble_loader import EnsembleLoader
+from tests.util import SMALL_DEVICE
+
+
+@pytest.fixture(scope="module")
+def loader():
+    return EnsembleLoader(
+        stencil.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=16 * 1024 * 1024
+    )
+
+
+def checksum_of(result, index=0):
+    m = re.search(r"checksum ([-\d.]+)", result.instances[index].stdout)
+    assert m
+    return float(m.group(1))
+
+
+class TestCorrectness:
+    def test_matches_reference(self, loader):
+        res = loader.run_ensemble(
+            [["-n", "1024", "-i", "2", "-s", "1"]], thread_limit=32,
+            collect_timing=False,
+        )
+        assert res.return_codes == [0]
+        assert checksum_of(res) == pytest.approx(
+            reference.stencil_checksum(1024, 2, 1), rel=1e-9
+        )
+
+    def test_seed_sensitivity(self, loader):
+        res = loader.run_ensemble(
+            [["-n", "512", "-i", "1", "-s", str(s)] for s in (1, 2)],
+            thread_limit=32, collect_timing=False,
+        )
+        assert res.return_codes == [0, 0]
+        a, b = checksum_of(res, 0), checksum_of(res, 1)
+        assert a != b
+        assert a == pytest.approx(reference.stencil_checksum(512, 1, 1), rel=1e-9)
+        assert b == pytest.approx(reference.stencil_checksum(512, 1, 2), rel=1e-9)
+
+    def test_more_sweeps_change_result(self, loader):
+        one = loader.run_ensemble(
+            [["-n", "512", "-i", "1", "-s", "3"]], thread_limit=32,
+            collect_timing=False,
+        )
+        four = loader.run_ensemble(
+            [["-n", "512", "-i", "4", "-s", "3"]], thread_limit=32,
+            collect_timing=False,
+        )
+        assert checksum_of(one) != checksum_of(four)
+        assert checksum_of(four) == pytest.approx(
+            reference.stencil_checksum(512, 4, 3), rel=1e-9
+        )
+
+    def test_bad_arguments_rejected(self, loader):
+        res = loader.run_ensemble(
+            [["-n", "4", "-i", "1", "-s", "1"]], thread_limit=32,
+            collect_timing=False,
+        )
+        assert res.return_codes == [2]
+
+    def test_registered(self):
+        from repro.apps.registry import get_app
+
+        entry = get_app("stencil")
+        assert entry.bound == "memory"
+        assert entry.reference_fn is reference.stencil_checksum
+        assert entry.default_args(points=256, iters=1, seed=9) == [
+            "-n", "256", "-i", "1", "-s", "9",
+        ]

@@ -56,3 +56,52 @@ def test_empty_file_is_zero_instances(tmp_path):
     path = tmp_path / "empty.txt"
     path.write_text("")
     assert parse_argument_file(path) == []
+
+
+class TestInMemorySources:
+    """resolve_arg_source over in-memory iterables (auto-ensemble path)."""
+
+    def test_generator_of_token_lists(self):
+        from repro.host.argfile import resolve_arg_source
+
+        gen = (["-s", str(s)] for s in range(3))
+        assert resolve_arg_source(gen) == [
+            ["-s", "0"], ["-s", "1"], ["-s", "2"],
+        ]
+
+    def test_iterable_of_strings_parsed_as_lines(self):
+        from repro.host.argfile import resolve_arg_source
+
+        assert resolve_arg_source(iter(["-a 1 -b", "-c 'two words'"])) == [
+            ["-a", "1", "-b"], ["-c", "two words"],
+        ]
+
+    def test_tokens_coerced_to_str(self):
+        from repro.host.argfile import resolve_arg_source
+
+        assert resolve_arg_source([("-n", 1024), ("-n", 2048)]) == [
+            ["-n", "1024"], ["-n", "2048"],
+        ]
+
+    def test_bad_quote_in_element_names_instance(self):
+        from repro.host.argfile import resolve_arg_source
+
+        with pytest.raises(ArgFileError, match="instance 2"):
+            resolve_arg_source(["-a 1", "-b 'oops"])
+
+    def test_non_sequence_element_rejected(self):
+        from repro.host.argfile import resolve_arg_source
+
+        with pytest.raises(ArgFileError, match="instance 1"):
+            resolve_arg_source([42])
+
+    def test_backward_compat_path_and_text(self, tmp_path):
+        from pathlib import Path
+
+        from repro.host.argfile import resolve_arg_source
+
+        f = tmp_path / "args.txt"
+        f.write_text("-a 1\n-a 2\n")
+        assert resolve_arg_source(Path(f)) == [["-a", "1"], ["-a", "2"]]
+        assert resolve_arg_source(str(f)) == [["-a", "1"], ["-a", "2"]]
+        assert resolve_arg_source("-a 1\n-a 2\n") == [["-a", "1"], ["-a", "2"]]

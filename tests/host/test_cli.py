@@ -191,3 +191,79 @@ class TestObservabilityFlags:
         )
         assert code == 1  # the instance exits nonzero...
         assert metrics.exists()  # ...but the dump is still flushed
+
+
+class TestAutoMode:
+    """--auto SCRIPT[:FUNC]: natural driver loops through the CLI."""
+
+    @pytest.fixture
+    def safe_script(self, tmp_path):
+        f = tmp_path / "drv.py"
+        f.write_text(
+            "def driver(run):\n"
+            "    total = 0\n"
+            "    for seed in range(1, 3):\n"
+            "        r = run(['-n', '256', '-i', '1', '-s', str(seed)])\n"
+            "        total += r.exit_code\n"
+            "    return total\n"
+        )
+        return str(f)
+
+    def test_auto_runs_ensemble(self, safe_script, capsys):
+        code = main(
+            ["--app", "stencil", "--auto", safe_script, "-t", "32",
+             "--no-timing", "--heap-mb", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Stencil1D checksum" in out
+        assert "driver driver() -> 2 instances" in out
+        assert "1 reduction(s) replayed in loop order" in out
+        assert "driver value: 0" in out
+
+    def test_auto_explicit_function(self, safe_script, capsys):
+        code = main(
+            ["--app", "stencil", "--auto", safe_script + ":driver", "-t",
+             "32", "--no-timing", "--heap-mb", "4", "--quiet"]
+        )
+        assert code == 0
+
+    def test_auto_rejects_dependent_loop(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text(
+            "def driver(run):\n"
+            "    last = None\n"
+            "    for seed in range(1, 3):\n"
+            "        run(['-s', str(seed)])\n"
+            "        last = seed\n"
+            "    return last\n"
+        )
+        code = main(
+            ["--app", "stencil", "--auto", str(f), "-t", "32", "--no-timing"]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "auto-ensemble rejected" in err
+        assert "output dependence" in err
+        assert "'last'" in err
+
+    def test_auto_and_argfile_mutually_exclusive(self, safe_script, argfile):
+        with pytest.raises(SystemExit):
+            main(["--app", "stencil", "--auto", safe_script, "-f", argfile])
+
+    def test_auto_missing_script_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["--app", "stencil", "--auto", "/nonexistent/drv.py"])
+
+    def test_auto_unknown_function_is_usage_error(self, safe_script):
+        with pytest.raises(SystemExit):
+            main(["--app", "stencil", "--auto", safe_script + ":missing"])
+
+    def test_auto_ambiguous_script_is_usage_error(self, tmp_path):
+        f = tmp_path / "two.py"
+        f.write_text(
+            "def a(run):\n    for s in range(2):\n        run([str(s)])\n"
+            "def b(run):\n    for s in range(2):\n        run([str(s)])\n"
+        )
+        with pytest.raises(SystemExit):
+            main(["--app", "stencil", "--auto", str(f)])
