@@ -4,8 +4,9 @@ PYTHON ?= python
 # src layout: make targets work from a checkout without `make install`
 export PYTHONPATH := src
 
-.PHONY: install test test-fast lint typecheck check bench figures validate \
-	objdump sched-demo trace-demo autoensemble-demo chaos clean
+.PHONY: install test test-fast lint typecheck check bench bench-check \
+	microbench figures validate objdump sched-demo trace-demo \
+	autoensemble-demo chaos clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -37,7 +38,18 @@ check: lint typecheck test
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x -q
 
+# Tracked backend benchmark (docs/backends.md): interp vs compiled on the
+# Figure-6 smoke campaign; refreshes the committed baseline.
 bench:
+	$(PYTHON) -m repro.harness.bench --repeats 4 --out BENCH_interpreter.json
+
+# CI regression gate: quick slice of the bench, compared against the
+# committed baseline on machine-independent speedup ratios only.
+bench-check:
+	$(PYTHON) -m repro.harness.bench --quick --check BENCH_interpreter.json
+
+# pytest-benchmark microbenchmarks (interpreter inner loops).
+microbench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 figures:

@@ -56,7 +56,7 @@ def record_series(benchmark):
 
 
 def print_series(result):
-    from repro.harness.report import render_scaling_detail
+    from repro.obs.reporting import report
 
     print()
-    print(render_scaling_detail(result))
+    print(report(result, format="text"))

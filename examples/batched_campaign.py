@@ -25,7 +25,7 @@ def run() -> None:
     loader = EnsembleLoader(
         pagerank.build_program(), GPUDevice(), heap_bytes=HEAP_BYTES
     )
-    runner = BatchedEnsembleRunner(loader, thread_limit=32)
+    runner = BatchedEnsembleRunner(loader)
     result = runner.run(LaunchSpec(CAMPAIGN, thread_limit=32))
 
     print(

@@ -6,8 +6,9 @@ Compilation Through Ensemble Execution"* (Tian, Chapman, Doerfert, ICPP-W
 2023) as a pure-Python system: a SIMT GPU simulator with an
 address-accurate memory/timing model, a restricted-Python -> device-IR
 compiler with the paper's device pass pipeline, an OpenMP-style device
-runtime, the base and ensemble loaders, and ports of the four evaluated
-benchmarks.
+runtime with two execution engines (the reference interpreter and a
+block-compiled backend), the base and ensemble loaders, and ports of the
+four evaluated benchmarks.
 
 Quickstart
 ----------
@@ -17,6 +18,11 @@ Quickstart
 >>> result = loader.run_ensemble(LaunchSpec("-l 64 -g 256\\n-l 64 -g 256\\n", thread_limit=32))
 >>> result.all_succeeded
 True
+
+The execution engine is part of the spec — ``LaunchSpec(...,
+backend="compiled")`` runs the same workload on the compiled backend with
+bitwise-identical results (see :mod:`repro.runtime.backend` and
+``docs/backends.md``).
 
 Multi-device campaigns go through :mod:`repro.sched`::
 
@@ -46,20 +52,34 @@ from repro.errors import (
 )
 from repro.frontend import Program, dgpu
 from repro.gpu.device import GPUDevice
+
+# must follow the gpu import: autoensemble pulls in repro.analysis, whose
+# import chain reaches repro.runtime, which needs repro.gpu initialized
+from repro.frontend.autoensemble import auto_launch, ensemble
 from repro.host.ensemble_loader import EnsembleLoader, EnsembleResult
 from repro.host.launch import LaunchSpec
 from repro.host.loader import Loader, RunResult
 from repro.host.mapping import OneInstancePerTeam, PackedMapping
+from repro.obs.reporting import report
+from repro.runtime.backend import (
+    DEFAULT_BACKEND,
+    Backend,
+    available_backends,
+)
 
-__version__ = "1.5.0"
+__version__ = "2.0.0"
 
+#: The curated v2 public surface.  Everything here is covered by the
+#: semantic-versioning promise; reach into submodules at your own risk.
 __all__ = [
+    # configuration
     "DEFAULT_DEVICE",
     "DEFAULT_SIM",
     "CacheConfig",
     "DeviceConfig",
     "DramConfig",
     "SimConfig",
+    # errors
     "ReproError",
     "FrontendError",
     "DeviceError",
@@ -67,8 +87,11 @@ __all__ = [
     "DeviceOutOfMemory",
     "LaunchError",
     "LoaderError",
+    # authoring
     "Program",
     "dgpu",
+    "ensemble",
+    # launching
     "GPUDevice",
     "Loader",
     "RunResult",
@@ -77,5 +100,12 @@ __all__ = [
     "EnsembleResult",
     "OneInstancePerTeam",
     "PackedMapping",
+    "auto_launch",
+    # execution backends
+    "Backend",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    # reporting
+    "report",
     "__version__",
 ]

@@ -56,6 +56,7 @@ from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.driverdep import LoopClassification, analyze_driver
 from repro.errors import AutoEnsembleError
 from repro.host.launch import DEFAULT_MAX_STEPS, LaunchSpec
+from repro.runtime.backend import DEFAULT_BACKEND
 
 #: Loader keyword options forwarded to the launch surfaces.
 _LOADER_OPT_KEYS = (
@@ -340,6 +341,7 @@ class EnsembleBackend:
         loader_opts: dict | None = None,
         max_batch: int | None = None,
         retries: int = 2,
+        backend: str = DEFAULT_BACKEND,
     ):
         self.program = _resolve_program(app)
         self.devices = devices
@@ -351,6 +353,7 @@ class EnsembleBackend:
         self.loader_opts = dict(loader_opts or {})
         self.max_batch = max_batch
         self.retries = retries
+        self.backend = backend
         self.last_spec: LaunchSpec | None = None
         self.last_result = None
 
@@ -364,6 +367,7 @@ class EnsembleBackend:
             max_steps=self.max_steps,
             collect_timing=self.collect_timing,
             fault_plan=self.fault_plan,
+            backend=self.backend,
         )
         self.last_spec = spec
         pool = DevicePool(self.devices, config=DEFAULT_DEVICE)

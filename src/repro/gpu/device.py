@@ -26,7 +26,8 @@ from repro.gpu.memory import GlobalMemory
 from repro.gpu.timing import BlockTrace, KernelTiming, TimingModel
 from repro.ir.module import Module
 from repro.obs.tracer import CLOCK_CYCLES, CLOCK_STEPS, NULL_TRACER
-from repro.runtime.interpreter import BlockContext, BlockExecutor
+from repro.runtime.backend import DEFAULT_BACKEND, Backend, get_backend
+from repro.runtime.interpreter import BlockContext
 from repro.runtime.machine import LoweredKernel, lower_kernel
 from repro.runtime.trace import TraceCollector
 
@@ -72,6 +73,8 @@ class LaunchResult:
     cycles: float | None
     timing: KernelTiming | None
     interpreter_steps: int
+    #: Name of the execution engine that ran this launch.
+    backend: str = DEFAULT_BACKEND
     traces: list[BlockTrace] = field(default_factory=list)
     #: teams whose instances were fault-isolated mid-launch (injected
     #: per-instance faults, e.g. an RPC timeout): team id -> the fault.
@@ -293,7 +296,9 @@ class GPUDevice:
         rpc=None,
         collect_timing: bool = True,
         max_steps: int = 200_000_000,
+        backend: "str | Backend" = DEFAULT_BACKEND,
     ) -> LaunchResult:
+        engine = get_backend(backend)
         cfg = config_1d(num_teams, thread_limit, instances_per_team)
         cfg.validate(self.config)
         if num_teams > self.config.num_sms * self.config.max_blocks_per_sm:
@@ -379,7 +384,7 @@ class GPUDevice:
                     collector=collector,
                     shared_range=shared_range,
                 )
-                executor = BlockExecutor(kern, ctx)
+                executor = engine.executor(kern, ctx)
                 try:
                     executor.run()
                 except InstanceFault as fault:
@@ -418,6 +423,7 @@ class GPUDevice:
             cycles=cycles,
             timing=timing,
             interpreter_steps=total_steps,
+            backend=engine.name,
             traces=traces,
             team_faults=team_faults,
         )

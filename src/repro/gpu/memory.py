@@ -51,37 +51,60 @@ class GlobalMemory:
     # vectorized lane access (used by the interpreter)
     # ------------------------------------------------------------------
     def _indices(self, addrs: np.ndarray, mty: MemType) -> np.ndarray:
+        """Element indices for per-lane addresses, with the null-guard and
+        alignment checks.
+
+        Hot path: called for every load/store the interpreter executes.
+        Sizes are powers of two, so alignment is a bitwise test and the
+        element index a shift.  The *upper* bound is deliberately not
+        checked here — element views are exactly ``capacity // size`` long,
+        so numpy's own fancy-index bounds check catches overruns for free;
+        callers translate that ``IndexError`` via :meth:`_beyond_end`
+        (negative addresses land below the null guard and are caught by the
+        ``min()`` test)."""
         size = mty.size
         if addrs.size == 0:
             return addrs
-        lo = int(addrs.min())
-        hi = int(addrs.max())
-        if lo < NULL_GUARD:
+        if addrs.min() < NULL_GUARD:
+            bad = int(addrs.min())
             raise MemoryFault(
-                f"access at 0x{lo:x} inside the null guard page ({mty.label})"
+                f"access at 0x{bad:x} inside the null guard page ({mty.label})"
             )
-        if hi + size > self.capacity:
-            raise MemoryFault(
-                f"access at 0x{hi:x} beyond device memory end 0x{self.capacity:x}"
-            )
-        if size > 1 and np.any(addrs % size):
+        if size == 1:
+            return addrs
+        # OR-reduce folds every address into one word: any set low bit in
+        # any lane shows up in the fold, so one reduction replaces the
+        # elementwise mask + any() pass.
+        if int(np.bitwise_or.reduce(addrs)) & (size - 1):
             bad = int(addrs[addrs % size != 0][0])
             raise MemoryFault(f"misaligned {mty.label} access at 0x{bad:x}")
-        return addrs // size
+        return addrs >> (size.bit_length() - 1)
+
+    def _beyond_end(self, addrs: np.ndarray) -> MemoryFault:
+        hi = int(addrs.max())
+        return MemoryFault(
+            f"access at 0x{hi:x} beyond device memory end 0x{self.capacity:x}"
+        )
 
     def gather(self, addrs: np.ndarray, mty: MemType) -> np.ndarray:
         """Load one element per address; returns i64 or f64 values."""
         idx = self._indices(addrs, mty)
-        vals = self._views[mty][idx]
+        try:
+            vals = self._views[mty][idx]
+        except IndexError:
+            raise self._beyond_end(addrs) from None
         if mty.reg_ty.is_int:
-            return vals.astype(np.int64)
-        return vals.astype(np.float64)
+            return vals.astype(np.int64, copy=False)
+        return vals.astype(np.float64, copy=False)
 
     def scatter(self, addrs: np.ndarray, values: np.ndarray, mty: MemType) -> None:
         """Store one element per address (later lanes win on conflicts, like
         the unordered-but-single-winner semantics of a real warp)."""
         idx = self._indices(addrs, mty)
-        self._views[mty][idx] = values.astype(_NP_DTYPE[mty])
+        try:
+            self._views[mty][idx] = values.astype(_NP_DTYPE[mty], copy=False)
+        except IndexError:
+            raise self._beyond_end(addrs) from None
 
     def fetch_add(self, addrs: np.ndarray, values: np.ndarray, mty: MemType) -> np.ndarray:
         """Atomic fetch-and-add per lane, correct under intra-call address
@@ -108,7 +131,10 @@ class GlobalMemory:
         excl = cums - svals
         start_pos = np.maximum.accumulate(np.where(group_start, np.arange(n), 0))
         excl_in_group = excl - excl[start_pos]
-        base = view[sidx].astype(svals.dtype)
+        try:
+            base = view[sidx].astype(svals.dtype)
+        except IndexError:
+            raise self._beyond_end(addrs) from None
         old_sorted = base + excl_in_group
         old = np.empty_like(old_sorted)
         old[order] = old_sorted
@@ -123,11 +149,14 @@ class GlobalMemory:
         idx = self._indices(addrs, mty)
         view = self._views[mty]
         old = np.empty(idx.size, dtype=np.float64 if mty.reg_ty.is_float else np.int64)
-        for k in range(idx.size):  # atomics with max are rare; keep it simple
-            i = int(idx[k])
-            old[k] = view[i]
-            if values[k] > view[i]:
-                view[i] = values[k]
+        try:
+            for k in range(idx.size):  # atomics with max are rare; keep it simple
+                i = int(idx[k])
+                old[k] = view[i]
+                if values[k] > view[i]:
+                    view[i] = values[k]
+        except IndexError:
+            raise self._beyond_end(addrs) from None
         return old
 
     # ------------------------------------------------------------------

@@ -8,6 +8,9 @@
   (also a CLI: ``repro-figure6 --thread-limit 32``);
 * :mod:`~repro.harness.report` — table/CSV rendering and paper-vs-measured
   comparison;
+* :mod:`~repro.harness.bench` — tracked interp-vs-compiled backend
+  benchmark on the Figure-6 smoke campaign, with a ratio-based
+  regression gate against the committed ``BENCH_interpreter.json``
 * :mod:`~repro.harness.ablation` — mechanism ablations (coalescing, DRAM
   row locality, L2, instance packing).
 """

@@ -23,6 +23,7 @@ from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader
 from repro.host.launch import LaunchSpec
 from repro.host.mapping import MappingStrategy, OneInstancePerTeam
+from repro.runtime.backend import DEFAULT_BACKEND
 
 
 @dataclass
@@ -103,6 +104,7 @@ def run_scaling(
     heap_bytes: int | None = None,
     mapping: MappingStrategy = OneInstancePerTeam(),
     loader: EnsembleLoader | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> ScalingResult:
     """Sweep instance counts for one benchmark at one thread limit."""
     if loader is None:
@@ -121,7 +123,9 @@ def run_scaling(
     for n in instance_counts:
         lines = build_instance_lines(workload_args, n)
         try:
-            run = loader.run_ensemble(LaunchSpec(lines, thread_limit=thread_limit))
+            run = loader.run_ensemble(
+                LaunchSpec(lines, thread_limit=thread_limit, backend=backend)
+            )
         except DeviceOutOfMemory:
             result.rows.append(
                 ScalingRow(n, None, None, None, oom=True)

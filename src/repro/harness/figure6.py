@@ -24,6 +24,7 @@ from repro.apps.registry import APPS, AppEntry
 from repro.config import DEFAULT_DEVICE, DEFAULT_SIM, DeviceConfig, SimConfig
 from repro.harness.experiment import ScalingResult, run_scaling
 from repro.harness.paper_data import PAPER_INSTANCE_COUNTS
+from repro.runtime.backend import DEFAULT_BACKEND
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,7 @@ def run_figure6(
     sim: SimConfig = DEFAULT_SIM,
     workloads: dict[str, Figure6Workload] | None = None,
     progress=None,
+    backend: str = DEFAULT_BACKEND,
 ) -> dict[str, ScalingResult]:
     """Run one panel of Figure 6; returns results keyed by benchmark.
 
@@ -106,6 +108,7 @@ def run_figure6(
             device_config=device_config,
             sim=sim,
             heap_bytes=wl.heap_bytes,
+            backend=backend,
         )
     return results
 
@@ -134,6 +137,11 @@ def main(argv: list[str] | None = None) -> int:
         default=64,
         help="largest instance count to sweep",
     )
+    parser.add_argument(
+        "--backend",
+        default=DEFAULT_BACKEND,
+        help="execution backend (see repro.runtime.available_backends)",
+    )
     parser.add_argument("--csv", default=None, help="also write results to CSV")
     parser.add_argument("--json", default=None, help="also write results to JSON")
     parser.add_argument(
@@ -157,6 +165,7 @@ def main(argv: list[str] | None = None) -> int:
             apps=args.apps,
             instance_counts=counts,
             progress=lambda msg: print(msg, file=sys.stderr),
+            backend=args.backend,
         )
         panel = "a" if tl == 32 else "b"
         print(f"\nFigure 6({panel}) — thread limit {tl}")

@@ -14,14 +14,13 @@ Since the :mod:`repro.obs` redesign the aggregation publishes into a
 :class:`~repro.obs.metrics.MetricsRegistry` (``profile.*`` series labelled
 by kernel) and :class:`KernelProfile` is materialized *from* the registry
 via :meth:`KernelProfile.from_metrics` — the dataclass is a snapshot view,
-the registry is the source of truth.  Rendering moved behind
-:func:`repro.obs.report`; calling :meth:`KernelProfile.render` directly
-still works but emits a :class:`DeprecationWarning`.
+the registry is the source of truth.  Rendering lives behind
+:func:`repro.obs.report` (the v1 ``KernelProfile.render()`` method was
+removed in v2.0).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.gpu.coalescing import SECTOR_BYTES
@@ -130,15 +129,9 @@ class KernelProfile:
             return 1.0
         return self.slowest_block / self.fastest_block
 
-    def render(self, *, _from_facade: bool = False) -> str:
-        """Deprecated: use ``repro.obs.report(profile, format="text")``."""
-        if not _from_facade:
-            warnings.warn(
-                "KernelProfile.render() is deprecated; use "
-                "repro.obs.report(profile, format='text')",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+    def _render_text(self) -> str:
+        """Text rendering behind :func:`repro.obs.report` (the v1 public
+        ``render()`` method was removed in v2.0)."""
         lines = [
             f"kernel {self.kernel}: {self.num_teams} teams x {self.thread_limit} threads",
             f"  simulated cycles       {self.cycles:>16,.0f}",

@@ -1,14 +1,13 @@
 """Rendering of harness results: ASCII tables, CSV, paper comparison.
 
-The table renderers are internal to :func:`repro.obs.report` now; the old
-public names (:func:`render_figure6_table`, :func:`render_scaling_detail`)
-remain as shims that emit :class:`DeprecationWarning` and delegate.
+The table renderers are internal to :func:`repro.obs.report`; the v1
+public names (``render_figure6_table``, ``render_scaling_detail``) were
+removed in v2.0 — render through the facade instead.
 """
 
 from __future__ import annotations
 
 import csv
-import warnings
 from pathlib import Path
 
 from repro.harness.experiment import ScalingResult
@@ -47,19 +46,6 @@ def _render_figure6_table(
     return "\n".join(out)
 
 
-def render_figure6_table(
-    results: dict[str, ScalingResult], *, thread_limit: int | None = None
-) -> str:
-    """Deprecated: use ``repro.obs.report(results, format="text")``."""
-    warnings.warn(
-        "render_figure6_table is deprecated; use "
-        "repro.obs.report(results, format='text')",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _render_figure6_table(results, thread_limit=thread_limit)
-
-
 def _render_scaling_detail(res: ScalingResult) -> str:
     """Per-row diagnostic table (cycles, L2 hit, DRAM efficiency)."""
     lines = [
@@ -75,17 +61,6 @@ def _render_scaling_detail(res: ScalingResult) -> str:
             f"{row.efficiency:>6.2f} {row.l2_hit_rate:>6.2f} {row.dram_efficiency:>8.2f}"
         )
     return "\n".join(lines)
-
-
-def render_scaling_detail(res: ScalingResult) -> str:
-    """Deprecated: use ``repro.obs.report(res, format="text")``."""
-    warnings.warn(
-        "render_scaling_detail is deprecated; use "
-        "repro.obs.report(res, format='text')",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _render_scaling_detail(res)
 
 
 def write_csv(path: str | Path, all_results: dict[int, dict[str, ScalingResult]]) -> None:

@@ -30,7 +30,7 @@ from repro.host.argfile import (
     resolve_arg_source,
 )
 from repro.host.argscript import expand_argument_script
-from repro.host.results import EnsembleOutcome, OutcomeMixin, summarize_outcome
+from repro.host.results import EnsembleOutcome, OutcomeMixin
 from repro.host.rpc_host import RPCHost
 from repro.host.mapping import (
     MappingStrategy,
@@ -55,7 +55,6 @@ __all__ = [
     "expand_argument_script",
     "EnsembleOutcome",
     "OutcomeMixin",
-    "summarize_outcome",
     "RPCHost",
     "MappingStrategy",
     "OneInstancePerTeam",

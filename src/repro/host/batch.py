@@ -22,7 +22,6 @@ the same policy per device across a pool.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import DeviceOutOfMemory, LoaderError
@@ -150,16 +149,12 @@ class BatchedEnsembleRunner:
         self,
         loader: EnsembleLoader,
         *,
-        thread_limit: int = 1024,
         max_batch: int | None = None,
-        collect_timing: bool = True,
         static_packing: bool = False,
         obs=None,
     ):
         self.loader = loader
-        self.thread_limit = thread_limit
         self.max_batch = max_batch
-        self.collect_timing = collect_timing
         #: Opt-in: cap batches at the compiler's StaticFootprint bound so
         #: feasible sizes are found without the first OOM round trip.  Off
         #: by default — the runner's contract is pure runtime discovery.
@@ -170,25 +165,19 @@ class BatchedEnsembleRunner:
             obs = Observability()
         self.obs = obs
 
-    def run(self, spec) -> CampaignResult:
+    def run(self, spec: LaunchSpec) -> CampaignResult:
         """Execute every instance of a :class:`LaunchSpec`, batching as
         memory allows.
 
-        The legacy shape — a pre-parsed ``list[list[str]]`` governed by the
-        constructor's ``thread_limit``/``collect_timing`` — still works but
-        is deprecated; any argument source a spec accepts now does too.
+        The v1 shape — a pre-parsed ``list[list[str]]`` governed by
+        constructor-level ``thread_limit``/``collect_timing`` — was removed
+        in v2.0 and raises ``TypeError``.
         """
         if not isinstance(spec, LaunchSpec):
-            warnings.warn(
-                "passing raw instance lists to BatchedEnsembleRunner.run() "
-                "is deprecated; wrap the workload in repro.host.LaunchSpec",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            spec = LaunchSpec(
-                arg_source=spec,
-                thread_limit=self.thread_limit,
-                collect_timing=self.collect_timing,
+            raise TypeError(
+                "BatchedEnsembleRunner.run() takes a LaunchSpec since "
+                "v2.0; wrap the workload in repro.LaunchSpec(arg_source, "
+                "thread_limit=..., collect_timing=...)"
             )
         instances = spec.resolve_instances()
         if not instances:

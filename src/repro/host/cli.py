@@ -33,6 +33,7 @@ from repro.host.argscript import expand_argument_script
 from repro.host.batch import BatchedEnsembleRunner
 from repro.host.ensemble_loader import EnsembleLoader
 from repro.host.launch import DEFAULT_MAX_STEPS, LaunchSpec
+from repro.runtime.backend import DEFAULT_BACKEND, available_backends
 from repro.host.mapping import OneInstancePerTeam, PackedMapping
 from repro.obs import Observability, report
 
@@ -123,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-timing",
         action="store_true",
         help="skip the timing model (faster; cycle counts become unavailable)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=DEFAULT_BACKEND,
+        choices=available_backends(),
+        help="execution engine: 'interp' (reference SIMT interpreter) or "
+        "'compiled' (block-compiled threaded code; bitwise-identical "
+        "results, faster)",
     )
     parser.add_argument(
         "--allow-races",
@@ -336,6 +345,7 @@ def _run_auto(parser, args, app, obs: Observability) -> int:
         loader_opts=_loader_opts(args),
         max_batch=args.max_batch,
         retries=args.retries,
+        backend=args.backend,
     )
     try:
         outcome = auto_launch(fn, app, backend=backend)
@@ -382,6 +392,7 @@ def _run(parser, args, app, obs: Observability) -> int:
             max_steps=args.max_steps,
             collect_timing=not args.no_timing,
             fault_plan=_parse_fault_plan(parser, args),
+            backend=args.backend,
         )
         loader_opts = _loader_opts(args)
 

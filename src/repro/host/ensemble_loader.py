@@ -15,7 +15,6 @@ instances per team using the ``(N/M, M, 1)`` geometry of §3.1.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,8 +26,7 @@ from repro.faults.report import FAULT_EXIT, FaultReport
 from repro.frontend.dsl import Program
 from repro.gpu.device import GPUDevice, LaunchResult
 from repro.gpu.timing import KernelTiming
-from repro.host.argfile import resolve_arg_source
-from repro.host.launch import DEFAULT_MAX_STEPS, LaunchSpec
+from repro.host.launch import LaunchSpec
 from repro.host.loader import Loader
 from repro.host.results import OutcomeMixin
 from repro.host.mapping import MappingStrategy, OneInstancePerTeam
@@ -139,34 +137,18 @@ class EnsembleLoader(Loader):
         )
 
     # ------------------------------------------------------------------
-    def run_ensemble(
-        self,
-        spec,
-        *,
-        num_instances: int | None = None,
-        thread_limit: int = 1024,
-        collect_timing: bool = True,
-        max_steps: int = DEFAULT_MAX_STEPS,
-    ) -> EnsembleResult:
+    def run_ensemble(self, spec: LaunchSpec) -> EnsembleResult:
         """Launch an ensemble described by a :class:`LaunchSpec`.
 
-        The legacy shape — a raw argument source (path, text, or token
-        lists) plus keyword options — still works but is deprecated; it is
-        converted into a spec on entry.
+        The v1 shape — a raw argument source (path, text, or token lists)
+        plus keyword options — was removed in v2.0 and raises
+        ``TypeError``.
         """
         if not isinstance(spec, LaunchSpec):
-            warnings.warn(
-                "passing a raw argument source to run_ensemble() is "
-                "deprecated; wrap it in repro.host.LaunchSpec(...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            spec = LaunchSpec(
-                arg_source=spec,
-                num_instances=num_instances,
-                thread_limit=thread_limit,
-                collect_timing=collect_timing,
-                max_steps=max_steps,
+            raise TypeError(
+                "run_ensemble() takes a LaunchSpec since v2.0; wrap the "
+                "argument source in repro.LaunchSpec(arg_source, "
+                "num_instances=..., thread_limit=...)"
             )
         return self._run_spec(spec)
 
@@ -214,6 +196,7 @@ class EnsembleLoader(Loader):
                 rpc_host=rpc_host,
                 collect_timing=spec.collect_timing,
                 max_steps=spec.max_steps,
+                backend=spec.backend,
             )
             codes = self.device.memory.read_array(
                 block.ret_addr, np.int64, num_instances
@@ -260,15 +243,3 @@ class EnsembleLoader(Loader):
             timing=launch.timing,
             launch=launch,
         )
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _resolve_args(arg_source) -> list[list[str]]:
-        """Deprecated alias for :func:`repro.host.argfile.resolve_arg_source`."""
-        warnings.warn(
-            "EnsembleLoader._resolve_args is deprecated; use "
-            "repro.host.argfile.resolve_arg_source",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return resolve_arg_source(arg_source)

@@ -13,8 +13,12 @@ timing collection), and is accepted uniformly by
 * :meth:`repro.host.batch.BatchedEnsembleRunner.run`,
 * :meth:`repro.sched.Scheduler.submit`.
 
-The legacy call shapes still work behind :func:`warnings.warn` shims in
-each entry point.
+Since v2.0 the spec is the only accepted shape (the v1 raw-source call
+shapes raise ``TypeError`` with a migration hint).  The spec also names
+the :mod:`execution backend <repro.runtime.backend>` — the reference SIMT
+interpreter (``"interp"``) or the compiled block-table engine
+(``"compiled"``) — so a whole campaign switches engines by changing one
+field.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from typing import Sequence, Union
 from repro.errors import LoaderError
 from repro.faults.plan import FaultPlan
 from repro.host.argfile import resolve_arg_source
+from repro.runtime.backend import DEFAULT_BACKEND
 
 #: Anything :func:`~repro.host.argfile.resolve_arg_source` understands.
 ArgSource = Union[str, Path, Sequence[Sequence[str]]]
@@ -52,6 +57,11 @@ class LaunchSpec:
     thread_limit: int = 1024
     max_steps: int = DEFAULT_MAX_STEPS
     collect_timing: bool = True
+    #: Execution engine for every launch of this workload: a name from
+    #: :func:`repro.runtime.backend.available_backends` (``"interp"`` —
+    #: the reference SIMT interpreter — or ``"compiled"``, the block-table
+    #: engine).  Results are bitwise-identical across backends.
+    backend: str = DEFAULT_BACKEND
     #: Optional chaos plan (a :class:`~repro.faults.plan.FaultPlan` or its
     #: spec-string form) carried with the workload; the entry surface that
     #: executes the spec arms it — the scheduler across its pool, the

@@ -33,6 +33,7 @@ from repro.passes import (
     finalize_executable,
     globals_to_shared_pass,
 )
+from repro.runtime.backend import DEFAULT_BACKEND
 from repro.runtime.kernel import (
     ENSEMBLE_KERNEL,
     SINGLE_KERNEL,
@@ -203,6 +204,7 @@ class Loader:
         rpc_host: RPCHost,
         collect_timing: bool,
         max_steps: int,
+        backend: str = DEFAULT_BACKEND,
     ) -> LaunchResult:
         params: tuple = (
             block.num_instances,
@@ -230,6 +232,7 @@ class Loader:
                 rpc=endpoint,
                 collect_timing=collect_timing,
                 max_steps=max_steps,
+                backend=backend,
             )
         except DeviceTrap as trap:
             if "out of memory" in str(trap):
@@ -251,6 +254,7 @@ class Loader:
         thread_limit: int = 1024,
         collect_timing: bool = True,
         max_steps: int = 200_000_000,
+        backend: str = DEFAULT_BACKEND,
     ) -> RunResult:
         """Run the application once with C-style arguments.
 
@@ -275,6 +279,7 @@ class Loader:
             thread_limit = spec.thread_limit
             collect_timing = spec.collect_timing
             max_steps = spec.max_steps
+            backend = spec.backend
         argv = [self.app_name] + list(args or [])
         self._reset_for_run()
         rpc_host = self._make_rpc_host()
@@ -290,6 +295,7 @@ class Loader:
                 rpc_host=rpc_host,
                 collect_timing=collect_timing,
                 max_steps=max_steps,
+                backend=backend,
             )
             code = int(self.device.memory.read_i64(block.ret_addr))
         finally:

@@ -58,25 +58,4 @@ class OutcomeMixin:
         return self.instances[index].stdout
 
 
-def summarize_outcome(result: EnsembleOutcome) -> str:
-    """Deprecated: use ``repro.obs.report(result, format="summary")``.
-
-    Retained as a shim so the historical call shape keeps producing the
-    same one-line summary (``total_cycles=None`` still renders as
-    ``untimed``); the rendering itself now lives behind the unified
-    report facade.
-    """
-    import warnings
-
-    warnings.warn(
-        "summarize_outcome is deprecated; use "
-        "repro.obs.report(outcome, format='summary')",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.obs.reporting import report
-
-    return report(result, format="summary")
-
-
-__all__ = ["EnsembleOutcome", "OutcomeMixin", "summarize_outcome"]
+__all__ = ["EnsembleOutcome", "OutcomeMixin"]

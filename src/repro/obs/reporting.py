@@ -20,8 +20,8 @@ value                     formats
 ========================  =========================================
 
 ``json`` always returns a plain dict (callers serialize); the other
-formats return strings.  The legacy entry points still work as shims
-that emit :class:`DeprecationWarning` and delegate here.
+formats return strings.  This facade is the only rendering surface since
+v2.0 — the per-module renderers it superseded were removed.
 """
 
 from __future__ import annotations
@@ -130,7 +130,7 @@ def report(value: Any, *, format: str = "summary") -> str | dict:
                 f"{value.dynamic_instructions:,} instructions, "
                 f"parallel fraction {value.parallel_fraction:.1%}"
             )
-        return value.render(_from_facade=True)
+        return value._render_text()
 
     if isinstance(value, SchedulerStats):
         if format == "json":

@@ -18,8 +18,29 @@ Execution model (mirrors LLVM/OpenMP device runtime semantics):
   execute only after all their feeding paths.
 """
 
+from repro.runtime.backend import (
+    DEFAULT_BACKEND,
+    Backend,
+    CompiledBackend,
+    InterpreterBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.runtime.machine import LoweredKernel, lower_kernel
 from repro.runtime.interpreter import BlockExecutor
 from repro.runtime.kernel import KernelSpec
 
-__all__ = ["LoweredKernel", "lower_kernel", "BlockExecutor", "KernelSpec"]
+__all__ = [
+    "Backend",
+    "BlockExecutor",
+    "CompiledBackend",
+    "DEFAULT_BACKEND",
+    "InterpreterBackend",
+    "KernelSpec",
+    "LoweredKernel",
+    "available_backends",
+    "get_backend",
+    "lower_kernel",
+    "register_backend",
+]

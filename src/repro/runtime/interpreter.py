@@ -129,11 +129,24 @@ _SYNC_OPS = frozenset(
     {Opcode.BARRIER, Opcode.PAR_END, Opcode.RED_ADD, Opcode.RED_MAX, Opcode.RED_MIN}
 )
 
+#: Ops the uniform fast path must flush PCs for and re-schedule after
+#: (they change the runnable set or per-lane PCs).  Shared with the
+#: compiled backend, whose basic blocks end at these plus BR/CBR.
+_CONTROL_OPS = _SYNC_OPS | frozenset(
+    {Opcode.RET, Opcode.RETVAL, Opcode.TRAP, Opcode.PAR_BEGIN}
+)
+
 
 class BlockExecutor:
     """Runs one thread block of a kernel to completion."""
 
     def __init__(self, kernel: LoweredKernel, ctx: BlockContext):
+        self._init_state(kernel, ctx)
+        self._build_dispatch()
+
+    def _init_state(self, kernel: LoweredKernel, ctx: BlockContext) -> None:
+        """Register banks, lane identity, stacks, and parameter binding —
+        the state shared by every execution backend."""
         self.kernel = kernel
         self.ctx = ctx
         M = ctx.instances_per_team
@@ -170,6 +183,14 @@ class BlockExecutor:
             bank = self.fregs if is_f else self.iregs
             bank[idx, :] = float(value) if is_f else int(value)
 
+        self.steps = 0
+
+    def _build_dispatch(self) -> None:
+        """Pre-specialized handlers plus the per-PC fast-path tables.
+
+        Separated from :meth:`_init_state` so the compiled backend can
+        substitute lazy handlers and kernel-cached tables."""
+        kernel = self.kernel
         self._handlers = [self._make_handler(li) for li in kernel.code]
         self._sync_pcs = {
             i for i, li in enumerate(kernel.code) if li.op in _SYNC_OPS
@@ -177,14 +198,8 @@ class BlockExecutor:
         # precomputed per-PC dispatch tables for the fast path
         from repro.gpu.timing import cpi_of
 
-        _control = _SYNC_OPS | {
-            Opcode.RET,
-            Opcode.RETVAL,
-            Opcode.TRAP,
-            Opcode.PAR_BEGIN,
-        }
         self._cpi_list = [cpi_of(li.op) for li in kernel.code]
-        self._is_control = [li.op in _control for li in kernel.code]
+        self._is_control = [li.op in _CONTROL_OPS for li in kernel.code]
         self._br_target = [
             li.targets[0] if li.op is Opcode.BR else -1 for li in kernel.code
         ]
@@ -194,7 +209,6 @@ class BlockExecutor:
             else None
             for li in kernel.code
         ]
-        self.steps = 0
 
     # ------------------------------------------------------------------
     def run(self) -> None:

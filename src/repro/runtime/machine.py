@@ -15,7 +15,7 @@ Lowering performs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import DeviceError, IRError
 from repro.ir.instructions import Instr, Opcode
@@ -48,6 +48,10 @@ class LoweredKernel:
     param_slots: list[tuple[bool, int]]  # (is_float, bank index) per parameter
     uses_parallel: bool
     source_instructions: int
+    #: Per-backend compiled artifacts (e.g. the ``compiled`` engine's
+    #: block-table program), built lazily on first use and shared by
+    #: every executor of this kernel.
+    backend_cache: dict = field(default_factory=dict)
 
     @property
     def num_regs(self) -> int:

@@ -70,6 +70,14 @@ class TraceCollector:
         self._pending_cycles += cycles
         self._pending_instrs += 1
 
+    def note_uniform_block(self, cycles: float, instrs: int) -> None:
+        """Batch-account a straight-line run of ``instrs`` uniform
+        instructions costing ``cycles`` total issue cycles — one call per
+        basic block from the compiled backend, with aggregates identical
+        to ``instrs`` individual :meth:`note_uniform` calls."""
+        self._pending_cycles += cycles
+        self._pending_instrs += instrs
+
     def end_uniform(self) -> None:
         self._flush_uniform()
 

@@ -180,11 +180,15 @@ class Scheduler:
         self.faults = injector
         self.pool.attach_faults(injector)
 
-    def _count(self, name: str, amount: float = 1.0) -> None:
-        self.metrics.counter(f"sched.{name}").inc(amount)
+    def _count(self, name: str, amount: float = 1.0, **labels) -> None:
+        self.metrics.counter(f"sched.{name}", **labels).inc(amount)
 
-    def _dev_count(self, label: str, name: str, amount: float = 1.0) -> None:
-        self.metrics.counter(f"sched.device.{name}", device=label).inc(amount)
+    def _dev_count(
+        self, label: str, name: str, amount: float = 1.0, **labels
+    ) -> None:
+        self.metrics.counter(
+            f"sched.device.{name}", device=label, **labels
+        ).inc(amount)
 
     def _event(self, name: str, **args) -> None:
         if self.tracer.enabled:
@@ -521,24 +525,30 @@ class Scheduler:
             )
         )
         job.steps_used += run.launch.interpreter_steps
+        backend = job.spec.backend
         if run.cycles is None:
             job.have_cycles = False
             elapsed = float(run.launch.interpreter_steps)
-            self._dev_count(worker.label, "busy_steps", elapsed)
+            self._dev_count(worker.label, "busy_steps", elapsed, backend=backend)
         else:
             job.cycles += run.cycles
             elapsed = run.cycles
-            self._dev_count(worker.label, "busy_cycles", elapsed)
+            self._dev_count(worker.label, "busy_cycles", elapsed, backend=backend)
         # The dispatch heuristic stays clock-agnostic: whichever domain a
         # launch was timed in, the device that did it is "ahead".
         worker.busy_cycles += elapsed
 
-        self._dev_count(worker.label, "batches")
-        self._dev_count(worker.label, "instances", len(chunk.instances))
+        self._dev_count(worker.label, "batches", backend=backend)
         self._dev_count(
-            worker.label, "interpreter_steps", run.launch.interpreter_steps
+            worker.label, "instances", len(chunk.instances), backend=backend
         )
-        self._count("instances.completed", len(chunk.instances))
+        self._dev_count(
+            worker.label,
+            "interpreter_steps",
+            run.launch.interpreter_steps,
+            backend=backend,
+        )
+        self._count("instances.completed", len(chunk.instances), backend=backend)
         self._maybe_complete(job)
 
     def _seed_static_cap(

@@ -8,9 +8,14 @@ API of the original counter structs keeps working, but there is exactly
 one place each number lives, so the CLI, the report facade, and a
 ``--metrics-out`` dump can never disagree.
 
-Mutating the attributes directly (``stats.retries += 1``) still works for
-backward compatibility but emits :class:`DeprecationWarning` — publishers
-should increment registry counters instead.
+The attributes are read-only views since v2.0: publishers increment
+registry counters, and direct assignment (``stats.retries += 1``) raises
+:class:`AttributeError`.  Counters may carry extra labels beyond the ones
+a view filters on — notably ``backend=interp|compiled`` on every
+work-accounting series — and each view *aggregates across label sets*, so
+totals are stable whether a campaign ran one backend or mixed them;
+:meth:`DeviceStats.by_backend` / :meth:`SchedulerStats.by_backend` break
+one metric down per backend.
 
 Clock domains: a device that ran timed launches accumulates
 ``busy_cycles`` (simulated cycles); launches with ``collect_timing=False``
@@ -24,8 +29,6 @@ cycle clock).
 
 from __future__ import annotations
 
-import warnings
-
 from repro.obs.metrics import MetricsRegistry
 
 #: Clock-domain labels a device's busy time can be expressed in.
@@ -35,18 +38,17 @@ CLOCK_STEPS = "steps"
 CLOCK_MIXED = "mixed"
 
 
-def _deprecated_set(name: str) -> None:
-    warnings.warn(
-        f"assigning {name} directly is deprecated; scheduler stats are a "
+def _rejected_set(name: str):
+    return AttributeError(
+        f"{name} is a read-only view since v2.0; scheduler stats are a "
         "view over the MetricsRegistry — increment the registry counter "
-        "instead",
-        DeprecationWarning,
-        stacklevel=3,
+        "instead"
     )
 
 
 class _CounterProperty:
-    """An attribute backed by a registry counter (warns on direct set)."""
+    """A read-only attribute aggregating a registry counter across every
+    label set it was published under (e.g. per ``backend=``)."""
 
     def __init__(self, metric: str):
         self.metric = metric
@@ -57,11 +59,10 @@ class _CounterProperty:
     def __get__(self, obj, objtype=None):
         if obj is None:
             return self
-        return obj._cast(obj._counter(self.metric).value)
+        return obj._cast(obj._sum(self.metric))
 
     def __set__(self, obj, value):
-        _deprecated_set(self.name)
-        obj._counter(self.metric).value = float(value)
+        raise _rejected_set(self.name)
 
 
 class DeviceStats:
@@ -88,28 +89,39 @@ class DeviceStats:
         self.label = label
         self.registry = registry if registry is not None else MetricsRegistry()
 
-    def _counter(self, name: str):
-        return self.registry.counter(f"sched.device.{name}", device=self.label)
+    def _sum(self, name: str) -> float:
+        """Aggregate ``sched.device.<name>`` across all label sets that
+        belong to this device (a counter may additionally be labelled by
+        ``backend=``; the per-device total spans every backend)."""
+        key = ("device", self.label)
+        return sum(
+            c.value
+            for c in self.registry.series(f"sched.device.{name}")
+            if key in c.labels
+        )
+
+    def by_backend(self, name: str) -> dict[str, float]:
+        """Per-backend breakdown of one ``sched.device.*`` metric for this
+        device; counters published without a backend label aggregate under
+        ``""``."""
+        key = ("device", self.label)
+        out: dict[str, float] = {}
+        for c in self.registry.series(f"sched.device.{name}"):
+            if key not in c.labels:
+                continue
+            backend = dict(c.labels).get("backend", "")
+            out[backend] = out.get(backend, 0.0) + c.value
+        return out
 
     @property
     def busy_cycles(self) -> float:
         """Simulated cycles of timed work this device ran."""
-        return self._counter("busy_cycles").value
-
-    @busy_cycles.setter
-    def busy_cycles(self, value: float) -> None:
-        _deprecated_set("DeviceStats.busy_cycles")
-        self._counter("busy_cycles").value = float(value)
+        return self._sum("busy_cycles")
 
     @property
     def busy_steps(self) -> float:
         """Interpreter steps of untimed work (``collect_timing=False``)."""
-        return self._counter("busy_steps").value
-
-    @busy_steps.setter
-    def busy_steps(self, value: float) -> None:
-        _deprecated_set("DeviceStats.busy_steps")
-        self._counter("busy_steps").value = float(value)
+        return self._sum("busy_steps")
 
     @property
     def clock(self) -> str:
@@ -155,8 +167,19 @@ class SchedulerStats:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.per_device: dict[str, DeviceStats] = {}
 
-    def _counter(self, name: str):
-        return self.registry.counter(f"sched.{name}")
+    def _sum(self, name: str) -> float:
+        """Aggregate ``sched.<name>`` across every label set (counters may
+        carry a ``backend=`` label; the campaign total spans them all)."""
+        return sum(c.value for c in self.registry.series(f"sched.{name}"))
+
+    def by_backend(self, name: str) -> dict[str, float]:
+        """Per-backend breakdown of one ``sched.*`` metric; counters
+        published without a backend label aggregate under ``""``."""
+        out: dict[str, float] = {}
+        for c in self.registry.series(f"sched.{name}"):
+            backend = dict(c.labels).get("backend", "")
+            out[backend] = out.get(backend, 0.0) + c.value
+        return out
 
     def device(self, label: str) -> DeviceStats:
         """Get-or-create the per-device view for ``label``."""

@@ -6,6 +6,7 @@ import pytest
 from repro.errors import EnsembleSafetyError
 from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
 from tests.analysis.fixtures import racy_counter_program
 from tests.util import SMALL_DEVICE
 
@@ -25,7 +26,7 @@ class TestGate:
     def test_racy_launch_refused_at_n4(self):
         loader = make_loader()
         with pytest.raises(EnsembleSafetyError) as exc_info:
-            loader.run_ensemble(ARGS, thread_limit=32, collect_timing=False)
+            loader.run_ensemble(LaunchSpec(ARGS, thread_limit=32, collect_timing=False))
         msg = str(exc_info.value)
         assert "@counter" in msg  # names the offending global
         assert "team_local_globals" in msg  # and the fixing pass
@@ -35,19 +36,19 @@ class TestGate:
 
     def test_single_instance_always_allowed(self):
         loader = make_loader()
-        res = loader.run_ensemble([["5"]], thread_limit=32, collect_timing=False)
+        res = loader.run_ensemble(LaunchSpec([["5"]], thread_limit=32, collect_timing=False))
         assert res.return_codes == [0]
 
     def test_team_local_globals_pass_clears_the_gate(self):
         loader = make_loader(team_local_globals=True)
         assert loader.race_diagnostics == []
-        res = loader.run_ensemble(ARGS, thread_limit=32, collect_timing=False)
+        res = loader.run_ensemble(LaunchSpec(ARGS, thread_limit=32, collect_timing=False))
         assert res.return_codes == [0, 0, 0, 0]
 
     def test_allow_races_overrides(self):
         loader = make_loader(allow_races=True)
         assert loader.race_diagnostics  # findings still computed...
-        res = loader.run_ensemble(ARGS, thread_limit=32, collect_timing=False)
+        res = loader.run_ensemble(LaunchSpec(ARGS, thread_limit=32, collect_timing=False))
         # ...but the launch proceeds and the race is observable: instances
         # after the first see the shared counter's residue and fail.
         assert res.return_codes[0] == 0

@@ -5,6 +5,7 @@ import re
 import pytest
 
 from repro.apps import reference
+from repro.host.launch import LaunchSpec
 
 ARGS = ["-n", "256", "-i", "2"]
 
@@ -16,21 +17,21 @@ def checksum_of(result, index=0):
 
 
 def test_matches_reference(amgmk_loader):
-    res = amgmk_loader.run_ensemble(
+    res = amgmk_loader.run_ensemble(LaunchSpec(
         [ARGS + ["-s", "1"]], thread_limit=32, collect_timing=False
-    )
+    ))
     assert res.return_codes == [0]
     expect = reference.amgmk_checksum(256, 2, 1)
     assert checksum_of(res) == pytest.approx(expect, rel=1e-9)
 
 
 def test_more_sweeps_change_result(amgmk_loader):
-    one = amgmk_loader.run_ensemble(
+    one = amgmk_loader.run_ensemble(LaunchSpec(
         [["-n", "256", "-i", "1", "-s", "1"]], thread_limit=32, collect_timing=False
-    )
-    three = amgmk_loader.run_ensemble(
+    ))
+    three = amgmk_loader.run_ensemble(LaunchSpec(
         [["-n", "256", "-i", "3", "-s", "1"]], thread_limit=32, collect_timing=False
-    )
+    ))
     assert checksum_of(one) != checksum_of(three)
     assert checksum_of(three) == pytest.approx(
         reference.amgmk_checksum(256, 3, 1), rel=1e-9
@@ -51,9 +52,9 @@ def test_jacobi_converges_toward_solution(amgmk_loader):
 def test_memory_bound_profile(amgmk_loader):
     """The relax kernel is bandwidth-bound: the memory side of the timing
     model must dominate compute."""
-    res = amgmk_loader.run_ensemble(
+    res = amgmk_loader.run_ensemble(LaunchSpec(
         [["-n", "2048", "-i", "2", "-s", "1"]], thread_limit=32
-    )
+    ))
     t = res.timing
     # nearly all block time comes from memory phases, so the makespan far
     # exceeds what issue cycles alone would take
@@ -62,7 +63,7 @@ def test_memory_bound_profile(amgmk_loader):
 
 
 def test_bad_args(amgmk_loader):
-    res = amgmk_loader.run_ensemble(
+    res = amgmk_loader.run_ensemble(LaunchSpec(
         [["-n", "2"]], thread_limit=32, collect_timing=False
-    )
+    ))
     assert res.return_codes == [2]

@@ -5,6 +5,7 @@ import re
 import pytest
 
 from repro.apps import pagerank, reference
+from repro.host.launch import LaunchSpec
 
 ARGS = ["-n", "512", "-d", "4", "-i", "2"]
 
@@ -16,18 +17,18 @@ def total_of(result, index=0):
 
 
 def test_matches_reference(pagerank_loader):
-    res = pagerank_loader.run_ensemble(
+    res = pagerank_loader.run_ensemble(LaunchSpec(
         [ARGS + ["-s", "1"]], thread_limit=32, collect_timing=False
-    )
+    ))
     assert res.return_codes == [0]
     expect = reference.pagerank_total(512, 4, 2, 1)
     assert total_of(res) == pytest.approx(expect, rel=1e-9)
 
 
 def test_total_rank_near_one(pagerank_loader):
-    res = pagerank_loader.run_ensemble(
+    res = pagerank_loader.run_ensemble(LaunchSpec(
         [ARGS + ["-s", "5"]], thread_limit=32, collect_timing=False
-    )
+    ))
     assert 0.5 < total_of(res) < 1.5
 
 
@@ -48,17 +49,17 @@ def test_oom_with_too_many_instances():
         pagerank.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=1 << 20
     )
     big = ["-n", "4096", "-d", "8", "-i", "1"]
-    loader.run_ensemble([big + ["-s", "1"]], thread_limit=32,
-                        collect_timing=False)  # one fits (~0.3 MiB)
+    loader.run_ensemble(LaunchSpec([big + ["-s", "1"]], thread_limit=32,
+                        collect_timing=False))  # one fits (~0.3 MiB)
     with pytest.raises(DeviceOutOfMemory):
-        loader.run_ensemble(
+        loader.run_ensemble(LaunchSpec(
             [big + ["-s", str(s)] for s in range(1, 9)],
             thread_limit=32, collect_timing=False,
-        )
+        ))
 
 
 def test_bad_args(pagerank_loader):
-    res = pagerank_loader.run_ensemble(
+    res = pagerank_loader.run_ensemble(LaunchSpec(
         [["-n", "1"]], thread_limit=32, collect_timing=False
-    )
+    ))
     assert res.return_codes == [2]

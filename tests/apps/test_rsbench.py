@@ -5,6 +5,7 @@ import re
 import pytest
 
 from repro.apps import reference
+from repro.host.launch import LaunchSpec
 
 ARGS = ["-p", "8", "-n", "2", "-l", "32"]
 
@@ -16,23 +17,23 @@ def checksum_of(result, index=0):
 
 
 def test_matches_reference(rsbench_loader):
-    res = rsbench_loader.run_ensemble(
+    res = rsbench_loader.run_ensemble(LaunchSpec(
         [ARGS + ["-s", "1"]], thread_limit=32, collect_timing=False
-    )
+    ))
     assert res.return_codes == [0]
     expect = reference.rsbench_checksum(8, 2, 32, 1)
     assert checksum_of(res) == pytest.approx(expect, rel=1e-9)
 
 
 def test_scales_with_poles(rsbench_loader):
-    few = rsbench_loader.run_ensemble(
+    few = rsbench_loader.run_ensemble(LaunchSpec(
         [["-p", "4", "-n", "2", "-l", "16", "-s", "1"]],
         thread_limit=32,
-    )
-    many = rsbench_loader.run_ensemble(
+    ))
+    many = rsbench_loader.run_ensemble(LaunchSpec(
         [["-p", "32", "-n", "2", "-l", "16", "-s", "1"]],
         thread_limit=32,
-    )
+    ))
     assert many.cycles > few.cycles  # more poles -> more compute
 
 
@@ -47,26 +48,26 @@ def test_compute_bound_profile(rsbench_loader):
     from repro.host.ensemble_loader import EnsembleLoader
     from tests.util import SMALL_DEVICE
 
-    base = rsbench_loader.run_ensemble(
+    base = rsbench_loader.run_ensemble(LaunchSpec(
         [["-p", "32", "-n", "4", "-l", "64", "-s", "1"]], thread_limit=32
-    )
+    ))
     timing = base.timing
     # compute (makespan) dominates DRAM service by a wide margin
     assert timing.makespan > 5 * timing.dram_cycles
 
 
 def test_ensemble_isolation(rsbench_loader):
-    res = rsbench_loader.run_ensemble(
+    res = rsbench_loader.run_ensemble(LaunchSpec(
         [ARGS + ["-s", str(s)] for s in (1, 2, 3)],
         thread_limit=32, collect_timing=False,
-    )
+    ))
     assert res.return_codes == [0, 0, 0]
     sums = {checksum_of(res, i) for i in range(3)}
     assert len(sums) == 3  # distinct seeds -> distinct checksums
 
 
 def test_bad_args(rsbench_loader):
-    res = rsbench_loader.run_ensemble(
+    res = rsbench_loader.run_ensemble(LaunchSpec(
         [["-p", "0"]], thread_limit=32, collect_timing=False
-    )
+    ))
     assert res.return_codes == [2]

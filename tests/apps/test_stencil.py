@@ -7,6 +7,7 @@ import pytest
 from repro.apps import reference, stencil
 from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE
 
 
@@ -25,20 +26,20 @@ def checksum_of(result, index=0):
 
 class TestCorrectness:
     def test_matches_reference(self, loader):
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["-n", "1024", "-i", "2", "-s", "1"]], thread_limit=32,
             collect_timing=False,
-        )
+        ))
         assert res.return_codes == [0]
         assert checksum_of(res) == pytest.approx(
             reference.stencil_checksum(1024, 2, 1), rel=1e-9
         )
 
     def test_seed_sensitivity(self, loader):
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["-n", "512", "-i", "1", "-s", str(s)] for s in (1, 2)],
             thread_limit=32, collect_timing=False,
-        )
+        ))
         assert res.return_codes == [0, 0]
         a, b = checksum_of(res, 0), checksum_of(res, 1)
         assert a != b
@@ -46,24 +47,24 @@ class TestCorrectness:
         assert b == pytest.approx(reference.stencil_checksum(512, 1, 2), rel=1e-9)
 
     def test_more_sweeps_change_result(self, loader):
-        one = loader.run_ensemble(
+        one = loader.run_ensemble(LaunchSpec(
             [["-n", "512", "-i", "1", "-s", "3"]], thread_limit=32,
             collect_timing=False,
-        )
-        four = loader.run_ensemble(
+        ))
+        four = loader.run_ensemble(LaunchSpec(
             [["-n", "512", "-i", "4", "-s", "3"]], thread_limit=32,
             collect_timing=False,
-        )
+        ))
         assert checksum_of(one) != checksum_of(four)
         assert checksum_of(four) == pytest.approx(
             reference.stencil_checksum(512, 4, 3), rel=1e-9
         )
 
     def test_bad_arguments_rejected(self, loader):
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["-n", "4", "-i", "1", "-s", "1"]], thread_limit=32,
             collect_timing=False,
-        )
+        ))
         assert res.return_codes == [2]
 
     def test_registered(self):

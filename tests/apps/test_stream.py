@@ -14,6 +14,7 @@ from repro.config import DEFAULT_SIM
 from repro.gpu.coalescing import SECTOR_BYTES
 from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE
 
 
@@ -32,24 +33,24 @@ def checksum_of(result, index=0):
 
 class TestCorrectness:
     def test_matches_reference(self, loader):
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["-n", "1024", "-r", "1", "-s", "1"]], thread_limit=32,
             collect_timing=False,
-        )
+        ))
         assert res.return_codes == [0]
         assert checksum_of(res) == pytest.approx(
             reference.stream_checksum(1024, 1, 1), rel=1e-9
         )
 
     def test_repetitions_idempotent(self, loader):
-        one = loader.run_ensemble(
+        one = loader.run_ensemble(LaunchSpec(
             [["-n", "512", "-r", "1", "-s", "2"]], thread_limit=32,
             collect_timing=False,
-        )
-        three = loader.run_ensemble(
+        ))
+        three = loader.run_ensemble(LaunchSpec(
             [["-n", "512", "-r", "3", "-s", "2"]], thread_limit=32,
             collect_timing=False,
-        )
+        ))
         assert checksum_of(one) == pytest.approx(checksum_of(three), rel=1e-12)
 
 
@@ -57,9 +58,9 @@ class TestBandwidthModel:
     def test_triad_is_perfectly_coalesced(self, loader):
         from repro.harness.profile import profile_launch
 
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["-n", "8192", "-r", "2", "-s", "1"]], thread_limit=1024
-        )
+        ))
         prof = profile_launch(res.launch)
         # f64 streaming: 4 lane-accesses per 32B sector is the optimum
         assert prof.coalescing_ratio == pytest.approx(4.0, rel=0.15)
@@ -67,9 +68,9 @@ class TestBandwidthModel:
     def test_single_block_throughput_near_littles_law(self, loader):
         """Achieved B/cycle of one full team must be close to (and never
         above) concurrency/latency * efficiency."""
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["-n", "16384", "-r", "4", "-s", "1"]], thread_limit=1024
-        )
+        ))
         timing = res.timing
         dev = loader.device.config
         # DRAM-bound traffic only: L2 hits are legitimately served faster
@@ -81,17 +82,17 @@ class TestBandwidthModel:
         assert achieved_dram >= ceiling * 0.2  # right order of magnitude
 
     def test_ensemble_never_exceeds_device_bandwidth(self, loader):
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["-n", "8192", "-r", "2", "-s", str(s)] for s in range(1, 17)],
             thread_limit=1024,
-        )
+        ))
         timing = res.timing
         bytes_moved = timing.total_sectors * SECTOR_BYTES
         achieved = bytes_moved / timing.cycles
         assert achieved <= loader.device.config.dram.bytes_per_cycle
 
     def test_row_sequentiality_high_for_streaming(self, loader):
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["-n", "8192", "-r", "1", "-s", "1"]], thread_limit=1024
-        )
+        ))
         assert res.timing.row_seq_fraction > 0.8  # near-perfect row runs

@@ -5,6 +5,7 @@ import re
 import pytest
 
 from repro.apps import reference, xsbench
+from repro.host.launch import LaunchSpec
 
 
 def checksum_of(result, index=0):
@@ -18,27 +19,27 @@ ARGS = ["-g", "128", "-n", "4", "-l", "32"]
 
 class TestCorrectness:
     def test_matches_reference(self, xsbench_loader):
-        res = xsbench_loader.run_ensemble(
+        res = xsbench_loader.run_ensemble(LaunchSpec(
             [ARGS + ["-s", "1"]], thread_limit=32, collect_timing=False
-        )
+        ))
         assert res.return_codes == [0]
         expect = reference.xsbench_checksum(128, 4, 32, 1)
         assert checksum_of(res) == pytest.approx(expect, rel=1e-9)
 
     def test_different_seeds_different_results(self, xsbench_loader):
-        res = xsbench_loader.run_ensemble(
+        res = xsbench_loader.run_ensemble(LaunchSpec(
             [ARGS + ["-s", "1"], ARGS + ["-s", "2"]],
             thread_limit=32, collect_timing=False,
-        )
+        ))
         assert checksum_of(res, 0) != checksum_of(res, 1)
 
     def test_result_independent_of_thread_limit(self, xsbench_loader):
-        a = xsbench_loader.run_ensemble(
+        a = xsbench_loader.run_ensemble(LaunchSpec(
             [ARGS + ["-s", "3"]], thread_limit=32, collect_timing=False
-        )
-        b = xsbench_loader.run_ensemble(
+        ))
+        b = xsbench_loader.run_ensemble(LaunchSpec(
             [ARGS + ["-s", "3"]], thread_limit=256, collect_timing=False
-        )
+        ))
         # atomics may reorder: tolerance instead of equality
         assert checksum_of(a) == pytest.approx(checksum_of(b), rel=1e-9)
 
@@ -46,27 +47,27 @@ class TestCorrectness:
         """Each instance in a 4-wide ensemble must reproduce its solo run."""
         solo = {}
         for s in (1, 2):
-            r = xsbench_loader.run_ensemble(
+            r = xsbench_loader.run_ensemble(LaunchSpec(
                 [ARGS + ["-s", str(s)]], thread_limit=32, collect_timing=False
-            )
+            ))
             solo[s] = checksum_of(r)
-        ens = xsbench_loader.run_ensemble(
+        ens = xsbench_loader.run_ensemble(LaunchSpec(
             [ARGS + ["-s", "1"], ARGS + ["-s", "2"]],
             thread_limit=32, collect_timing=False,
-        )
+        ))
         assert checksum_of(ens, 0) == pytest.approx(solo[1], rel=1e-9)
         assert checksum_of(ens, 1) == pytest.approx(solo[2], rel=1e-9)
 
 
 class TestCLIParsing:
     def test_bad_arguments_exit_2(self, xsbench_loader):
-        res = xsbench_loader.run_ensemble(
+        res = xsbench_loader.run_ensemble(LaunchSpec(
             [["-g", "1"]], thread_limit=32, collect_timing=False
-        )
+        ))
         assert res.return_codes == [2]
 
     def test_defaults_when_no_args(self, xsbench_loader):
-        res = xsbench_loader.run_ensemble([[]], thread_limit=32, collect_timing=False)
+        res = xsbench_loader.run_ensemble(LaunchSpec([[]], thread_limit=32, collect_timing=False))
         assert res.return_codes == [0]
         assert "g=512" in res.instances[0].stdout
 

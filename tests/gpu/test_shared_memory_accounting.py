@@ -9,6 +9,7 @@ import numpy as np
 from repro.frontend import Program, dgpu, i64, ptr_ptr
 from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE
 
 
@@ -36,7 +37,7 @@ def run(team_local: bool):
         heap_bytes=1 << 20,
         team_local_globals=team_local,
     )
-    res = loader.run_ensemble([[]], thread_limit=32)
+    res = loader.run_ensemble(LaunchSpec([[]], thread_limit=32))
     assert res.return_codes == [0]
     return res
 
@@ -83,5 +84,5 @@ def test_functional_result_identical():
             prog, GPUDevice(SMALL_DEVICE), heap_bytes=1 << 20,
             team_local_globals=tl,
         )
-        res = loader.run_ensemble([[]], thread_limit=32, collect_timing=False)
+        res = loader.run_ensemble(LaunchSpec([[]], thread_limit=32, collect_timing=False))
         assert res.return_codes == [28]

@@ -1,0 +1,140 @@
+"""The tracked benchmark harness: report shape, aggregate ratios, JSON
+round-trip, and the machine-independent regression gate."""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    BenchRecord,
+    BenchReport,
+    check_regression,
+    run_bench,
+)
+from repro.harness.figure6 import Figure6Workload
+
+#: Miniature workloads so a real bench run stays test-sized.
+TINY = {
+    "rsbench": Figure6Workload(
+        "rsbench", ["-p", "8", "-n", "2", "-l", "16"],
+        heap_bytes=4 * 1024 * 1024, note="tiny",
+    ),
+    "stencil": Figure6Workload(
+        "stencil", ["-n", "256", "-i", "1"],
+        heap_bytes=4 * 1024 * 1024, note="tiny",
+    ),
+}
+
+
+def record(app, backend, opt, wall, steps=1000):
+    return BenchRecord(
+        app=app, backend=backend, opt_level=opt, instances=2,
+        thread_limit=32, steps=steps, wall_s=wall,
+        steps_per_sec=steps / wall, cycles=500.0, timed_wall_s=wall,
+        cycles_per_sec=500.0 / wall,
+    )
+
+
+def report_with(pairs):
+    """pairs: {(app, opt): (interp_wall, compiled_wall)}"""
+    rep = BenchReport(schema=1, config={})
+    for (app, opt), (wi, wc) in pairs.items():
+        rep.records.append(record(app, "interp", opt, wi))
+        rep.records.append(record(app, "compiled", opt, wc))
+    return rep
+
+
+class TestReport:
+    def test_speedup_is_ratio_of_summed_walls(self):
+        rep = report_with({
+            ("a", 2): (2.0, 1.0),
+            ("b", 2): (4.0, 1.0),
+        })
+        assert rep.speedup(2) == pytest.approx(3.0)
+        assert rep.speedup(2, apps=["a"]) == pytest.approx(2.0)
+        assert rep.wall("interp", 2) == pytest.approx(6.0)
+
+    def test_summary_keys(self):
+        rep = report_with({("a", 1): (2.0, 1.0), ("a", 2): (3.0, 1.0)})
+        s = rep.summary()
+        assert s["speedup"] == {"O1": 2.0, "O2": 3.0}
+        assert s["smoke_wall_s"]["compiled"]["O2"] == 1.0
+
+    def test_json_round_trip(self):
+        rep = report_with({("a", 2): (2.0, 1.0)})
+        clone = BenchReport.from_json(json.loads(json.dumps(rep.to_json())))
+        assert clone.records == rep.records
+        assert clone.summary() == rep.summary()
+
+
+class TestRegressionGate:
+    def test_clean_pass(self):
+        base = report_with({("a", 2): (2.0, 1.0)})
+        cur = report_with({("a", 2): (4.0, 2.0)})  # same ratio, other machine
+        assert check_regression(cur, base) == []
+
+    def test_speedup_regression_fails(self):
+        base = report_with({("a", 2): (2.0, 1.0)})  # 2.0x
+        cur = report_with({("a", 2): (2.0, 1.2)})  # 1.67x < 2.0x - 10%
+        problems = check_regression(cur, base)
+        assert len(problems) == 1
+        assert "regressed" in problems[0]
+
+    def test_small_noise_within_tolerance_passes(self):
+        base = report_with({("a", 2): (2.0, 1.0)})  # 2.0x
+        cur = report_with({("a", 2): (1.9, 1.0)})  # 1.9x >= 2.0x - 10%
+        assert check_regression(cur, base) == []
+
+    def test_compiled_slower_than_interp_fails(self):
+        base = report_with({("a", 2): (1.0, 1.1)})
+        cur = report_with({("a", 2): (1.0, 1.1)})
+        problems = check_regression(cur, base)
+        assert any("slower than the interpreter" in p for p in problems)
+
+    def test_gate_restricted_to_common_pairs(self):
+        """A --quick run (one app) gates against the matching slice of the
+        full baseline, not its aggregate."""
+        base = report_with({
+            ("a", 2): (2.0, 1.0),   # 2.0x
+            ("b", 2): (10.0, 1.0),  # 10x, drags the full aggregate up
+        })
+        cur = report_with({("a", 2): (2.0, 1.0)})
+        assert check_regression(cur, base) == []
+
+    def test_disjoint_reports_are_an_error(self):
+        base = report_with({("a", 2): (2.0, 1.0)})
+        cur = report_with({("b", 2): (2.0, 1.0)})
+        assert check_regression(cur, base) == [
+            "no (app, opt_level) pairs in common with the baseline"
+        ]
+
+
+class TestRealRun:
+    def test_tiny_bench_produces_both_backends(self):
+        rep = run_bench(
+            apps=("rsbench",), opt_levels=(2,), instances=2,
+            thread_limit=32, repeats=1, workloads=TINY,
+        )
+        assert {(r.app, r.backend) for r in rep.records} == {
+            ("rsbench", "interp"), ("rsbench", "compiled"),
+        }
+        for r in rep.records:
+            assert r.steps > 0 and r.wall_s > 0 and r.steps_per_sec > 0
+            assert r.cycles > 0 and r.cycles_per_sec > 0
+        interp, compiled = rep.records
+        assert interp.steps == compiled.steps  # same retired stream
+        assert rep.speedup(2) > 0
+
+    def test_committed_baseline_is_valid_and_fast_enough(self):
+        """The checked-in BENCH_interpreter.json parses, covers both
+        backends on the full smoke campaign, and records the compiled
+        backend at >= 2x interpreter steps/sec at -O2."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_interpreter.json"
+        rep = BenchReport.from_json(json.loads(path.read_text()))
+        backends = {r.backend for r in rep.records}
+        assert backends == {"interp", "compiled"}
+        assert {r.opt_level for r in rep.records} == {1, 2}
+        assert rep.speedup(2) >= 2.0
+        assert check_regression(rep, rep) == []

@@ -6,6 +6,7 @@ from repro.apps import pagerank
 from repro.errors import DeviceOutOfMemory, LoaderError
 from repro.gpu.device import GPUDevice
 from repro.host.batch import BatchedEnsembleRunner
+from repro.host.launch import LaunchSpec
 from repro.host.ensemble_loader import EnsembleLoader
 from tests.util import SMALL_DEVICE
 
@@ -25,10 +26,14 @@ def lines(n):
     return [WORKLOAD + ["-s", str(s)] for s in range(1, n + 1)]
 
 
+def spec(n):
+    return LaunchSpec(lines(n), thread_limit=32)
+
+
 class TestBatching:
     def test_oversized_campaign_completes(self, loader):
-        runner = BatchedEnsembleRunner(loader, thread_limit=32)
-        result = runner.run(lines(10))
+        runner = BatchedEnsembleRunner(loader)
+        result = runner.run(spec(10))
         assert len(result.outcomes) == 10
         assert result.all_succeeded
         assert result.oom_retries >= 1  # 10 at once had to shrink
@@ -36,27 +41,27 @@ class TestBatching:
         assert sum(b.size for b in result.batches) == 10
 
     def test_instance_indices_global(self, loader):
-        runner = BatchedEnsembleRunner(loader, thread_limit=32)
-        result = runner.run(lines(6))
+        runner = BatchedEnsembleRunner(loader)
+        result = runner.run(spec(6))
         assert [o.index for o in result.outcomes] == list(range(6))
         # per-instance stdout still attached
         assert "PageRank total rank" in result.outcomes[5].stdout
 
     def test_fits_in_one_batch_when_possible(self, loader):
-        runner = BatchedEnsembleRunner(loader, thread_limit=32)
-        result = runner.run(lines(2))
+        runner = BatchedEnsembleRunner(loader)
+        result = runner.run(spec(2))
         assert len(result.batches) == 1
         assert result.oom_retries == 0
 
     def test_max_batch_cap_respected(self, loader):
-        runner = BatchedEnsembleRunner(loader, thread_limit=32, max_batch=2)
-        result = runner.run(lines(5))
+        runner = BatchedEnsembleRunner(loader, max_batch=2)
+        result = runner.run(spec(5))
         assert result.max_batch_size <= 2
         assert len(result.batches) == 3
 
     def test_total_cycles_aggregates(self, loader):
-        runner = BatchedEnsembleRunner(loader, thread_limit=32)
-        result = runner.run(lines(6))
+        runner = BatchedEnsembleRunner(loader)
+        result = runner.run(spec(6))
         assert result.total_cycles is not None
         assert result.total_cycles >= sum(
             b.cycles for b in result.batches
@@ -66,10 +71,10 @@ class TestBatching:
         tiny = EnsembleLoader(
             pagerank.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=128 * 1024
         )
-        runner = BatchedEnsembleRunner(tiny, thread_limit=32)
+        runner = BatchedEnsembleRunner(tiny)
         with pytest.raises(DeviceOutOfMemory):
-            runner.run(lines(3))
+            runner.run(spec(3))
 
     def test_empty_campaign_rejected(self, loader):
         with pytest.raises(LoaderError):
-            BatchedEnsembleRunner(loader).run([])
+            BatchedEnsembleRunner(loader).run(LaunchSpec([], thread_limit=32))

@@ -193,6 +193,44 @@ class TestObservabilityFlags:
         assert metrics.exists()  # ...but the dump is still flushed
 
 
+class TestBackendFlag:
+    def test_backend_flag_accepted(self):
+        args = build_parser().parse_args(
+            ["--app", "rsbench", "-f", "a.txt", "--backend", "compiled"]
+        )
+        assert args.backend == "compiled"
+
+    def test_backend_defaults_to_interp(self):
+        args = build_parser().parse_args(["--app", "rsbench", "-f", "a.txt"])
+        assert args.backend == "interp"
+
+    def test_unknown_backend_rejected_by_argparse(self, argfile):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--app", "rsbench", "-f", argfile, "--backend", "jit"]
+            )
+
+    def test_compiled_run_matches_interp_output(self, argfile, capsys):
+        outputs = {}
+        for backend in ("interp", "compiled"):
+            code = main(
+                ["--app", "rsbench", "-f", argfile, "-t", "32",
+                 "--heap-mb", "4", "--no-timing", "--backend", backend]
+            )
+            assert code == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["compiled"] == outputs["interp"]
+
+    def test_backend_flag_routes_through_scheduler(self, argfile, capsys):
+        code = main(
+            ["--app", "rsbench", "-f", argfile, "-t", "32", "--devices", "2",
+             "--heap-mb", "4", "--quiet", "--backend", "compiled"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign: 2 instances (all ok)" in out
+
+
 class TestAutoMode:
     """--auto SCRIPT[:FUNC]: natural driver loops through the CLI."""
 

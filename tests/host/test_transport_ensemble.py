@@ -6,6 +6,7 @@ import pytest
 from repro.frontend import Program, i64, ptr_ptr
 from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE
 
 
@@ -37,8 +38,8 @@ def loaders():
 def test_ensemble_over_ring_matches_direct(loaders):
     ring, direct = loaders
     lines = [[str(i)] for i in (7, 8, 9, 10)]
-    a = ring.run_ensemble(lines, thread_limit=32, collect_timing=False)
-    b = direct.run_ensemble(lines, thread_limit=32, collect_timing=False)
+    a = ring.run_ensemble(LaunchSpec(lines, thread_limit=32, collect_timing=False))
+    b = direct.run_ensemble(LaunchSpec(lines, thread_limit=32, collect_timing=False))
     assert a.return_codes == b.return_codes == [7, 8, 9, 10]
     for i in range(4):
         assert a.stdout_of(i) == b.stdout_of(i) == f"from instance {7 + i}\n"

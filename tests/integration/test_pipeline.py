@@ -12,6 +12,7 @@ from repro.host.ensemble_loader import EnsembleLoader
 from repro.ir.instructions import Opcode
 from repro.passes import compile_for_device, finalize_executable
 from repro.runtime.kernel import build_ensemble_kernel, build_single_kernel
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE
 
 
@@ -65,7 +66,7 @@ def test_stagewise_pipeline_contracts():
     # stage 5: execution with host RPC servicing printf
     device = GPUDevice(SMALL_DEVICE)
     loader = EnsembleLoader(prog, device, heap_bytes=1 << 20)
-    res = loader.run_ensemble([["10"]], thread_limit=32, collect_timing=False)
+    res = loader.run_ensemble(LaunchSpec([["10"]], thread_limit=32, collect_timing=False))
     expect = sum(i * i + 1 for i in range(10))
     assert res.return_codes == [expect]
     assert res.instances[0].stdout == f"result {expect}\n"
@@ -74,9 +75,9 @@ def test_stagewise_pipeline_contracts():
 def test_rpc_counts_scale_with_instances():
     device = GPUDevice(SMALL_DEVICE)
     loader = EnsembleLoader(legacy_app(), device, heap_bytes=1 << 20)
-    res = loader.run_ensemble(
+    res = loader.run_ensemble(LaunchSpec(
         [["3"], ["3"], ["3"]], thread_limit=32, collect_timing=False
-    )
+    ))
     # each instance printed once
     assert [bool(inst.stdout) for inst in res.instances] == [True] * 3
 

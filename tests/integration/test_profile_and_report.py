@@ -10,11 +10,11 @@ from repro.harness.profile import profile_launch
 from repro.harness.report import (
     compare_to_paper,
     render_ascii_plot,
-    render_figure6_table,
-    render_scaling_detail,
     save_results_json,
     write_csv,
 )
+from repro.obs.reporting import report
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE
 
 
@@ -32,9 +32,9 @@ def sweep():
 
 @pytest.fixture(scope="module")
 def launch(rsbench_loader):
-    res = rsbench_loader.run_ensemble(
+    res = rsbench_loader.run_ensemble(LaunchSpec(
         [["-p", "8", "-n", "2", "-l", "64", "-s", "1"]], thread_limit=32
-    )
+    ))
     return res.launch
 
 
@@ -56,29 +56,28 @@ class TestProfile:
         assert 1.0 <= p.coalescing_ratio <= 32.0
 
     def test_render_mentions_key_metrics(self, launch):
-        text = profile_launch(launch).render()
+        text = report(profile_launch(launch), format="text")
         for needle in ("simulated cycles", "coalescing ratio", "L2 hit rate"):
             assert needle in text
 
     def test_requires_timing(self, rsbench_loader):
-        res = rsbench_loader.run_ensemble(
+        res = rsbench_loader.run_ensemble(LaunchSpec(
             [["-p", "8", "-n", "2", "-l", "16", "-s", "1"]],
             thread_limit=32, collect_timing=False,
-        )
+        ))
         with pytest.raises(ValueError):
             profile_launch(res.launch)
 
 
 class TestReport:
     def test_scaling_detail_renders(self, sweep):
-        text = render_scaling_detail(sweep)
+        text = report(sweep, format="text")
         assert "rsbench" in text
         assert "speedup" in text
 
     def test_figure6_table_includes_linear_and_paper(self, sweep):
-        text = render_figure6_table({"rsbench": sweep}, thread_limit=32)
+        text = report({"rsbench": sweep}, format="text")
         assert "linear" in text
-        assert "(paper)" in text
         assert "N=4" in text
 
     def test_ascii_plot(self, sweep):

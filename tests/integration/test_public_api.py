@@ -1,6 +1,7 @@
 """Top-level package API surface: everything README imports must exist."""
 
 import repro
+from repro.host.launch import LaunchSpec
 
 
 def test_all_exports_resolve():
@@ -38,7 +39,7 @@ def test_quickstart_doctest_flow():
     from repro.apps import xsbench
 
     loader = EnsembleLoader(xsbench.build_program(), GPUDevice())
-    result = loader.run_ensemble("-l 64 -g 256\n-l 64 -g 256\n", thread_limit=32)
+    result = loader.run_ensemble(LaunchSpec("-l 64 -g 256\n-l 64 -g 256\n", thread_limit=32))
     assert result.all_succeeded
 
 

@@ -1,5 +1,5 @@
 """The unified report facade and the registry-view re-plumb of the
-legacy stats surfaces (SchedulerStats, KernelProfile, summarize_outcome)."""
+stats surfaces (SchedulerStats, KernelProfile, EnsembleOutcome)."""
 
 import warnings
 
@@ -114,40 +114,27 @@ class TestProfileFacade:
         assert KernelProfile.from_metrics(reg, kernel=prof.kernel) == prof
         assert reg.value("profile.cycles", kernel=prof.kernel) == prof.cycles
 
-    def test_direct_render_warns_but_facade_does_not(self, rsbench_loader):
+    def test_public_render_method_removed(self, rsbench_loader):
         _, prof = self._profile(rsbench_loader)
-        with pytest.warns(DeprecationWarning, match="report"):
-            direct = prof.render()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            via_facade = report(prof, format="text")
-        assert direct == via_facade
+        assert not hasattr(prof, "render")
+        via_facade = report(prof, format="text")
+        assert "simulated cycles" in via_facade
 
 
-class TestDeprecatedShims:
-    def test_summarize_outcome_warns_and_matches_facade(self):
-        from repro.host.results import summarize_outcome
+class TestRemovedShims:
+    """The v1 per-module renderers were removed in v2.0 — the facade is
+    the only rendering surface."""
 
-        res = CampaignResult(outcomes=outcomes(), total_cycles=10.0)
-        with pytest.warns(DeprecationWarning, match="report"):
-            legacy = summarize_outcome(res)
-        assert legacy == report(res, format="summary")
+    def test_summarize_outcome_removed(self):
+        import repro.host.results as results
 
-    def test_render_scaling_detail_warns(self):
-        from repro.harness.experiment import ScalingResult
-        from repro.harness.report import render_scaling_detail
+        assert not hasattr(results, "summarize_outcome")
 
-        res = ScalingResult(
-            app="x", thread_limit=32, workload_args=[], rows=[]
-        )
-        with pytest.warns(DeprecationWarning, match="report"):
-            render_scaling_detail(res)
+    def test_render_helpers_removed(self):
+        import repro.harness.report as hreport
 
-    def test_render_figure6_table_warns(self):
-        from repro.harness.report import render_figure6_table
-
-        with pytest.warns(DeprecationWarning, match="report"):
-            render_figure6_table({})
+        assert not hasattr(hreport, "render_scaling_detail")
+        assert not hasattr(hreport, "render_figure6_table")
 
 
 class TestStatsViews:
@@ -158,18 +145,15 @@ class TestStatsViews:
             assert stats.jobs_completed == 0
             assert stats.device("d").busy_cycles == 0.0
 
-    def test_direct_assignment_warns_but_works(self):
+    def test_direct_assignment_rejected(self):
         stats = SchedulerStats()
-        with pytest.warns(DeprecationWarning, match="MetricsRegistry"):
+        with pytest.raises(AttributeError, match="read-only"):
             stats.retries = 3
-        assert stats.retries == 3
-        assert stats.registry.value("sched.retries") == 3.0
 
-    def test_augmented_assignment_warns_but_works(self):
+    def test_augmented_assignment_rejected(self):
         dev = DeviceStats("d0")
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(AttributeError, match="read-only"):
             dev.batches += 1
-        assert dev.batches == 1
 
     def test_registry_publication_is_the_source_of_truth(self):
         reg = MetricsRegistry()

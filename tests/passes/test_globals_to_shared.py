@@ -10,6 +10,7 @@ from repro.host.ensemble_loader import EnsembleLoader
 from repro.ir.module import GlobalVar, Module
 from repro.ir.types import MemType
 from repro.passes.globals_to_shared import globals_to_shared_pass
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE
 
 
@@ -86,9 +87,9 @@ class TestIsolationSemantics:
             make_racy_program(), GPUDevice(SMALL_DEVICE),
             heap_bytes=1 << 20, team_local_globals=False, allow_races=True,
         )
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["1"], ["2"], ["3"], ["4"]], thread_limit=32, collect_timing=False
-        )
+        ))
         assert res.return_codes[0] == 0
         assert res.return_codes[1:] == [1, 1, 1]
 
@@ -98,9 +99,9 @@ class TestIsolationSemantics:
             make_racy_program(), GPUDevice(SMALL_DEVICE),
             heap_bytes=1 << 20, team_local_globals=True,
         )
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["1"], ["2"], ["3"], ["4"]], thread_limit=32, collect_timing=False
-        )
+        ))
         assert res.return_codes == [0, 0, 0, 0]
 
     def test_single_instance_unaffected(self):
@@ -108,5 +109,5 @@ class TestIsolationSemantics:
             make_racy_program(), GPUDevice(SMALL_DEVICE),
             heap_bytes=1 << 20, team_local_globals=True,
         )
-        res = loader.run_ensemble([["9"]], thread_limit=32, collect_timing=False)
+        res = loader.run_ensemble(LaunchSpec([["9"]], thread_limit=32, collect_timing=False))
         assert res.return_codes == [0]

@@ -8,6 +8,7 @@ from repro.ir.module import Function, GlobalVar, Module
 from repro.ir.types import I64, MemType, ScalarType
 from repro.ir.verifier import verify_module
 from repro.passes.licm import licm_pass
+from repro.host.launch import LaunchSpec
 from tests.util import small_device
 
 
@@ -152,10 +153,10 @@ class TestParRegionSafety:
         loader = EnsembleLoader(
             xsbench.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=1 << 22
         )
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["-g", "64", "-n", "2", "-l", "16", "-s", "9"]],
             thread_limit=32, collect_timing=False,
-        )
+        ))
         got = float(re.search(r"checksum ([-\d.]+)", res.instances[0].stdout).group(1))
         assert abs(got - reference.xsbench_checksum(64, 2, 16, 9)) < 1e-6
 

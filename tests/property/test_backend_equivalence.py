@@ -1,0 +1,115 @@
+"""Property: the compiled backend is observationally identical to the
+interpreter.
+
+Hypothesis generates random DSL programs (same shape as the -O1/-O2
+equivalence suite) and runs each on both execution backends; exit code,
+stdout, and the retired-step count must match bitwise at every opt level,
+with timing on and off, and under a recovered fault plan.  The registry
+apps pin the same contract on real workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.apps.registry import APPS
+from repro.gpu.device import GPUDevice
+from repro.host.launch import LaunchSpec
+from repro.host.loader import Loader
+from repro.runtime.backend import available_backends
+from repro.sched import DevicePool, Scheduler
+from tests.property.test_opt_equivalence import build_program, program_specs, render
+from tests.util import SMALL_DEVICE
+
+
+def run_on(src: str, backend: str, opt_level: int, *, timing: bool = False):
+    loader = Loader(
+        build_program(src),
+        GPUDevice(SMALL_DEVICE),
+        heap_bytes=1 << 20,
+        opt_level=opt_level,
+    )
+    return loader.run(
+        [], thread_limit=32, collect_timing=timing, backend=backend
+    )
+
+
+def observables(res):
+    return (res.exit_code, res.stdout, res.launch.interpreter_steps)
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_specs)
+def test_compiled_matches_interp_bitwise(spec):
+    src = render(spec)
+    for opt_level in (1, 2):
+        ri = run_on(src, "interp", opt_level)
+        rc = run_on(src, "compiled", opt_level)
+        assert observables(rc) == observables(ri), f"-O{opt_level}\n{src}"
+
+
+@settings(max_examples=6, deadline=None)
+@given(program_specs)
+def test_compiled_matches_interp_with_timing(spec):
+    """With the collector armed the compiled backend must also reproduce
+    the cycle count exactly (it batches trace notes per block, but the
+    aggregate is the interpreter's)."""
+    src = render(spec)
+    ri = run_on(src, "interp", 2, timing=True)
+    rc = run_on(src, "compiled", 2, timing=True)
+    assert observables(rc) == observables(ri), f"\n{src}"
+    assert rc.launch.timing.cycles == ri.launch.timing.cycles, f"\n{src}"
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+@pytest.mark.parametrize("opt_level", [1, 2])
+def test_registry_apps_bitwise_equivalent(app, opt_level):
+    entry = APPS[app]
+    prog = entry.build_program()
+    results = {}
+    for backend in available_backends():
+        loader = Loader(prog, GPUDevice(), opt_level=opt_level)
+        results[backend] = loader.run(
+            entry.default_args(),
+            thread_limit=64,
+            collect_timing=False,
+            backend=backend,
+        )
+    baseline = observables(results["interp"])
+    for backend, res in results.items():
+        assert observables(res) == baseline, (app, opt_level, backend)
+
+
+def _campaign_fingerprint(backend: str, plan: str | None):
+    src = render((24, 3, 1, True, False, True, True))
+    prog = build_program(src)
+    pool = DevicePool(2, config=SMALL_DEVICE)
+    sched = Scheduler(pool, faults=plan, default_retries=4)
+    spec = LaunchSpec(
+        [[str(i)] for i in range(4)],
+        thread_limit=32,
+        collect_timing=False,
+        backend=backend,
+    )
+    result = sched.submit(
+        prog, spec, loader_opts={"heap_bytes": 1 << 20}
+    ).result()
+    stats = sched.stats.summary()
+    pool.close()
+    fp = [(o.index, o.args, o.exit_code, o.stdout) for o in result.instances]
+    return fp, stats
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_equivalence_under_recovered_fault_plan(backend):
+    """A transient worker death is recovered by retry on both backends,
+    and the recovered run matches the interpreter's fault-free run."""
+    baseline, base_stats = _campaign_fingerprint("interp", None)
+    assert base_stats["faults_injected"] == 0
+    faulted, stats = _campaign_fingerprint(
+        backend, "worker_death:times=1:seed=0"
+    )
+    assert faulted == baseline
+    assert stats["faults_injected"] == 1
+    assert stats["faults_recovered"] == 1

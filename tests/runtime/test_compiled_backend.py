@@ -1,0 +1,170 @@
+"""The compiled (threaded-code) backend: block lowering, caching, the
+backend-selection API, and trap parity with the interpreter."""
+
+import pytest
+
+from repro.errors import DeviceTrap, LaunchError
+from repro.gpu.device import GPUDevice
+from repro.host.launch import LaunchSpec
+from repro.host.loader import Loader
+from repro.runtime.backend import (
+    DEFAULT_BACKEND,
+    Backend,
+    CompiledBackend,
+    InterpreterBackend,
+    available_backends,
+    get_backend,
+)
+from repro.runtime.compiled import CACHE_KEY, compile_kernel
+from tests.property.test_opt_equivalence import build_program
+from tests.util import SMALL_DEVICE
+
+
+def _loader(src, **kw):
+    return Loader(
+        build_program(src), GPUDevice(SMALL_DEVICE), heap_bytes=1 << 20, **kw
+    )
+
+
+SIMPLE = """
+def main(argc: i64, argv: ptr_ptr) -> i64:
+    buf = malloc_i64(32)
+    for i in dgpu.parallel_range(32):
+        buf[i] = i * 3
+    total = malloc_i64(1)
+    total[0] = 0
+    for j in range(32):
+        total[0] = total[0] + buf[j]
+    return total[0] & 255
+"""
+
+
+class TestBackendRegistry:
+    def test_both_engines_registered(self):
+        assert available_backends() == ["compiled", "interp"]
+
+    def test_default_is_the_interpreter(self):
+        assert DEFAULT_BACKEND == "interp"
+
+    def test_get_backend_resolves_names(self):
+        assert isinstance(get_backend("interp"), InterpreterBackend)
+        assert isinstance(get_backend("compiled"), CompiledBackend)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(LaunchError, match="compiled, interp"):
+            get_backend("jit")
+
+    def test_non_backend_object_rejected(self):
+        with pytest.raises(LaunchError, match="Backend"):
+            get_backend(42)
+
+    def test_instances_satisfy_protocol(self):
+        assert isinstance(InterpreterBackend(), Backend)
+        assert isinstance(CompiledBackend(), Backend)
+
+    def test_spec_carries_backend(self):
+        spec = LaunchSpec([["x"]], backend="compiled")
+        assert spec.backend == "compiled"
+        assert LaunchSpec([["x"]]).backend == DEFAULT_BACKEND
+
+
+class TestCompilation:
+    def test_program_cached_per_kernel(self, rsbench_loader):
+        res = rsbench_loader.run(
+            LaunchSpec(
+                [["-p", "8", "-n", "2", "-l", "16", "-s", "1"]],
+                thread_limit=32,
+                collect_timing=False,
+                backend="compiled",
+            )
+        )
+        assert res.exit_code == 0
+        kernels = [
+            k
+            for k in rsbench_loader.image.lowered.values()
+            if CACHE_KEY in k.backend_cache
+        ]
+        assert kernels, "no kernel picked up a compiled program"
+        for k in kernels:
+            program = k.backend_cache[CACHE_KEY]
+            assert compile_kernel(k) is program  # cache hit, same object
+            assert program.blocks  # at least one compilable block
+            # every block: leader < end, positive instruction count
+            for leader, (end, count, cycles) in program.blocks.items():
+                assert 0 <= leader < end
+                assert count == end - leader
+                assert cycles >= 0.0
+
+    def test_generated_source_is_inspectable(self, rsbench_loader):
+        rsbench_loader.run(
+            LaunchSpec(
+                [["-p", "8", "-n", "2", "-l", "16", "-s", "1"]],
+                thread_limit=32,
+                collect_timing=False,
+                backend="compiled",
+            )
+        )
+        kernel = next(
+            k
+            for k in rsbench_loader.image.lowered.values()
+            if CACHE_KEY in k.backend_cache
+        )
+        src = kernel.backend_cache[CACHE_KEY].source
+        assert "def _blk0(mask, full" in src
+        assert "if full:" in src
+
+
+class TestTrapParity:
+    """Faults must raise the same DeviceTrap text on both backends."""
+
+    def _trap_text(self, src, backend):
+        loader = _loader(src)
+        with pytest.raises(DeviceTrap) as exc:
+            loader.run([], thread_limit=32, collect_timing=False,
+                       backend=backend)
+        return str(exc.value)
+
+    NULL_DEREF = """
+def main(argc: i64, argv: ptr_ptr) -> i64:
+    p = malloc_i64(4)
+    return p[0 - 999999]
+"""
+
+    DIV0 = """
+def main(argc: i64, argv: ptr_ptr) -> i64:
+    buf = malloc_i64(8)
+    for i in dgpu.parallel_range(8):
+        buf[i] = 7 // (i - i)
+    return 0
+"""
+
+    def test_null_guard_trap_matches(self):
+        assert self._trap_text(self.NULL_DEREF, "compiled") == \
+            self._trap_text(self.NULL_DEREF, "interp")
+
+    def test_division_by_zero_trap_matches(self):
+        assert self._trap_text(self.DIV0, "compiled") == \
+            self._trap_text(self.DIV0, "interp")
+
+    def test_livelock_trap_fires_on_compiled(self):
+        loader = _loader(SIMPLE)
+        with pytest.raises(DeviceTrap, match="interpreter steps"):
+            loader.run([], thread_limit=32, collect_timing=False,
+                       backend="compiled", max_steps=10)
+
+
+class TestEndToEnd:
+    def test_simple_program_same_answer(self):
+        results = {}
+        for backend in available_backends():
+            res = _loader(SIMPLE).run(
+                [], thread_limit=32, collect_timing=False, backend=backend
+            )
+            results[backend] = (res.exit_code, res.stdout)
+        assert results["compiled"] == results["interp"]
+
+    def test_unknown_backend_fails_at_launch(self):
+        with pytest.raises(LaunchError, match="unknown backend"):
+            _loader(SIMPLE).run(
+                [], thread_limit=32, collect_timing=False, backend="jit"
+            )

@@ -10,6 +10,7 @@ import pytest
 from repro.apps import rsbench, xsbench
 from repro.gpu.device import GPUDevice
 from repro.host.ensemble_loader import EnsembleLoader
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE
 
 
@@ -17,8 +18,8 @@ def steps_for(module, args, heap=1 << 22, thread_limit=32):
     loader = EnsembleLoader(
         module.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=heap
     )
-    res = loader.run_ensemble([args], thread_limit=thread_limit,
-                              collect_timing=False)
+    res = loader.run_ensemble(LaunchSpec([args], thread_limit=thread_limit,
+                              collect_timing=False))
     assert res.return_codes == [0]
     return res.launch.interpreter_steps
 
@@ -36,9 +37,9 @@ def test_rsbench_stays_uniform():
     loader = EnsembleLoader(
         rsbench.build_program(), GPUDevice(SMALL_DEVICE), heap_bytes=1 << 22
     )
-    res = loader.run_ensemble(
+    res = loader.run_ensemble(LaunchSpec(
         [["-p", "16", "-n", "2", "-l", "64", "-s", "1"]], thread_limit=32
-    )
+    ))
     trace = res.launch.traces[0]
     assert trace.divergent_instructions < 0.02 * trace.dynamic_instructions
 
@@ -50,10 +51,10 @@ def test_optimization_reduces_steps():
             xsbench.build_program(), GPUDevice(SMALL_DEVICE),
             heap_bytes=1 << 22, optimize=optimize,
         )
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["-g", "256", "-n", "4", "-l", "64", "-s", "1"]],
             thread_limit=32, collect_timing=False,
-        )
+        ))
         return res.launch.interpreter_steps
 
     assert run(True) < run(False) * 0.9

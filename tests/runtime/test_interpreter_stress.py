@@ -14,6 +14,7 @@ from repro.ir.builder import IRBuilder
 from repro.ir.instructions import Opcode
 from repro.ir.module import GlobalVar
 from repro.ir.types import I64, MemType
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE, build_kernel_module, small_device
 
 
@@ -152,9 +153,9 @@ class TestPackedDivergence:
             mapping=PackedMapping(4),
             heap_bytes=1 << 20,
         )
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [[str(m)] for m in range(1, 9)], thread_limit=128, collect_timing=False
-        )
+        ))
         expect = [m * 10 if m % 2 == 0 else m * 5 * 2 for m in range(1, 9)]
         assert res.return_codes == expect
 
@@ -178,9 +179,9 @@ class TestPackedDivergence:
             mapping=PackedMapping(2),
             heap_bytes=1 << 20,
         )
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["5"], ["9"], ["17"], ["33"]], thread_limit=64, collect_timing=False
-        )
+        ))
         assert res.return_codes == [
             sum(range(5)),
             sum(range(9)),

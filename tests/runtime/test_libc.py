@@ -7,6 +7,7 @@ from repro.errors import DeviceOutOfMemory
 from repro.frontend import Program, i64, ptr_ptr
 from repro.gpu.device import GPUDevice
 from repro.host.loader import Loader
+from repro.host.launch import LaunchSpec
 from tests.util import SMALL_DEVICE
 
 # one program exercising the whole libc surface, driven by argv
@@ -141,7 +142,7 @@ class TestHeap:
             return 0
 
         loader = EnsembleLoader(prog, GPUDevice(SMALL_DEVICE), heap_bytes=1 << 20)
-        res = loader.run_ensemble(
+        res = loader.run_ensemble(LaunchSpec(
             [["7"], ["13"], ["21"]], thread_limit=32, collect_timing=False
-        )
+        ))
         assert res.return_codes == [0, 0, 0]

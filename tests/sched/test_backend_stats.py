@@ -1,0 +1,101 @@
+"""Backend labels on scheduler counters: every ``sched.*`` work-accounting
+series carries ``backend=interp|compiled``, the attribute views aggregate
+across label sets, and ``by_backend`` breaks one metric down per engine."""
+
+import pytest
+
+from repro.host.launch import LaunchSpec
+from repro.sched import DevicePool, Scheduler
+from tests.util import SMALL_DEVICE
+
+SMALL = ["-n", "256", "-d", "8", "-i", "1"]
+
+
+def lines(n):
+    return [SMALL + ["-s", str(s)] for s in range(1, n + 1)]
+
+
+@pytest.fixture(scope="module")
+def program():
+    from repro.apps import pagerank
+
+    return pagerank.build_program()
+
+
+def run_campaign(sched, program, backend, n=2):
+    spec = LaunchSpec(
+        lines(n), thread_limit=32, collect_timing=False, backend=backend
+    )
+    res = sched.submit(
+        program, spec, loader_opts={"heap_bytes": 1 << 20}
+    ).result()
+    assert res.return_codes == [0] * n
+    return res
+
+
+class TestBackendLabels:
+    def test_counters_carry_backend_label(self, program):
+        pool = DevicePool(1, config=SMALL_DEVICE)
+        sched = Scheduler(pool)
+        try:
+            run_campaign(sched, program, "compiled")
+        finally:
+            pool.close()
+        for metric in ("sched.instances.completed", "sched.device.batches",
+                       "sched.device.busy_steps"):
+            series = list(sched.stats.registry.series(metric))
+            assert series, metric
+            for counter in series:
+                assert dict(counter.labels)["backend"] == "compiled", metric
+
+    def test_by_backend_splits_mixed_campaign(self, program):
+        pool = DevicePool(1, config=SMALL_DEVICE)
+        sched = Scheduler(pool)
+        try:
+            run_campaign(sched, program, "interp", n=2)
+            run_campaign(sched, program, "compiled", n=3)
+        finally:
+            pool.close()
+        split = sched.stats.by_backend("instances.completed")
+        assert split == {"interp": 2.0, "compiled": 3.0}
+
+    def test_attribute_views_aggregate_across_backends(self, program):
+        """``stats.instances_completed`` spans every label set, so mixed
+        campaigns total the same as a single-backend one."""
+        pool = DevicePool(1, config=SMALL_DEVICE)
+        sched = Scheduler(pool)
+        try:
+            run_campaign(sched, program, "interp", n=2)
+            run_campaign(sched, program, "compiled", n=2)
+        finally:
+            pool.close()
+        assert sched.stats.instances_completed == 4
+        dev = sched.stats.device("pool0")
+        assert dev.instances == 4
+        assert dev.busy_steps > 0
+
+    def test_device_by_backend_breakdown(self, program):
+        pool = DevicePool(1, config=SMALL_DEVICE)
+        sched = Scheduler(pool)
+        try:
+            run_campaign(sched, program, "interp", n=1)
+            run_campaign(sched, program, "compiled", n=1)
+        finally:
+            pool.close()
+        dev = sched.stats.device("pool0")
+        steps = dev.by_backend("busy_steps")
+        assert set(steps) == {"interp", "compiled"}
+        # both engines retire the identical instruction stream
+        assert steps["interp"] == steps["compiled"]
+        assert dev.by_backend("batches") == {"interp": 1.0, "compiled": 1.0}
+
+    def test_summary_totals_span_backends(self, program):
+        pool = DevicePool(2, config=SMALL_DEVICE)
+        sched = Scheduler(pool)
+        try:
+            run_campaign(sched, program, "compiled", n=4)
+        finally:
+            pool.close()
+        summary = sched.stats.summary()
+        assert summary["instances_completed"] == 4
+        assert sum(d["instances"] for d in summary["devices"].values()) == 4

@@ -1,7 +1,5 @@
 """The unified launch surface: LaunchSpec, the shared result protocol,
-and the deprecation shims over the legacy call shapes."""
-
-import warnings
+and the v2.0 TypeError guards over the removed legacy call shapes."""
 
 import pytest
 
@@ -10,7 +8,8 @@ from repro.host.argfile import resolve_arg_source, write_argument_file
 from repro.host.batch import BatchedEnsembleRunner, CampaignResult
 from repro.host.ensemble_loader import EnsembleResult, InstanceOutcome
 from repro.host.launch import LaunchSpec
-from repro.host.results import EnsembleOutcome, summarize_outcome
+from repro.host.results import EnsembleOutcome
+from repro.obs.reporting import report
 
 LINES = [["-p", "8", "-n", "2", "-l", "16", "-s", "1"],
          ["-p", "8", "-n", "2", "-l", "16", "-s", "2"]]
@@ -56,35 +55,33 @@ class TestLaunchSpec:
 
 
 class TestUnifiedEntryPoints:
-    def test_run_ensemble_accepts_spec_without_warning(self, rsbench_loader):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            res = rsbench_loader.run_ensemble(
-                LaunchSpec(LINES, thread_limit=32, collect_timing=False)
-            )
-        assert res.return_codes == [0, 0]
-
-    def test_run_ensemble_legacy_shape_warns(self, rsbench_loader):
-        with pytest.warns(DeprecationWarning, match="LaunchSpec"):
-            res = rsbench_loader.run_ensemble(
-                LINES, thread_limit=32, collect_timing=False
-            )
-        assert res.return_codes == [0, 0]
-
-    def test_batch_runner_accepts_spec(self, rsbench_loader):
-        runner = BatchedEnsembleRunner(rsbench_loader)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            res = runner.run(LaunchSpec(LINES, thread_limit=32, collect_timing=False))
-        assert res.all_succeeded
-
-    def test_batch_runner_legacy_shape_warns(self, rsbench_loader):
-        runner = BatchedEnsembleRunner(
-            rsbench_loader, thread_limit=32, collect_timing=False
+    def test_run_ensemble_takes_spec(self, rsbench_loader):
+        res = rsbench_loader.run_ensemble(
+            LaunchSpec(LINES, thread_limit=32, collect_timing=False)
         )
-        with pytest.warns(DeprecationWarning, match="LaunchSpec"):
-            res = runner.run(LINES)
+        assert res.return_codes == [0, 0]
+
+    def test_run_ensemble_legacy_shape_raises_with_hint(self, rsbench_loader):
+        with pytest.raises(TypeError, match="LaunchSpec"):
+            rsbench_loader.run_ensemble(LINES)
+
+    def test_run_ensemble_legacy_kwargs_rejected(self, rsbench_loader):
+        with pytest.raises(TypeError):
+            rsbench_loader.run_ensemble(LINES, thread_limit=32)
+
+    def test_batch_runner_takes_spec(self, rsbench_loader):
+        runner = BatchedEnsembleRunner(rsbench_loader)
+        res = runner.run(LaunchSpec(LINES, thread_limit=32, collect_timing=False))
         assert res.all_succeeded
+
+    def test_batch_runner_legacy_shape_raises_with_hint(self, rsbench_loader):
+        runner = BatchedEnsembleRunner(rsbench_loader)
+        with pytest.raises(TypeError, match="LaunchSpec"):
+            runner.run(LINES)
+
+    def test_batch_runner_legacy_ctor_kwargs_removed(self, rsbench_loader):
+        with pytest.raises(TypeError):
+            BatchedEnsembleRunner(rsbench_loader, thread_limit=32)
 
     def test_loader_run_accepts_single_instance_spec(self, rsbench_loader):
         res = rsbench_loader.run(
@@ -96,11 +93,10 @@ class TestUnifiedEntryPoints:
         with pytest.raises(LoaderError, match="exactly one"):
             rsbench_loader.run(LaunchSpec(LINES, thread_limit=32))
 
-    def test_resolve_args_shim_warns(self):
+    def test_resolve_args_shim_removed(self):
         from repro.host.ensemble_loader import EnsembleLoader
 
-        with pytest.warns(DeprecationWarning, match="resolve_arg_source"):
-            assert EnsembleLoader._resolve_args([["a"]]) == [["a"]]
+        assert not hasattr(EnsembleLoader, "_resolve_args")
 
 
 class TestResultProtocol:
@@ -136,13 +132,18 @@ class TestResultProtocol:
         assert res.all_succeeded
         assert "RSBench" in res.stdout_of(0)
 
-    def test_summarize_outcome_handles_untimed(self):
+    def test_report_summary_handles_untimed(self):
         res = CampaignResult(outcomes=self._outcomes(), total_cycles=None)
-        text = summarize_outcome(res)
+        text = report(res, format="summary")
         assert "2 instances" in text
         assert "untimed" in text
         assert "1 failed" in text
 
-    def test_summarize_outcome_formats_cycles(self):
+    def test_report_summary_formats_cycles(self):
         res = CampaignResult(outcomes=self._outcomes()[:1], total_cycles=1234.5)
-        assert "1234 simulated cycles" in summarize_outcome(res)
+        assert "1234 simulated cycles" in report(res, format="summary")
+
+    def test_summarize_outcome_removed(self):
+        import repro.host.results as results
+
+        assert not hasattr(results, "summarize_outcome")

@@ -41,7 +41,7 @@ class TestSchedulerParity:
         loader = EnsembleLoader(
             program, GPUDevice(SMALL_DEVICE), heap_bytes=HEAP
         )
-        single = BatchedEnsembleRunner(loader, thread_limit=32).run(
+        single = BatchedEnsembleRunner(loader).run(
             LaunchSpec(CAMPAIGN, thread_limit=32)
         )
 
