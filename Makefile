@@ -5,8 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: install test test-fast lint typecheck check bench bench-check \
-	microbench figures validate objdump sched-demo trace-demo \
-	autoensemble-demo chaos clean
+	bench-serve bench-serve-check microbench figures validate objdump \
+	sched-demo trace-demo autoensemble-demo serve-demo serve-check \
+	chaos clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -48,6 +49,16 @@ bench:
 bench-check:
 	$(PYTHON) -m repro.harness.bench --quick --check BENCH_interpreter.json
 
+# Tracked server-path benchmark (docs/serve.md): repro.serve throughput
+# vs the direct scheduler; refreshes the committed baseline.
+bench-serve:
+	$(PYTHON) -m repro.harness.bench_serve --repeats 3 --out BENCH_serve.json
+
+# CI regression gate: served-path occupancy and the served/direct
+# overhead ratio vs the committed baseline (machine-independent only).
+bench-serve-check:
+	$(PYTHON) -m repro.harness.bench_serve --quick --check BENCH_serve.json
+
 # pytest-benchmark microbenchmarks (interpreter inner loops).
 microbench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -79,6 +90,17 @@ sched-demo:
 autoensemble-demo:
 	$(PYTHON) -m repro.tools.lint --driver examples/auto_ensemble_loop.py
 	$(PYTHON) examples/auto_ensemble_loop.py
+
+# Ensemble-as-a-service: host a campaign server on a thread, submit two
+# tenants' campaigns through the client, prove the streamed results are
+# bitwise-identical to one-shot scheduler runs (docs/serve.md).
+serve-demo:
+	$(PYTHON) examples/serve_campaigns.py
+
+# Validate the committed wire-document corpus against the serialization
+# contract (schema_version policy + stable error codes).
+serve-check:
+	$(PYTHON) -m repro.serve.check tests/serve/fixtures
 
 # Traced two-device campaign -> results/trace.json + results/metrics.json,
 # then validate the trace structurally (docs/observability.md).

@@ -191,3 +191,21 @@ class DeadlineExceeded(JobFailed):
 
 class RetriesExhausted(JobFailed):
     """A job's instances kept faulting past the configured retry bound."""
+
+
+# ---------------------------------------------------------------------------
+# Serving errors
+# ---------------------------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """A ``repro.serve`` request was refused or failed.
+
+    ``code`` is one of the stable wire error codes
+    (:data:`repro.wire.ERROR_CODES`) so callers can branch on the machine
+    contract rather than the human-readable message.
+    """
+
+    def __init__(self, message: str, *, code: str = "E_INTERNAL"):
+        self.code = code
+        super().__init__(message)

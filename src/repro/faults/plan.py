@@ -294,6 +294,29 @@ class FaultPlan:
             ],
         }
 
+    # -- wire shape (docs/serve.md) -----------------------------------------
+    def to_wire(self) -> dict:
+        """Versioned wire document (see :mod:`repro.wire`)."""
+        from repro import wire
+
+        data = wire.envelope("FaultPlan")
+        data.update(self.to_json())
+        return data
+
+    @classmethod
+    def from_wire(cls, data) -> "FaultPlan":
+        """Parse a wire document; malformed plans surface as
+        :class:`~repro.wire.WireError` with the stable ``E_SCHEMA`` code."""
+        from repro import wire
+
+        wire.check_envelope(data, "FaultPlan")
+        seed = wire.get_field(data, "seed", int, 0, kind="FaultPlan")
+        faults = wire.get_field(data, "faults", list, kind="FaultPlan")
+        try:
+            return cls.from_json({"seed": seed, "faults": faults})
+        except FaultPlanError as exc:
+            raise wire.WireError(f"FaultPlan: {exc}") from exc
+
 
 __all__ = [
     "FaultKind",

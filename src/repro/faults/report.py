@@ -55,5 +55,42 @@ class FaultReport:
             out["team"] = self.team
         return out
 
+    # -- wire shape (docs/serve.md) -----------------------------------------
+    def to_wire(self) -> dict:
+        """Versioned wire document (see :mod:`repro.wire`).
+
+        The fault's own kind travels as ``fault_kind`` — the envelope's
+        ``kind`` names the document type.
+        """
+        from repro import wire
+
+        data = wire.envelope("FaultReport")
+        fields = self.to_dict()
+        fields["fault_kind"] = fields.pop("kind")
+        data.update(fields)
+        return data
+
+    @classmethod
+    def from_wire(cls, data) -> "FaultReport":
+        from repro import wire
+
+        wire.check_envelope(data, "FaultReport")
+        kind = "FaultReport"
+        instances = wire.get_field(data, "instances", list, [], kind=kind)
+        if not all(isinstance(i, int) for i in instances):
+            raise wire.WireError(f"{kind}: instances must be integers")
+        return cls(
+            kind=wire.get_field(data, "fault_kind", str, kind=kind),
+            point=wire.get_field(data, "point", str, kind=kind),
+            message=wire.get_field(data, "message", str, "", kind=kind),
+            job_id=wire.get_field(data, "job_id", int, None, kind=kind),
+            device=wire.get_field(data, "device", str, None, kind=kind),
+            team=wire.get_field(data, "team", int, None, kind=kind),
+            instances=list(instances),
+            attempts=wire.get_field(data, "attempts", int, 0, kind=kind),
+            error=wire.get_field(data, "error", str, "", kind=kind),
+            recovered=wire.get_field(data, "recovered", bool, False, kind=kind),
+        )
+
 
 __all__ = ["FaultReport", "FAULT_EXIT"]

@@ -43,6 +43,32 @@ class BatchRecord:
     size: int
     cycles: float | None
 
+    # -- wire shape (docs/serve.md) -----------------------------------------
+    def to_wire(self) -> dict:
+        """Versioned wire document (see :mod:`repro.wire`)."""
+        from repro import wire
+
+        data = wire.envelope("BatchRecord")
+        data.update(
+            first_instance=self.first_instance,
+            size=self.size,
+            cycles=self.cycles,
+        )
+        return data
+
+    @classmethod
+    def from_wire(cls, data) -> "BatchRecord":
+        from repro import wire
+
+        wire.check_envelope(data, "BatchRecord")
+        kind = "BatchRecord"
+        cycles = wire.get_field(data, "cycles", (int, float), None, kind=kind)
+        return cls(
+            first_instance=wire.get_field(data, "first_instance", int, kind=kind),
+            size=wire.get_field(data, "size", int, kind=kind),
+            cycles=None if cycles is None else float(cycles),
+        )
+
 
 @dataclass
 class BisectionPolicy:

@@ -227,7 +227,18 @@ def _print_instances(result, quiet: bool) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point: run an application ensemble (Figure 5c)."""
+    """CLI entry point: run an application ensemble (Figure 5c).
+
+    ``repro-ensemble serve`` / ``repro-ensemble submit`` route to the
+    campaign-service CLI (:mod:`repro.serve.cli`); everything else is the
+    classic one-shot ensembler.
+    """
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] in ("serve", "submit"):
+        from repro.serve.cli import serve_main, submit_main
+
+        handler = serve_main if argv[0] == "serve" else submit_main
+        return handler(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

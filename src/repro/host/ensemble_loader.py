@@ -48,6 +48,38 @@ class InstanceOutcome:
     #: running to completion; ``exit_code`` is then :data:`FAULT_EXIT`.
     fault: FaultReport | None = None
 
+    # -- wire shape (docs/serve.md) -----------------------------------------
+    def to_wire(self) -> dict:
+        """Versioned wire document (see :mod:`repro.wire`)."""
+        from repro import wire
+
+        data = wire.envelope("InstanceOutcome")
+        data.update(
+            index=self.index,
+            args=list(self.args),
+            exit_code=self.exit_code,
+            slot=self.slot,
+            stdout=self.stdout,
+            fault=None if self.fault is None else self.fault.to_wire(),
+        )
+        return data
+
+    @classmethod
+    def from_wire(cls, data) -> "InstanceOutcome":
+        from repro import wire
+
+        wire.check_envelope(data, "InstanceOutcome")
+        kind = "InstanceOutcome"
+        fault = wire.get_field(data, "fault", dict, None, kind=kind)
+        return cls(
+            index=wire.get_field(data, "index", int, kind=kind),
+            args=wire.string_list(data, "args", kind=kind),
+            exit_code=wire.get_field(data, "exit_code", int, kind=kind),
+            slot=wire.get_field(data, "slot", int, -1, kind=kind),
+            stdout=wire.get_field(data, "stdout", str, "", kind=kind),
+            fault=None if fault is None else FaultReport.from_wire(fault),
+        )
+
 
 @dataclass
 class EnsembleResult(OutcomeMixin):

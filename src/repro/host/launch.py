@@ -99,5 +99,67 @@ class LaunchSpec:
         """
         return replace(self, arg_source=instances, num_instances=None)
 
+    # ------------------------------------------------------------------
+    # wire shape (docs/serve.md)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        """Versioned wire document (see :mod:`repro.wire`).
+
+        The argument source is *resolved* at serialization time: a path
+        or raw text becomes the explicit per-instance token lists, so the
+        document is self-contained — a remote server never needs the
+        submitting host's filesystem.  ``num_instances`` is folded into
+        the resolution (the ``-n`` prefix rule) for the same reason.
+        """
+        from repro import wire
+
+        plan = self.resolve_fault_plan()
+        data = wire.envelope("LaunchSpec")
+        data.update(
+            instances=self.resolve_instances(),
+            thread_limit=self.thread_limit,
+            max_steps=self.max_steps,
+            collect_timing=self.collect_timing,
+            backend=self.backend,
+            fault_plan=None if plan is None else plan.to_wire(),
+        )
+        return data
+
+    @classmethod
+    def from_wire(cls, data) -> "LaunchSpec":
+        from repro import wire
+        from repro.faults.plan import FaultPlan
+
+        wire.check_envelope(data, "LaunchSpec")
+        kind = "LaunchSpec"
+        raw = wire.get_field(data, "instances", list, kind=kind)
+        instances = []
+        for line in raw:
+            if not isinstance(line, list) or not all(
+                isinstance(tok, str) for tok in line
+            ):
+                raise wire.WireError(
+                    f"{kind}: instances must be lists of string tokens"
+                )
+            instances.append(list(line))
+        plan_data = wire.get_field(data, "fault_plan", dict, None, kind=kind)
+        return cls(
+            arg_source=instances,
+            num_instances=None,
+            thread_limit=wire.get_field(
+                data, "thread_limit", int, 1024, kind=kind
+            ),
+            max_steps=wire.get_field(
+                data, "max_steps", int, DEFAULT_MAX_STEPS, kind=kind
+            ),
+            collect_timing=wire.get_field(
+                data, "collect_timing", bool, True, kind=kind
+            ),
+            backend=wire.get_field(data, "backend", str, DEFAULT_BACKEND, kind=kind),
+            fault_plan=None
+            if plan_data is None
+            else FaultPlan.from_wire(plan_data),
+        )
+
 
 __all__ = ["ArgSource", "LaunchSpec", "DEFAULT_MAX_STEPS"]

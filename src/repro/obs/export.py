@@ -184,6 +184,47 @@ def metrics_json(registry: MetricsRegistry) -> dict:
     return {"metrics": registry.snapshot()}
 
 
+def metrics_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition (version 0.0.4) for a registry.
+
+    Metric names are sanitized (``.`` → ``_``); histograms expose
+    ``_count`` / ``_sum`` summaries.  This is what the ``repro.serve``
+    ``metrics`` op returns for ``format="prom"`` — scrape-ready without a
+    client library.
+    """
+    by_name: dict[str, list] = {}
+    for inst in registry:
+        by_name.setdefault(inst.name, []).append(inst)
+
+    def sanitize(name: str) -> str:
+        return name.replace(".", "_").replace("-", "_")
+
+    def label_str(labels) -> str:
+        if not labels:
+            return ""
+        body = ",".join(
+            f'{sanitize(str(k))}="{v}"' for k, v in labels
+        )
+        return "{" + body + "}"
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        insts = by_name[name]
+        pname = sanitize(name)
+        kind = type(insts[0]).__name__.lower()
+        if kind not in ("counter", "gauge", "histogram"):
+            kind = "untyped"
+        lines.append(f"# TYPE {pname} {'summary' if kind == 'histogram' else kind}")
+        for inst in insts:
+            tags = label_str(inst.labels)
+            if isinstance(inst, Histogram):
+                lines.append(f"{pname}_count{tags} {inst.count}")
+                lines.append(f"{pname}_sum{tags} {inst.total}")
+            else:
+                lines.append(f"{pname}{tags} {inst.value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def metrics_lines(registry: MetricsRegistry) -> str:
     """InfluxDB-style line protocol: ``name,labels field=value ...``."""
     lines = []
@@ -203,12 +244,15 @@ def metrics_lines(registry: MetricsRegistry) -> str:
 def write_metrics(
     path: str | Path, registry: MetricsRegistry, *, format: str = "json"
 ) -> None:
-    """Dump a registry to ``path`` as ``json`` or line-protocol ``lines``."""
+    """Dump a registry to ``path`` as ``json``, line-protocol ``lines``,
+    or Prometheus text ``prom``."""
     path = Path(path)
     if format == "json":
         path.write_text(json.dumps(metrics_json(registry), indent=1))
     elif format == "lines":
         path.write_text(metrics_lines(registry))
+    elif format == "prom":
+        path.write_text(metrics_prometheus(registry))
     else:
         raise ValueError(f"unknown metrics format {format!r}")
 
@@ -219,5 +263,6 @@ __all__ = [
     "validate_chrome_trace",
     "metrics_json",
     "metrics_lines",
+    "metrics_prometheus",
     "write_metrics",
 ]

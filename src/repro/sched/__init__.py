@@ -24,7 +24,7 @@ Quick start::
     print(sched.stats.utilization())
 """
 
-from repro.sched.jobs import Job, JobFuture, JobResult, JobState
+from repro.sched.jobs import Job, JobFuture, JobResult, JobState, JobTicket
 from repro.sched.pool import DevicePool, PoolWorker
 from repro.sched.scheduler import Scheduler
 from repro.sched.stats import DeviceStats, SchedulerStats
@@ -39,4 +39,5 @@ __all__ = [
     "JobFuture",
     "JobResult",
     "JobState",
+    "JobTicket",
 ]

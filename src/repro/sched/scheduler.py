@@ -71,7 +71,7 @@ from repro.host.batch import BatchRecord, BisectionPolicy, launch_chunk
 from repro.host.ensemble_loader import InstanceOutcome
 from repro.host.launch import LaunchSpec
 from repro.obs import Observability
-from repro.sched.jobs import Job, JobFuture, JobResult, JobState
+from repro.sched.jobs import Job, JobFuture, JobResult, JobState, JobTicket
 from repro.sched.pool import DevicePool, PoolWorker
 from repro.sched.stats import SchedulerStats
 
@@ -130,6 +130,7 @@ class Scheduler:
         faults=None,
         quarantine_threshold: int = 3,
         static_packing: bool = True,
+        job_scoped_faults: bool = False,
     ):
         if default_retries < 0:
             raise SchedulerError("default_retries must be >= 0")
@@ -144,6 +145,12 @@ class Scheduler:
         #: Seed per-device batch caps from the compiler's StaticFootprint
         #: instead of discovering them through runtime OOM bisection.
         self.static_packing = static_packing
+        #: Multi-tenant mode (the ``repro.serve`` contract): a fault plan
+        #: carried by a submitted spec arms an injector scoped to *that
+        #: job only* — its injection points fire solely during that job's
+        #: launches — instead of lazily arming the campaign-global
+        #: injector.  One tenant's chaos must not leak into another's.
+        self.job_scoped_faults = job_scoped_faults
         self.obs = obs if obs is not None else Observability()
         self.tracer = self.obs.tracer
         self.metrics = self.obs.metrics
@@ -169,6 +176,9 @@ class Scheduler:
         self._policies: dict[tuple[int, int], BisectionPolicy] = {}
         #: per-(worker, job) statically derived batch cap (None = dynamic).
         self._static_caps: dict[tuple[int, int], int | None] = {}
+        #: Every submitted job, keyed by id; futures and tickets resolve
+        #: through this registry (``release`` drops terminal entries).
+        self._jobs: dict[int, Job] = {}
         self._next_job_id = 0
         self._rr = 0  # round-robin cursor for chunk placement
 
@@ -205,6 +215,7 @@ class Scheduler:
         retries: int | None = None,
         step_budget: int | None = None,
         loader_opts: dict[str, Any] | None = None,
+        tenant: str = "",
     ) -> JobFuture:
         """Queue a campaign; returns a future resolving to a
         :class:`~repro.sched.jobs.JobResult`.
@@ -216,6 +227,8 @@ class Scheduler:
         mapping strategy, ``allow_races``...).  ``step_budget`` caps the
         job's *total* interpreter steps across all of its launches — the
         deadline mechanism of a simulator whose only clock is simulated.
+        ``tenant`` stamps the job's :class:`JobTicket` with its
+        fair-share identity (set by ``repro.serve``; optional locally).
         """
         if not isinstance(spec, LaunchSpec):
             raise SchedulerError(
@@ -226,10 +239,17 @@ class Scheduler:
         if not instances:
             raise SchedulerError("job needs at least one instance")
         plan = spec.resolve_fault_plan()
-        if plan is not None and not self.faults.enabled:
-            # Spec-carried chaos plan: armed lazily for the whole campaign
-            # (an injector handed to the constructor wins over the spec).
-            self._arm_faults(FaultInjector(plan))
+        injector = None
+        if plan is not None:
+            if self.job_scoped_faults:
+                # Multi-tenant isolation: this plan fires only inside
+                # this job's launches, whatever else the pool is running.
+                injector = FaultInjector(plan)
+                injector.attach_obs(self.obs)
+            elif not self.faults.enabled:
+                # Spec-carried chaos plan: armed lazily for the whole
+                # campaign (a constructor injector wins over the spec).
+                self._arm_faults(FaultInjector(plan))
         job = Job(
             job_id=self._next_job_id,
             program=program,
@@ -238,8 +258,11 @@ class Scheduler:
             retries=self.default_retries if retries is None else retries,
             step_budget=step_budget,
             loader_opts=dict(loader_opts or {}),
+            tenant=tenant,
+            injector=injector,
         )
         self._next_job_id += 1
+        self._jobs[job.job_id] = job
         self._count("jobs.submitted")
         self._event(
             f"job {job.job_id} submitted",
@@ -249,7 +272,60 @@ class Scheduler:
         for chunk in self._shard(job):
             self._queues[self._rr % len(self.pool)].append(chunk)
             self._rr += 1
-        return JobFuture(job, self)
+        from repro import wire
+
+        ticket = JobTicket(
+            job_id=job.job_id,
+            tenant=tenant,
+            spec_hash=wire.spec_hash(spec.with_instances(instances).to_wire()),
+        )
+        return JobFuture(ticket, self)
+
+    # ------------------------------------------------------------------
+    # ticket plumbing
+    # ------------------------------------------------------------------
+    def _job_of(self, ticket_or_id) -> Job:
+        job_id = getattr(ticket_or_id, "job_id", ticket_or_id)
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise SchedulerError(
+                f"unknown job {job_id}: never submitted here, or already "
+                "released"
+            )
+        return job
+
+    def future_of(self, ticket: JobTicket) -> JobFuture:
+        """Rehydrate a live :class:`JobFuture` from a serializable ticket.
+
+        The inverse of ``future.ticket``: any process holding the
+        scheduler can turn a ticket (which may have crossed a wire or a
+        pickle) back into a drivable handle.  Unknown tickets raise
+        :class:`~repro.errors.SchedulerError`.
+        """
+        job = self._job_of(ticket)
+        ticket.state = job.state
+        return JobFuture(ticket, self)
+
+    def release(self, ticket_or_id) -> None:
+        """Forget a terminal job's bookkeeping (results, bisection state).
+
+        A long-running server completes millions of jobs against one
+        scheduler; without release, every outcome would be retained
+        forever.  Releasing a non-terminal job is an error.  Compiled
+        loaders stay cached in the pool — they are keyed by program, not
+        job, and reuse across submissions is the point of serving.
+        """
+        job = self._job_of(ticket_or_id)
+        if not job.state.terminal:
+            raise SchedulerError(
+                f"job {job.job_id} is {job.state.value}; only terminal "
+                "jobs can be released"
+            )
+        del self._jobs[job.job_id]
+        for key in [k for k in self._policies if k[1] == job.job_id]:
+            del self._policies[key]
+        for key in [k for k in self._static_caps if k[1] == job.job_id]:
+            del self._static_caps[key]
 
     def _shard(self, job: Job) -> list[_Chunk]:
         n = len(job.instances)
@@ -277,6 +353,20 @@ class Scheduler:
         """Run until every queued shard has been dispatched."""
         while self._step():
             pass
+
+    def step(self) -> bool:
+        """Dispatch exactly one shard; False when no work is queued.
+
+        The incremental face of :meth:`drain`, for callers that own the
+        outer loop — the ``repro.serve`` pump interleaves one step at a
+        time with socket I/O so a long campaign cannot starve clients.
+        """
+        return self._step()
+
+    @property
+    def has_work(self) -> bool:
+        """True while any shard is queued on any device."""
+        return any(self._queues)
 
     def _drive(self, job: Job) -> None:
         """Advance the pool until ``job`` reaches a terminal state."""
@@ -408,10 +498,16 @@ class Scheduler:
 
         # Ambient fault context: device-level injection points (allocation,
         # RPC replies) fired during this launch can match job=/device=
-        # selectors without threading the ids through every layer.
-        with self.faults.scoped(job=job.job_id, device=worker.label):
-            if self.faults.enabled:
-                fault = self.faults.fire(
+        # selectors without threading the ids through every layer.  In
+        # job-scoped mode the job's own injector (or NO_FAULTS) is armed
+        # on the device for exactly this launch, so one tenant's plan
+        # never observes another tenant's traffic.
+        faults = job.injector if job.injector is not None else self.faults
+        if self.job_scoped_faults:
+            worker.device.faults = faults
+        with faults.scoped(job=job.job_id, device=worker.label):
+            if faults.enabled:
+                fault = faults.fire(
                     "sched.dispatch",
                     instance_range=range(
                         chunk.start, chunk.start + len(chunk.instances)

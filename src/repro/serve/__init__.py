@@ -1,0 +1,39 @@
+"""Ensemble-as-a-service: the ``repro.serve`` campaign server.
+
+The paper's thesis is that a GPU is only worth its power budget when
+ensembling keeps it saturated; a *serving* front door extends that one
+level further — the shared device pool stays warm across campaigns from
+many concurrent clients, programs compile once per server lifetime, and
+the scheduler's retry/quarantine/deadline machinery becomes a
+multi-tenant SLO layer.
+
+Layers (each importable on its own):
+
+* :mod:`repro.wire` (sibling package) — versioned ``to_wire()`` /
+  ``from_wire()`` JSON documents and stable error codes.
+* :mod:`repro.serve.protocol` — NDJSON framing, ops/events, and the
+  :class:`~repro.serve.protocol.Submission` document.
+* :mod:`repro.serve.server` — :class:`CampaignServer`: asyncio
+  admission control, deterministic per-tenant fair share, streaming
+  events, graceful drain, metrics.
+* :mod:`repro.serve.client` — the blessed synchronous
+  :class:`~repro.serve.client.Client` / ``RemoteJob`` library.
+* :mod:`repro.serve.harness` — :class:`~repro.serve.harness.
+  ServerThread` for hosting a server inside tests and scripts.
+* :mod:`repro.serve.check` — ``python -m repro.serve.check`` validates
+  the committed wire-document corpus.
+* :mod:`repro.serve.cli` — the ``repro-ensemble serve`` / ``submit``
+  subcommands.
+
+See docs/serve.md for the protocol narrative.
+"""
+
+from repro.serve.protocol import PROTOCOL_VERSION, Submission
+from repro.serve.server import CampaignServer, ServeConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Submission",
+    "CampaignServer",
+    "ServeConfig",
+]

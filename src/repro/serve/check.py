@@ -1,0 +1,118 @@
+"""Wire-corpus validator: ``python -m repro.serve.check [DIR ...]``.
+
+The serialization contract in :mod:`repro.wire` is only as stable as the
+documents that exercise it.  ``tests/serve/fixtures/`` holds a committed
+corpus of wire documents — one JSON file each — and this checker replays
+the whole corpus against the current decoders:
+
+* A file containing a bare wire document (an object with ``kind``) must
+  decode via :func:`repro.wire.from_wire_any`, re-encode via
+  ``to_wire()``, and decode *again* to the identical canonical JSON —
+  the round trip must be idempotent, or persisted campaigns would drift
+  across versions.
+* A file of the form ``{"doc": {...}, "expect_error": "E_..."}`` must be
+  *rejected* with exactly that stable error code — the corpus pins the
+  failure contract as firmly as the success contract.
+
+Exit status: 0 all good, 1 contract violations, 2 usage / unreadable
+corpus.  CI runs this on every push (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro import wire
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS = Path("tests/serve/fixtures")
+
+
+def check_document(data: object, source: str) -> list[str]:
+    """Validate one corpus entry; returns found problems."""
+    problems: list[str] = []
+    if isinstance(data, dict) and "expect_error" in data:
+        expected = data["expect_error"]
+        if expected not in wire.ERROR_CODES:
+            return [
+                f"{source}: expect_error {expected!r} is not a stable "
+                f"error code"
+            ]
+        try:
+            wire.from_wire_any(data.get("doc"))
+        except wire.WireError as exc:
+            if exc.code != expected:
+                problems.append(
+                    f"{source}: rejected with {exc.code}, expected "
+                    f"{expected} ({exc})"
+                )
+        else:
+            problems.append(
+                f"{source}: decoded successfully, expected rejection "
+                f"with {expected}"
+            )
+        return problems
+
+    try:
+        value = wire.from_wire_any(data)
+    except wire.WireError as exc:
+        return [f"{source}: failed to decode: [{exc.code}] {exc}"]
+
+    # Idempotence: decode -> encode -> decode -> encode is a fixpoint.
+    try:
+        once = value.to_wire()
+        twice = wire.from_wire_any(once).to_wire()
+    except wire.WireError as exc:
+        return [f"{source}: re-decode of own output failed: {exc}"]
+    if wire.canonical_json(once) != wire.canonical_json(twice):
+        problems.append(
+            f"{source}: to_wire/from_wire round trip is not idempotent"
+        )
+    return problems
+
+
+def check_corpus(root: Path) -> tuple[int, list[str]]:
+    """Validate every ``*.json`` under ``root``; returns (count, problems)."""
+    files = sorted(root.rglob("*.json"))
+    problems: list[str] = []
+    for path in files:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{path}: unreadable corpus file: {exc}")
+            continue
+        problems.extend(check_document(data, str(path)))
+    return len(files), problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate every ``*.json`` under the given roots; exit 0 when the
+    corpus is clean, 1 on contract violations, 2 on usage errors."""
+    argv = sys.argv[1:] if argv is None else argv
+    roots = [Path(a) for a in argv] or [DEFAULT_CORPUS]
+    total = 0
+    problems: list[str] = []
+    for root in roots:
+        if not root.is_dir():
+            print(f"repro.serve.check: no such corpus directory: {root}")
+            return 2
+        count, found = check_corpus(root)
+        total += count
+        problems.extend(found)
+    if total == 0:
+        print("repro.serve.check: corpus is empty")
+        return 2
+    for problem in problems:
+        print(f"FAIL {problem}")
+    status = 1 if problems else 0
+    print(
+        f"repro.serve.check: {total} documents, "
+        f"{len(problems)} problems"
+    )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,302 @@
+"""The blessed programmatic entry to a running campaign server.
+
+:class:`Client` is the remote mirror of
+:meth:`repro.sched.Scheduler.submit`: the same keywords, but ``app`` is a
+registry name instead of a live program object, and the return value is a
+:class:`RemoteJob` whose :meth:`~RemoteJob.result` /
+:meth:`~RemoteJob.stream` are the wire-side twins of
+``JobFuture.result()`` and job events.  Everything crossing the socket is
+a versioned :mod:`repro.wire` document; failures surface as
+:class:`~repro.errors.ServeError` carrying a stable error code.
+
+The client is deliberately synchronous — plain blocking sockets, no
+asyncio — so it drops into scripts, tests, and the ``repro submit`` CLI
+without an event loop.  One connection serves any number of jobs::
+
+    from repro.host import LaunchSpec
+    from repro.serve.client import Client
+
+    with Client(("127.0.0.1", 7421)) as client:
+        job = client.submit("pagerank", LaunchSpec("campaign.args"))
+        result = job.result()          # JobResult, bitwise the CLI's
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Any, Iterator
+
+from repro import wire
+from repro.errors import ServeError
+from repro.host.launch import LaunchSpec
+from repro.sched.jobs import JobResult, JobState, JobTicket
+from repro.serve import protocol
+from repro.serve.protocol import Submission
+
+
+class RemoteJob:
+    """Client-side handle to one submitted campaign.
+
+    Holds the serializable :class:`~repro.sched.jobs.JobTicket` minted by
+    the server (``job.ticket``); all plumbing routes through the ticket's
+    ``job_id``, mirroring the ``JobFuture``/``JobTicket`` split on the
+    scheduler side.
+    """
+
+    def __init__(self, client: "Client", ticket: JobTicket):
+        self.client = client
+        self.ticket = ticket
+        self._terminal: dict | None = None
+
+    @property
+    def job_id(self) -> int:
+        return self.ticket.job_id
+
+    @property
+    def state(self) -> JobState:
+        """Server-refreshed state (one ``status`` round trip)."""
+        if self._terminal is None:
+            self.ticket = self.client.status(self.ticket)
+        return self.ticket.state
+
+    def done(self) -> bool:
+        return self.state.terminal
+
+    def cancel(self) -> bool:
+        return self.client.cancel(self.ticket)
+
+    def stream(self) -> Iterator[dict]:
+        """Yield this job's events (``state`` transitions, then exactly
+        one terminal ``result`` / ``failed`` / ``cancelled``) in order,
+        returning after the terminal event."""
+        if self._terminal is not None:
+            yield self._terminal
+            return
+        for event in self.client._events_for(self.job_id):
+            if event["event"] in ("result", "failed", "cancelled"):
+                self._terminal = event
+                self.ticket.state = _TERMINAL_STATE[event["event"]]
+                yield event
+                return
+            if event["event"] == "state":
+                self.ticket.state = JobState(event["state"])
+            yield event
+
+    def result(self) -> JobResult:
+        """Block until the job resolves; return its
+        :class:`~repro.sched.jobs.JobResult` or raise
+        :class:`~repro.errors.ServeError` — the remote twin of
+        ``JobFuture.result()``."""
+        terminal = self._terminal
+        if terminal is None:
+            for event in self.stream():
+                terminal = event
+            assert terminal is not None, "stream ended without terminal event"
+        if terminal["event"] == "result":
+            return JobResult.from_wire(terminal["result"])
+        if terminal["event"] == "cancelled":
+            raise ServeError(
+                f"job {self.job_id} was cancelled",
+                code=wire.E_JOB_FAILED,
+            )
+        err = terminal.get("error") or {}
+        raise ServeError(
+            f"job {self.job_id} failed "
+            f"({terminal.get('error_type', 'error')}): "
+            f"{err.get('message', 'unknown failure')}",
+            code=str(err.get("code", wire.E_JOB_FAILED)),
+        )
+
+
+_TERMINAL_STATE = {
+    "result": JobState.COMPLETED,
+    "failed": JobState.FAILED,
+    "cancelled": JobState.CANCELLED,
+}
+
+
+class Client:
+    """Synchronous connection to a :class:`~repro.serve.CampaignServer`.
+
+    ``address`` is a ``(host, port)`` tuple for TCP or a filesystem path
+    string for a unix socket.  Usable as a context manager.
+    """
+
+    def __init__(self, address, *, timeout: float | None = 60.0):
+        if isinstance(address, (tuple, list)):
+            sock = socket.create_connection(tuple(address), timeout=timeout)
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(str(address))
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        self._seq = 0
+        #: Events that arrived while waiting for something else, per job.
+        self._buffers: dict[int, deque] = {}
+        self.greeting = self._read_msg()
+        server_protocol = self.greeting.get("protocol")
+        if server_protocol != protocol.PROTOCOL_VERSION:
+            raise ServeError(
+                f"server speaks protocol {server_protocol!r}, this client "
+                f"speaks {protocol.PROTOCOL_VERSION}",
+                code=wire.E_VERSION,
+            )
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _read_msg(self) -> dict:
+        line = self._file.readline(protocol.MAX_LINE_BYTES + 1)
+        if not line:
+            raise ServeError(
+                "connection closed by server", code=wire.E_INTERNAL
+            )
+        if len(line) > protocol.MAX_LINE_BYTES:
+            raise ServeError(
+                f"server sent a line over {protocol.MAX_LINE_BYTES} bytes",
+                code=wire.E_BAD_REQUEST,
+            )
+        return protocol.decode(line)
+
+    def _request(self, op: str, **fields) -> dict:
+        """Send one request; buffer events until the matching reply."""
+        self._seq += 1
+        seq = self._seq
+        msg = {"op": op, "seq": seq}
+        msg.update(fields)
+        self._sock.sendall(protocol.encode(msg))
+        while True:
+            reply = self._read_msg()
+            if "event" in reply:
+                self._buffer_event(reply)
+                continue
+            error = protocol.reply_error(reply)
+            if error is not None:
+                code, message = error
+                raise ServeError(message, code=code)
+            if reply.get("seq") not in (None, seq):
+                raise ServeError(
+                    f"out-of-order reply (seq {reply.get('seq')!r}, "
+                    f"expected {seq})",
+                    code=wire.E_INTERNAL,
+                )
+            return reply
+
+    def _buffer_event(self, event: dict) -> None:
+        job_id = event.get("job_id")
+        if isinstance(job_id, int):
+            self._buffers.setdefault(job_id, deque()).append(event)
+
+    def _events_for(self, job_id: int) -> Iterator[dict]:
+        """Yield events for ``job_id``, reading the socket as needed."""
+        while True:
+            buf = self._buffers.get(job_id)
+            if buf:
+                yield buf.popleft()
+                continue
+            msg = self._read_msg()
+            if "event" not in msg:
+                raise ServeError(
+                    "unexpected non-event message while streaming",
+                    code=wire.E_INTERNAL,
+                )
+            if msg.get("job_id") == job_id:
+                yield msg
+            else:
+                self._buffer_event(msg)
+
+    # ------------------------------------------------------------------
+    # the API surface (mirrors Scheduler.submit and friends)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        app: str | Submission,
+        spec: LaunchSpec | None = None,
+        *,
+        tenant: str = "anonymous",
+        priority: int = 0,
+        retries: int | None = None,
+        step_budget: int | None = None,
+        loader_opts: dict[str, Any] | None = None,
+    ) -> RemoteJob:
+        """Submit a campaign; returns a :class:`RemoteJob`.
+
+        Mirrors :meth:`repro.sched.Scheduler.submit` keyword-for-keyword;
+        ``app`` names a program in the server's registry (or pass a
+        prebuilt :class:`~repro.serve.protocol.Submission` alone).
+        """
+        if isinstance(app, Submission):
+            sub = app
+        else:
+            if spec is None:
+                raise ServeError(
+                    "submit needs a LaunchSpec", code=wire.E_BAD_REQUEST
+                )
+            sub = Submission(
+                app=app,
+                spec=spec,
+                tenant=tenant,
+                priority=priority,
+                retries=retries,
+                step_budget=step_budget,
+                loader_opts=dict(loader_opts or {}),
+            )
+        reply = self._request("submit", submission=sub.to_wire())
+        ticket = JobTicket.from_wire(reply["ticket"])
+        return RemoteJob(self, ticket)
+
+    def status(self, ticket_or_id) -> JobTicket:
+        """Fresh :class:`~repro.sched.jobs.JobTicket` snapshot."""
+        job_id = getattr(ticket_or_id, "job_id", ticket_or_id)
+        reply = self._request("status", job_id=job_id)
+        return JobTicket.from_wire(reply["ticket"])
+
+    def watch(self, ticket_or_id) -> RemoteJob:
+        """Subscribe to a job submitted elsewhere (or earlier)."""
+        job_id = getattr(ticket_or_id, "job_id", ticket_or_id)
+        self._request("watch", job_id=job_id)
+        ticket = (
+            ticket_or_id
+            if isinstance(ticket_or_id, JobTicket)
+            else JobTicket(job_id=job_id)
+        )
+        return RemoteJob(self, ticket)
+
+    def cancel(self, ticket_or_id) -> bool:
+        job_id = getattr(ticket_or_id, "job_id", ticket_or_id)
+        reply = self._request("cancel", job_id=job_id)
+        return bool(reply.get("cancelled", False))
+
+    def metrics(self, format: str = "json") -> dict:
+        """The server's metrics snapshot (``json`` or ``prom``)."""
+        return self._request("metrics", format=format)
+
+    def drain(self) -> int:
+        """Ask the server to drain; blocks until in-flight work finishes.
+
+        Returns the number of jobs the server completed over its
+        lifetime.  Submissions after this point fail with
+        :data:`repro.wire.E_DRAINING`.
+        """
+        reply = self._request("drain")
+        return int(reply.get("completed", 0))
+
+    def ping(self) -> dict:
+        return self._request("ping")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["Client", "RemoteJob"]

@@ -1,0 +1,92 @@
+"""Run a :class:`~repro.serve.CampaignServer` on a background thread.
+
+The server is asyncio; the blessed client, the tests, the demo, and the
+bench are synchronous.  :class:`ServerThread` bridges them: it owns a
+private event loop on a daemon thread, starts the server there, and
+exposes the bound address so any number of :class:`~repro.serve.client.
+Client` connections can be opened from the calling thread::
+
+    with ServerThread(devices=2) as server:
+        client = Client(server.address)
+        ...
+
+Determinism note: the simulation itself still runs single-threaded
+inside the server's pump; the thread boundary only carries sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.serve.server import CampaignServer
+
+
+class ServerThread:
+    """Context manager hosting one campaign server on its own loop."""
+
+    def __init__(self, server: CampaignServer | None = None, **server_kw):
+        #: Keyword arguments are forwarded to :class:`CampaignServer`
+        #: when no prebuilt server is given.
+        self._server = server or CampaignServer(**server_kw)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.address = None
+
+    @property
+    def server(self) -> CampaignServer:
+        return self._server
+
+    # ------------------------------------------------------------------
+    def start(self, *, host: str = "127.0.0.1", port: int = 0, path=None):
+        """Start the loop thread and bind; returns the bound address."""
+        assert self._thread is None, "already started"
+        self._thread = threading.Thread(
+            target=self._run, args=(host, port, path), daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.address
+
+    def _run(self, host, port, path) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self.address = self._loop.run_until_complete(
+                self._server.start(host=host, port=port, path=path)
+            )
+        except BaseException as exc:  # surface bind failures to start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self._server.close())
+            self._loop.close()
+
+    def stop(self) -> None:
+        """Stop the server and join the loop thread."""
+        if self._thread is None:
+            return
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._thread = None
+        self._loop = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = ["ServerThread"]

@@ -1,0 +1,88 @@
+"""Tests for ``python -m repro.serve.check`` (the wire-corpus validator)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import wire
+from repro.sched.jobs import JobTicket
+from repro.serve import check
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestCommittedCorpus:
+    def test_committed_corpus_is_clean(self, capsys):
+        assert check.main([str(FIXTURES)]) == 0
+        out = capsys.readouterr().out
+        assert "0 problems" in out
+
+    def test_corpus_covers_success_and_error_contracts(self):
+        docs = [json.loads(p.read_text()) for p in FIXTURES.glob("*.json")]
+        kinds = {d["kind"] for d in docs if "kind" in d}
+        # Every serializable API type appears at least once...
+        assert {
+            "LaunchSpec",
+            "FaultPlan",
+            "FaultReport",
+            "InstanceOutcome",
+            "BatchRecord",
+            "JobResult",
+            "JobTicket",
+            "Submission",
+        } <= kinds
+        # ...and the error contract is pinned too.
+        expected = {d["expect_error"] for d in docs if "expect_error" in d}
+        assert {"E_VERSION", "E_SCHEMA", "E_BAD_REQUEST"} <= expected
+
+    def test_degraded_result_fixture_round_trips_degraded(self):
+        doc = json.loads((FIXTURES / "job_result_degraded.json").read_text())
+        result = wire.from_wire_any(doc)
+        assert result.degraded
+        assert result.instances[1].exit_code == 254
+
+
+class TestValidator:
+    def test_flags_undecodable_document(self, tmp_path):
+        (tmp_path / "broken.json").write_text(
+            json.dumps({"kind": "JobTicket", "schema_version": 1})
+        )  # missing required job_id
+        assert check.main([str(tmp_path)]) == 1
+
+    def test_flags_wrong_error_code(self, tmp_path):
+        doc = JobTicket(job_id=1).to_wire()
+        doc["schema_version"] = 99  # rejected with E_VERSION, not E_SCHEMA
+        (tmp_path / "bad.json").write_text(
+            json.dumps({"doc": doc, "expect_error": "E_SCHEMA"})
+        )
+        assert check.main([str(tmp_path)]) == 1
+
+    def test_flags_unexpected_success(self, tmp_path):
+        (tmp_path / "bad.json").write_text(
+            json.dumps(
+                {
+                    "doc": JobTicket(job_id=1).to_wire(),
+                    "expect_error": "E_SCHEMA",
+                }
+            )
+        )
+        assert check.main([str(tmp_path)]) == 1
+
+    def test_unknown_expect_code_is_a_corpus_bug(self, tmp_path):
+        (tmp_path / "bad.json").write_text(
+            json.dumps({"doc": {}, "expect_error": "E_NOT_A_CODE"})
+        )
+        assert check.main([str(tmp_path)]) == 1
+
+    def test_empty_corpus_is_usage_error(self, tmp_path):
+        assert check.main([str(tmp_path)]) == 2
+
+    def test_missing_directory_is_usage_error(self, tmp_path):
+        assert check.main([str(tmp_path / "nope")]) == 2
+
+    def test_accepts_valid_document(self, tmp_path):
+        (tmp_path / "ok.json").write_text(
+            json.dumps(JobTicket(job_id=1, tenant="t").to_wire())
+        )
+        assert check.main([str(tmp_path)]) == 0

@@ -1,0 +1,133 @@
+"""The JobTicket / JobFuture split: serializable identity vs live handle.
+
+JobFuture historically held the scheduler (unpicklable by construction);
+the ticket is the pure-data half that can cross pickles, JSON, and the
+``repro.serve`` wire, and ``Scheduler.future_of`` rehydrates it.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import DEFAULT_DEVICE
+from repro.errors import SchedulerError
+from repro.sched import DevicePool, JobState, JobTicket, Scheduler
+
+from tests.serve.conftest import LOADER_OPTS, small_spec
+
+
+@pytest.fixture(scope="module")
+def pagerank_prog():
+    from repro.apps import pagerank
+
+    return pagerank.build_program()
+
+
+@pytest.fixture
+def sched():
+    pool = DevicePool(2, config=DEFAULT_DEVICE)
+    scheduler = Scheduler(pool)
+    yield scheduler
+    pool.close()
+
+
+class TestTicketData:
+    def test_ticket_pickles(self):
+        ticket = JobTicket(
+            job_id=3,
+            tenant="alice",
+            spec_hash="sha256:abc",
+            state=JobState.RUNNING,
+        )
+        clone = pickle.loads(pickle.dumps(ticket))
+        assert clone == ticket
+
+    def test_submit_stamps_tenant_and_hash(self, sched, pagerank_prog):
+        fut = sched.submit(
+            pagerank_prog,
+            small_spec(2),
+            loader_opts=LOADER_OPTS,
+            tenant="alice",
+        )
+        assert fut.ticket.tenant == "alice"
+        assert fut.ticket.spec_hash.startswith("sha256:")
+        assert fut.ticket.state is JobState.PENDING
+
+    def test_equal_specs_equal_hashes(self, sched, pagerank_prog):
+        a = sched.submit(pagerank_prog, small_spec(2), loader_opts=LOADER_OPTS)
+        b = sched.submit(pagerank_prog, small_spec(2), loader_opts=LOADER_OPTS)
+        c = sched.submit(pagerank_prog, small_spec(3), loader_opts=LOADER_OPTS)
+        assert a.ticket.spec_hash == b.ticket.spec_hash
+        assert a.ticket.spec_hash != c.ticket.spec_hash
+
+
+class TestRehydration:
+    def test_future_of_round_trip(self, sched, pagerank_prog):
+        fut = sched.submit(pagerank_prog, small_spec(2), loader_opts=LOADER_OPTS)
+        wire_doc = fut.ticket.to_wire()
+        revived = sched.future_of(JobTicket.from_wire(wire_doc))
+        result = revived.result()
+        assert len(result.instances) == 2
+        assert result.all_succeeded
+        # The original handle observes the same terminal state.
+        assert fut.done()
+
+    def test_pickled_ticket_still_resolves(self, sched, pagerank_prog):
+        fut = sched.submit(pagerank_prog, small_spec(2), loader_opts=LOADER_OPTS)
+        ticket = pickle.loads(pickle.dumps(fut.ticket))
+        assert sched.future_of(ticket).result().all_succeeded
+
+    def test_unknown_ticket_rejected(self, sched):
+        with pytest.raises(SchedulerError, match="unknown job"):
+            sched.future_of(JobTicket(job_id=999))
+
+    def test_ticket_state_refreshes_on_reads(self, sched, pagerank_prog):
+        fut = sched.submit(pagerank_prog, small_spec(2), loader_opts=LOADER_OPTS)
+        assert fut.ticket.state is JobState.PENDING
+        fut.result()
+        assert fut.ticket.state is JobState.COMPLETED
+
+
+class TestRelease:
+    def test_release_forgets_job(self, sched, pagerank_prog):
+        fut = sched.submit(pagerank_prog, small_spec(2), loader_opts=LOADER_OPTS)
+        fut.result()
+        sched.release(fut.ticket)
+        with pytest.raises(SchedulerError, match="unknown job"):
+            sched.future_of(fut.ticket)
+
+    def test_release_requires_terminal(self, sched, pagerank_prog):
+        fut = sched.submit(pagerank_prog, small_spec(2), loader_opts=LOADER_OPTS)
+        with pytest.raises(SchedulerError, match="terminal"):
+            sched.release(fut.ticket)
+
+    def test_release_drops_policy_state(self, sched, pagerank_prog):
+        fut = sched.submit(pagerank_prog, small_spec(2), loader_opts=LOADER_OPTS)
+        fut.result()
+        job_id = fut.job_id
+        assert any(k[1] == job_id for k in sched._policies)
+        sched.release(job_id)
+        assert not any(k[1] == job_id for k in sched._policies)
+
+    def test_released_jobs_free_bookkeeping(self, sched, pagerank_prog):
+        for _ in range(3):
+            fut = sched.submit(
+                pagerank_prog, small_spec(2), loader_opts=LOADER_OPTS
+            )
+            fut.result()
+            sched.release(fut.ticket)
+        assert sched._jobs == {}
+
+
+class TestStepAPI:
+    def test_step_drains_incrementally(self, sched, pagerank_prog):
+        fut = sched.submit(pagerank_prog, small_spec(4), loader_opts=LOADER_OPTS)
+        steps = 0
+        while sched.has_work:
+            assert sched.step()
+            steps += 1
+        assert steps >= 2  # sharded into more than one dispatch
+        assert not sched.step()
+        assert fut.result().all_succeeded
