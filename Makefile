@@ -7,7 +7,7 @@ export PYTHONPATH := src
 .PHONY: install test test-fast lint typecheck check bench bench-check \
 	bench-serve bench-serve-check microbench figures validate objdump \
 	sched-demo trace-demo autoensemble-demo serve-demo serve-check \
-	chaos clean
+	cache-check chaos clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -58,6 +58,13 @@ bench-serve:
 # overhead ratio vs the committed baseline (machine-independent only).
 bench-serve-check:
 	$(PYTHON) -m repro.harness.bench_serve --quick --check BENCH_serve.json
+
+# Executable-cache gate (docs/compilecache.md): cold build, warm restart
+# from the disk tier, hit rate and bitwise parity on stencil — then the
+# GP-style many-variant smoke campaign with its cold-twin verification.
+cache-check:
+	$(PYTHON) -m repro.compilecache.check
+	$(PYTHON) -m repro.harness.gp --smoke
 
 # pytest-benchmark microbenchmarks (interpreter inner loops).
 microbench:

@@ -56,6 +56,7 @@ from repro.gpu.device import GPUDevice
 # must follow the gpu import: autoensemble pulls in repro.analysis, whose
 # import chain reaches repro.runtime, which needs repro.gpu initialized
 from repro.frontend.autoensemble import auto_launch, ensemble
+from repro.compilecache import CompileRequest, ExecutableCache, compile_many
 from repro.host.ensemble_loader import EnsembleLoader, EnsembleResult
 from repro.host.launch import LaunchSpec
 from repro.host.loader import Loader, RunResult
@@ -67,7 +68,7 @@ from repro.runtime.backend import (
     available_backends,
 )
 
-__version__ = "2.0.0"
+__version__ = "2.2.0"
 
 #: The curated v2 public surface.  Everything here is covered by the
 #: semantic-versioning promise; reach into submodules at your own risk.
@@ -101,6 +102,10 @@ __all__ = [
     "OneInstancePerTeam",
     "PackedMapping",
     "auto_launch",
+    # compile-once executable cache
+    "CompileRequest",
+    "ExecutableCache",
+    "compile_many",
     # execution backends
     "Backend",
     "DEFAULT_BACKEND",

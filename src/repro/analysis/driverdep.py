@@ -58,6 +58,7 @@ import inspect
 import textwrap
 from dataclasses import dataclass, field
 
+from repro.frontend import astsafe
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.pointsto import MemObject, UNKNOWN_OBJ
 from repro.errors import AnalysisError
@@ -300,7 +301,7 @@ def lift_source(
     file lines).
     """
     try:
-        tree = ast.parse(textwrap.dedent(source), filename=filename)
+        tree = astsafe.parse(textwrap.dedent(source), filename=filename)
     except SyntaxError as exc:
         raise AnalysisError(f"cannot parse driver source: {exc}") from exc
     if line_offset:

@@ -1,0 +1,36 @@
+"""Compile-once executable cache + parallel in-process compilation.
+
+The ensemble frontier of the paper amortizes *execution* over many
+instances; this package amortizes *compilation* over many submissions.
+See docs/compilecache.md for the key scheme, the memory/disk tiers,
+versioned invalidation, and the CLI flags.
+"""
+
+from repro.compilecache.build import (
+    DIGEST_META,
+    EXECUTABLE_META,
+    build_executable,
+    is_executable,
+    source_fingerprint,
+)
+from repro.compilecache.cache import (
+    CacheError,
+    CacheKey,
+    CachedExecutable,
+    ExecutableCache,
+)
+from repro.compilecache.parallel import CompileRequest, compile_many
+
+__all__ = [
+    "CacheError",
+    "CacheKey",
+    "CachedExecutable",
+    "CompileRequest",
+    "DIGEST_META",
+    "EXECUTABLE_META",
+    "ExecutableCache",
+    "build_executable",
+    "compile_many",
+    "is_executable",
+    "source_fingerprint",
+]

@@ -1,0 +1,39 @@
+"""GC-shielded ``ast.parse`` for multi-threaded compilation.
+
+CPython 3.11's AST constructor verifies its recursion-depth accounting
+around node construction; when an automatic garbage collection fires
+mid-parse **and** a Python-level ``gc.callbacks`` hook runs (Hypothesis
+installs one process-wide for GC-time tracking), the check can trip with
+``SystemError: AST constructor recursion depth mismatch``.  The compiler
+parses on worker threads (``compile_many``, the campaign server), so any
+long-lived process with such a callback installed would crash
+nondeterministically under GC pressure.
+
+:func:`parse` serialises parses behind one lock and keeps automatic
+collection off for the duration — parses are millisecond-scale, so
+neither costs anything measurable, and collection resumes immediately
+after.
+"""
+
+from __future__ import annotations
+
+import ast
+import gc
+import threading
+
+_PARSE_LOCK = threading.Lock()
+
+
+def parse(source: str, **kwargs) -> ast.AST:
+    """``ast.parse`` with automatic GC paused (see module docstring)."""
+    with _PARSE_LOCK:
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            return ast.parse(source, **kwargs)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+
+__all__ = ["parse"]

@@ -41,6 +41,7 @@ from repro.errors import (
     TypeInferenceError,
     UnsupportedConstructError,
 )
+from repro.frontend import astsafe
 from repro.frontend.dsl import Program, SourceFunction, _DgpuNamespace
 from repro.frontend.dtypes import (
     DT_F64,
@@ -180,7 +181,7 @@ class _FunctionCompiler(ast.NodeVisitor):
 
     # ------------------------------------------------------------------
     def compile(self) -> Function:
-        tree = ast.parse(textwrap.dedent(self.sf.source))
+        tree = astsafe.parse(textwrap.dedent(self.sf.source))
         fdef = tree.body[0]
         if not isinstance(fdef, ast.FunctionDef):
             raise self.err("expected a function definition")

@@ -89,6 +89,9 @@ class BenchReport:
     schema: int
     config: dict
     records: list[BenchRecord] = field(default_factory=list)
+    #: Summed compile wall over every (app, opt level): ``cold`` through
+    #: an empty executable cache, ``warm`` through the same cache again.
+    compile_wall_s: dict = field(default_factory=dict)
 
     def wall(self, backend: str, opt_level: int, apps=None) -> float:
         """Summed untimed wall time (the smoke-campaign time) for one
@@ -111,19 +114,23 @@ class BenchReport:
 
     def summary(self) -> dict:
         opts = sorted({r.opt_level for r in self.records})
-        return {
+        summary = {
             "smoke_wall_s": {
                 b: {f"O{o}": round(self.wall(b, o), 4) for o in opts}
                 for b in BACKENDS
             },
             "speedup": {f"O{o}": round(self.speedup(o), 3) for o in opts},
         }
+        if self.compile_wall_s:
+            summary["compile_wall_s"] = self.compile_wall_s
+        return summary
 
     def to_json(self) -> dict:
         return {
             "schema": self.schema,
             "config": self.config,
             "summary": self.summary(),
+            "compile_wall_s": self.compile_wall_s,
             "records": [asdict(r) for r in self.records],
         }
 
@@ -131,6 +138,7 @@ class BenchReport:
     def from_json(cls, data: dict) -> "BenchReport":
         report = cls(schema=data["schema"], config=data["config"])
         report.records = [BenchRecord(**r) for r in data["records"]]
+        report.compile_wall_s = data.get("compile_wall_s", {})
         return report
 
 
@@ -142,6 +150,34 @@ def _make_loader(app: str, opt_level: int, workloads) -> EnsembleLoader:
         heap_bytes=wl.heap_bytes,
         opt_level=opt_level,
     )
+
+
+def measure_compile_walls(apps, opt_levels) -> dict:
+    """Summed compile wall over every (app, opt level), cache-disabled
+    (``cold``: a miss in a fresh :class:`~repro.compilecache.
+    ExecutableCache`) vs warm (the same lookup again).  The ratio is the
+    machine-independent number the gate consumes: a warm compile is a
+    key computation plus a memory-tier hit and must stay a small
+    fraction of a cold one."""
+    from repro.compilecache import ExecutableCache
+
+    cold = warm = 0.0
+    for app in apps:
+        for opt in opt_levels:
+            cache = ExecutableCache()
+            program = APPS[app].build_program()
+            t0 = time.perf_counter()
+            cache.get_or_build(program, opt_level=opt)
+            cold += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            entry = cache.get_or_build(program, opt_level=opt)
+            warm += time.perf_counter() - t0
+            assert entry.tier == "memory"
+    return {
+        "cold": round(cold, 6),
+        "warm": round(warm, 6),
+        "warm_over_cold": round(warm / cold, 4) if cold else 0.0,
+    }
 
 
 def _timed_once(loader, spec):
@@ -231,6 +267,14 @@ def run_bench(
                     f"compiled={best['compiled'] * 1000:8.1f}ms "
                     f"speedup={ratio:5.2f}x"
                 )
+    report.compile_wall_s = measure_compile_walls(apps, opt_levels)
+    if progress:
+        cw = report.compile_wall_s
+        progress(
+            f"[bench] compile wall cold={cw['cold'] * 1000:8.1f}ms "
+            f"warm={cw['warm'] * 1000:8.1f}ms "
+            f"({cw['warm_over_cold']:.1%} of cold)"
+        )
     return report
 
 
@@ -268,6 +312,14 @@ def check_regression(
                 f"-O{opt}: compiled/interp speedup regressed "
                 f"{cur:.2f}x < {base:.2f}x - {tolerance:.0%} "
                 f"(over {', '.join(apps)})"
+            )
+    cw = current.compile_wall_s
+    if cw.get("cold"):
+        ratio = cw["warm"] / cw["cold"]
+        if ratio >= 0.20:
+            problems.append(
+                f"warm compile wall is {ratio:.0%} of cold (gate: < 20%) "
+                "— the executable cache is not earning its keep"
             )
     return problems
 

@@ -92,6 +92,9 @@ class ServeBenchReport:
     schema: int
     config: dict
     records: list[ServeBenchRecord] = field(default_factory=list)
+    #: Compile wall of the bench workload, cold (fresh executable cache)
+    #: vs warm (same cache again) — see ``bench.measure_compile_walls``.
+    compile_wall_s: dict = field(default_factory=dict)
 
     def record(self, path: str) -> ServeBenchRecord:
         for r in self.records:
@@ -108,7 +111,7 @@ class ServeBenchReport:
         return self.record("served").wall_s / direct
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "wall_s": {
                 p: round(self.record(p).wall_s, 4) for p in PATHS
             },
@@ -120,12 +123,16 @@ class ServeBenchReport:
                 self.record("served").mean_occupancy, 3
             ),
         }
+        if self.compile_wall_s:
+            summary["compile_wall_s"] = self.compile_wall_s
+        return summary
 
     def to_json(self) -> str:
         data = {
             "schema": self.schema,
             "config": self.config,
             "records": [asdict(r) for r in self.records],
+            "compile_wall_s": self.compile_wall_s,
             "summary": self.summary(),
         }
         return json.dumps(data, indent=2, sort_keys=True) + "\n"
@@ -142,6 +149,7 @@ class ServeBenchReport:
             schema=data["schema"],
             config=data["config"],
             records=[ServeBenchRecord(**r) for r in data["records"]],
+            compile_wall_s=data.get("compile_wall_s", {}),
         )
 
 
@@ -270,6 +278,9 @@ def run_bench(campaigns: int = CAMPAIGNS, repeats: int = 2) -> ServeBenchReport:
                 ),
             )
         )
+    from repro.harness.bench import measure_compile_walls
+
+    report.compile_wall_s = measure_compile_walls((APP,), (1,))
     return report
 
 
@@ -301,6 +312,15 @@ def check_regression(
             f"{cur_ov:.3f} vs baseline {base_ov:.3f} "
             f"(limit {limit:.3f})"
         )
+
+    cw = current.compile_wall_s
+    if cw.get("cold"):
+        ratio = cw["warm"] / cw["cold"]
+        if ratio >= 0.20:
+            failures.append(
+                f"warm compile wall is {ratio:.0%} of cold (gate: < 20%) "
+                "— the executable cache is not earning its keep"
+            )
     return failures
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import ast
 import re
 
+from repro.frontend import astsafe
 from repro.errors import ArgScriptError
 
 _SUBST_RE = re.compile(r"\{([^{}]+)\}")
@@ -63,7 +64,7 @@ _ALLOWED_CMPOPS = {
 def _eval_expr(expr: str, env: dict) -> object:
     """Safely evaluate an arithmetic expression against ``env``."""
     try:
-        tree = ast.parse(expr.strip(), mode="eval")
+        tree = astsafe.parse(expr.strip(), mode="eval")
     except SyntaxError as exc:
         raise ArgScriptError(f"bad expression {expr!r}: {exc}") from None
 

@@ -161,6 +161,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(multi-device runs fall back to pure OOM bisection)",
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="compile through a persistent executable cache rooted at DIR "
+        "(compile-once across invocations; see docs/compilecache.md)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and compile cold",
+    )
+    parser.add_argument(
         "--inject",
         metavar="PLAN",
         default=None,
@@ -406,6 +418,11 @@ def _run(parser, args, app, obs: Observability) -> int:
             backend=args.backend,
         )
         loader_opts = _loader_opts(args)
+        cache = None
+        if args.cache_dir and not args.no_cache:
+            from repro.compilecache import ExecutableCache
+
+            cache = ExecutableCache(args.cache_dir, metrics=obs.metrics)
 
         if args.devices > 1:
             from repro.sched import DevicePool, Scheduler
@@ -417,6 +434,7 @@ def _run(parser, args, app, obs: Observability) -> int:
                 default_retries=args.retries,
                 obs=obs,
                 static_packing=not args.no_static_packing,
+                cache=cache,
             )
             result = sched.run_campaign(
                 app.build_program(), spec, loader_opts=loader_opts
@@ -440,7 +458,9 @@ def _run(parser, args, app, obs: Observability) -> int:
         device = GPUDevice(DEFAULT_DEVICE)
         device.tracer = obs.tracer
         device.metrics = obs.metrics
-        loader = EnsembleLoader(app.build_program(), device, **loader_opts)
+        loader = EnsembleLoader(
+            app.build_program(), device, cache=cache, **loader_opts
+        )
         if args.max_batch is not None:
             runner = BatchedEnsembleRunner(
                 loader,

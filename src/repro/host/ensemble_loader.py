@@ -125,6 +125,7 @@ class EnsembleLoader(Loader):
         opt_level: int | None = None,
         rpc_transport: str = "direct",
         allow_races: bool = False,
+        cache=None,
     ):
         super().__init__(
             program,
@@ -135,6 +136,7 @@ class EnsembleLoader(Loader):
             optimize=optimize,
             opt_level=opt_level,
             rpc_transport=rpc_transport,
+            cache=cache,
         )
         self.mapping = mapping
         self.allow_races = allow_races

@@ -21,6 +21,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compilecache.build import (
+    DIGEST_META,
+    build_executable,
+    is_executable,
+)
 from repro.config import DEFAULT_DEVICE, DEFAULT_SIM
 from repro.errors import DeviceOutOfMemory, DeviceTrap, LoaderError
 from repro.frontend.dsl import Program
@@ -28,18 +33,8 @@ from repro.gpu.device import DeviceImage, GPUDevice, LaunchResult
 from repro.gpu.timing import KernelTiming
 from repro.host.rpc_host import RPCHost
 from repro.ir.module import Module
-from repro.passes import (
-    compile_for_device,
-    finalize_executable,
-    globals_to_shared_pass,
-)
 from repro.runtime.backend import DEFAULT_BACKEND
-from repro.runtime.kernel import (
-    ENSEMBLE_KERNEL,
-    SINGLE_KERNEL,
-    build_ensemble_kernel,
-    build_single_kernel,
-)
+from repro.runtime.kernel import ENSEMBLE_KERNEL, SINGLE_KERNEL
 from repro.runtime.libc import HEAP_CURSOR, HEAP_END
 
 
@@ -77,6 +72,7 @@ class Loader:
         optimize: bool = True,
         opt_level: int | None = None,
         rpc_transport: str = "direct",
+        cache=None,
     ):
         if rpc_transport not in ("direct", "ring"):
             raise LoaderError(f"unknown rpc_transport {rpc_transport!r}")
@@ -86,22 +82,48 @@ class Loader:
         self.rpc_transport = rpc_transport
         self.app_name = program.name if isinstance(program, (Program, Module)) else "app"
 
-        module = program.compile() if isinstance(program, Program) else program
         obs_kw = dict(tracer=self.device.tracer, metrics=self.device.metrics)
-        module = compile_for_device(module, **obs_kw)
-        build_single_kernel(module)
-        build_ensemble_kernel(module)
-        if team_local_globals:
-            globals_to_shared_pass(
-                module, shared_mem_budget=self.device.config.shared_mem_per_block
+        self._static_footprint = None
+        self._cache_entry = None
+        if is_executable(program):
+            # Already finalized (by the compile cache or a prior loader):
+            # its compile options were baked in by the producer, so go
+            # straight to image loading.  Recover the stored footprint
+            # without counting a hit — the lookup already happened.
+            module = program
+            if cache is not None:
+                digest = module.metadata.get(DIGEST_META)
+                entry = cache.peek(digest) if digest else None
+                if entry is not None:
+                    self._cache_entry = entry
+        elif cache is not None:
+            entry = cache.get_or_build(
+                program,
+                team_local_globals=team_local_globals,
+                shared_mem_budget=(
+                    self.device.config.shared_mem_per_block
+                    if team_local_globals
+                    else None
+                ),
+                optimize=optimize,
+                opt_level=opt_level,
+                **obs_kw,
             )
-        module = finalize_executable(
-            module, optimize=optimize, opt_level=opt_level, **obs_kw
-        )
+            module = entry.module
+            self._cache_entry = entry
+        else:
+            module = program.compile() if isinstance(program, Program) else program
+            module = build_executable(
+                module,
+                team_local_globals=team_local_globals,
+                shared_mem_budget=self.device.config.shared_mem_per_block,
+                optimize=optimize,
+                opt_level=opt_level,
+                **obs_kw,
+            )
         self.module = module
         self.image: DeviceImage = self.device.load_image(module)
         self.heap_addr = self.device.alloc(heap_bytes)
-        self._static_footprint = None
 
     @property
     def static_footprint(self):
@@ -109,9 +131,14 @@ class Loader:
         of the linked module's ``__user_main`` — the per-instance heap
         bound the scheduler's static packing consumes."""
         if self._static_footprint is None:
-            from repro.analysis.footprint import compute_footprint
+            if self._cache_entry is not None:
+                # One lazy derivation per cache *entry*, shared by every
+                # loader of the same executable — not one per loader.
+                self._static_footprint = self._cache_entry.footprint
+            if self._static_footprint is None:
+                from repro.analysis.footprint import compute_footprint
 
-            self._static_footprint = compute_footprint(self.module)
+                self._static_footprint = compute_footprint(self.module)
         return self._static_footprint
 
     # ------------------------------------------------------------------

@@ -38,7 +38,14 @@ from repro.passes.dce import dce_pass
 from repro.passes.licm import licm_pass
 from repro.passes.cfg_simplify import cfg_simplify_pass
 from repro.passes.globals_to_shared import globals_to_shared_pass
-from repro.passes.pipeline import compile_for_device, finalize_executable
+from repro.passes.pipeline import (
+    DEVICE_PASS_NAMES,
+    PIPELINE_VERSION,
+    compile_for_device,
+    finalize_executable,
+    finalize_pass_names,
+    pipeline_fingerprint,
+)
 
 __all__ = [
     "PassManager",
@@ -59,4 +66,8 @@ __all__ = [
     "globals_to_shared_pass",
     "compile_for_device",
     "finalize_executable",
+    "finalize_pass_names",
+    "pipeline_fingerprint",
+    "DEVICE_PASS_NAMES",
+    "PIPELINE_VERSION",
 ]

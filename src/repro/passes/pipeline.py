@@ -20,6 +20,8 @@ abort compilation with a :class:`~repro.errors.PassError`.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.errors import PassError
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
@@ -34,6 +36,66 @@ from repro.passes.licm import licm_pass
 from repro.passes.pass_manager import PassManager
 from repro.passes.rename_main import rename_main_pass
 from repro.passes.rpc_lowering import rpc_lowering_pass
+
+#: Bump on any semantic change to a pass that is not reflected in the
+#: pass *names* below (a fixed bug, a sharpened analysis...).  The
+#: compile cache folds this into every key, so stale executables from an
+#: older pipeline can never be served after an upgrade.
+PIPELINE_VERSION = 1
+
+#: Pass names of :func:`compile_for_device`, in run order.
+DEVICE_PASS_NAMES: tuple[str, ...] = (
+    "declare-target",
+    "rename-main",
+    "rpc-lowering",
+)
+
+
+def finalize_pass_names(opt_level: int) -> tuple[str, ...]:
+    """Pass names :func:`finalize_executable` runs at ``opt_level``, in
+    order.  This is the single source of truth: ``finalize_executable``
+    builds its :class:`PassManager` from this list, and
+    :func:`pipeline_fingerprint` hashes it, so the cached-executable key
+    can never drift from the pipeline that actually runs."""
+    if opt_level not in (0, 1, 2):
+        raise PassError(
+            f"unsupported opt_level {opt_level!r} (expected 0, 1 or 2)"
+        )
+    names = ["rpc-lowering", "inline-all"]
+    if opt_level >= 1:
+        for round_ in range(2):
+            names.append(f"constfold.{round_}")
+            names.append(f"dce.{round_}")
+            if round_ == 0:
+                names.append("licm")
+            names.append(f"cfg-simplify.{round_}")
+    if opt_level >= 2:
+        names += [
+            "barrier-elim",
+            "alias-dce",
+            "licm.ro-loads",
+            "dce.2",
+            "cfg-simplify.2",
+        ]
+    return tuple(names)
+
+
+def pipeline_fingerprint(opt_level: int) -> str:
+    """Content fingerprint of the full pass pipeline at ``opt_level``.
+
+    Part of every :class:`~repro.compilecache.CacheKey`: two processes
+    agree on a cached executable only if they would have compiled it
+    through the same pass sequence at the same :data:`PIPELINE_VERSION`.
+    """
+    text = "|".join(
+        (
+            f"v{PIPELINE_VERSION}",
+            ",".join(DEVICE_PASS_NAMES),
+            ",".join(finalize_pass_names(opt_level)),
+        )
+    )
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return f"pp{PIPELINE_VERSION}:{digest[:16]}"
 
 
 def _run_analysis(module: Module, stage: str) -> None:
@@ -123,29 +185,40 @@ def finalize_executable(
     if opt_level >= 2:
         from repro.analysis.manager import AnalysisManager
 
-        am = AnalysisManager(module)
-    pm = PassManager(am=am)
-    pm.add(rpc_lowering_pass, "rpc-lowering")  # idempotent; covers loader code
-    pm.add(inline_all_pass, "inline-all")
-    if opt_level >= 1:
-        for round_ in range(2):
-            pm.add(constfold_pass, f"constfold.{round_}")
-            pm.add(dce_pass, f"dce.{round_}")
-            if round_ == 0:
-                pm.add(licm_pass, "licm")
-            pm.add(cfg_simplify_pass, f"cfg-simplify.{round_}")
-    if opt_level >= 2:
         # The analysis manager caches one points-to solution across the
         # stage; the pass manager re-fingerprints after every pass and
         # recomputes it only when a pass actually mutated a function.
-        pm.add(
-            lambda m: redundant_barrier_elim_pass(m, am.get("pointsto"), metrics),
-            "barrier-elim",
-        )
-        pm.add(lambda m: alias_dce_pass(m, am.get("pointsto"), metrics), "alias-dce")
-        pm.add(lambda m: licm_pass(m, am.get("pointsto")), "licm.ro-loads")
-        pm.add(dce_pass, "dce.2")
-        pm.add(cfg_simplify_pass, "cfg-simplify.2")
+        am = AnalysisManager(module)
+
+    def _resolve(name: str):
+        if name == "rpc-lowering":  # idempotent; covers loader code
+            return rpc_lowering_pass
+        if name == "inline-all":
+            return inline_all_pass
+        if name == "licm.ro-loads":
+            return lambda m: licm_pass(m, am.get("pointsto"))
+        if name == "barrier-elim":
+            return lambda m: redundant_barrier_elim_pass(
+                m, am.get("pointsto"), metrics
+            )
+        if name == "alias-dce":
+            return lambda m: alias_dce_pass(m, am.get("pointsto"), metrics)
+        if name == "licm":
+            return licm_pass
+        base = name.split(".", 1)[0]
+        if base == "constfold":
+            return constfold_pass
+        if base == "dce":
+            return dce_pass
+        if base == "cfg-simplify":
+            return cfg_simplify_pass
+        raise PassError(f"finalize_executable: unknown pass name {name!r}")
+
+    # Built from the *name list* so pipeline_fingerprint() — and with it
+    # every compile-cache key — is honest by construction.
+    pm = PassManager(am=am)
+    for name in finalize_pass_names(opt_level):
+        pm.add(_resolve(name), name)
     module = _run_pipeline(pm, module, "finalize_executable", tracer, metrics)
     module.metadata["opt_level"] = opt_level
     if am is not None and metrics is not None:

@@ -41,6 +41,10 @@ class PoolWorker:
         #: worker is taken out of rotation and its queue redistributed.
         self.fault_streak = 0
         self.quarantined = False
+        #: Shared :class:`~repro.compilecache.ExecutableCache`, when the
+        #: scheduler attached one; handed to every loader this worker
+        #: builds so compilation happens once per pool, not per device.
+        self.cache = None
         self._loaders: dict[tuple, EnsembleLoader] = {}
 
     @property
@@ -51,7 +55,12 @@ class PoolWorker:
         key = (id(job.program), repr(sorted(job.loader_opts.items(), key=repr)))
         loader = self._loaders.get(key)
         if loader is None:
-            loader = self.factory(job.program, self.device, dict(job.loader_opts))
+            opts = dict(job.loader_opts)
+            if self.cache is not None:
+                # Injected at factory-call time (never into the job's own
+                # opts) so the loader-cache key stays identity-stable.
+                opts.setdefault("cache", self.cache)
+            loader = self.factory(job.program, self.device, opts)
             self._loaders[key] = loader
         return loader
 
@@ -102,6 +111,12 @@ class DevicePool:
         for w in self.workers:
             w.device.tracer = obs.tracer
             w.device.metrics = obs.metrics
+
+    def attach_cache(self, cache) -> None:
+        """Share one :class:`~repro.compilecache.ExecutableCache` across
+        every worker's loaders.  Called by the scheduler; idempotent."""
+        for w in self.workers:
+            w.cache = cache
 
     def attach_faults(self, faults) -> None:
         """Point every device at one shared

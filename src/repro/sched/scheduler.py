@@ -131,6 +131,7 @@ class Scheduler:
         quarantine_threshold: int = 3,
         static_packing: bool = True,
         job_scoped_faults: bool = False,
+        cache=None,
     ):
         if default_retries < 0:
             raise SchedulerError("default_retries must be >= 0")
@@ -166,6 +167,14 @@ class Scheduler:
                 if isinstance(faults, (FaultInjector, NullFaultInjector))
                 else FaultInjector(faults)
             )
+        #: Shared compile-once cache (see :mod:`repro.compilecache`):
+        #: attached to every pool worker, so each distinct (program,
+        #: config) compiles once for the whole pool; cached footprints
+        #: pre-seed static packing without recompiling.
+        self.cache = cache
+        if cache is not None:
+            cache.attach_metrics(self.metrics)
+            pool.attach_cache(cache)
         self.stats = SchedulerStats(self.metrics)
         for label in pool.labels:
             self.stats.device(label)
@@ -660,9 +669,17 @@ class Scheduler:
         if not self.static_packing:
             return None
         try:
+            preseeded = (
+                getattr(loader, "_static_footprint", None) is not None
+                or getattr(loader, "_cache_entry", None) is not None
+            )
             fp = loader.static_footprint
         except ReproError:
             return None
+        if preseeded:
+            # The footprint came with the loader's compile-cache entry:
+            # packing is seeded with zero recompute on this device.
+            self.metrics.counter("analysis.packing.footprint_cached").inc()
         cap = fp.max_instances(loader.heap_bytes)
         if cap is None:
             self.metrics.counter("analysis.packing.static_misses").inc()

@@ -64,6 +64,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--max-active", type=int, default=4,
         help="jobs admitted into the scheduler at once",
     )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist the compile-once executable cache to DIR (warm "
+        "state survives drain/restart)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the cross-tenant executable cache entirely",
+    )
     return parser
 
 
@@ -77,6 +86,8 @@ def serve_main(argv: list[str] | None = None) -> int:
         max_batch=args.max_batch,
         default_retries=args.retries,
         static_packing=not args.no_static_packing,
+        cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
         config=ServeConfig(
             max_pending=args.max_pending,
             max_pending_per_tenant=args.max_pending_per_tenant,

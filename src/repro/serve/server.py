@@ -129,8 +129,27 @@ class CampaignServer:
         max_batch: int | None = None,
         default_retries: int = 2,
         static_packing: bool = True,
+        cache=None,
+        cache_dir: str | None = None,
     ):
         self.obs = obs if obs is not None else Observability()
+        #: Cross-tenant compile-once cache: identical specs from any
+        #: tenant share one executable, keyed by content (never by
+        #: tenant).  ``cache=None`` builds the default in-memory cache
+        #: (plus a disk tier when ``cache_dir`` is given, which is what
+        #: lets warm state survive drain/restart); ``cache=False``
+        #: disables caching; an :class:`~repro.compilecache.
+        #: ExecutableCache` instance is used as-is.
+        if cache is False:
+            self.cache = None
+        elif cache is None or cache is True:
+            from repro.compilecache import ExecutableCache
+
+            self.cache = ExecutableCache(cache_dir)
+        else:
+            self.cache = cache
+        if self.cache is not None:
+            self.cache.attach_metrics(self.obs.metrics)
         if scheduler is None:
             from repro.config import DEFAULT_DEVICE
 
@@ -150,6 +169,8 @@ class CampaignServer:
                 "CampaignServer needs a Scheduler(job_scoped_faults=True): "
                 "tenant fault plans must not leak across campaigns"
             )
+        if self.cache is not None:
+            scheduler.pool.attach_cache(self.cache)
         self.scheduler = scheduler
         self.config = config or ServeConfig()
         if apps is None:
@@ -250,7 +271,7 @@ class CampaignServer:
     def _activate(self, entry: _Entry) -> None:
         sub = entry.submission
         try:
-            program = self._program(sub.app)
+            program = self._executable(sub)
             entry.future = self.scheduler.submit(
                 program,
                 sub.spec,
@@ -571,6 +592,7 @@ class CampaignServer:
             "tenants": sorted(self._tenants),
             "devices": self.scheduler.pool.labels,
             "utilization": self.scheduler.stats.utilization(),
+            "cache": None if self.cache is None else self.cache.stats(),
         }
         if fmt == "json":
             return protocol.ok_reply(
@@ -598,6 +620,37 @@ class CampaignServer:
     # ------------------------------------------------------------------
     # programs
     # ------------------------------------------------------------------
+    def _executable(self, sub: Submission):
+        """Resolve a submission to what the scheduler should run.
+
+        With the cache enabled, the submission is compiled (or looked
+        up) through the shared :class:`~repro.compilecache.
+        ExecutableCache`, keyed purely by content — app source, codegen
+        options, opt level — so identical specs from *different* tenants
+        share one compile.  The finalized module (stable identity from
+        the cache's memory tier) is handed to the scheduler; per-device
+        loaders recognize the executable stamp and skip the compile
+        chain entirely.
+        """
+        program = self._program(sub.app)
+        if self.cache is None:
+            return program
+        opts = sub.loader_opts
+        team_local = bool(opts.get("team_local_globals", False))
+        budget = None
+        if team_local:
+            workers = self.scheduler.pool.workers
+            budget = workers[0].device.config.shared_mem_per_block
+        entry = self.cache.get_or_build(
+            program,
+            team_local_globals=team_local,
+            shared_mem_budget=budget,
+            opt_level=opts.get("opt_level"),
+            tracer=self.obs.tracer,
+            metrics=self.obs.metrics,
+        )
+        return entry.module
+
     def _program(self, name: str):
         """Compile-once app resolution: one live program object per app
         name for the server's lifetime, so every device's loader cache

@@ -1,0 +1,75 @@
+"""The ISSUE's acceptance workload: a GP-style many-variant campaign.
+
+A full compile/evaluate/select/mutate run over ≥500 program variants and
+≥3 generations must show the cache earning its keep — a ≥80% hit rate
+once selection starts cloning survivors, ``compile_many`` beating serial
+cold compilation by >1.5×, and every cached execution bitwise identical
+to its cold-compiled twin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import gp
+from repro.harness.gp import GPConfig, TARGET_GENOME, run_campaign
+
+
+@pytest.fixture(scope="module")
+def acceptance_report():
+    cfg = GPConfig(population=200, generations=3, seed=0)
+    assert cfg.population * cfg.generations >= 500
+    return run_campaign(cfg)
+
+
+class TestAcceptance:
+    def test_scale_floor(self, acceptance_report):
+        assert acceptance_report.total_requests >= 500
+        assert len(acceptance_report.generations) >= 3
+
+    def test_hit_rate_after_generation_one(self, acceptance_report):
+        assert acceptance_report.hit_rate_after_gen1 >= 0.80
+
+    def test_parallel_compile_speedup(self, acceptance_report):
+        assert acceptance_report.compile_speedup > 1.5
+
+    def test_every_cached_execution_matches_its_cold_twin(
+        self, acceptance_report
+    ):
+        assert acceptance_report.twin_mismatches == []
+        assert (
+            acceptance_report.verified_twins
+            == len(acceptance_report.observables)
+            > 0
+        )
+
+    def test_generation_one_is_all_cold(self, acceptance_report):
+        gen1 = acceptance_report.generations[0]
+        assert gen1.misses == gen1.unique
+        assert gen1.hits + gen1.dedup == gen1.requests - gen1.unique
+
+    def test_selection_improves_or_holds_fitness(self, acceptance_report):
+        best = [g.best_fitness for g in acceptance_report.generations]
+        assert best == sorted(best, reverse=True)
+        assert acceptance_report.best_fitness <= best[0]
+
+    def test_observables_match_host_reference(self, acceptance_report):
+        cfg = GPConfig(**acceptance_report.config)
+        target = gp.reference_total(TARGET_GENOME, cfg.points)
+        assert isinstance(target, int)
+        for key, (exit_code, stdout) in acceptance_report.observables.items():
+            total = int(stdout.split("gp total ", 1)[1].split("\n", 1)[0])
+            assert exit_code == total & gp.EXIT_MASK, key
+
+
+def test_smoke_campaign_shape():
+    """The CI smoke configuration still produces a structurally complete
+    report (hit-rate numbers need the full population to be meaningful)."""
+    report = run_campaign(
+        GPConfig(population=16, generations=2, cold_sample=2, seed=3)
+    )
+    assert report.total_requests == 32
+    assert len(report.generations) == 2
+    assert report.twin_mismatches == []
+    assert report.cache_stats["misses"] >= 1
+    assert report.parallel_compile_wall_s > 0

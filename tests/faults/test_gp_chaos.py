@@ -1,0 +1,47 @@
+"""GP smoke campaign under the chaos seed matrix.
+
+The many-variant compile campaign runs through a two-device scheduler
+pool while ``worker_death`` strikes; every injected fault must be
+recovered by retry and the campaign's per-genome observables must be
+bitwise identical to the fault-free run — the cache and the fault
+injector must never interact observably.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.gp import GPConfig, run_campaign
+
+
+def _smoke(devices: int, plan: str | None) -> dict:
+    report = run_campaign(
+        GPConfig(
+            population=16,
+            generations=2,
+            seed=5,
+            devices=devices,
+            fault_plan=plan,
+            # Twin verification needs direct loaders; the chaos matrix
+            # compares whole-campaign fingerprints instead.
+            verify_bitwise=False,
+            cold_sample=0,
+        )
+    )
+    return report.observables
+
+
+@pytest.mark.slow
+def test_gp_campaign_identical_under_worker_death(chaos_seed):
+    baseline = _smoke(2, None)
+    faulted = _smoke(2, f"worker_death:times=2:seed={chaos_seed}")
+    assert faulted == baseline
+    assert len(baseline) > 0
+
+
+def test_gp_campaign_sched_path_matches_direct(chaos_seed):
+    """The scheduler-pool evaluation path itself (no faults) reports the
+    same per-genome observables as direct loaders."""
+    direct = _smoke(1, None)
+    pooled = _smoke(2, None)
+    assert pooled == direct

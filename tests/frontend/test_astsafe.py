@@ -1,0 +1,40 @@
+"""The GC-shielded parse used by every threaded compile path."""
+
+import ast
+import gc
+
+import pytest
+
+from repro.frontend import astsafe
+
+
+def test_matches_plain_ast_parse():
+    src = "def f(x):\n    return x + 1\n"
+    assert ast.dump(astsafe.parse(src)) == ast.dump(ast.parse(src))
+
+
+def test_eval_mode_passthrough():
+    tree = astsafe.parse("1 + 2", mode="eval")
+    assert isinstance(tree, ast.Expression)
+
+
+def test_gc_restored_after_parse():
+    assert gc.isenabled()
+    astsafe.parse("x = 1")
+    assert gc.isenabled()
+
+
+def test_gc_restored_after_syntax_error():
+    assert gc.isenabled()
+    with pytest.raises(SyntaxError):
+        astsafe.parse("def f(:\n")
+    assert gc.isenabled()
+
+
+def test_respects_caller_disabled_gc():
+    gc.disable()
+    try:
+        astsafe.parse("x = 1")
+        assert not gc.isenabled()
+    finally:
+        gc.enable()

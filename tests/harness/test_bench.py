@@ -62,9 +62,21 @@ class TestReport:
 
     def test_json_round_trip(self):
         rep = report_with({("a", 2): (2.0, 1.0)})
+        rep.compile_wall_s = {"cold": 1.0, "warm": 0.01, "warm_over_cold": 0.01}
         clone = BenchReport.from_json(json.loads(json.dumps(rep.to_json())))
         assert clone.records == rep.records
+        assert clone.compile_wall_s == rep.compile_wall_s
         assert clone.summary() == rep.summary()
+
+    def test_pre_cache_baseline_still_parses(self):
+        """Baselines written before compile_wall_s existed load with an
+        empty dict and pass the gate vacuously."""
+        rep = report_with({("a", 2): (2.0, 1.0)})
+        data = rep.to_json()
+        del data["compile_wall_s"]
+        clone = BenchReport.from_json(json.loads(json.dumps(data)))
+        assert clone.compile_wall_s == {}
+        assert check_regression(clone, clone) == []
 
 
 class TestRegressionGate:
@@ -101,6 +113,15 @@ class TestRegressionGate:
         cur = report_with({("a", 2): (2.0, 1.0)})
         assert check_regression(cur, base) == []
 
+    def test_warm_compile_must_stay_under_fifth_of_cold(self):
+        base = report_with({("a", 2): (2.0, 1.0)})
+        cur = report_with({("a", 2): (2.0, 1.0)})
+        cur.compile_wall_s = {"cold": 1.0, "warm": 0.5, "warm_over_cold": 0.5}
+        problems = check_regression(cur, base)
+        assert any("warm compile wall" in p for p in problems)
+        cur.compile_wall_s = {"cold": 1.0, "warm": 0.05, "warm_over_cold": 0.05}
+        assert check_regression(cur, base) == []
+
     def test_disjoint_reports_are_an_error(self):
         base = report_with({("a", 2): (2.0, 1.0)})
         cur = report_with({("b", 2): (2.0, 1.0)})
@@ -124,6 +145,9 @@ class TestRealRun:
         interp, compiled = rep.records
         assert interp.steps == compiled.steps  # same retired stream
         assert rep.speedup(2) > 0
+        cw = rep.compile_wall_s
+        assert cw["cold"] > 0
+        assert cw["warm"] < 0.20 * cw["cold"]
 
     def test_committed_baseline_is_valid_and_fast_enough(self):
         """The checked-in BENCH_interpreter.json parses, covers both
