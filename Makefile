@@ -7,7 +7,7 @@ export PYTHONPATH := src
 .PHONY: install test test-fast lint typecheck check bench bench-check \
 	bench-serve bench-serve-check microbench figures validate objdump \
 	sched-demo trace-demo autoensemble-demo serve-demo serve-check \
-	cache-check chaos clean
+	cache-check safety-check chaos clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -65,6 +65,13 @@ bench-serve-check:
 cache-check:
 	$(PYTHON) -m repro.compilecache.check
 	$(PYTHON) -m repro.harness.gp --smoke
+
+# Static-safety gate (docs/safety.md): every registry app must certify
+# with zero DISPROVEN sites and >= 60% guard-free memory-site coverage;
+# known-broken fixtures must be DISPROVEN and flagged by the
+# static-oob/static-trap checkers.
+safety-check:
+	$(PYTHON) -m repro.tools.safety_check
 
 # pytest-benchmark microbenchmarks (interpreter inner loops).
 microbench:

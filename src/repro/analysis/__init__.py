@@ -34,7 +34,10 @@ The checker layer emits structured
   thread-divergent branches (deadlock on real hardware),
 * ``rpc`` — host-only calls that escaped RPC lowering; RPCs issued in
   parallel or divergent regions,
-* ``uninit`` — registers read before any definition on some path.
+* ``uninit`` — registers read before any definition on some path,
+* ``static-oob`` / ``static-trap`` — memory and arithmetic sites the
+  :mod:`~repro.analysis.safety` certificates prove unsafe on every
+  execution (DISPROVEN verdicts with line/col provenance).
 
 Entry points: :func:`analyze_module` runs a set of checkers over a module;
 ``repro.tools.lint`` is the CLI; ``passes.pipeline`` exposes an opt-in
@@ -79,6 +82,17 @@ from repro.analysis.pointsto import MemObject, MemSpace, PointsTo
 from repro.analysis.races import check_races, summarize_global_accesses
 from repro.analysis.ranges import Interval, ValueRanges, trip_bound
 from repro.analysis.rpc_legality import check_rpc_legality
+from repro.analysis.safety import (
+    SafetyCertificate,
+    SiteProof,
+    Verdict,
+    analyze_kernel,
+    certificates_for,
+    certify_module,
+    check_static_oob,
+    check_static_trap,
+    stamp_certificates,
+)
 from repro.analysis.uninit import check_uninitialized
 from repro.ir.module import Module
 
@@ -88,6 +102,8 @@ CHECKERS: dict[str, Callable[[Module], list[Diagnostic]]] = {
     "barrier-divergence": check_divergence,
     "rpc": check_rpc_legality,
     "uninit": check_uninitialized,
+    "static-oob": check_static_oob,
+    "static-trap": check_static_trap,
 }
 
 
@@ -133,17 +149,26 @@ __all__ = [
     "MemSpace",
     "ParDepthInfo",
     "PointsTo",
+    "SafetyCertificate",
     "Severity",
+    "SiteProof",
     "StaticFootprint",
     "UninitUse",
     "ValueRanges",
+    "Verdict",
+    "analyze_kernel",
     "analyze_module",
     "build_callgraph",
+    "certificates_for",
+    "certify_module",
     "compute_footprint",
     "check_divergence",
     "check_races",
     "check_rpc_legality",
+    "check_static_oob",
+    "check_static_trap",
     "check_uninitialized",
+    "stamp_certificates",
     "count_by_severity",
     "dominators",
     "env_fixpoint",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 
+from repro.analysis.safety import stamp_certificates
 from repro.ir.module import Module
 from repro.ir.printer import print_module
 from repro.passes.globals_to_shared import globals_to_shared_pass
@@ -84,6 +85,10 @@ def build_executable(
     module = finalize_executable(
         module, optimize=optimize, opt_level=opt_level, **obs_kw
     )
+    # Prove memory/trap safety once per executable; the certificates ride
+    # in module metadata so every backend (and the compilecache) can elide
+    # dynamic guards for PROVEN sites without re-running the analysis.
+    stamp_certificates(module, metrics=metrics)
     module.metadata[EXECUTABLE_META] = True
     return module
 

@@ -96,11 +96,15 @@ class _AnalysisBox:
     derived on first demand, once, and memoized for every holder of the
     entry (all tier-tagged copies share one box)."""
 
-    __slots__ = ("footprint", "facts", "done", "lock")
+    __slots__ = ("footprint", "facts", "safety", "done", "lock")
 
-    def __init__(self, footprint=None, facts=None, done=False):
+    def __init__(self, footprint=None, facts=None, safety=None, done=False):
         self.footprint = footprint
         self.facts = facts if facts is not None else {}
+        #: per-kernel :class:`~repro.analysis.safety.SafetyCertificate`
+        #: map, filled independently of footprint/facts (``None`` until
+        #: first demand; an invalid on-disk copy loads back as ``None``).
+        self.safety = safety
         self.done = done
         self.lock = threading.Lock()
 
@@ -139,6 +143,22 @@ class CachedExecutable:
         """Interprocedural facts (callgraph, value ranges) of the
         finalized module, lazily derived alongside the footprint."""
         return self._ensure_analysis().facts
+
+    @property
+    def safety(self) -> dict:
+        """Per-kernel :class:`~repro.analysis.safety.SafetyCertificate`
+        map of the finalized module.  Normally this is just the
+        certificates stamped at build time; a stale or corrupted copy
+        (analyzer version bump, tampered disk entry) is rebuilt here and
+        never served as-is."""
+        box = self.box
+        if box.safety is None:
+            with box.lock:
+                if box.safety is None:
+                    from repro.analysis.safety import certificates_for
+
+                    box.safety = certificates_for(self.module)
+        return box.safety
 
 
 def _resolve_source(program):
@@ -394,6 +414,7 @@ class ExecutableCache:
                     "analyzed": box.done,
                     "footprint": box.footprint,
                     "facts": box.facts,
+                    "safety": box.safety,
                 },
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
@@ -460,6 +481,7 @@ class ExecutableCache:
             box=_AnalysisBox(
                 footprint=data.get("footprint"),
                 facts=data.get("facts"),
+                safety=_valid_safety(data.get("safety")),
                 done=bool(data.get("analyzed")),
             ),
             tier="disk",
@@ -467,6 +489,23 @@ class ExecutableCache:
         self._store_memory(digest, entry)
         self._count("hits_disk", "cache.hits", tier="disk")
         return entry
+
+
+def _valid_safety(certs):
+    """Admit a deserialized certificate map only when it is exactly what
+    the current analyzer would produce; anything else loads as ``None``
+    and is rebuilt on first demand (never served)."""
+    from repro.analysis.safety import ANALYZER_VERSION, SafetyCertificate
+
+    if not isinstance(certs, dict) or not certs:
+        return None
+    if all(
+        isinstance(c, SafetyCertificate)
+        and c.analyzer_version == ANALYZER_VERSION
+        for c in certs.values()
+    ):
+        return certs
+    return None
 
 
 def _pipeline_config(key: CacheKey) -> dict:

@@ -17,6 +17,7 @@ from itertools import count
 
 import numpy as np
 
+from repro.analysis.safety import SAFETY_META, Verdict
 from repro.config import DEFAULT_DEVICE, DEFAULT_SIM, DeviceConfig, SimConfig
 from repro.errors import DeviceError, DeviceTrap, LaunchError
 from repro.faults.injector import NO_FAULTS, InjectedOOM, InstanceFault
@@ -27,6 +28,7 @@ from repro.gpu.timing import BlockTrace, KernelTiming, TimingModel
 from repro.ir.module import Module
 from repro.obs.tracer import CLOCK_CYCLES, CLOCK_STEPS, NULL_TRACER
 from repro.runtime.backend import DEFAULT_BACKEND, Backend, get_backend
+from repro.runtime.compiled import SAFETY_CERT_KEY, SAFETY_MODES
 from repro.runtime.interpreter import BlockContext
 from repro.runtime.machine import LoweredKernel, lower_kernel
 from repro.runtime.trace import TraceCollector
@@ -297,12 +299,22 @@ class GPUDevice:
         collect_timing: bool = True,
         max_steps: int = 200_000_000,
         backend: "str | Backend" = DEFAULT_BACKEND,
+        safety_mode: str = "unchecked",
     ) -> LaunchResult:
         engine = get_backend(backend)
         cfg = config_1d(num_teams, thread_limit, instances_per_team)
         cfg.validate(self.config)
         if num_teams > self.config.num_sms * self.config.max_blocks_per_sm:
             raise LaunchError(f"{num_teams} teams exceed device block capacity")
+        if safety_mode not in SAFETY_MODES:
+            raise LaunchError(
+                f"unknown safety_mode {safety_mode!r}; expected one of "
+                f"{SAFETY_MODES}"
+            )
+        # Per-lane stack bases are stack_base + lane * stack_bytes; the
+        # safety analyzer proves 8-byte alignment for SALLOC-derived
+        # pointers, so the stride must preserve the arena's alignment.
+        stack_bytes = (stack_bytes + 7) & ~7
 
         if self.faults.enabled:
             # The ``device.alloc`` point models the launch-scoped allocation
@@ -317,6 +329,35 @@ class GPUDevice:
             fn = image.module.get_function(kernel_name)
             kern = lower_kernel(fn, tracer=self.tracer, metrics=self.metrics)
             image.lowered[kernel_name] = kern
+            # Attach the build-time safety certificate (if the module was
+            # stamped) so certificate-aware backends can elide guards.
+            certs = image.module.metadata.get(SAFETY_META)
+            if isinstance(certs, dict):
+                cert = certs.get(kernel_name)
+                if cert is not None:
+                    kern.backend_cache[SAFETY_CERT_KEY] = cert
+
+        if self.metrics is not None:
+            cert = kern.backend_cache.get(SAFETY_CERT_KEY)
+            self.metrics.counter(
+                "safety.launches",
+                device=self.label,
+                mode=safety_mode,
+                certified=str(cert is not None).lower(),
+            ).inc()
+            if cert is not None and safety_mode == "unchecked":
+                elided = kept = 0
+                for proof in cert.sites.values():
+                    if proof.verdict is Verdict.PROVEN:
+                        elided += 1
+                    else:
+                        kept += 1
+                self.metrics.counter(
+                    "safety.guards.elided", device=self.label
+                ).inc(elided)
+                self.metrics.counter(
+                    "safety.guards.kept", device=self.label
+                ).inc(kept)
 
         warp = self.config.warp_size
         lanes = -(-thread_limit // warp) * warp  # padded per team
@@ -382,6 +423,7 @@ class GPUDevice:
                     warp_size=warp,
                     max_steps=max_steps,
                     collector=collector,
+                    safety_mode=safety_mode,
                     shared_range=shared_range,
                 )
                 executor = engine.executor(kern, ctx)

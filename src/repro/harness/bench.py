@@ -10,7 +10,13 @@ both execution backends at ``-O1`` and ``-O2`` and records:
 * **simulated-cycles/sec** — simulation throughput with the timing model
   armed (one timed run; informational),
 * **smoke-campaign wall time** — the summed untimed wall time per
-  backend, i.e. how long the Figure-6 smoke campaign takes end to end.
+  backend, i.e. how long the Figure-6 smoke campaign takes end to end,
+* **checked vs unchecked** (schema v2) — per app at ``-O2``, the
+  compiled backend with every dynamic guard armed vs the
+  :mod:`~repro.analysis.safety` certificate fast path; the gate requires
+  the unchecked aggregate to be at least as fast.  ``--no-unchecked``
+  is the escape hatch: every compiled launch runs fully guarded and the
+  comparison is skipped.
 
 Wall times are the minimum over ``repeats`` *interleaved* interp/compiled
 pairs, so background load drifts hit both backends equally and the
@@ -50,7 +56,8 @@ from repro.host.ensemble_loader import EnsembleLoader
 from repro.host.launch import LaunchSpec
 
 #: Schema version of the JSON report (bump on incompatible change).
-SCHEMA = 1
+#: v2: per-app checked-vs-unchecked safety comparison (``safety`` section).
+SCHEMA = 2
 
 #: The Figure-6 smoke campaign: every figure-6 benchmark, 4 instances,
 #: the paper's t=32 panel.
@@ -92,6 +99,10 @@ class BenchReport:
     #: Summed compile wall over every (app, opt level): ``cold`` through
     #: an empty executable cache, ``warm`` through the same cache again.
     compile_wall_s: dict = field(default_factory=dict)
+    #: Per-app compiled-backend guard comparison at ``-O2``: wall times
+    #: with every dynamic guard armed (``checked``) vs the certificate
+    #: fast path (``unchecked``), and their ratio (schema v2).
+    safety: dict = field(default_factory=dict)
 
     def wall(self, backend: str, opt_level: int, apps=None) -> float:
         """Summed untimed wall time (the smoke-campaign time) for one
@@ -123,6 +134,10 @@ class BenchReport:
         }
         if self.compile_wall_s:
             summary["compile_wall_s"] = self.compile_wall_s
+        if self.safety:
+            summary["unchecked_speedup"] = {
+                app: s["unchecked_speedup"] for app, s in self.safety.items()
+            }
         return summary
 
     def to_json(self) -> dict:
@@ -131,6 +146,7 @@ class BenchReport:
             "config": self.config,
             "summary": self.summary(),
             "compile_wall_s": self.compile_wall_s,
+            "safety": self.safety,
             "records": [asdict(r) for r in self.records],
         }
 
@@ -139,6 +155,7 @@ class BenchReport:
         report = cls(schema=data["schema"], config=data["config"])
         report.records = [BenchRecord(**r) for r in data["records"]]
         report.compile_wall_s = data.get("compile_wall_s", {})
+        report.safety = data.get("safety", {})
         return report
 
 
@@ -197,9 +214,16 @@ def run_bench(
     thread_limit: int = SMOKE_THREAD_LIMIT,
     repeats: int = 3,
     workloads: dict[str, Figure6Workload] | None = None,
+    safety_mode: str = "unchecked",
     progress=None,
 ) -> BenchReport:
-    """Measure the smoke campaign on both backends; see module doc."""
+    """Measure the smoke campaign on both backends; see module doc.
+
+    ``safety_mode`` is the guard policy of every compiled-backend launch
+    (the ``--no-unchecked`` escape hatch passes ``"checked"``).  When it
+    is ``"unchecked"``, each app additionally gets an interleaved
+    checked-vs-unchecked comparison at ``-O2`` (the ``safety`` section).
+    """
     workloads = workloads or FIGURE6_WORKLOADS
     report = BenchReport(
         schema=SCHEMA,
@@ -209,6 +233,7 @@ def run_bench(
             "instances": instances,
             "thread_limit": thread_limit,
             "repeats": repeats,
+            "safety_mode": safety_mode,
         },
     )
     for app in apps:
@@ -221,6 +246,7 @@ def run_bench(
                     thread_limit=thread_limit,
                     collect_timing=False,
                     backend=b,
+                    safety_mode=safety_mode,
                 )
                 for b in BACKENDS
             }
@@ -235,12 +261,35 @@ def run_bench(
                 for b in BACKENDS:
                     wall, _ = _timed_once(loaders[b], untimed[b])
                     best[b] = min(best[b], wall)
+            if opt == 2 and safety_mode == "unchecked":
+                checked_spec = LaunchSpec(
+                    lines,
+                    thread_limit=thread_limit,
+                    collect_timing=False,
+                    backend="compiled",
+                    safety_mode="checked",
+                )
+                _timed_once(loaders["compiled"], checked_spec)  # warm
+                best_ck = best_un = float("inf")
+                for _ in range(repeats):
+                    wall, _ = _timed_once(loaders["compiled"], checked_spec)
+                    best_ck = min(best_ck, wall)
+                    wall, _ = _timed_once(
+                        loaders["compiled"], untimed["compiled"]
+                    )
+                    best_un = min(best_un, wall)
+                report.safety[app] = {
+                    "checked_wall_s": round(best_ck, 6),
+                    "unchecked_wall_s": round(best_un, 6),
+                    "unchecked_speedup": round(best_ck / best_un, 3),
+                }
             for b in BACKENDS:
                 timed_spec = LaunchSpec(
                     lines,
                     thread_limit=thread_limit,
                     collect_timing=True,
                     backend=b,
+                    safety_mode=safety_mode,
                 )
                 timed_wall, timed_run = _timed_once(loaders[b], timed_spec)
                 cycles = timed_run.cycles or 0.0
@@ -261,11 +310,17 @@ def run_bench(
                 )
             if progress:
                 ratio = report.speedup(opt, apps=[app])
+                safety = report.safety.get(app)
+                tail = (
+                    f" unchecked={safety['unchecked_speedup']:5.2f}x"
+                    if safety and opt == 2
+                    else ""
+                )
                 progress(
                     f"[bench] {app:9s} -O{opt} "
                     f"interp={best['interp'] * 1000:8.1f}ms "
                     f"compiled={best['compiled'] * 1000:8.1f}ms "
-                    f"speedup={ratio:5.2f}x"
+                    f"speedup={ratio:5.2f}x{tail}"
                 )
     report.compile_wall_s = measure_compile_walls(apps, opt_levels)
     if progress:
@@ -321,6 +376,21 @@ def check_regression(
                 f"warm compile wall is {ratio:.0%} of cold (gate: < 20%) "
                 "— the executable cache is not earning its keep"
             )
+    if current.safety:
+        # Guard elision must never cost: summed over the measured apps,
+        # the unchecked fast path has to be at least as fast as running
+        # every dynamic guard (a per-app ratio may wobble with noise; the
+        # aggregate may not).
+        checked = sum(s["checked_wall_s"] for s in current.safety.values())
+        unchecked = sum(
+            s["unchecked_wall_s"] for s in current.safety.values()
+        )
+        if unchecked > checked:
+            problems.append(
+                f"unchecked compiled backend is slower than checked "
+                f"({unchecked:.3f}s > {checked:.3f}s over "
+                f"{', '.join(sorted(current.safety))})"
+            )
     return problems
 
 
@@ -345,6 +415,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--no-unchecked",
+        action="store_true",
+        help="escape hatch: run the compiled backend fully guarded "
+        "(safety_mode=checked) and skip the checked-vs-unchecked "
+        "comparison",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.10,
@@ -358,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
         apps=apps,
         opt_levels=opt_levels,
         repeats=args.repeats,
+        safety_mode="checked" if args.no_unchecked else "unchecked",
         progress=lambda msg: print(msg, file=sys.stderr),
     )
     summary = report.summary()

@@ -125,6 +125,7 @@ class EnsembleLoader(Loader):
         opt_level: int | None = None,
         rpc_transport: str = "direct",
         allow_races: bool = False,
+        allow_unsafe: bool = False,
         cache=None,
     ):
         super().__init__(
@@ -136,6 +137,7 @@ class EnsembleLoader(Loader):
             optimize=optimize,
             opt_level=opt_level,
             rpc_transport=rpc_transport,
+            allow_unsafe=allow_unsafe,
             cache=cache,
         )
         self.mapping = mapping
@@ -231,6 +233,7 @@ class EnsembleLoader(Loader):
                 collect_timing=spec.collect_timing,
                 max_steps=spec.max_steps,
                 backend=spec.backend,
+                safety_mode=spec.safety_mode,
             )
             codes = self.device.memory.read_array(
                 block.ret_addr, np.int64, num_instances

@@ -67,6 +67,12 @@ class LaunchSpec:
     #: executes the spec arms it — the scheduler across its pool, the
     #: ensemble loader on its device.  ``None`` means ``NO_FAULTS``.
     fault_plan: FaultPlan | str | None = None
+    #: Guard policy for certificate-aware backends: ``"unchecked"`` (the
+    #: default — sites the :mod:`~repro.analysis.safety` certificate
+    #: proves safe run guard-free), ``"checked"`` (dynamic guards
+    #: everywhere; the ``--no-unchecked`` escape hatch), or ``"assert"``
+    #: (guards stay armed and report certificate violations).
+    safety_mode: str = "unchecked"
 
     def resolve_instances(self) -> list[list[str]]:
         """Resolve ``arg_source`` and apply the ``-n`` prefix rule."""
@@ -122,6 +128,7 @@ class LaunchSpec:
             collect_timing=self.collect_timing,
             backend=self.backend,
             fault_plan=None if plan is None else plan.to_wire(),
+            safety_mode=self.safety_mode,
         )
         return data
 
@@ -159,6 +166,9 @@ class LaunchSpec:
             fault_plan=None
             if plan_data is None
             else FaultPlan.from_wire(plan_data),
+            safety_mode=wire.get_field(
+                data, "safety_mode", str, "unchecked", kind=kind
+            ),
         )
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.safety import certificates_for
 from repro.compilecache.build import (
     DIGEST_META,
     build_executable,
@@ -72,6 +73,7 @@ class Loader:
         optimize: bool = True,
         opt_level: int | None = None,
         rpc_transport: str = "direct",
+        allow_unsafe: bool = False,
         cache=None,
     ):
         if rpc_transport not in ("direct", "ring"):
@@ -122,6 +124,15 @@ class Loader:
                 **obs_kw,
             )
         self.module = module
+        self.allow_unsafe = allow_unsafe
+        #: kernel name -> statically-disproven sites (the safety analyzer
+        #: proved the site faults on every execution).  Computed once per
+        #: loader from the stamped certificates; enforced at launch time.
+        self.safety_disproven = {
+            name: cert.disproven()
+            for name, cert in certificates_for(module).items()
+            if cert.disproven()
+        }
         self.image: DeviceImage = self.device.load_image(module)
         self.heap_addr = self.device.alloc(heap_bytes)
 
@@ -219,6 +230,31 @@ class Loader:
             num_instances=ni,
         )
 
+    def _check_launch_safety(self) -> None:
+        """Refuse to launch code the safety analyzer disproved.
+
+        A DISPROVEN site faults on *every* execution that reaches it —
+        launching is never useful unless the caller explicitly wants the
+        dynamic guard to produce the trap (``allow_unsafe=True``; the
+        guard always stays armed at such sites, in every safety mode).
+        """
+        if self.allow_unsafe or not self.safety_disproven:
+            return
+        parts = []
+        for name, proofs in sorted(self.safety_disproven.items()):
+            first = proofs[0]
+            parts.append(
+                f"{name}: {len(proofs)} site(s), e.g. {first.kind} at "
+                f"pc {first.pc} ({first.witness})"
+            )
+        raise LoaderError(
+            "refusing to launch: static safety analysis disproved "
+            + "; ".join(parts)
+            + " — fix the flagged code (run the static-oob/static-trap "
+            "lint checkers for line-level diagnostics) or construct the "
+            "loader with allow_unsafe=True to keep the dynamic guard"
+        )
+
     def _launch(
         self,
         kernel: str,
@@ -232,7 +268,9 @@ class Loader:
         collect_timing: bool,
         max_steps: int,
         backend: str = DEFAULT_BACKEND,
+        safety_mode: str = "unchecked",
     ) -> LaunchResult:
+        self._check_launch_safety()
         params: tuple = (
             block.num_instances,
             block.argc_addr,
@@ -260,6 +298,7 @@ class Loader:
                 collect_timing=collect_timing,
                 max_steps=max_steps,
                 backend=backend,
+                safety_mode=safety_mode,
             )
         except DeviceTrap as trap:
             if "out of memory" in str(trap):
@@ -282,6 +321,7 @@ class Loader:
         collect_timing: bool = True,
         max_steps: int = 200_000_000,
         backend: str = DEFAULT_BACKEND,
+        safety_mode: str = "unchecked",
     ) -> RunResult:
         """Run the application once with C-style arguments.
 
@@ -307,6 +347,7 @@ class Loader:
             collect_timing = spec.collect_timing
             max_steps = spec.max_steps
             backend = spec.backend
+            safety_mode = spec.safety_mode
         argv = [self.app_name] + list(args or [])
         self._reset_for_run()
         rpc_host = self._make_rpc_host()
@@ -323,6 +364,7 @@ class Loader:
                 collect_timing=collect_timing,
                 max_steps=max_steps,
                 backend=backend,
+                safety_mode=safety_mode,
             )
             code = int(self.device.memory.read_i64(block.ret_addr))
         finally:

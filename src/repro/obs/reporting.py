@@ -17,6 +17,11 @@ value                     formats
 ``SchedulerStats``        ``summary``, ``text`` (table), ``json``
 ``ScalingResult``         ``text`` (detail table), ``json``
 ``dict[str, Scaling...]`` ``text`` (Figure-6 table), ``json``
+``ExecutableCache``       ``summary``, ``text``, ``json`` (stats)
+``MetricsRegistry``       ``summary``, ``text``, ``json`` — every
+                          instrument, plus a ``safety.*`` rollup
+                          (sites by verdict, guards elided/kept,
+                          launches by mode)
 ========================  =========================================
 
 ``json`` always returns a plain dict (callers serialize); the other
@@ -99,10 +104,89 @@ def _stats_summary(stats) -> str:
     )
 
 
+def _safety_rollup(registry) -> dict:
+    """Aggregate the ``safety.*`` counters a registry accumulated.
+
+    ``sites`` tallies build-time certificate verdicts, ``guards`` the
+    launch-time elided/kept split, ``launches`` the per-mode launch
+    counts — zeros when nothing safety-aware ran yet.
+    """
+    sites = {"proven": 0, "unproven": 0, "disproven": 0}
+    for inst in registry.series("safety.sites"):
+        verdict = dict(inst.labels).get("verdict")
+        if verdict in sites:
+            sites[verdict] += int(inst.value)
+    guards = {
+        "elided": int(
+            sum(i.value for i in registry.series("safety.guards.elided"))
+        ),
+        "kept": int(
+            sum(i.value for i in registry.series("safety.guards.kept"))
+        ),
+    }
+    launches: dict[str, int] = {}
+    for inst in registry.series("safety.launches"):
+        mode = dict(inst.labels).get("mode", "?")
+        launches[mode] = launches.get(mode, 0) + int(inst.value)
+    return {"sites": sites, "guards": guards, "launches": launches}
+
+
+def _cache_summary(stats: dict) -> str:
+    hits = stats["hits_memory"] + stats["hits_disk"] + stats["dedup"]
+    rate = stats["hit_rate"]
+    return (
+        f"cache: {hits} hits / {stats['misses']} misses "
+        f"(rate {rate:.2f}), " if rate is not None
+        else f"cache: {hits} hits / {stats['misses']} misses, "
+    ) + (
+        f"{stats['entries_memory']} memory entries, "
+        f"{stats['corrupt']} corrupt, {stats['evictions']} evicted"
+    )
+
+
+def _metrics_summary(registry, safety: dict) -> str:
+    s, g, l = safety["sites"], safety["guards"], safety["launches"]
+    launches = (
+        " ".join(f"{m}={n}" for m, n in sorted(l.items())) or "none"
+    )
+    return (
+        f"{len(registry)} instruments; safety: "
+        f"{s['proven']} proven / {s['unproven']} unproven / "
+        f"{s['disproven']} disproven sites, guards {g['elided']} elided / "
+        f"{g['kept']} kept, launches {launches}"
+    )
+
+
 def report(value: Any, *, format: str = "summary") -> str | dict:
     """Render any result/stats object the stack produces; see module doc."""
     if format not in FORMATS:
         raise ValueError(f"format must be one of {FORMATS}, got {format!r}")
+
+    from repro.compilecache.cache import ExecutableCache
+    from repro.obs.metrics import MetricsRegistry
+
+    if isinstance(value, ExecutableCache):
+        stats = value.stats()
+        if format == "json":
+            return stats
+        if format == "summary":
+            return _cache_summary(stats)
+        return "\n".join(
+            f"{k:16s} {v}" for k, v in stats.items() if v is not None
+        )
+
+    if isinstance(value, MetricsRegistry):
+        safety = _safety_rollup(value)
+        if format == "json":
+            return {"metrics": value.snapshot(), "safety": safety}
+        if format == "summary":
+            return _metrics_summary(value, safety)
+        lines = [_metrics_summary(value, safety)]
+        for rec in value.snapshot():
+            labels = ",".join(f"{k}={v}" for k, v in rec["labels"].items())
+            val = rec.get("value", rec.get("mean"))
+            lines.append(f"  {rec['name']}{{{labels}}} = {val}")
+        return "\n".join(lines)
 
     from repro.gpu.device import LaunchResult
     from repro.harness.experiment import ScalingResult

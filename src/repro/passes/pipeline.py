@@ -85,11 +85,17 @@ def pipeline_fingerprint(opt_level: int) -> str:
 
     Part of every :class:`~repro.compilecache.CacheKey`: two processes
     agree on a cached executable only if they would have compiled it
-    through the same pass sequence at the same :data:`PIPELINE_VERSION`.
+    through the same pass sequence at the same :data:`PIPELINE_VERSION`
+    — and, because executables carry their safety certificates, the
+    same :data:`~repro.analysis.safety.ANALYZER_VERSION` (bumping the
+    analyzer makes every stale certificate structurally unreachable).
     """
+    from repro.analysis.safety import ANALYZER_VERSION
+
     text = "|".join(
         (
             f"v{PIPELINE_VERSION}",
+            f"safety{ANALYZER_VERSION}",
             ",".join(DEVICE_PASS_NAMES),
             ",".join(finalize_pass_names(opt_level)),
         )

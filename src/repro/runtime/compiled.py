@@ -44,6 +44,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.safety import Verdict
 from repro.errors import DeviceTrap, MemoryFault
 from repro.gpu.memory import NULL_GUARD
 from repro.ir.instructions import Opcode
@@ -63,6 +64,20 @@ from repro.runtime.machine import LInstr, LoweredKernel
 
 #: Key under which the compiled program is cached on the kernel.
 CACHE_KEY = "compiled"
+
+#: backend_cache key the device uses to attach the kernel's
+#: :class:`~repro.analysis.safety.SafetyCertificate` (stamped into module
+#: metadata at build time) for safety-mode-aware codegen.
+SAFETY_CERT_KEY = "safety.cert"
+
+#: Codegen safety modes:
+#:
+#: * ``"checked"``   — dynamic guards on every memory/trap site (legacy);
+#: * ``"unchecked"`` — sites the certificate PROVEs safe run guard-free
+#:   (the default launch mode; identical observables by soundness);
+#: * ``"assert"``    — guards stay armed, but one firing at a PROVEN site
+#:   reports a certificate violation (debug mode for the analyzer itself).
+SAFETY_MODES = ("checked", "unchecked", "assert")
 
 #: numpy ufunc spellings for the binary ops the full-row body inlines.
 _UFUNC_NAMES = {
@@ -148,7 +163,14 @@ def _block_leaders(kernel: LoweredKernel, is_stop: list[bool]) -> set[int]:
 
 
 def _emit_memop(
-    li: LInstr, pc: int, out: list[str], d: str | None, sel: str, lids: str
+    li: LInstr,
+    pc: int,
+    out: list[str],
+    d: str | None,
+    sel: str,
+    lids: str,
+    proof=None,
+    mode: str = "checked",
 ) -> None:
     """Append the LOAD/STORE tail (``_adr`` already assigned) for one
     instruction; ``sel`` is ``""`` (full row) or ``"[mask]"``.
@@ -161,6 +183,14 @@ def _emit_memop(
     byte-identical to the interpreter's.  Timed runs keep the full
     gather/scatter call so ``on_mem`` sees exactly what the interpreter's
     handlers report.
+
+    With a :class:`~repro.analysis.safety.SiteProof` and
+    ``mode="unchecked"``, PROVEN null+alignment drops the guard entirely
+    (straight-line view access on both the timed and untimed paths —
+    ``on_mem`` still fires so traces are unchanged), and PROVEN bounds
+    additionally drops the end-of-heap backstop.  ``mode="assert"`` keeps
+    every guard but reports a firing at a PROVEN site as a certificate
+    violation.
     """
     size = li.mty.size
     idx = f"_adr >> {size.bit_length() - 1}" if size > 1 else "_adr"
@@ -168,19 +198,54 @@ def _emit_memop(
         f" or (int(np.bitwise_or.reduce(_adr)) & {size - 1})" if size > 1 else ""
     )
     store_src = None if li.op is Opcode.LOAD else _reg(li.args[1])
+    proven = (
+        proof is not None
+        and proof.null is Verdict.PROVEN
+        and proof.align is Verdict.PROVEN
+    )
+    bounds_proven = proven and proof.bounds is Verdict.PROVEN
+    if mode == "unchecked" and proven:
+        access = (
+            f"{d}{sel or '[:]'} = _mv{pc}[{idx}]"
+            if store_src is None
+            else f"_mv{pc}[{idx}] = {store_src}{sel}"
+        )
+        if bounds_proven:
+            out.append(access)
+        else:
+            out.append("try:")
+            out.append(f"    {access}")
+            out.append("except IndexError:")
+            out.append("    _trap(str(_mem._beyond_end(_adr)), mask)")
+        out.append("if _C is not None:")
+        out.append(f"    _C.on_mem({lids}, _adr, {size})")
+        return
+    # checked / assert: the guarded emission.  In assert mode a guard
+    # firing where the certificate says it cannot is an analyzer bug;
+    # surface it as such instead of an ordinary memory fault.
+    g_pfx = (
+        "'safety certificate violated: ' + "
+        if mode == "assert" and proven
+        else ""
+    )
+    b_pfx = (
+        "'safety certificate violated: ' + "
+        if mode == "assert" and bounds_proven
+        else ""
+    )
     out.append("if _C is None:")
     out.append(f"    if int(_adr.min()) < {NULL_GUARD}{align}:")
     out.append("        try:")
     out.append(f"            _mem._indices(_adr, _mty{pc})")
     out.append("        except _MF as _exc:")
-    out.append("            _trap(str(_exc), mask)")
+    out.append(f"            _trap({g_pfx}str(_exc), mask)")
     out.append("    try:")
     if store_src is None:
         out.append(f"        {d}{sel or '[:]'} = _mv{pc}[{idx}]")
     else:
         out.append(f"        _mv{pc}[{idx}] = {store_src}{sel}")
     out.append("    except IndexError:")
-    out.append("        _trap(str(_mem._beyond_end(_adr)), mask)")
+    out.append(f"        _trap({b_pfx}str(_mem._beyond_end(_adr)), mask)")
     out.append("else:")
     out.append("    try:")
     if store_src is None:
@@ -188,11 +253,27 @@ def _emit_memop(
     else:
         out.append(f"        _mem.scatter(_adr, {store_src}{sel}, _mty{pc})")
     out.append("    except _MF as _exc:")
-    out.append("        _trap(str(_exc), mask)")
+    out.append(f"        _trap({g_pfx}str(_exc), mask)")
     out.append(f"    _C.on_mem({lids}, _adr, {size})")
 
 
-def _emit_full(li: LInstr, pc: int, out: list[str]) -> None:
+def _trap_elidable(proof, mode: str) -> bool:
+    return (
+        mode == "unchecked"
+        and proof is not None
+        and proof.trap is Verdict.PROVEN
+    )
+
+
+def _trap_prefix(proof, mode: str) -> str:
+    if mode == "assert" and proof is not None and proof.trap is Verdict.PROVEN:
+        return "'safety certificate violated: ' + "
+    return ""
+
+
+def _emit_full(
+    li: LInstr, pc: int, out: list[str], proof=None, mode: str = "checked"
+) -> None:
     """Append the full-row (all lanes runnable) body for one instruction.
 
     Falls back to the interpreter handler (``H[pc](mask)``) for ops with
@@ -217,8 +298,10 @@ def _emit_full(li: LInstr, pc: int, out: list[str]) -> None:
         return
     if op in (Opcode.SDIV, Opcode.SREM):
         a, b = _reg(li.args[0]), _reg(li.args[1])
-        out.append(f"if ({b} == 0).any():")
-        out.append('    _trap("integer division by zero", mask)')
+        if not _trap_elidable(proof, mode):
+            pfx = _trap_prefix(proof, mode)
+            out.append(f"if ({b} == 0).any():")
+            out.append(f'    _trap({pfx}"integer division by zero", mask)')
         out.append(f"_q = np.sign({a}) * np.sign({b}) * (np.abs({a}) // np.abs({b}))")
         if op is Opcode.SREM:
             out.append(f"{d}[:] = {a} - _q * {b}")
@@ -227,8 +310,12 @@ def _emit_full(li: LInstr, pc: int, out: list[str]) -> None:
         return
     if op is Opcode.FPTOSI:
         a = _reg(li.args[0])
-        out.append(f"if not np.isfinite({a}).all():")
-        out.append('    _trap("float-to-int conversion of non-finite value", mask)')
+        if not _trap_elidable(proof, mode):
+            pfx = _trap_prefix(proof, mode)
+            out.append(f"if not np.isfinite({a}).all():")
+            out.append(
+                f'    _trap({pfx}"float-to-int conversion of non-finite value", mask)'
+            )
         out.append(f"{d}[:] = np.trunc({a})")
         return
     if op is Opcode.SITOFP:
@@ -255,7 +342,7 @@ def _emit_full(li: LInstr, pc: int, out: list[str]) -> None:
         a = _reg(li.args[0])
         addr = f"{a} + {li.offset}" if li.offset else a
         out.append(f"_adr = {addr}")
-        _emit_memop(li, pc, out, d, "", "_lids")
+        _emit_memop(li, pc, out, d, "", "_lids", proof, mode)
         return
     if op is Opcode.GADDR:
         out.append(f"{d}[:] = _resolve({li.sym!r})")
@@ -286,7 +373,9 @@ def _emit_full(li: LInstr, pc: int, out: list[str]) -> None:
     out.append(f"H[{pc}](mask)")
 
 
-def _emit_masked(li: LInstr, pc: int, out: list[str]) -> None:
+def _emit_masked(
+    li: LInstr, pc: int, out: list[str], proof=None, mode: str = "checked"
+) -> None:
     """Append the masked (partial lane set) body for one instruction.
 
     Same numpy expressions the interpreter's pre-specialized handlers
@@ -314,8 +403,10 @@ def _emit_masked(li: LInstr, pc: int, out: list[str]) -> None:
         a, b = _reg(li.args[0]), _reg(li.args[1])
         out.append(f"_av = {a}[mask]")
         out.append(f"_bv = {b}[mask]")
-        out.append("if (_bv == 0).any():")
-        out.append('    _trap("integer division by zero", mask)')
+        if not _trap_elidable(proof, mode):
+            pfx = _trap_prefix(proof, mode)
+            out.append("if (_bv == 0).any():")
+            out.append(f'    _trap({pfx}"integer division by zero", mask)')
         out.append("_q = np.sign(_av) * np.sign(_bv) * (np.abs(_av) // np.abs(_bv))")
         if op is Opcode.SREM:
             out.append(f"{d}[mask] = _av - _q * _bv")
@@ -325,8 +416,12 @@ def _emit_masked(li: LInstr, pc: int, out: list[str]) -> None:
     if op is Opcode.FPTOSI:
         a = _reg(li.args[0])
         out.append(f"_av = {a}[mask]")
-        out.append("if not np.isfinite(_av).all():")
-        out.append('    _trap("float-to-int conversion of non-finite value", mask)')
+        if not _trap_elidable(proof, mode):
+            pfx = _trap_prefix(proof, mode)
+            out.append("if not np.isfinite(_av).all():")
+            out.append(
+                f'    _trap({pfx}"float-to-int conversion of non-finite value", mask)'
+            )
         out.append(f"{d}[mask] = np.trunc(_av)")
         return
     if op is Opcode.SITOFP:
@@ -353,7 +448,7 @@ def _emit_masked(li: LInstr, pc: int, out: list[str]) -> None:
         a = _reg(li.args[0])
         addr = f"{a}[mask] + {li.offset}" if li.offset else f"{a}[mask]"
         out.append(f"_adr = {addr}")
-        _emit_memop(li, pc, out, d, "[mask]", "_lids[mask]")
+        _emit_memop(li, pc, out, d, "[mask]", "_lids[mask]", proof, mode)
         return
     if op is Opcode.GADDR:
         out.append(f"{d}[mask] = _resolve({li.sym!r})")
@@ -382,7 +477,12 @@ def _emit_masked(li: LInstr, pc: int, out: list[str]) -> None:
     out.append(f"H[{pc}](mask)")
 
 
-def compile_kernel(kernel: LoweredKernel) -> CompiledProgram:
+def compile_kernel(
+    kernel: LoweredKernel,
+    *,
+    cert=None,
+    safety_mode: str = "checked",
+) -> CompiledProgram:
     """Generate + ``compile()`` the block functions for one kernel.
 
     The artifact is kernel-level (not executor-level): generated names
@@ -390,10 +490,29 @@ def compile_kernel(kernel: LoweredKernel) -> CompiledProgram:
     defaults when the code object is ``exec``'d into a per-executor
     namespace — the classic threaded-code trick giving local-variable
     lookup speed inside each block.
+
+    ``cert`` (a :class:`~repro.analysis.safety.SafetyCertificate`) plus
+    ``safety_mode`` select guard emission per site; artifacts are cached
+    per (mode, certificate) so modes never share code objects.
     """
-    cached = kernel.backend_cache.get(CACHE_KEY)
+    if safety_mode not in SAFETY_MODES:
+        raise ValueError(
+            f"unknown safety_mode {safety_mode!r}; expected one of "
+            f"{SAFETY_MODES}"
+        )
+    if cert is None:
+        safety_mode = "checked"  # nothing to consult: guards everywhere
+    cache_key = (
+        CACHE_KEY if safety_mode == "checked" else (CACHE_KEY, safety_mode)
+    )
+    cached = kernel.backend_cache.get(cache_key)
     if cached is not None:
-        return cached
+        if safety_mode == "checked":
+            return cached
+        cached_cert, cached_program = cached
+        if cached_cert is cert:
+            return cached_program
+    sites = cert.sites if cert is not None else {}
 
     from repro.gpu.timing import cpi_of
 
@@ -424,8 +543,9 @@ def compile_kernel(kernel: LoweredKernel) -> CompiledProgram:
         full_lines: list[str] = []
         masked_lines: list[str] = []
         for off, li in enumerate(body):
-            _emit_full(li, leader + off, full_lines)
-            _emit_masked(li, leader + off, masked_lines)
+            proof = sites.get(leader + off)
+            _emit_full(li, leader + off, full_lines, proof, safety_mode)
+            _emit_masked(li, leader + off, masked_lines, proof, safety_mode)
 
         names = sorted(_free_names(full_lines + masked_lines, kernel))
         defaults = "".join(f", {nm}={nm}" for nm in names)
@@ -441,7 +561,9 @@ def compile_kernel(kernel: LoweredKernel) -> CompiledProgram:
         code=compile(source, f"<compiled kernel {kernel.name}>", "exec"),
         blocks=blocks,
     )
-    kernel.backend_cache[CACHE_KEY] = program
+    kernel.backend_cache[cache_key] = (
+        program if safety_mode == "checked" else (cert, program)
+    )
     return program
 
 
@@ -549,7 +671,11 @@ class CompiledBlockExecutor(BlockExecutor):
             for s in cbr_static
         ]
         self._handlers = _LazyHandlers(self)
-        program = compile_kernel(kernel)
+        program = compile_kernel(
+            kernel,
+            cert=kernel.backend_cache.get(SAFETY_CERT_KEY),
+            safety_mode=getattr(ctx, "safety_mode", "checked"),
+        )
         ns = self._bind_namespace()
         exec(program.code, ns)
         self._blocks = {
@@ -810,4 +936,10 @@ class CompiledBlockExecutor(BlockExecutor):
         self.steps = steps
 
 
-__all__ = ["CompiledBlockExecutor", "CompiledProgram", "compile_kernel"]
+__all__ = [
+    "CompiledBlockExecutor",
+    "CompiledProgram",
+    "SAFETY_CERT_KEY",
+    "SAFETY_MODES",
+    "compile_kernel",
+]

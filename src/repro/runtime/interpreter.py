@@ -70,6 +70,11 @@ class BlockContext:
     warp_size: int = 32
     max_steps: int = 200_000_000
     collector: TraceCollector | None = None
+    safety_mode: str = "unchecked"
+    """Guard policy for backends that consult safety certificates
+    (``"checked"`` | ``"unchecked"`` | ``"assert"``).  The interpreter
+    backend always runs fully guarded; the compiled backend elides guards
+    at certificate-PROVEN sites unless ``"checked"``."""
     shared_range: tuple[int, int] | None = None
     """Device-address range [lo, hi) backed by on-chip shared memory for
     this team (the team-local globals region).  Accesses inside it are

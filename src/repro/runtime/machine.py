@@ -37,6 +37,7 @@ class LInstr:
     sym: str | None
     service: str | None
     targets: tuple  # absolute pcs
+    loc: object = None  # source (line, col) carried from Instr.meta, if any
 
 
 @dataclass
@@ -162,6 +163,7 @@ def _lower_kernel(fn: Function) -> LoweredKernel:
                     sym=instr.sym,
                     service=instr.service,
                     targets=targets,
+                    loc=instr.meta.get("loc"),
                 )
             )
     return LoweredKernel(

@@ -32,11 +32,15 @@ Exit status (stable contract for CI):
 * ``3`` — internal error (a checker or the compiler crashed).
 
 The JSON format (``--format json``) is a stable schema: one object with
-``stage``, ``apps`` and (when ``--driver`` is used) ``drivers``; each
-app or driver script maps to a list of diagnostics carrying
-``file``/``line``/``col`` (source provenance when the frontend recorded
-it), ``severity``, ``checker``, ``function``/``block``/``index``,
-``sym``, ``message`` and ``hint``.
+``stage``, ``apps``, ``safety`` and (when ``--driver`` is used)
+``drivers``; each app or driver script maps to a list of diagnostics
+carrying ``file``/``line``/``col`` (source provenance when the frontend
+recorded it), ``severity``, ``checker``, ``function``/``block``/
+``index``, ``sym``, ``message`` and ``hint``.  ``safety`` maps each app
+to its per-kernel :class:`~repro.analysis.safety.SafetyCertificate`
+summaries (site counts, proven/unproven/disproven tallies, guard-free
+coverage) — the proof state behind the ``static-oob``/``static-trap``
+checkers.
 """
 
 from __future__ import annotations
@@ -70,13 +74,22 @@ def lint_app(
     entry, stage: str, checkers: list[str] | None, *, interproc: bool = False
 ) -> list[Diagnostic]:
     """Compile one registry app to ``stage`` and run the checkers on it."""
+    return _lint_app(entry, stage, checkers, interproc=interproc)[1]
+
+
+def _lint_app(
+    entry, stage: str, checkers: list[str] | None, *, interproc: bool = False
+):
+    """``lint_app`` that also hands back the staged module, so the JSON
+    renderer can attach the safety-certificate summaries without a second
+    compile."""
     module = module_at_stage(entry.build_program(), stage)
     diags = analyze_module(module, checkers)
     if interproc:
         from repro.analysis.interproc import interproc_facts
 
         diags.extend(interproc_facts(module))
-    return diags
+    return module, diags
 
 
 def lint_driver(
@@ -99,6 +112,20 @@ def lint_driver(
     for loop in lift_source(source, filename=path, func_name=func_name):
         diags.extend(classify_loop(loop).diagnostics)
     return diags
+
+
+def _safety_summaries(module) -> dict:
+    """Per-kernel :meth:`~repro.analysis.safety.SafetyCertificate.summary`
+    dicts for the JSON report (empty when the stage has no lowerable
+    kernels — early stages have nothing to certify)."""
+    from repro.analysis.safety import certificates_for
+    from repro.errors import ReproError
+
+    try:
+        certs = certificates_for(module)
+    except ReproError:
+        return {}
+    return {name: cert.summary() for name, cert in sorted(certs.items())}
 
 
 def _app_source_file(entry) -> str | None:
@@ -201,10 +228,11 @@ def main(argv: list[str] | None = None) -> int:
     threshold = FAIL_LEVELS[args.fail_on]
     failed = False
     report: dict[str, list[dict]] = {}
+    safety_report: dict[str, dict] = {}
     for name in names:
         entry = APPS[name]
         try:
-            diags = lint_app(
+            module, diags = _lint_app(
                 entry, args.stage, args.checker, interproc=args.interproc
             )
         except Exception:
@@ -214,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
         if fmt == "json":
             src = _app_source_file(entry)
             report[name] = [dict(d.to_dict(), file=src) for d in diags]
+            safety_report[name] = _safety_summaries(module)
         else:
             _render_text(name, diags)
         if threshold is not None and any(d.severity >= threshold for d in diags):
@@ -242,7 +271,7 @@ def main(argv: list[str] | None = None) -> int:
             failed = True
 
     if fmt == "json":
-        out = {"stage": args.stage, "apps": report}
+        out = {"stage": args.stage, "apps": report, "safety": safety_report}
         if args.driver:
             out["drivers"] = driver_report
         print(json.dumps(out, indent=2))

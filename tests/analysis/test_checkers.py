@@ -163,6 +163,8 @@ class TestUnknownChecker:
             "barrier-divergence",
             "rpc",
             "uninit",
+            "static-oob",
+            "static-trap",
         }
 
 

@@ -129,6 +129,21 @@ class TestRegressionGate:
             "no (app, opt_level) pairs in common with the baseline"
         ]
 
+    def test_unchecked_slower_than_checked_fails(self):
+        base = report_with({("a", 2): (2.0, 1.0)})
+        cur = report_with({("a", 2): (2.0, 1.0)})
+        cur.safety = {
+            "a": {
+                "checked_wall_s": 1.0,
+                "unchecked_wall_s": 1.2,
+                "unchecked_speedup": 0.833,
+            }
+        }
+        problems = check_regression(cur, base)
+        assert any("unchecked" in p for p in problems)
+        cur.safety["a"].update(unchecked_wall_s=0.8, unchecked_speedup=1.25)
+        assert check_regression(cur, base) == []
+
 
 class TestRealRun:
     def test_tiny_bench_produces_both_backends(self):
@@ -148,6 +163,21 @@ class TestRealRun:
         cw = rep.compile_wall_s
         assert cw["cold"] > 0
         assert cw["warm"] < 0.20 * cw["cold"]
+        safety = rep.safety["rsbench"]
+        assert safety["checked_wall_s"] > 0
+        assert safety["unchecked_wall_s"] > 0
+        assert safety["unchecked_speedup"] > 0
+        assert rep.summary()["unchecked_speedup"]["rsbench"] == \
+            safety["unchecked_speedup"]
+
+    def test_no_unchecked_hatch_skips_the_comparison(self):
+        rep = run_bench(
+            apps=("rsbench",), opt_levels=(2,), instances=2,
+            thread_limit=32, repeats=1, workloads=TINY,
+            safety_mode="checked",
+        )
+        assert rep.safety == {}
+        assert rep.config["safety_mode"] == "checked"
 
     def test_committed_baseline_is_valid_and_fast_enough(self):
         """The checked-in BENCH_interpreter.json parses, covers both
@@ -161,4 +191,6 @@ class TestRealRun:
         assert backends == {"interp", "compiled"}
         assert {r.opt_level for r in rep.records} == {1, 2}
         assert rep.speedup(2) >= 2.0
+        speedups = [s["unchecked_speedup"] for s in rep.safety.values()]
+        assert speedups and max(speedups) >= 1.10
         assert check_regression(rep, rep) == []

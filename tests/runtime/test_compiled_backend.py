@@ -15,7 +15,21 @@ from repro.runtime.backend import (
     available_backends,
     get_backend,
 )
-from repro.runtime.compiled import CACHE_KEY, compile_kernel
+from repro.runtime.compiled import CACHE_KEY, SAFETY_CERT_KEY, compile_kernel
+
+
+def _compiled_entry(kernel):
+    """The (cert, program) the default launch path cached, if any.
+
+    Launches default to ``safety_mode="unchecked"``, so certified kernels
+    cache under ``(CACHE_KEY, "unchecked")``; uncertified ones fall back
+    to the plain checked entry.
+    """
+    entry = kernel.backend_cache.get((CACHE_KEY, "unchecked"))
+    if entry is not None:
+        return entry
+    program = kernel.backend_cache.get(CACHE_KEY)
+    return (None, program) if program is not None else None
 from tests.property.test_opt_equivalence import build_program
 from tests.util import SMALL_DEVICE
 
@@ -82,12 +96,14 @@ class TestCompilation:
         kernels = [
             k
             for k in rsbench_loader.image.lowered.values()
-            if CACHE_KEY in k.backend_cache
+            if _compiled_entry(k) is not None
         ]
         assert kernels, "no kernel picked up a compiled program"
         for k in kernels:
-            program = k.backend_cache[CACHE_KEY]
-            assert compile_kernel(k) is program  # cache hit, same object
+            cert, program = _compiled_entry(k)
+            mode = "checked" if cert is None else "unchecked"
+            recompiled = compile_kernel(k, cert=cert, safety_mode=mode)
+            assert recompiled is program  # cache hit, same object
             assert program.blocks  # at least one compilable block
             # every block: leader < end, positive instruction count
             for leader, (end, count, cycles) in program.blocks.items():
@@ -107,9 +123,9 @@ class TestCompilation:
         kernel = next(
             k
             for k in rsbench_loader.image.lowered.values()
-            if CACHE_KEY in k.backend_cache
+            if _compiled_entry(k) is not None
         )
-        src = kernel.backend_cache[CACHE_KEY].source
+        src = _compiled_entry(kernel)[1].source
         assert "def _blk0(mask, full" in src
         assert "if full:" in src
 
@@ -118,7 +134,9 @@ class TestTrapParity:
     """Faults must raise the same DeviceTrap text on both backends."""
 
     def _trap_text(self, src, backend):
-        loader = _loader(src)
+        # allow_unsafe: these programs are statically DISPROVEN on purpose;
+        # the point is that the *dynamic* guard's trap text matches.
+        loader = _loader(src, allow_unsafe=True)
         with pytest.raises(DeviceTrap) as exc:
             loader.run([], thread_limit=32, collect_timing=False,
                        backend=backend)
